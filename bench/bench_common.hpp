@@ -1,0 +1,90 @@
+// Shared infrastructure for the paper-figure benchmark binaries.
+//
+// Environment knobs (all optional):
+//   FTGEMM_BENCH_MAX    largest square size in the sweep   (default 1024)
+//   FTGEMM_BENCH_REPS   timed repetitions per point        (default 5;
+//                       the paper uses 20 — raise it on quiet machines)
+//   FTGEMM_BENCH_THREADS  thread count for the parallel figures
+//                         (default: omp_get_max_threads())
+//
+// The paper sweeps 1024..10240 (serial) and 512..20480 (parallel) on a
+// 10-core Xeon W-2255; the default sweep here is scaled to a CI-class
+// single-core VM but keeps the same geometry (doubling sizes, same series).
+#pragma once
+
+#include <omp.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baseline/naive_gemm.hpp"
+#include "baseline/unfused_abft.hpp"
+#include "core/gemm.hpp"
+#include "inject/injectors.hpp"
+#include "util/env.hpp"
+#include "util/matrix.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace ftgemm::bench {
+
+inline std::vector<index_t> square_sizes(index_t lo = 256) {
+  const index_t max = env_long("FTGEMM_BENCH_MAX", 1024);
+  std::vector<index_t> sizes;
+  for (index_t s = lo; s <= max; s *= 2) {
+    sizes.push_back(s);
+    const index_t mid = s + s / 2;
+    if (mid <= max && mid < s * 2) sizes.push_back(mid);
+  }
+  return sizes;
+}
+
+inline int bench_reps() { return int(env_long("FTGEMM_BENCH_REPS", 5)); }
+
+inline int bench_threads() {
+  return int(env_long("FTGEMM_BENCH_THREADS", omp_get_max_threads()));
+}
+
+/// Time `fn` (a full GEMM of the given shape) `reps` times; median GFLOPS.
+template <typename Fn>
+double median_gflops(index_t m, index_t n, index_t k, int reps, Fn&& fn) {
+  std::vector<double> samples;
+  samples.reserve(std::size_t(reps));
+  fn();  // warm-up (also first-touch of workspaces)
+  for (int r = 0; r < reps; ++r) {
+    WallTimer t;
+    fn();
+    samples.push_back(gemm_gflops(double(m), double(n), double(k),
+                                  t.seconds()));
+  }
+  return compute_stats(samples).median;
+}
+
+/// One benchmark workload: square operands, C overwritten every run
+/// (beta = 0 keeps runs independent so repetitions are comparable).
+template <typename T>
+struct SquareWorkload {
+  index_t n;
+  Matrix<T> a, b, c;
+
+  explicit SquareWorkload(index_t size, std::uint64_t seed = 42)
+      : n(size), a(size, size), b(size, size), c(size, size) {
+    a.fill_random(seed);
+    b.fill_random(seed + 1);
+    c.fill(T(0));
+  }
+};
+
+inline void print_header(const char* title, const char* figure,
+                         const std::vector<std::string>& columns) {
+  std::printf("# %s\n", title);
+  std::printf("# reproduces: %s\n", figure);
+  std::printf("# threads=%d reps=%d (paper: 20 reps, Xeon W-2255)\n",
+              bench_threads(), bench_reps());
+  std::printf("%-8s", "size");
+  for (const std::string& c : columns) std::printf("%14s", c.c_str());
+  std::printf("\n");
+}
+
+}  // namespace ftgemm::bench

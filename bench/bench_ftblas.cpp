@@ -1,0 +1,142 @@
+// FT-BLAS substrate (experiment E8): DMR overhead on the memory-bound
+// Level-1/2 routines.  The FT-BLAS argument: because these routines are
+// bandwidth-bound, duplicating the *computation* in registers costs little.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "ftblas/level1.hpp"
+#include "ftblas/level2.hpp"
+#include "util/matrix.hpp"
+
+namespace ftgemm::ftblas {
+namespace {
+
+std::vector<double> make_vec(index_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+void BM_dscal(benchmark::State& state) {
+  const index_t n = state.range(0);
+  auto x = make_vec(n, 1);
+  for (auto _ : state) {
+    dscal(n, 1.0000001, x.data(), 1);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * n * 16);
+}
+
+void BM_ft_dscal(benchmark::State& state) {
+  const index_t n = state.range(0);
+  auto x = make_vec(n, 1);
+  for (auto _ : state) {
+    ft_dscal(n, 1.0000001, x.data(), 1);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * n * 16);
+}
+
+void BM_daxpy(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const auto x = make_vec(n, 2);
+  auto y = make_vec(n, 3);
+  for (auto _ : state) {
+    daxpy(n, 1e-9, x.data(), 1, y.data(), 1);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * n * 24);
+}
+
+void BM_ft_daxpy(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const auto x = make_vec(n, 2);
+  auto y = make_vec(n, 3);
+  for (auto _ : state) {
+    ft_daxpy(n, 1e-9, x.data(), 1, y.data(), 1);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * n * 24);
+}
+
+void BM_ddot(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const auto x = make_vec(n, 4);
+  const auto y = make_vec(n, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ddot(n, x.data(), 1, y.data(), 1));
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * n * 16);
+}
+
+void BM_ft_ddot(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const auto x = make_vec(n, 4);
+  const auto y = make_vec(n, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ft_ddot(n, x.data(), 1, y.data(), 1));
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * n * 16);
+}
+
+void BM_dnrm2(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const auto x = make_vec(n, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dnrm2(n, x.data(), 1));
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * n * 8);
+}
+
+void BM_ft_dnrm2(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const auto x = make_vec(n, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ft_dnrm2(n, x.data(), 1));
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * n * 8);
+}
+
+void BM_dgemv(benchmark::State& state) {
+  const index_t n = state.range(0);
+  Matrix<double> a(n, n);
+  a.fill_random(7);
+  const auto x = make_vec(n, 8);
+  auto y = make_vec(n, 9);
+  for (auto _ : state) {
+    dgemv(Trans::kNoTrans, n, n, 1.0, a.data(), a.ld(), x.data(), 1, 0.0,
+          y.data(), 1);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * n * n * 8);
+}
+
+void BM_ft_dgemv(benchmark::State& state) {
+  const index_t n = state.range(0);
+  Matrix<double> a(n, n);
+  a.fill_random(7);
+  const auto x = make_vec(n, 8);
+  auto y = make_vec(n, 9);
+  for (auto _ : state) {
+    ft_dgemv(Trans::kNoTrans, n, n, 1.0, a.data(), a.ld(), x.data(), 1, 0.0,
+             y.data(), 1);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * n * n * 8);
+}
+
+BENCHMARK(BM_dscal)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+BENCHMARK(BM_ft_dscal)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+BENCHMARK(BM_daxpy)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+BENCHMARK(BM_ft_daxpy)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+BENCHMARK(BM_ddot)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+BENCHMARK(BM_ft_ddot)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+BENCHMARK(BM_dnrm2)->Arg(1 << 16)->Arg(1 << 20);
+BENCHMARK(BM_ft_dnrm2)->Arg(1 << 16)->Arg(1 << 20);
+BENCHMARK(BM_dgemv)->Arg(512)->Arg(1024);
+BENCHMARK(BM_ft_dgemv)->Arg(512)->Arg(1024);
+
+}  // namespace
+}  // namespace ftgemm::ftblas

@@ -1,0 +1,60 @@
+// Quickstart: the 60-second tour of the FT-GEMM public API.
+//
+//   build/examples/quickstart
+//
+// Computes C = A*B three ways — unprotected high-performance GEMM ("Ori"),
+// fault-tolerant GEMM, and fault-tolerant GEMM with a soft error injected —
+// and shows that the FT path detects, locates and corrects the error.
+#include <cstdio>
+
+#include "ftgemm.hpp"
+
+int main() {
+  using namespace ftgemm;
+  const index_t n = 512;
+
+  Matrix<double> a(n, n), b(n, n), c(n, n);
+  a.fill_random(/*seed=*/1);
+  b.fill_random(/*seed=*/2);
+  c.fill(0.0);
+
+  std::printf("FT-GEMM quickstart — %lld x %lld x %lld, ISA: %s\n",
+              (long long)n, (long long)n, (long long)n,
+              std::string(isa_name(select_isa())).c_str());
+
+  // 1. The unprotected high-performance GEMM.
+  WallTimer t;
+  dgemm(Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, n, n, n, 1.0,
+        a.data(), a.ld(), b.data(), b.ld(), 0.0, c.data(), c.ld());
+  std::printf("  ori      : %6.1f GFLOPS\n",
+              gemm_gflops(double(n), double(n), double(n), t.seconds()));
+  const Matrix<double> reference = c.clone();
+
+  // 2. The same multiplication with online ABFT protection.
+  c.fill(0.0);
+  t.restart();
+  FtReport rep = ft_dgemm(Layout::kColMajor, Trans::kNoTrans,
+                          Trans::kNoTrans, n, n, n, 1.0, a.data(), a.ld(),
+                          b.data(), b.ld(), 0.0, c.data(), c.ld());
+  std::printf("  ft       : %6.1f GFLOPS  (%d panels verified, clean=%s)\n",
+              gemm_gflops(double(n), double(n), double(n), t.seconds()),
+              rep.panels, rep.clean() ? "yes" : "no");
+
+  // 3. Same again, but with a soft error injected into the compute kernel.
+  DeterministicInjector injector({{InjectionKind::kAddDelta, /*panel=*/0,
+                                   /*i=*/100, /*j=*/200, /*delta=*/42.0,
+                                   /*bit=*/0}});
+  Options opts;
+  opts.injector = &injector;
+  c.fill(0.0);
+  rep = ft_dgemm(Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, n, n,
+                 n, 1.0, a.data(), a.ld(), b.data(), b.ld(), 0.0, c.data(),
+                 c.ld(), opts);
+  std::printf(
+      "  ft+fault : injected %zu, detected %lld, corrected %lld, "
+      "result max-rel-err vs ori = %.2e\n",
+      injector.injected_count(), (long long)rep.errors_detected,
+      (long long)rep.errors_corrected, max_rel_diff(c, reference));
+
+  return rep.clean() ? 0 : 1;
+}

@@ -1,0 +1,252 @@
+// Checksum encoders.
+//
+// Notation follows the paper: for C (M x N),
+//   Cc in R^M : "column checksum" vector, Cc = C · e   (row sums),
+//   Cr in R^N : "row checksum" vector,    Cr = eᵀ · C  (column sums),
+// and for the operands,
+//   Ar in R^K : Ar = eᵀ · A  (column sums of A, scaled by alpha),
+//   Bc in R^K : Bc = B · e   (row sums of B).
+//
+// The fused variants here cover the encodings that piggyback on the
+// C-scaling pass (C = beta·C) and the upfront A pass; the packing-fused
+// encodings live in kernels/packing.hpp.  The standalone variants are used
+// by the *unfused* ABFT baseline (classic scheme, extra memory passes) and
+// by tests as an independent oracle.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "kernels/packing.hpp"
+#include "util/matrix.hpp"
+
+namespace ftgemm {
+
+/// Width of the lane-accumulator blocks used to keep the encode reductions
+/// vectorizable (a scalar `sum += x` chain defeats SIMD; `lane[i % 8]`
+/// accumulators auto-vectorize and are reduced once per column).
+inline constexpr index_t kEncodeLanes = 8;
+
+/// Fused pass over rows [i0, i0+ilen) of C: scale by beta, and accumulate
+/// both checksums of the scaled values.  `cc` is indexed globally; `cr_part`
+/// is this thread's private partial (length N).  Returns amax of the
+/// *pre-scale* C over the slice (used by the tolerance model).
+template <typename T>
+double scale_encode_c(T* c, index_t ldc, index_t i0, index_t ilen, index_t n,
+                      T beta, T* __restrict__ cc, T* __restrict__ cr_part) {
+  T amax_lane[kEncodeLanes] = {};
+  for (index_t j = 0; j < n; ++j) {
+    T* __restrict__ col = c + i0 + j * ldc;
+    T* __restrict__ cc_rows = cc + i0;
+    if (beta == T(0)) {
+      // Assign zero rather than multiply: C may hold uninitialized data and
+      // 0 * NaN would propagate.  Checksums of a zero slice stay zero.
+      for (index_t i = 0; i < ilen; ++i) col[i] = T(0);
+      continue;
+    }
+    T sum_lane[kEncodeLanes] = {};
+    const index_t tail = ilen - ilen % kEncodeLanes;
+    if (beta == T(1)) {
+      for (index_t i = 0; i < tail; i += kEncodeLanes) {
+        for (index_t l = 0; l < kEncodeLanes; ++l) {
+          const T v = col[i + l];
+          const T a = std::abs(v);
+          amax_lane[l] = amax_lane[l] > a ? amax_lane[l] : a;
+          sum_lane[l] += v;
+          cc_rows[i + l] += v;
+        }
+      }
+      for (index_t i = tail; i < ilen; ++i) {
+        const T v = col[i];
+        const T a = std::abs(v);
+        amax_lane[0] = amax_lane[0] > a ? amax_lane[0] : a;
+        sum_lane[0] += v;
+        cc_rows[i] += v;
+      }
+    } else {
+      for (index_t i = 0; i < tail; i += kEncodeLanes) {
+        for (index_t l = 0; l < kEncodeLanes; ++l) {
+          const T a = std::abs(col[i + l]);
+          amax_lane[l] = amax_lane[l] > a ? amax_lane[l] : a;
+          const T v = beta * col[i + l];
+          col[i + l] = v;
+          sum_lane[l] += v;
+          cc_rows[i + l] += v;
+        }
+      }
+      for (index_t i = tail; i < ilen; ++i) {
+        const T a = std::abs(col[i]);
+        amax_lane[0] = amax_lane[0] > a ? amax_lane[0] : a;
+        const T v = beta * col[i];
+        col[i] = v;
+        sum_lane[0] += v;
+        cc_rows[i] += v;
+      }
+    }
+    T colsum = T(0);
+    for (index_t l = 0; l < kEncodeLanes; ++l) colsum += sum_lane[l];
+    cr_part[j] += colsum;
+  }
+  double amax = 0.0;
+  for (index_t l = 0; l < kEncodeLanes; ++l)
+    amax = std::max(amax, double(amax_lane[l]));
+  return amax;
+}
+
+/// Plain scaling pass (no checksums) for the Ori GEMM.  Returns nothing;
+/// beta == 1 is a no-op.
+template <typename T>
+void scale_c(T* c, index_t ldc, index_t i0, index_t ilen, index_t n, T beta) {
+  if (beta == T(1)) return;
+  for (index_t j = 0; j < n; ++j) {
+    T* __restrict__ col = c + i0 + j * ldc;
+    if (beta == T(0)) {
+      for (index_t i = 0; i < ilen; ++i) col[i] = T(0);
+    } else {
+      for (index_t i = 0; i < ilen; ++i) col[i] *= beta;
+    }
+  }
+}
+
+/// Partial row-checksum of A over rows [i0, i0+ilen):
+///   ar_part[p] += alpha * sum_i A_eff(i, p),  p in [0, K).
+/// Also returns amax of the slice of A (unscaled).
+template <typename T>
+double encode_ar_partial(const OperandView<T>& a, index_t i0, index_t ilen,
+                         index_t k, T alpha, T* __restrict__ ar_part) {
+  T amax_lane[kEncodeLanes] = {};
+  if (!a.trans) {
+    // Column p of A is contiguous: lane-accumulate down it.
+    for (index_t p = 0; p < k; ++p) {
+      const T* __restrict__ col = a.data + i0 + p * a.ld;
+      T sum_lane[kEncodeLanes] = {};
+      const index_t tail = ilen - ilen % kEncodeLanes;
+      for (index_t i = 0; i < tail; i += kEncodeLanes) {
+        for (index_t l = 0; l < kEncodeLanes; ++l) {
+          const T v = col[i + l];
+          const T x = std::abs(v);
+          amax_lane[l] = amax_lane[l] > x ? amax_lane[l] : x;
+          sum_lane[l] += v;
+        }
+      }
+      T sum = T(0);
+      for (index_t l = 0; l < kEncodeLanes; ++l) sum += sum_lane[l];
+      for (index_t i = tail; i < ilen; ++i) {
+        const T v = col[i];
+        const T x = std::abs(v);
+        amax_lane[0] = amax_lane[0] > x ? amax_lane[0] : x;
+        sum += v;
+      }
+      ar_part[p] += alpha * sum;
+    }
+  } else {
+    // Aᵀ: row i0+i of the storage is contiguous along p, so sweep rows and
+    // scatter into ar_part (contiguous writes, vectorizable).
+    for (index_t i = 0; i < ilen; ++i) {
+      const T* __restrict__ row = a.data + (i0 + i) * a.ld;
+      for (index_t p = 0; p < k; ++p) {
+        const T v = row[p];
+        const T x = std::abs(v);
+        amax_lane[p % kEncodeLanes] =
+            amax_lane[p % kEncodeLanes] > x ? amax_lane[p % kEncodeLanes] : x;
+        ar_part[p] += alpha * v;
+      }
+    }
+  }
+  double amax = 0.0;
+  for (index_t l = 0; l < kEncodeLanes; ++l)
+    amax = std::max(amax, double(amax_lane[l]));
+  return amax;
+}
+
+/// amax over columns [j0, j0+jlen) of the effective B (K x N).
+template <typename T>
+double amax_b_slice(const OperandView<T>& b, index_t k, index_t j0,
+                    index_t jlen) {
+  T amax_lane[kEncodeLanes] = {};
+  // The effective column is contiguous for NoTrans; for Trans the effective
+  // row is.  Either way one direction is unit-stride — pick it.
+  const bool cols_contiguous = !b.trans;
+  const index_t outer = cols_contiguous ? jlen : k;
+  const index_t inner = cols_contiguous ? k : jlen;
+  for (index_t o = 0; o < outer; ++o) {
+    const T* __restrict__ line = cols_contiguous
+                                     ? b.data + (j0 + o) * b.ld
+                                     : b.data + j0 + o * b.ld;
+    const index_t tail = inner - inner % kEncodeLanes;
+    for (index_t i = 0; i < tail; i += kEncodeLanes) {
+      for (index_t l = 0; l < kEncodeLanes; ++l) {
+        const T x = std::abs(line[i + l]);
+        amax_lane[l] = amax_lane[l] > x ? amax_lane[l] : x;
+      }
+    }
+    for (index_t i = tail; i < inner; ++i) {
+      const T x = std::abs(line[i]);
+      amax_lane[0] = amax_lane[0] > x ? amax_lane[0] : x;
+    }
+  }
+  double amax = 0.0;
+  for (index_t l = 0; l < kEncodeLanes; ++l)
+    amax = std::max(amax, double(amax_lane[l]));
+  return amax;
+}
+
+// ---------------------------------------------------------------------------
+// Standalone encoders (unfused-ABFT baseline and test oracles).
+// ---------------------------------------------------------------------------
+
+/// Cc = C · e (row sums), full matrix, separate memory pass.
+template <typename T>
+void encode_cc_standalone(const T* c, index_t ldc, index_t m, index_t n,
+                          T* __restrict__ cc) {
+  std::fill(cc, cc + m, T(0));
+  for (index_t j = 0; j < n; ++j) {
+    const T* __restrict__ col = c + j * ldc;
+    for (index_t i = 0; i < m; ++i) cc[i] += col[i];
+  }
+}
+
+/// Cr = eᵀ · C (column sums), full matrix, separate memory pass.
+template <typename T>
+void encode_cr_standalone(const T* c, index_t ldc, index_t m, index_t n,
+                          T* __restrict__ cr) {
+  for (index_t j = 0; j < n; ++j) {
+    const T* __restrict__ col = c + j * ldc;
+    T sum = T(0);
+    for (index_t i = 0; i < m; ++i) sum += col[i];
+    cr[j] = sum;
+  }
+}
+
+/// Bc = B_eff · e (row sums of effective B), separate pass.
+template <typename T>
+void encode_bc_standalone(const OperandView<T>& b, index_t k, index_t n,
+                          T* __restrict__ bc) {
+  std::fill(bc, bc + k, T(0));
+  for (index_t j = 0; j < n; ++j)
+    for (index_t p = 0; p < k; ++p) bc[p] += b.at(p, j);
+}
+
+/// y += M_eff · x  for the effective operand (rows m, cols k) — used by the
+/// unfused baseline to push checksums through the multiplication.
+template <typename T>
+void checksum_gemv(const OperandView<T>& a, index_t m, index_t k, T alpha,
+                   const T* __restrict__ x, T* __restrict__ y) {
+  for (index_t p = 0; p < k; ++p) {
+    const T xv = x[p];
+    for (index_t i = 0; i < m; ++i) y[i] += alpha * a.at(i, p) * xv;
+  }
+}
+
+/// y += alpha * xᵀ · B_eff  (row vector times matrix), result length n.
+template <typename T>
+void checksum_gevm(const OperandView<T>& b, index_t k, index_t n, T alpha,
+                   const T* __restrict__ x, T* __restrict__ y) {
+  for (index_t j = 0; j < n; ++j) {
+    T sum = T(0);
+    for (index_t p = 0; p < k; ++p) sum += x[p] * b.at(p, j);
+    y[j] += alpha * sum;
+  }
+}
+
+}  // namespace ftgemm

@@ -1,0 +1,43 @@
+#include "arch/cpu_features.hpp"
+
+namespace ftgemm {
+
+namespace {
+
+CpuFeatures detect() {
+  CpuFeatures f;
+  __builtin_cpu_init();
+  f.avx2 = __builtin_cpu_supports("avx2");
+  f.fma = __builtin_cpu_supports("fma");
+  f.avx512f = __builtin_cpu_supports("avx512f");
+  f.avx512dq = __builtin_cpu_supports("avx512dq");
+  f.avx512bw = __builtin_cpu_supports("avx512bw");
+  f.avx512vl = __builtin_cpu_supports("avx512vl");
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures features = detect();
+  return features;
+}
+
+std::string cpu_feature_string() {
+  const CpuFeatures& f = cpu_features();
+  std::string out;
+  auto add = [&out](bool on, const char* name) {
+    if (!on) return;
+    if (!out.empty()) out += ' ';
+    out += name;
+  };
+  add(f.avx2, "avx2");
+  add(f.fma, "fma");
+  add(f.avx512f, "avx512f");
+  add(f.avx512dq, "avx512dq");
+  add(f.avx512bw, "avx512bw");
+  add(f.avx512vl, "avx512vl");
+  return out.empty() ? "baseline-x86-64" : out;
+}
+
+}  // namespace ftgemm

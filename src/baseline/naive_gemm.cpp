@@ -1,0 +1,90 @@
+#include "baseline/naive_gemm.hpp"
+
+#include <algorithm>
+
+#include "kernels/packing.hpp"
+
+namespace ftgemm::baseline {
+
+namespace {
+
+template <typename T>
+void naive(Trans ta, Trans tb, index_t m, index_t n, index_t k, T alpha,
+           const T* a, index_t lda, const T* b, index_t ldb, T beta, T* c,
+           index_t ldc) {
+  const OperandView<T> av{a, lda, ta == Trans::kTrans};
+  const OperandView<T> bv{b, ldb, tb == Trans::kTrans};
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      T acc = T(0);
+      for (index_t p = 0; p < k; ++p) acc += av.at(i, p) * bv.at(p, j);
+      T& out = c[i + j * ldc];
+      out = alpha * acc + (beta == T(0) ? T(0) : beta * out);
+    }
+  }
+}
+
+template <typename T>
+void blocked(Trans ta, Trans tb, index_t m, index_t n, index_t k, T alpha,
+             const T* a, index_t lda, const T* b, index_t ldb, T beta, T* c,
+             index_t ldc) {
+  constexpr index_t kBlockI = 64;
+  constexpr index_t kBlockJ = 64;
+  constexpr index_t kBlockP = 256;
+  const OperandView<T> av{a, lda, ta == Trans::kTrans};
+  const OperandView<T> bv{b, ldb, tb == Trans::kTrans};
+
+  for (index_t j = 0; j < n; ++j) {
+    T* col = c + j * ldc;
+    if (beta == T(0)) {
+      for (index_t i = 0; i < m; ++i) col[i] = T(0);
+    } else if (beta != T(1)) {
+      for (index_t i = 0; i < m; ++i) col[i] *= beta;
+    }
+  }
+  for (index_t pb = 0; pb < k; pb += kBlockP) {
+    const index_t pe = std::min(pb + kBlockP, k);
+    for (index_t jb = 0; jb < n; jb += kBlockJ) {
+      const index_t je = std::min(jb + kBlockJ, n);
+      for (index_t ib = 0; ib < m; ib += kBlockI) {
+        const index_t ie = std::min(ib + kBlockI, m);
+        for (index_t j = jb; j < je; ++j) {
+          T* __restrict__ col = c + j * ldc;
+          for (index_t p = pb; p < pe; ++p) {
+            const T bval = alpha * bv.at(p, j);
+            for (index_t i = ib; i < ie; ++i) col[i] += av.at(i, p) * bval;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void naive_dgemm(Trans ta, Trans tb, index_t m, index_t n, index_t k,
+                 double alpha, const double* a, index_t lda, const double* b,
+                 index_t ldb, double beta, double* c, index_t ldc) {
+  naive<double>(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+void naive_sgemm(Trans ta, Trans tb, index_t m, index_t n, index_t k,
+                 float alpha, const float* a, index_t lda, const float* b,
+                 index_t ldb, float beta, float* c, index_t ldc) {
+  naive<float>(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+void blocked_dgemm(Trans ta, Trans tb, index_t m, index_t n, index_t k,
+                   double alpha, const double* a, index_t lda,
+                   const double* b, index_t ldb, double beta, double* c,
+                   index_t ldc) {
+  blocked<double>(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+void blocked_sgemm(Trans ta, Trans tb, index_t m, index_t n, index_t k,
+                   float alpha, const float* a, index_t lda, const float* b,
+                   index_t ldb, float beta, float* c, index_t ldc) {
+  blocked<float>(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+}  // namespace ftgemm::baseline

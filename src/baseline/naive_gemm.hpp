@@ -1,0 +1,37 @@
+// Reference GEMM implementations.
+//
+// These are the in-repo stand-ins for the external baselines the paper
+// measures against (MKL / OpenBLAS / BLIS are unavailable offline; see
+// DESIGN.md §2).  naive_gemm is also the correctness oracle for the whole
+// test suite: every optimized path must match it to rounding error.
+#pragma once
+
+#include "core/options.hpp"
+
+namespace ftgemm::baseline {
+
+/// Textbook triple loop, C = alpha*op(A)*op(B) + beta*C (column-major).
+/// Deliberately unoptimized; the truth oracle.
+void naive_dgemm(Trans ta, Trans tb, index_t m, index_t n, index_t k,
+                 double alpha, const double* a, index_t lda, const double* b,
+                 index_t ldb, double beta, double* c, index_t ldc);
+
+/// Single-precision naive reference.
+void naive_sgemm(Trans ta, Trans tb, index_t m, index_t n, index_t k,
+                 float alpha, const float* a, index_t lda, const float* b,
+                 index_t ldb, float beta, float* c, index_t ldc);
+
+/// Cache-blocked triple loop without packing or explicit SIMD (the compiler
+/// may auto-vectorize).  Represents a "portable optimized" library tier
+/// between naive and the packed SIMD implementation.
+void blocked_dgemm(Trans ta, Trans tb, index_t m, index_t n, index_t k,
+                   double alpha, const double* a, index_t lda,
+                   const double* b, index_t ldb, double beta, double* c,
+                   index_t ldc);
+
+/// Single-precision blocked variant.
+void blocked_sgemm(Trans ta, Trans tb, index_t m, index_t n, index_t k,
+                   float alpha, const float* a, index_t lda, const float* b,
+                   index_t ldb, float beta, float* c, index_t ldc);
+
+}  // namespace ftgemm::baseline

@@ -1,0 +1,38 @@
+// Classic (unfused) offline ABFT — the scheme the paper improves on.
+//
+// §2.2: "the huge gap between memory transfer and floating-point computation
+// is the reason the O(n^2) checksum-related operations can no longer be
+// amortized by O(n^3) GEMM ... the FT overhead [drops] from about 15% to
+// 2.94%" once fused.  This module implements the *unfused* scheme so the
+// benchmark harness can reproduce that comparison (experiment E5):
+//
+//   1. separate pass:  C = beta*C
+//   2. separate passes: Cc0 = C·e, Cr0 = eᵀ·C
+//   3. separate passes: Ar = alpha·eᵀ·A, Bc = B·e
+//   4. checksum propagation: Cc = Cc0 + (alpha·A)·Bc, Cr = Cr0 + Ar·B
+//   5. the unmodified high-performance GEMM
+//   6. separate passes: Cc_ref = C·e, Cr_ref = eᵀ·C; verify; correct.
+//
+// Every step except (5) is an extra O(n^2) memory sweep; that traffic is
+// exactly what the fused implementation eliminates.
+#pragma once
+
+#include "core/options.hpp"
+
+namespace ftgemm::baseline {
+
+/// Unfused ABFT-protected dgemm (column-major).  Verification happens once
+/// at the end of the call, so the whole multiplication is one detection
+/// interval (unlike the fused scheme's per-panel intervals).
+FtReport unfused_ft_dgemm(Trans ta, Trans tb, index_t m, index_t n, index_t k,
+                          double alpha, const double* a, index_t lda,
+                          const double* b, index_t ldb, double beta,
+                          double* c, index_t ldc, const Options& opts = {});
+
+/// Single-precision variant.
+FtReport unfused_ft_sgemm(Trans ta, Trans tb, index_t m, index_t n, index_t k,
+                          float alpha, const float* a, index_t lda,
+                          const float* b, index_t ldb, float beta, float* c,
+                          index_t ldc, const Options& opts = {});
+
+}  // namespace ftgemm::baseline

@@ -1,0 +1,78 @@
+#include "blocking/cache_info.hpp"
+
+#include <fstream>
+#include <string>
+
+namespace ftgemm {
+
+namespace {
+
+/// Parse "32K" / "1024K" / "16M"-style sysfs cache size strings; returns 0
+/// on failure so callers can keep their defaults.
+std::size_t parse_size(const std::string& text) {
+  if (text.empty()) return 0;
+  std::size_t value = 0;
+  std::size_t i = 0;
+  while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+    value = value * 10 + static_cast<std::size_t>(text[i] - '0');
+    ++i;
+  }
+  if (i < text.size()) {
+    if (text[i] == 'K' || text[i] == 'k') value *= 1024;
+    if (text[i] == 'M' || text[i] == 'm') value *= 1024 * 1024;
+  }
+  return value;
+}
+
+std::size_t read_cache_size(int index) {
+  const std::string path = "/sys/devices/system/cpu/cpu0/cache/index" +
+                           std::to_string(index) + "/size";
+  std::ifstream in(path);
+  if (!in) return 0;
+  std::string text;
+  in >> text;
+  return parse_size(text);
+}
+
+std::string read_cache_type(int index) {
+  const std::string path = "/sys/devices/system/cpu/cpu0/cache/index" +
+                           std::to_string(index) + "/type";
+  std::ifstream in(path);
+  std::string text;
+  if (in) in >> text;
+  return text;
+}
+
+int read_cache_level(int index) {
+  const std::string path = "/sys/devices/system/cpu/cpu0/cache/index" +
+                           std::to_string(index) + "/level";
+  std::ifstream in(path);
+  int level = 0;
+  if (in) in >> level;
+  return level;
+}
+
+CacheInfo detect() {
+  CacheInfo info;
+  for (int idx = 0; idx < 8; ++idx) {
+    const int level = read_cache_level(idx);
+    if (level == 0) continue;
+    const std::string type = read_cache_type(idx);
+    if (type == "Instruction") continue;
+    const std::size_t size = read_cache_size(idx);
+    if (size == 0) continue;
+    if (level == 1) info.l1d_bytes = size;
+    if (level == 2) info.l2_bytes = size;
+    if (level == 3) info.l3_bytes = size;
+  }
+  return info;
+}
+
+}  // namespace
+
+const CacheInfo& cache_info() {
+  static const CacheInfo info = detect();
+  return info;
+}
+
+}  // namespace ftgemm

@@ -1,0 +1,25 @@
+// Cache hierarchy discovery.
+//
+// The macro-kernel shape (MC/NC/KC) is derived from the L1/L2/L3 sizes so
+// that the packed A panel lives in L2, the packed B panel in L3 and the
+// B micro-panel streamed by the micro-kernel in L1 — the classic Goto/BLIS
+// residency scheme the paper adopts (§2.1).
+#pragma once
+
+#include <cstddef>
+
+namespace ftgemm {
+
+struct CacheInfo {
+  std::size_t l1d_bytes = 32 * 1024;
+  std::size_t l2_bytes = 1024 * 1024;
+  std::size_t l3_bytes = 16 * 1024 * 1024;
+  /// L3 is shared among cores on Cascade Lake; L2 is private.
+  bool l3_shared = true;
+};
+
+/// Detected once from sysfs (falls back to Cascade Lake-like defaults when
+/// /sys is unavailable, e.g. in minimal containers).
+const CacheInfo& cache_info();
+
+}  // namespace ftgemm

@@ -1,0 +1,37 @@
+// Cache-blocking plan (MC/NC/KC and the register tile MR/NR).
+//
+// §2.1 of the paper: "The step sizes of these three for loops, MC, NC, and
+// KC, define the shape of the macro kernel, which is determined by the size
+// of each layer of the cache."  The derivation follows the Goto/BLIS
+// residency model:
+//   - the KC x NR B micro-panel streamed by the micro-kernel stays in L1,
+//   - the MC x KC packed A block stays in the (private) L2,
+//   - the KC x NC packed B panel stays in the (shared) L3.
+#pragma once
+
+#include <cstdint>
+
+#include "arch/isa.hpp"
+
+namespace ftgemm {
+
+using index_t = std::int64_t;
+
+struct BlockingPlan {
+  index_t mc = 0;  ///< rows of C updated per packed-A block
+  index_t nc = 0;  ///< columns of C covered by the shared packed-B panel
+  index_t kc = 0;  ///< depth of one rank-KC update (verification interval)
+  index_t mr = 0;  ///< micro-kernel rows (register tile height)
+  index_t nr = 0;  ///< micro-kernel columns (register tile width)
+};
+
+/// Compute the plan for an element of `elem_bytes` (8 = f64, 4 = f32) on the
+/// given ISA, scaled from the detected cache hierarchy.  Environment
+/// overrides FTGEMM_MC / FTGEMM_NC / FTGEMM_KC support the blocking ablation
+/// benchmark.
+BlockingPlan make_plan(Isa isa, int elem_bytes);
+
+/// Register tile for an ISA/element width (MR x NR of the micro-kernel).
+void register_tile(Isa isa, int elem_bytes, index_t& mr, index_t& nr);
+
+}  // namespace ftgemm

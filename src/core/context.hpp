@@ -1,0 +1,87 @@
+// Workspace context: every buffer a (FT-)GEMM call needs, reusable across
+// calls so steady-state invocations are allocation-free.
+//
+// Buffer roles mirror Fig. 1 of the paper:
+//   - btilde:  the packed B panel, *shared* among all threads (lives in the
+//     shared L3 on Cascade Lake),
+//   - atilde:  per-thread private packed A blocks (private L2),
+//   - cc/cr:   predicted checksums of C (maintained via checksum math),
+//   - ccref/crref: reference checksums accumulated from computed C values,
+//   - ar, bc:  operand checksums, with per-thread partials for the
+//     reductions the parallel algorithm requires.
+#pragma once
+
+#include <vector>
+
+#include "blocking/plan.hpp"
+#include "util/aligned_buffer.hpp"
+#include "util/matrix.hpp"
+
+namespace ftgemm {
+
+template <typename T>
+class GemmContext {
+ public:
+  /// Size all buffers for an (m, n, k) problem on `threads` threads.
+  /// Grow-only: repeated calls with smaller problems reuse storage.
+  void ensure(index_t m, index_t n, index_t k, const BlockingPlan& plan,
+              int threads, bool ft, index_t cr_lanes = 1) {
+    const auto su = [](index_t v) { return static_cast<std::size_t>(v); };
+    atilde_stride_ = pad(plan.mc * plan.kc);
+    atilde_.ensure(su(atilde_stride_) * su(threads));
+    btilde_.ensure(su(plan.kc * plan.nc));
+    if (!ft) return;
+    cc_.ensure(su(m));
+    ccref_.ensure(su(m));
+    cr_.ensure(su(n));
+    crref_.ensure(su(n));
+    // Lane-strided reference partials (cr_lanes slots per column); the
+    // buffer doubles as the stride-1 per-thread Cr partial during the
+    // encode pass (the two uses never overlap in time).
+    crref_stride_ = pad(n * cr_lanes);
+    crref_part_.ensure(su(crref_stride_) * su(threads));
+    ar_.ensure(su(k));
+    ar_stride_ = pad(k);
+    ar_part_.ensure(su(ar_stride_) * su(threads));
+    bc_.ensure(su(plan.kc));
+  }
+
+  [[nodiscard]] T* atilde(int tid) {
+    return atilde_.data() + static_cast<std::size_t>(atilde_stride_) *
+                                static_cast<std::size_t>(tid);
+  }
+  [[nodiscard]] T* btilde() { return btilde_.data(); }
+
+  [[nodiscard]] T* cc() { return cc_.data(); }
+  [[nodiscard]] T* cr() { return cr_.data(); }
+  [[nodiscard]] T* ccref() { return ccref_.data(); }
+  [[nodiscard]] T* crref() { return crref_.data(); }
+  [[nodiscard]] T* crref_part(int tid) {
+    return crref_part_.data() + static_cast<std::size_t>(crref_stride_) *
+                                    static_cast<std::size_t>(tid);
+  }
+  [[nodiscard]] T* ar() { return ar_.data(); }
+  [[nodiscard]] T* ar_part(int tid) {
+    return ar_part_.data() + static_cast<std::size_t>(ar_stride_) *
+                                 static_cast<std::size_t>(tid);
+  }
+  [[nodiscard]] T* bc() { return bc_.data(); }
+
+ private:
+  /// Pad a per-thread stride to a cache-line multiple to avoid false
+  /// sharing between adjacent threads' partials.
+  static index_t pad(index_t elems) {
+    const index_t per_line = index_t(kCacheLineBytes / sizeof(T));
+    return (elems + per_line - 1) / per_line * per_line;
+  }
+
+  AlignedBuffer<T> atilde_;
+  AlignedBuffer<T> btilde_;
+  AlignedBuffer<T> cc_, cr_, ccref_, crref_;
+  AlignedBuffer<T> crref_part_, ar_, ar_part_, bc_;
+  index_t atilde_stride_ = 0;
+  index_t crref_stride_ = 0;
+  index_t ar_stride_ = 0;
+};
+
+}  // namespace ftgemm

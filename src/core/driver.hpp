@@ -1,0 +1,366 @@
+// The (FT-)GEMM driver: a faithful implementation of Fig. 1 of the paper.
+//
+// One template, two instantiations per element type:
+//   FT = false : the "Ori" high-performance GEMM (packing + cache blocking
+//                + SIMD micro-kernels),
+//   FT = true  : FT-GEMM with the fused ABFT scheme of §2.2/§2.3.
+//
+// Thread topology (§2.3): the OpenMP parallel region partitions C along the
+// M-dimension; B~ is one buffer shared by all threads and packed
+// cooperatively along the N-dimension (with a cross-thread reduction for the
+// panel checksum Bc); each thread packs its own private A~.  Running with
+// threads = 1 *is* the serial algorithm — no separate code path exists, so
+// serial and parallel results are produced by the same verified code.
+//
+// Verification happens once per rank-KC panel ("p-loop: verify" in Fig. 1):
+// every element of C is updated exactly once per panel, so the reference
+// checksums accumulated inside the micro-kernels equal full row/column sums
+// of the current C, directly comparable with the predicted checksums.
+#pragma once
+
+#include <omp.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "abft/checksum.hpp"
+#include "abft/tolerance.hpp"
+#include "abft/verifier.hpp"
+#include "arch/isa.hpp"
+#include "blocking/plan.hpp"
+#include "core/context.hpp"
+#include "core/options.hpp"
+#include "kernels/macro_kernel.hpp"
+#include "kernels/microkernel.hpp"
+#include "kernels/packing.hpp"
+#include "util/timer.hpp"
+
+namespace ftgemm::detail {
+
+/// Split `total` into `parts` contiguous chunks aligned to `unit`
+/// (chunk boundaries fall on multiples of `unit`; the last chunk absorbs
+/// the remainder).  Empty chunks are expressed as len = 0.
+inline void partition_units(index_t total, index_t unit, int parts, int idx,
+                            index_t& off, index_t& len) {
+  const index_t blocks = (total + unit - 1) / unit;
+  const index_t per = blocks / parts;
+  const index_t rem = blocks % parts;
+  const index_t my_blocks = per + (idx < rem ? 1 : 0);
+  const index_t first = idx * per + std::min<index_t>(idx, rem);
+  off = std::min(first * unit, total);
+  len = std::min(my_blocks * unit, total - off);
+}
+
+template <typename T, bool FT>
+FtReport run_gemm(Trans ta, Trans tb, index_t m, index_t n, index_t k,
+                  T alpha, const T* a, index_t lda, const T* b, index_t ldb,
+                  T beta, T* c, index_t ldc, const Options& opts,
+                  GemmContext<T>& ctx) {
+  FtReport report;
+  if (m <= 0 || n <= 0) return report;
+  const WallTimer timer;
+
+  const Isa isa = opts.isa.value_or(select_isa());
+  const KernelSet<T> ks = get_kernel_set<T>(isa);
+  const BlockingPlan plan = make_plan(isa, int(sizeof(T)));
+
+  int nt = opts.threads > 0 ? opts.threads : omp_get_max_threads();
+  nt = std::max(nt, 1);
+
+  const index_t num_panels = plan.kc > 0 ? (k + plan.kc - 1) / plan.kc : 0;
+  const bool degenerate = (k <= 0 || alpha == T(0));
+
+  FaultInjector* const injector = opts.injector;
+  if (injector != nullptr)
+    injector->begin_call(m, n, k, int(std::max<index_t>(num_panels, 1)));
+
+  const index_t lanes = ks.cr_lanes;
+  ctx.ensure(m, n, std::max<index_t>(k, 1), plan, nt, FT, lanes);
+
+  const double tol_factor = opts.tolerance_factor > 0.0
+                                ? opts.tolerance_factor
+                                : default_tolerance_factor_for<T>();
+
+  const OperandView<T> av{a, lda, ta == Trans::kTrans};
+  const OperandView<T> bv{b, ldb, tb == Trans::kTrans};
+
+  // Shared across the parallel region.
+  std::vector<double> amax_parts(std::size_t(nt) * 3, 0.0);
+  ToleranceModel<T> tol{};
+  std::vector<std::vector<Mismatch>> row_mm(static_cast<std::size_t>(nt));
+  std::vector<std::vector<Mismatch>> col_mm(static_cast<std::size_t>(nt));
+  std::int64_t detected = 0;
+  std::int64_t corrected = 0;
+  int uncorrectable = 0;
+  int panels_run = 0;
+
+#pragma omp parallel num_threads(nt)
+  {
+    const int tid = omp_get_thread_num();
+    std::vector<InjectionRecord> planned;
+
+    // M-partition of C (and A) for this thread, aligned to MR so only the
+    // global edge produces partial register tiles.
+    index_t ms = 0, mlen = 0;
+    partition_units(m, plan.mr, nt, tid, ms, mlen);
+    // Static N-partition used for reductions and checksum scans.
+    index_t js_red = 0, jlen_red = 0;
+    partition_units(n, 1, nt, tid, js_red, jlen_red);
+    // Static K-partition for the Ar reduction.
+    index_t ks_red = 0, klen_red = 0;
+    partition_units(k, 1, nt, tid, ks_red, klen_red);
+
+    // ---- Encode phase: C = beta*C fused with Cc/Cr encoding; Ar; amax. ----
+    if constexpr (FT) {
+      if (mlen > 0) std::fill(ctx.cc() + ms, ctx.cc() + ms + mlen, T(0));
+      std::fill(ctx.crref_part(tid), ctx.crref_part(tid) + n, T(0));
+      std::fill(ctx.ar_part(tid), ctx.ar_part(tid) + k, T(0));
+      double amax_c = 0.0, amax_a = 0.0;
+      if (mlen > 0) {
+        amax_c = scale_encode_c(c, ldc, ms, mlen, n, beta, ctx.cc(),
+                                ctx.crref_part(tid));
+        amax_a = encode_ar_partial(av, ms, mlen, k, alpha, ctx.ar_part(tid));
+      }
+      amax_parts[std::size_t(tid) * 3 + 0] = amax_a;
+      // amax(B) is folded into the per-panel Bc reduction sweep; slot 1
+      // accumulates monotonically as panels stream through.
+      amax_parts[std::size_t(tid) * 3 + 1] = 0.0;
+      amax_parts[std::size_t(tid) * 3 + 2] = amax_c;
+#pragma omp barrier
+      // Reduce the per-thread partials: Ar over a K-partition, Cr over an
+      // N-partition (the encode pass stored Cr partials in crref_part).
+      for (index_t p = ks_red; p < ks_red + klen_red; ++p) {
+        T sum = T(0);
+        for (int t = 0; t < nt; ++t) sum += ctx.ar_part(t)[p];
+        ctx.ar()[p] = sum;
+      }
+      for (index_t j = js_red; j < js_red + jlen_red; ++j) {
+        T sum = T(0);
+        for (int t = 0; t < nt; ++t) sum += ctx.crref_part(t)[j];
+        ctx.cr()[j] = sum;
+      }
+#pragma omp barrier
+    } else {
+      if (mlen > 0) scale_c(c, ldc, ms, mlen, n, beta);
+#pragma omp barrier
+    }
+
+    // ---- Panel loop: one rank-KC update + verification per iteration. ----
+    if (!degenerate) {
+      int panel = 0;
+      for (index_t p = 0; p < k; p += plan.kc, ++panel) {
+        const index_t pinc = std::min(plan.kc, k - p);
+
+        if constexpr (FT) {
+          // Reference checksums cover exactly this panel's C values.
+          if (mlen > 0)
+            std::fill(ctx.ccref() + ms, ctx.ccref() + ms + mlen, T(0));
+          std::fill(ctx.crref_part(tid), ctx.crref_part(tid) + n * lanes,
+                    T(0));
+        }
+
+        for (index_t jc = 0; jc < n; jc += plan.nc) {
+          const index_t jinc = std::min(plan.nc, n - jc);
+
+          // Cooperative packing of B~ along N (unit NR so panel boundaries
+          // land on micro-panel boundaries).
+          index_t js = 0, jlen = 0;
+          partition_units(jinc, plan.nr, nt, tid, js, jlen);
+          if constexpr (FT) {
+            if (jlen > 0) {
+              pack_b_ft(bv, p, jc + js, pinc, jlen, plan.nr,
+                        ctx.btilde() + (js / plan.nr) * (plan.nr * pinc),
+                        ctx.ar() + p, ctx.cr() + jc + js);
+            }
+          } else {
+            if (jlen > 0) {
+              pack_b(bv, p, jc + js, pinc, jlen, plan.nr,
+                     ctx.btilde() + (js / plan.nr) * (plan.nr * pinc));
+            }
+          }
+#pragma omp barrier
+          if constexpr (FT) {
+            // Bc reduction ("an extra stage of reduction operation among
+            // threads", §2.3): each thread derives its K-slice of the panel
+            // checksum from the freshly packed, cache-resident B~.
+            index_t kks = 0, kklen = 0;
+            partition_units(pinc, 1, nt, tid, kks, kklen);
+            if (kklen > 0) {
+              amax_parts[std::size_t(tid) * 3 + 1] = reduce_bc_from_panel(
+                  ctx.btilde(), pinc, jinc, plan.nr, kks, kklen, ctx.bc(),
+                  amax_parts[std::size_t(tid) * 3 + 1]);
+            }
+#pragma omp barrier
+          }
+
+          // Macro loop over this thread's rows.
+          for (index_t ic = 0; ic < mlen; ic += plan.mc) {
+            const index_t ilen = std::min(plan.mc, mlen - ic);
+            if constexpr (FT) {
+              pack_a_ft(av, ms + ic, p, ilen, pinc, plan.mr, alpha,
+                        ctx.atilde(tid), ctx.bc(), ctx.cc() + ms + ic);
+            } else {
+              pack_a(av, ms + ic, p, ilen, pinc, plan.mr, alpha,
+                     ctx.atilde(tid));
+            }
+
+            run_macro_block<T, FT>(
+                ks, ilen, jinc, pinc, ctx.atilde(tid), ctx.btilde(),
+                c + (ms + ic) + jc * ldc, ldc,
+                FT ? ctx.crref_part(tid) + jc * lanes : nullptr,
+                FT ? ctx.ccref() + ms + ic : nullptr);
+
+            if (injector != nullptr) {
+              planned.clear();
+              const BlockContext bctx{panel, ms + ic, jc, ilen, jinc, tid};
+              injector->plan_block(bctx, planned);
+              for (InjectionRecord rec : planned) {
+                T& value = c[rec.i + rec.j * ldc];
+                const double applied = apply_corruption(value, rec);
+                if constexpr (FT) {
+                  // Emulate an in-kernel fault: the register-level reference
+                  // checksums would have seen the corrupted value too.
+                  ctx.ccref()[rec.i] += T(applied);
+                  ctx.crref_part(tid)[rec.j * lanes] += T(applied);
+                }
+                rec.delta = applied;
+                injector->record(rec);
+              }
+            }
+          }
+#pragma omp barrier  // B~ chunk complete before it is repacked
+        }
+
+        if constexpr (FT) {
+          // Refresh the verification thresholds: amax(B) now covers every
+          // panel streamed so far, i.e. exactly the contributions the
+          // checksums have accumulated.
+#pragma omp single
+          {
+            double amax_a_all = 0.0, amax_b_all = 0.0, amax_c_all = 0.0;
+            for (int t = 0; t < nt; ++t) {
+              amax_a_all =
+                  std::max(amax_a_all, amax_parts[std::size_t(t) * 3]);
+              amax_b_all =
+                  std::max(amax_b_all, amax_parts[std::size_t(t) * 3 + 1]);
+              amax_c_all =
+                  std::max(amax_c_all, amax_parts[std::size_t(t) * 3 + 2]);
+            }
+            tol = ToleranceModel<T>::compute(m, n, k, amax_a_all, amax_b_all,
+                                             amax_c_all, double(alpha),
+                                             double(beta), tol_factor);
+          }  // implicit barrier
+          // Reduce per-thread Cr references, then scan for mismatches in
+          // parallel (rows over the M-partition, columns over N).
+          for (index_t j = js_red; j < js_red + jlen_red; ++j) {
+            T sum = T(0);
+            for (int t = 0; t < nt; ++t) {
+              const T* part = ctx.crref_part(t) + j * lanes;
+              for (index_t l = 0; l < lanes; ++l) sum += part[l];
+            }
+            ctx.crref()[j] = sum;
+          }
+          row_mm[std::size_t(tid)].clear();
+          col_mm[std::size_t(tid)].clear();
+          if (mlen > 0) {
+            find_mismatches(ctx.cc() + ms, ctx.ccref() + ms, mlen, tol.cc_tau,
+                            ms, row_mm[std::size_t(tid)]);
+          }
+#pragma omp barrier
+          if (jlen_red > 0) {
+            find_mismatches(ctx.cr() + js_red, ctx.crref() + js_red, jlen_red,
+                            tol.cr_tau, js_red, col_mm[std::size_t(tid)]);
+          }
+#pragma omp barrier
+#pragma omp single
+          {
+            std::vector<Mismatch> rows, cols;
+            for (int t = 0; t < nt; ++t) {
+              rows.insert(rows.end(), row_mm[std::size_t(t)].begin(),
+                          row_mm[std::size_t(t)].end());
+              cols.insert(cols.end(), col_mm[std::size_t(t)].begin(),
+                          col_mm[std::size_t(t)].end());
+            }
+            if (!rows.empty() || !cols.empty()) {
+              // Locate/correct, then *re-verify the touched rows and columns
+              // with exact sums over C* and repeat if needed.  One round
+              // suffices for ordinary errors; corrections whose delta
+              // estimate was degraded by catastrophic rounding (an exponent
+              // bit flip dwarfing the entire row sum) converge in two.
+              bool failed = false;
+              std::vector<index_t> touched_rows, touched_cols;
+              constexpr int kMaxRounds = 4;
+              for (int round = 0;; ++round) {
+                const double slack = std::max(tol.cc_tau, tol.cr_tau) *
+                                     double(2 + rows.size() + cols.size());
+                const SolveOutcome outcome =
+                    solve_error_assignment(rows, cols, slack);
+                if (!outcome.solved) {
+                  if (round == 0) {
+                    detected +=
+                        std::int64_t(std::max(rows.size(), cols.size()));
+                  }
+                  failed = true;
+                  break;
+                }
+                for (const LocatedError& err : outcome.errors) {
+                  c[err.row + err.col * ldc] -= T(err.delta);
+                  touched_rows.push_back(err.row);
+                  touched_cols.push_back(err.col);
+                  if (opts.correction_log != nullptr) {
+                    opts.correction_log->push_back(
+                        {panel, round, err.row, err.col, err.delta});
+                  }
+                }
+                if (round == 0) {
+                  detected += std::int64_t(outcome.errors.size());
+                  corrected += std::int64_t(outcome.errors.size());
+                }
+                // Exact re-verification of everything we touched.
+                std::sort(touched_rows.begin(), touched_rows.end());
+                touched_rows.erase(
+                    std::unique(touched_rows.begin(), touched_rows.end()),
+                    touched_rows.end());
+                std::sort(touched_cols.begin(), touched_cols.end());
+                touched_cols.erase(
+                    std::unique(touched_cols.begin(), touched_cols.end()),
+                    touched_cols.end());
+                rows.clear();
+                cols.clear();
+                for (const index_t i : touched_rows) {
+                  T sum = T(0);
+                  for (index_t j = 0; j < n; ++j) sum += c[i + j * ldc];
+                  const double d = double(sum) - double(ctx.cc()[i]);
+                  if (std::abs(d) > tol.cc_tau) rows.push_back({i, d});
+                }
+                for (const index_t j : touched_cols) {
+                  T sum = T(0);
+                  for (index_t i = 0; i < m; ++i) sum += c[i + j * ldc];
+                  const double d = double(sum) - double(ctx.cr()[j]);
+                  if (std::abs(d) > tol.cr_tau) cols.push_back({j, d});
+                }
+                if (rows.empty() && cols.empty()) break;  // converged
+                if (round + 1 >= kMaxRounds) {
+                  failed = true;
+                  break;
+                }
+              }
+              if (failed) ++uncorrectable;
+            }
+            ++panels_run;
+          }  // implicit barrier
+        }
+      }
+    }
+  }  // omp parallel
+
+  report.panels = FT ? panels_run : int(degenerate ? 0 : num_panels);
+  report.errors_detected = detected;
+  report.errors_corrected = corrected;
+  report.uncorrectable_panels = uncorrectable;
+  report.elapsed_seconds = timer.seconds();
+  return report;
+}
+
+}  // namespace ftgemm::detail

@@ -1,0 +1,153 @@
+#include "core/gemm.hpp"
+
+#include <vector>
+
+#include "core/driver.hpp"
+
+namespace ftgemm {
+
+namespace {
+
+/// Resolve the row-major case onto the column-major core: a row-major
+/// matrix viewed column-major with the same ld is its transpose, so
+///   C_rm = op(A)·op(B)   ⇔   C_cmᵀ = op(B)·op(A) with operands swapped.
+struct CanonicalArgs {
+  Trans ta, tb;
+  index_t m, n, k;
+  const void* a;
+  index_t lda;
+  const void* b;
+  index_t ldb;
+};
+
+template <typename T, bool FT>
+FtReport dispatch(Layout layout, Trans ta, Trans tb, index_t m, index_t n,
+                  index_t k, T alpha, const T* a, index_t lda, const T* b,
+                  index_t ldb, T beta, T* c, index_t ldc, const Options& opts,
+                  GemmContext<T>& ctx) {
+  if (layout == Layout::kRowMajor) {
+    return detail::run_gemm<T, FT>(tb, ta, n, m, k, alpha, b, ldb, a, lda,
+                                   beta, c, ldc, opts, ctx);
+  }
+  return detail::run_gemm<T, FT>(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta,
+                                 c, ldc, opts, ctx);
+}
+
+template <typename T>
+GemmContext<T>& tls_context() {
+  thread_local GemmContext<T> ctx;
+  return ctx;
+}
+
+template <typename T>
+FtReport reliable_impl(Layout layout, Trans ta, Trans tb, index_t m,
+                       index_t n, index_t k, T alpha, const T* a, index_t lda,
+                       const T* b, index_t ldb, T beta, T* c, index_t ldc,
+                       const Options& opts, int max_retries) {
+  // Snapshot C so an uncorrectable panel can be rolled back.  The copy
+  // respects the caller's layout: for row-major, "columns" below are the
+  // caller's rows, but the (ldc, minor=n/m) traversal is the same.
+  const index_t minor = layout == Layout::kColMajor ? m : n;
+  const index_t major = layout == Layout::kColMajor ? n : m;
+  std::vector<T> snapshot;
+  snapshot.reserve(static_cast<std::size_t>(minor * major));
+  for (index_t j = 0; j < major; ++j)
+    snapshot.insert(snapshot.end(), c + j * ldc, c + j * ldc + minor);
+
+  FtReport total;
+  for (int attempt = 0;; ++attempt) {
+    const FtReport rep = dispatch<T, true>(layout, ta, tb, m, n, k, alpha, a,
+                                           lda, b, ldb, beta, c, ldc, opts,
+                                           tls_context<T>());
+    total.panels = rep.panels;
+    total.errors_detected += rep.errors_detected;
+    total.errors_corrected += rep.errors_corrected;
+    total.elapsed_seconds += rep.elapsed_seconds;
+    if (rep.clean() || attempt == max_retries) {
+      total.uncorrectable_panels = rep.uncorrectable_panels;
+      total.retries = attempt;
+      return total;
+    }
+    // Roll back and retry.
+    for (index_t j = 0; j < major; ++j) {
+      const T* src = snapshot.data() + j * minor;
+      std::copy(src, src + minor, c + j * ldc);
+    }
+  }
+}
+
+}  // namespace
+
+void dgemm(Layout layout, Trans ta, Trans tb, index_t m, index_t n, index_t k,
+           double alpha, const double* a, index_t lda, const double* b,
+           index_t ldb, double beta, double* c, index_t ldc,
+           const Options& opts) {
+  dispatch<double, false>(layout, ta, tb, m, n, k, alpha, a, lda, b, ldb,
+                          beta, c, ldc, opts, tls_context<double>());
+}
+
+void sgemm(Layout layout, Trans ta, Trans tb, index_t m, index_t n, index_t k,
+           float alpha, const float* a, index_t lda, const float* b,
+           index_t ldb, float beta, float* c, index_t ldc,
+           const Options& opts) {
+  dispatch<float, false>(layout, ta, tb, m, n, k, alpha, a, lda, b, ldb, beta,
+                         c, ldc, opts, tls_context<float>());
+}
+
+FtReport ft_dgemm(Layout layout, Trans ta, Trans tb, index_t m, index_t n,
+                  index_t k, double alpha, const double* a, index_t lda,
+                  const double* b, index_t ldb, double beta, double* c,
+                  index_t ldc, const Options& opts) {
+  return dispatch<double, true>(layout, ta, tb, m, n, k, alpha, a, lda, b,
+                                ldb, beta, c, ldc, opts,
+                                tls_context<double>());
+}
+
+FtReport ft_sgemm(Layout layout, Trans ta, Trans tb, index_t m, index_t n,
+                  index_t k, float alpha, const float* a, index_t lda,
+                  const float* b, index_t ldb, float beta, float* c,
+                  index_t ldc, const Options& opts) {
+  return dispatch<float, true>(layout, ta, tb, m, n, k, alpha, a, lda, b, ldb,
+                               beta, c, ldc, opts, tls_context<float>());
+}
+
+FtReport ft_dgemm_reliable(Layout layout, Trans ta, Trans tb, index_t m,
+                           index_t n, index_t k, double alpha, const double* a,
+                           index_t lda, const double* b, index_t ldb,
+                           double beta, double* c, index_t ldc,
+                           const Options& opts, int max_retries) {
+  return reliable_impl<double>(layout, ta, tb, m, n, k, alpha, a, lda, b, ldb,
+                               beta, c, ldc, opts, max_retries);
+}
+
+FtReport ft_sgemm_reliable(Layout layout, Trans ta, Trans tb, index_t m,
+                           index_t n, index_t k, float alpha, const float* a,
+                           index_t lda, const float* b, index_t ldb,
+                           float beta, float* c, index_t ldc,
+                           const Options& opts, int max_retries) {
+  return reliable_impl<float>(layout, ta, tb, m, n, k, alpha, a, lda, b, ldb,
+                              beta, c, ldc, opts, max_retries);
+}
+
+template <typename T>
+void GemmEngine<T>::gemm(Layout layout, Trans ta, Trans tb, index_t m,
+                         index_t n, index_t k, T alpha, const T* a,
+                         index_t lda, const T* b, index_t ldb, T beta, T* c,
+                         index_t ldc) {
+  dispatch<T, false>(layout, ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c,
+                     ldc, opts_, ctx_);
+}
+
+template <typename T>
+FtReport GemmEngine<T>::ft_gemm(Layout layout, Trans ta, Trans tb, index_t m,
+                                index_t n, index_t k, T alpha, const T* a,
+                                index_t lda, const T* b, index_t ldb, T beta,
+                                T* c, index_t ldc) {
+  return dispatch<T, true>(layout, ta, tb, m, n, k, alpha, a, lda, b, ldb,
+                           beta, c, ldc, opts_, ctx_);
+}
+
+template class GemmEngine<double>;
+template class GemmEngine<float>;
+
+}  // namespace ftgemm

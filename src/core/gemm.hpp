@@ -1,0 +1,109 @@
+// FT-GEMM public API.
+//
+// Two families of entry points per precision:
+//
+//   dgemm / sgemm        — the high-performance baseline ("FT-GEMM: Ori" in
+//                          the paper's figures): packing, cache blocking,
+//                          SIMD micro-kernels, OpenMP threading.
+//   ft_dgemm / ft_sgemm  — the same computation protected by the fused
+//                          online-ABFT scheme; returns an FtReport with
+//                          detection/correction statistics.
+//
+// Semantics follow BLAS xGEMM:  C = alpha * op(A) * op(B) + beta * C
+// with op in {identity, transpose}, arbitrary leading dimensions, and both
+// row-major and column-major layouts.
+//
+// The *_reliable variants snapshot C, run the FT kernel, and transparently
+// re-execute on the (rare) panels the locator cannot disambiguate — giving
+// an unconditional correct-result guarantee under any error pattern the
+// checksums can detect.
+//
+// GemmEngine<T> offers the same operations with workspace reuse across
+// calls (steady-state allocation-free), which is what the benchmark harness
+// and long-running applications should use.
+#pragma once
+
+#include "core/context.hpp"
+#include "core/options.hpp"
+
+namespace ftgemm {
+
+// ---------------------------------------------------------------------------
+// Free functions (thread-local workspace, convenient for one-off calls).
+// ---------------------------------------------------------------------------
+
+/// C = alpha*op(A)*op(B) + beta*C, double precision, no fault tolerance.
+void dgemm(Layout layout, Trans ta, Trans tb, index_t m, index_t n, index_t k,
+           double alpha, const double* a, index_t lda, const double* b,
+           index_t ldb, double beta, double* c, index_t ldc,
+           const Options& opts = {});
+
+/// Single-precision variant of dgemm.
+void sgemm(Layout layout, Trans ta, Trans tb, index_t m, index_t n, index_t k,
+           float alpha, const float* a, index_t lda, const float* b,
+           index_t ldb, float beta, float* c, index_t ldc,
+           const Options& opts = {});
+
+/// Fault-tolerant dgemm: fused ABFT encoding, per-panel verification and
+/// on-the-fly correction (§2.2/§2.3).
+FtReport ft_dgemm(Layout layout, Trans ta, Trans tb, index_t m, index_t n,
+                  index_t k, double alpha, const double* a, index_t lda,
+                  const double* b, index_t ldb, double beta, double* c,
+                  index_t ldc, const Options& opts = {});
+
+/// Fault-tolerant sgemm.
+FtReport ft_sgemm(Layout layout, Trans ta, Trans tb, index_t m, index_t n,
+                  index_t k, float alpha, const float* a, index_t lda,
+                  const float* b, index_t ldb, float beta, float* c,
+                  index_t ldc, const Options& opts = {});
+
+/// ft_dgemm with an unconditional result guarantee: if a panel reports an
+/// uncorrectable mismatch, C is restored from a snapshot and the call is
+/// re-executed (up to max_retries times).  The returned report aggregates
+/// all attempts; report.retries counts re-executions.
+FtReport ft_dgemm_reliable(Layout layout, Trans ta, Trans tb, index_t m,
+                           index_t n, index_t k, double alpha, const double* a,
+                           index_t lda, const double* b, index_t ldb,
+                           double beta, double* c, index_t ldc,
+                           const Options& opts = {}, int max_retries = 2);
+
+/// Single-precision *_reliable variant.
+FtReport ft_sgemm_reliable(Layout layout, Trans ta, Trans tb, index_t m,
+                           index_t n, index_t k, float alpha, const float* a,
+                           index_t lda, const float* b, index_t ldb,
+                           float beta, float* c, index_t ldc,
+                           const Options& opts = {}, int max_retries = 2);
+
+// ---------------------------------------------------------------------------
+// Engine with workspace reuse.
+// ---------------------------------------------------------------------------
+
+/// Reusable GEMM engine: owns the packing buffers and checksum vectors so
+/// repeated calls of similar size perform no allocation.
+template <typename T>
+class GemmEngine {
+ public:
+  explicit GemmEngine(Options opts = {}) : opts_(opts) {}
+
+  /// Plain high-performance GEMM ("Ori").
+  void gemm(Layout layout, Trans ta, Trans tb, index_t m, index_t n,
+            index_t k, T alpha, const T* a, index_t lda, const T* b,
+            index_t ldb, T beta, T* c, index_t ldc);
+
+  /// Fault-tolerant GEMM.
+  FtReport ft_gemm(Layout layout, Trans ta, Trans tb, index_t m, index_t n,
+                   index_t k, T alpha, const T* a, index_t lda, const T* b,
+                   index_t ldb, T beta, T* c, index_t ldc);
+
+  [[nodiscard]] Options& options() { return opts_; }
+  [[nodiscard]] const Options& options() const { return opts_; }
+
+ private:
+  Options opts_;
+  GemmContext<T> ctx_;
+};
+
+extern template class GemmEngine<double>;
+extern template class GemmEngine<float>;
+
+}  // namespace ftgemm

@@ -1,0 +1,63 @@
+// Public option and report types for the GEMM entry points.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "arch/isa.hpp"
+#include "inject/injector.hpp"
+
+namespace ftgemm {
+
+using index_t = std::int64_t;
+
+/// One correction the verifier applied to C, with its provenance.
+struct CorrectionRecord {
+  int panel = 0;        ///< rank-KC panel whose verification caught it
+  int round = 0;        ///< 0 = checksum delta, >0 = exact-recheck round
+  index_t i = 0;        ///< global row of the corrected element
+  index_t j = 0;        ///< global column
+  double delta = 0.0;   ///< perturbation removed from C(i, j)
+};
+
+/// Storage order of the caller's matrices (BLAS convention).
+enum class Layout { kColMajor, kRowMajor };
+
+/// Operand transposition.
+enum class Trans { kNoTrans, kTrans };
+
+/// Tuning & instrumentation knobs shared by Ori and FT entry points.
+struct Options {
+  /// Worker threads; 0 means omp_get_max_threads().
+  int threads = 0;
+  /// Kernel ISA override (defaults to the best the CPU supports).
+  std::optional<Isa> isa;
+  /// Verification threshold safety factor; 0 means the library default
+  /// (512, overridable with FTGEMM_TOL_FACTOR).  FT entry points only.
+  double tolerance_factor = 0.0;
+  /// After correcting, recompute the affected row sums of C directly and
+  /// re-verify them against the predicted checksums (O(N) per error).
+  bool paranoid_recheck = false;
+  /// Optional fault injector (§3.2).  Non-owning; may be null.
+  FaultInjector* injector = nullptr;
+  /// Optional sink for per-correction provenance (appended to; non-owning).
+  /// Accessed only from the verification critical section, so a single log
+  /// may be shared across calls but not across concurrent GEMMs.
+  std::vector<CorrectionRecord>* correction_log = nullptr;
+};
+
+/// Outcome of one fault-tolerant GEMM call.
+struct FtReport {
+  int panels = 0;                    ///< rank-KC verification intervals run
+  std::int64_t errors_detected = 0;  ///< checksum mismatches attributed
+  std::int64_t errors_corrected = 0; ///< elements repaired in C
+  int uncorrectable_panels = 0;      ///< panels with unresolvable mismatches
+  int retries = 0;                   ///< re-executions (ft_*_reliable only)
+  double elapsed_seconds = 0.0;      ///< wall time of the whole call
+
+  /// True when the result is trustworthy (all mismatches corrected).
+  [[nodiscard]] bool clean() const { return uncorrectable_panels == 0; }
+};
+
+}  // namespace ftgemm

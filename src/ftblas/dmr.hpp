@@ -1,0 +1,33 @@
+// Dual Modular Redundancy (DMR) primitives for memory-bound BLAS.
+//
+// FT-BLAS (reference [4] of the paper, the system FT-GEMM extends) protects
+// Level-1/2 routines with DMR rather than checksums: the arithmetic is
+// duplicated in registers and the two results compared before the store.
+// Because those routines are memory-bound, the duplicated *computation* is
+// hidden under the memory traffic and the overhead stays small — the same
+// compute/memory-gap argument the paper makes for GEMM checksums.
+//
+// The compiler must not CSE the two redundant computations into one; the
+// `dmr_shield` barrier makes a value opaque to the optimizer at zero runtime
+// cost (an empty inline-asm that claims to modify it).
+#pragma once
+
+#include <cstdint>
+
+namespace ftgemm::ftblas {
+
+/// Optimization barrier: forces `v` to be treated as unknown after this
+/// point, so a redundant recomputation cannot be folded into the original.
+template <typename T>
+inline void dmr_shield(T& v) {
+  asm volatile("" : "+x"(v));
+}
+
+/// Integer counters shared by the DMR routines.
+struct DmrReport {
+  std::int64_t faults_detected = 0;   ///< mismatches between the two copies
+  std::int64_t recomputations = 0;    ///< blocks recomputed to heal a fault
+  [[nodiscard]] bool clean() const { return faults_detected == 0; }
+};
+
+}  // namespace ftgemm::ftblas

@@ -1,0 +1,172 @@
+#include "ftblas/level1.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ftgemm::ftblas {
+
+namespace {
+
+/// Block length for DMR verification: small enough to stay in L1, large
+/// enough to amortize the per-block compare.
+constexpr index_t kBlock = 512;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// scal
+// ---------------------------------------------------------------------------
+
+void dscal(index_t n, double alpha, double* x, index_t incx) {
+  if (incx == 1) {
+    for (index_t i = 0; i < n; ++i) x[i] *= alpha;
+  } else {
+    for (index_t i = 0; i < n; ++i) x[i * incx] *= alpha;
+  }
+}
+
+DmrReport ft_dscal(index_t n, double alpha, double* x, index_t incx,
+                   const StreamFaultHook& hook) {
+  DmrReport report;
+  double tmp1[kBlock];
+  double tmp2[kBlock];
+  for (index_t start = 0; start < n; start += kBlock) {
+    const index_t len = std::min(kBlock, n - start);
+    double alpha2 = alpha;
+    dmr_shield(alpha2);
+    for (index_t i = 0; i < len; ++i) {
+      const double v = x[(start + i) * incx];
+      tmp1[i] = alpha * v;
+      tmp2[i] = alpha2 * v;
+    }
+    if (hook) hook(tmp1, start, len);
+    bool mismatch = false;
+    for (index_t i = 0; i < len; ++i) mismatch |= (tmp1[i] != tmp2[i]);
+    if (mismatch) {
+      ++report.faults_detected;
+      ++report.recomputations;
+      for (index_t i = 0; i < len; ++i)
+        tmp1[i] = alpha * x[(start + i) * incx];
+    }
+    for (index_t i = 0; i < len; ++i) x[(start + i) * incx] = tmp1[i];
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// axpy
+// ---------------------------------------------------------------------------
+
+void daxpy(index_t n, double alpha, const double* x, index_t incx, double* y,
+           index_t incy) {
+  if (incx == 1 && incy == 1) {
+    for (index_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+  } else {
+    for (index_t i = 0; i < n; ++i) y[i * incy] += alpha * x[i * incx];
+  }
+}
+
+DmrReport ft_daxpy(index_t n, double alpha, const double* x, index_t incx,
+                   double* y, index_t incy, const StreamFaultHook& hook) {
+  DmrReport report;
+  double tmp1[kBlock];
+  double tmp2[kBlock];
+  for (index_t start = 0; start < n; start += kBlock) {
+    const index_t len = std::min(kBlock, n - start);
+    double alpha2 = alpha;
+    dmr_shield(alpha2);
+    for (index_t i = 0; i < len; ++i) {
+      const double xv = x[(start + i) * incx];
+      const double yv = y[(start + i) * incy];
+      tmp1[i] = alpha * xv + yv;
+      tmp2[i] = alpha2 * xv + yv;
+    }
+    if (hook) hook(tmp1, start, len);
+    bool mismatch = false;
+    for (index_t i = 0; i < len; ++i) mismatch |= (tmp1[i] != tmp2[i]);
+    if (mismatch) {
+      ++report.faults_detected;
+      ++report.recomputations;
+      for (index_t i = 0; i < len; ++i)
+        tmp1[i] = alpha * x[(start + i) * incx] + y[(start + i) * incy];
+    }
+    for (index_t i = 0; i < len; ++i) y[(start + i) * incy] = tmp1[i];
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// dot
+// ---------------------------------------------------------------------------
+
+namespace {
+
+double dot_block(index_t n, const double* x, index_t incx, const double* y,
+                 index_t incy) {
+  constexpr index_t kLanes = 8;
+  double lane[kLanes] = {};
+  if (incx == 1 && incy == 1) {
+    const index_t tail = n - n % kLanes;
+    for (index_t i = 0; i < tail; i += kLanes)
+      for (index_t l = 0; l < kLanes; ++l) lane[l] += x[i + l] * y[i + l];
+    double sum = 0.0;
+    for (index_t l = 0; l < kLanes; ++l) sum += lane[l];
+    for (index_t i = tail; i < n; ++i) sum += x[i] * y[i];
+    return sum;
+  }
+  double sum = 0.0;
+  for (index_t i = 0; i < n; ++i) sum += x[i * incx] * y[i * incy];
+  return sum;
+}
+
+}  // namespace
+
+double ddot(index_t n, const double* x, index_t incx, const double* y,
+            index_t incy) {
+  return dot_block(n, x, incx, y, incy);
+}
+
+double ft_ddot(index_t n, const double* x, index_t incx, const double* y,
+               index_t incy, DmrReport* report, const StreamFaultHook& hook) {
+  double sum1 = 0.0;
+  double sum2 = 0.0;
+  for (index_t start = 0; start < n; start += kBlock) {
+    const index_t len = std::min(kBlock, n - start);
+    double s1 = dot_block(len, x + start * incx, incx, y + start * incy, incy);
+    double s2 = s1;
+    dmr_shield(s2);
+    // Redundant copy: recompute the block with shielded inputs so the two
+    // accumulations cannot be merged.
+    double s2b = dot_block(len, x + start * incx, incx, y + start * incy,
+                           incy);
+    dmr_shield(s2b);
+    s2 = s2b;
+    if (hook) hook(&s1, start, 1);
+    if (s1 != s2) {
+      if (report != nullptr) {
+        ++report->faults_detected;
+        ++report->recomputations;
+      }
+      s1 = dot_block(len, x + start * incx, incx, y + start * incy, incy);
+    }
+    sum1 += s1;
+    sum2 += s2;
+  }
+  (void)sum2;
+  return sum1;
+}
+
+// ---------------------------------------------------------------------------
+// nrm2
+// ---------------------------------------------------------------------------
+
+double dnrm2(index_t n, const double* x, index_t incx) {
+  return std::sqrt(dot_block(n, x, incx, x, incx));
+}
+
+double ft_dnrm2(index_t n, const double* x, index_t incx, DmrReport* report) {
+  const double ss1 = ft_ddot(n, x, incx, x, incx, report);
+  return std::sqrt(ss1);
+}
+
+}  // namespace ftgemm::ftblas

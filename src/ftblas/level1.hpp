@@ -1,0 +1,50 @@
+// DMR-protected Level-1 BLAS (the FT-BLAS substrate, reference [4]).
+//
+// Each routine exists in two forms: a plain high-performance version (the
+// baseline for overhead measurements) and an ft_ version protected by dual
+// modular redundancy — the computation is performed twice with the second
+// copy shielded from CSE, results are compared block-wise before anything is
+// committed to memory, and a mismatching block is recomputed.
+//
+// Fault injection: the optional `hook` is invoked on the primary result
+// block before verification, emulating a transient fault in the first
+// computation; tests assert that every injected corruption is detected and
+// healed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "ftblas/dmr.hpp"
+
+namespace ftgemm::ftblas {
+
+using index_t = std::int64_t;
+
+/// Corruption hook: (block_values, global_start_index, block_length).
+using StreamFaultHook = std::function<void(double*, index_t, index_t)>;
+
+// -- scal: x = alpha * x ----------------------------------------------------
+void dscal(index_t n, double alpha, double* x, index_t incx);
+DmrReport ft_dscal(index_t n, double alpha, double* x, index_t incx,
+                   const StreamFaultHook& hook = {});
+
+// -- axpy: y = alpha * x + y ------------------------------------------------
+void daxpy(index_t n, double alpha, const double* x, index_t incx, double* y,
+           index_t incy);
+DmrReport ft_daxpy(index_t n, double alpha, const double* x, index_t incx,
+                   double* y, index_t incy, const StreamFaultHook& hook = {});
+
+// -- dot: return xᵀy ----------------------------------------------------------
+double ddot(index_t n, const double* x, index_t incx, const double* y,
+            index_t incy);
+double ft_ddot(index_t n, const double* x, index_t incx, const double* y,
+               index_t incy, DmrReport* report = nullptr,
+               const StreamFaultHook& hook = {});
+
+// -- nrm2: return ||x||_2 -----------------------------------------------------
+double dnrm2(index_t n, const double* x, index_t incx);
+double ft_dnrm2(index_t n, const double* x, index_t incx,
+                DmrReport* report = nullptr);
+
+}  // namespace ftgemm::ftblas

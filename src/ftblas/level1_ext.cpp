@@ -1,0 +1,242 @@
+#include "ftblas/level1_ext.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ftgemm::ftblas {
+
+namespace {
+
+constexpr index_t kBlock = 512;
+
+double asum_block(index_t n, const double* x, index_t incx) {
+  constexpr index_t kLanes = 8;
+  if (incx == 1) {
+    double lane[kLanes] = {};
+    const index_t tail = n - n % kLanes;
+    for (index_t i = 0; i < tail; i += kLanes)
+      for (index_t l = 0; l < kLanes; ++l) lane[l] += std::abs(x[i + l]);
+    double sum = 0.0;
+    for (index_t l = 0; l < kLanes; ++l) sum += lane[l];
+    for (index_t i = tail; i < n; ++i) sum += std::abs(x[i]);
+    return sum;
+  }
+  double sum = 0.0;
+  for (index_t i = 0; i < n; ++i) sum += std::abs(x[i * incx]);
+  return sum;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// asum
+// ---------------------------------------------------------------------------
+
+double dasum(index_t n, const double* x, index_t incx) {
+  return asum_block(n, x, incx);
+}
+
+double ft_dasum(index_t n, const double* x, index_t incx, DmrReport* report,
+                const StreamFaultHook& hook) {
+  double total = 0.0;
+  for (index_t start = 0; start < n; start += kBlock) {
+    const index_t len = std::min(kBlock, n - start);
+    double s1 = asum_block(len, x + start * incx, incx);
+    double s2 = asum_block(len, x + start * incx, incx);
+    dmr_shield(s2);
+    if (hook) hook(&s1, start, 1);
+    if (s1 != s2) {
+      if (report != nullptr) {
+        ++report->faults_detected;
+        ++report->recomputations;
+      }
+      s1 = asum_block(len, x + start * incx, incx);
+    }
+    total += s1;
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// iamax
+// ---------------------------------------------------------------------------
+
+index_t idamax(index_t n, const double* x, index_t incx) {
+  if (n <= 0) return -1;
+  index_t best = 0;
+  double best_abs = std::abs(x[0]);
+  for (index_t i = 1; i < n; ++i) {
+    const double v = std::abs(x[i * incx]);
+    if (v > best_abs) {
+      best_abs = v;
+      best = i;
+    }
+  }
+  return best;
+}
+
+index_t ft_idamax(index_t n, const double* x, index_t incx,
+                  DmrReport* report) {
+  if (n <= 0) return -1;
+  index_t i1 = idamax(n, x, incx);
+  index_t i2 = idamax(n, x, incx);
+  // An index is integer data; shielding via the fp constraint does not
+  // apply, so compare and recompute on mismatch (a fault in the comparison
+  // chain produces a wrong index).
+  if (i1 != i2) {
+    if (report != nullptr) {
+      ++report->faults_detected;
+      ++report->recomputations;
+    }
+    i1 = idamax(n, x, incx);
+  }
+  return i1;
+}
+
+// ---------------------------------------------------------------------------
+// copy / swap
+// ---------------------------------------------------------------------------
+
+void dcopy(index_t n, const double* x, index_t incx, double* y,
+           index_t incy) {
+  for (index_t i = 0; i < n; ++i) y[i * incy] = x[i * incx];
+}
+
+DmrReport ft_dcopy(index_t n, const double* x, index_t incx, double* y,
+                   index_t incy, const StreamFaultHook& hook) {
+  DmrReport report;
+  for (index_t start = 0; start < n; start += kBlock) {
+    const index_t len = std::min(kBlock, n - start);
+    for (index_t i = 0; i < len; ++i)
+      y[(start + i) * incy] = x[(start + i) * incx];
+    if (hook) hook(y + start * incy, start, len);
+    // Verify the stored destination block against the source.
+    bool mismatch = false;
+    for (index_t i = 0; i < len; ++i)
+      mismatch |= (y[(start + i) * incy] != x[(start + i) * incx]);
+    if (mismatch) {
+      ++report.faults_detected;
+      ++report.recomputations;
+      for (index_t i = 0; i < len; ++i)
+        y[(start + i) * incy] = x[(start + i) * incx];
+    }
+  }
+  return report;
+}
+
+void dswap(index_t n, double* x, index_t incx, double* y, index_t incy) {
+  for (index_t i = 0; i < n; ++i) std::swap(x[i * incx], y[i * incy]);
+}
+
+DmrReport ft_dswap(index_t n, double* x, index_t incx, double* y,
+                   index_t incy) {
+  // Swap via verified copies through a stack block: x -> tmp, y -> x
+  // (verified), tmp -> y (verified).
+  DmrReport report;
+  double tmp[kBlock];
+  for (index_t start = 0; start < n; start += kBlock) {
+    const index_t len = std::min(kBlock, n - start);
+    for (index_t i = 0; i < len; ++i) tmp[i] = x[(start + i) * incx];
+    const DmrReport r1 =
+        ft_dcopy(len, y + start * incy, incy, x + start * incx, incx);
+    bool mismatch = false;
+    for (index_t i = 0; i < len; ++i) {
+      y[(start + i) * incy] = tmp[i];
+      mismatch |= (y[(start + i) * incy] != tmp[i]);
+    }
+    report.faults_detected += r1.faults_detected + (mismatch ? 1 : 0);
+    report.recomputations += r1.recomputations;
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// rot
+// ---------------------------------------------------------------------------
+
+void drot(index_t n, double* x, index_t incx, double* y, index_t incy,
+          double c, double s) {
+  for (index_t i = 0; i < n; ++i) {
+    const double xv = x[i * incx];
+    const double yv = y[i * incy];
+    x[i * incx] = c * xv + s * yv;
+    y[i * incy] = c * yv - s * xv;
+  }
+}
+
+DmrReport ft_drot(index_t n, double* x, index_t incx, double* y,
+                  index_t incy, double c, double s,
+                  const StreamFaultHook& hook) {
+  DmrReport report;
+  double tx1[kBlock], ty1[kBlock], tx2[kBlock], ty2[kBlock];
+  for (index_t start = 0; start < n; start += kBlock) {
+    const index_t len = std::min(kBlock, n - start);
+    double c2 = c, s2 = s;
+    dmr_shield(c2);
+    dmr_shield(s2);
+    for (index_t i = 0; i < len; ++i) {
+      const double xv = x[(start + i) * incx];
+      const double yv = y[(start + i) * incy];
+      tx1[i] = c * xv + s * yv;
+      ty1[i] = c * yv - s * xv;
+      tx2[i] = c2 * xv + s2 * yv;
+      ty2[i] = c2 * yv - s2 * xv;
+    }
+    if (hook) hook(tx1, start, len);
+    bool mismatch = false;
+    for (index_t i = 0; i < len; ++i)
+      mismatch |= (tx1[i] != tx2[i]) | (ty1[i] != ty2[i]);
+    if (mismatch) {
+      ++report.faults_detected;
+      ++report.recomputations;
+      for (index_t i = 0; i < len; ++i) {
+        const double xv = x[(start + i) * incx];
+        const double yv = y[(start + i) * incy];
+        tx1[i] = c * xv + s * yv;
+        ty1[i] = c * yv - s * xv;
+      }
+    }
+    for (index_t i = 0; i < len; ++i) {
+      x[(start + i) * incx] = tx1[i];
+      y[(start + i) * incy] = ty1[i];
+    }
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// TMR dot
+// ---------------------------------------------------------------------------
+
+double tmr_ddot(index_t n, const double* x, index_t incx, const double* y,
+                index_t incy, DmrReport* report,
+                const StreamFaultHook& hook) {
+  double total = 0.0;
+  for (index_t start = 0; start < n; start += kBlock) {
+    const index_t len = std::min(kBlock, n - start);
+    double s1 = ddot(len, x + start * incx, incx, y + start * incy, incy);
+    double s2 = ddot(len, x + start * incx, incx, y + start * incy, incy);
+    dmr_shield(s2);
+    double s3 = ddot(len, x + start * incx, incx, y + start * incy, incy);
+    dmr_shield(s3);
+    if (hook) hook(&s1, start, 1);
+    // Majority vote: any two agreeing copies win; no recomputation needed.
+    double winner = s1;
+    if (s1 != s2 || s1 != s3) {
+      if (report != nullptr) ++report->faults_detected;
+      if (s2 == s3) {
+        winner = s2;  // s1 was the faulty copy
+      } else if (s1 == s3 || s1 == s2) {
+        winner = s1;
+      } else {
+        // Triple disagreement: fall back to recomputation.
+        if (report != nullptr) ++report->recomputations;
+        winner = ddot(len, x + start * incx, incx, y + start * incy, incy);
+      }
+    }
+    total += winner;
+  }
+  return total;
+}
+
+}  // namespace ftgemm::ftblas

@@ -1,0 +1,51 @@
+// Remaining DMR-protected Level-1 routines of the FT-BLAS substrate:
+// asum, iamax, copy, swap, rot — plus a TMR (triple modular redundancy)
+// variant of dot as an extension point.
+//
+// copy/swap move data without arithmetic; their "FT" variants verify the
+// destination against the source after the move (detecting a faulty store
+// path), which is the strongest guarantee redundancy can give for pure data
+// movement.  rot and asum follow the same block-DMR pattern as level1.hpp.
+#pragma once
+
+#include "ftblas/level1.hpp"
+
+namespace ftgemm::ftblas {
+
+// -- asum: return sum |x_i| ---------------------------------------------------
+double dasum(index_t n, const double* x, index_t incx);
+double ft_dasum(index_t n, const double* x, index_t incx,
+                DmrReport* report = nullptr,
+                const StreamFaultHook& hook = {});
+
+// -- iamax: index of max |x_i| (first occurrence; -1 for n <= 0) -------------
+index_t idamax(index_t n, const double* x, index_t incx);
+index_t ft_idamax(index_t n, const double* x, index_t incx,
+                  DmrReport* report = nullptr);
+
+// -- copy / swap --------------------------------------------------------------
+void dcopy(index_t n, const double* x, index_t incx, double* y,
+           index_t incy);
+DmrReport ft_dcopy(index_t n, const double* x, index_t incx, double* y,
+                   index_t incy, const StreamFaultHook& hook = {});
+
+void dswap(index_t n, double* x, index_t incx, double* y, index_t incy);
+DmrReport ft_dswap(index_t n, double* x, index_t incx, double* y,
+                   index_t incy);
+
+// -- rot: plane rotation [x; y] <- [c s; -s c][x; y] --------------------------
+void drot(index_t n, double* x, index_t incx, double* y, index_t incy,
+          double c, double s);
+DmrReport ft_drot(index_t n, double* x, index_t incx, double* y,
+                  index_t incy, double c, double s,
+                  const StreamFaultHook& hook = {});
+
+// -- TMR extension: dot with triple redundancy + majority vote ---------------
+// Detects AND masks a fault without recomputation (one more stream than
+// DMR); the FT-BLAS paper leaves this as a design alternative — included
+// here so the ablation bench can compare the two.
+double tmr_ddot(index_t n, const double* x, index_t incx, const double* y,
+                index_t incy, DmrReport* report = nullptr,
+                const StreamFaultHook& hook = {});
+
+}  // namespace ftgemm::ftblas

@@ -1,0 +1,111 @@
+#include "ftblas/level2.hpp"
+
+#include <algorithm>
+
+namespace ftgemm::ftblas {
+
+namespace {
+
+constexpr index_t kYBlock = 512;
+
+/// Accumulate acc[0..len) += alpha * A_block · x for rows [r0, r0+len) of
+/// the non-transposed column-major A.
+void gemv_notrans_block(index_t len, index_t n, double alpha, const double* a,
+                        index_t lda, index_t r0, const double* x,
+                        index_t incx, double* __restrict__ acc) {
+  for (index_t j = 0; j < n; ++j) {
+    const double axj = alpha * x[j * incx];
+    const double* __restrict__ col = a + r0 + j * lda;
+    for (index_t i = 0; i < len; ++i) acc[i] += col[i] * axj;
+  }
+}
+
+/// acc[0..len) += alpha * (Aᵀ x)[r0..r0+len): entry r is column r of A
+/// dotted with x.
+void gemv_trans_block(index_t len, index_t m, double alpha, const double* a,
+                      index_t lda, index_t r0, const double* x, index_t incx,
+                      double* __restrict__ acc) {
+  for (index_t r = 0; r < len; ++r) {
+    const double* __restrict__ col = a + (r0 + r) * lda;
+    double lane[8] = {};
+    const index_t tail = m - m % 8;
+    if (incx == 1) {
+      for (index_t i = 0; i < tail; i += 8)
+        for (index_t l = 0; l < 8; ++l) lane[l] += col[i + l] * x[i + l];
+      double sum = 0.0;
+      for (index_t l = 0; l < 8; ++l) sum += lane[l];
+      for (index_t i = tail; i < m; ++i) sum += col[i] * x[i];
+      acc[r] += alpha * sum;
+    } else {
+      double sum = 0.0;
+      for (index_t i = 0; i < m; ++i) sum += col[i] * x[i * incx];
+      acc[r] += alpha * sum;
+    }
+  }
+}
+
+}  // namespace
+
+void dgemv(Trans trans, index_t m, index_t n, double alpha, const double* a,
+           index_t lda, const double* x, index_t incx, double beta, double* y,
+           index_t incy) {
+  const index_t ylen = trans == Trans::kNoTrans ? m : n;
+  double acc[kYBlock];
+  for (index_t r0 = 0; r0 < ylen; r0 += kYBlock) {
+    const index_t len = std::min(kYBlock, ylen - r0);
+    std::fill(acc, acc + len, 0.0);
+    if (trans == Trans::kNoTrans) {
+      gemv_notrans_block(len, n, alpha, a, lda, r0, x, incx, acc);
+    } else {
+      gemv_trans_block(len, m, alpha, a, lda, r0, x, incx, acc);
+    }
+    for (index_t i = 0; i < len; ++i) {
+      double& out = y[(r0 + i) * incy];
+      out = acc[i] + (beta == 0.0 ? 0.0 : beta * out);
+    }
+  }
+}
+
+DmrReport ft_dgemv(Trans trans, index_t m, index_t n, double alpha,
+                   const double* a, index_t lda, const double* x,
+                   index_t incx, double beta, double* y, index_t incy,
+                   const StreamFaultHook& hook) {
+  DmrReport report;
+  const index_t ylen = trans == Trans::kNoTrans ? m : n;
+  double acc1[kYBlock];
+  double acc2[kYBlock];
+  for (index_t r0 = 0; r0 < ylen; r0 += kYBlock) {
+    const index_t len = std::min(kYBlock, ylen - r0);
+    double alpha2 = alpha;
+    dmr_shield(alpha2);
+    std::fill(acc1, acc1 + len, 0.0);
+    std::fill(acc2, acc2 + len, 0.0);
+    if (trans == Trans::kNoTrans) {
+      gemv_notrans_block(len, n, alpha, a, lda, r0, x, incx, acc1);
+      gemv_notrans_block(len, n, alpha2, a, lda, r0, x, incx, acc2);
+    } else {
+      gemv_trans_block(len, m, alpha, a, lda, r0, x, incx, acc1);
+      gemv_trans_block(len, m, alpha2, a, lda, r0, x, incx, acc2);
+    }
+    if (hook) hook(acc1, r0, len);
+    bool mismatch = false;
+    for (index_t i = 0; i < len; ++i) mismatch |= (acc1[i] != acc2[i]);
+    if (mismatch) {
+      ++report.faults_detected;
+      ++report.recomputations;
+      std::fill(acc1, acc1 + len, 0.0);
+      if (trans == Trans::kNoTrans) {
+        gemv_notrans_block(len, n, alpha, a, lda, r0, x, incx, acc1);
+      } else {
+        gemv_trans_block(len, m, alpha, a, lda, r0, x, incx, acc1);
+      }
+    }
+    for (index_t i = 0; i < len; ++i) {
+      double& out = y[(r0 + i) * incy];
+      out = acc1[i] + (beta == 0.0 ? 0.0 : beta * out);
+    }
+  }
+  return report;
+}
+
+}  // namespace ftgemm::ftblas

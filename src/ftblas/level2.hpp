@@ -1,0 +1,26 @@
+// DMR-protected Level-2 BLAS (gemv), part of the FT-BLAS substrate.
+//
+// y = alpha * op(A) * x + beta * y.  The matrix element is loaded once and
+// fed to two FMA streams (primary + shielded redundant), so the duplicated
+// arithmetic hides under the O(MN) memory traffic that dominates gemv.
+// Verification is per y-block; a mismatching block is recomputed from A.
+#pragma once
+
+#include "core/options.hpp"
+#include "ftblas/level1.hpp"
+
+namespace ftgemm::ftblas {
+
+/// Plain column-major dgemv (baseline).
+void dgemv(Trans trans, index_t m, index_t n, double alpha, const double* a,
+           index_t lda, const double* x, index_t incx, double beta, double* y,
+           index_t incy);
+
+/// DMR-protected dgemv.  `hook` corrupts the primary block results before
+/// verification (fault-injection testing).
+DmrReport ft_dgemv(Trans trans, index_t m, index_t n, double alpha,
+                   const double* a, index_t lda, const double* x,
+                   index_t incx, double beta, double* y, index_t incy,
+                   const StreamFaultHook& hook = {});
+
+}  // namespace ftgemm::ftblas

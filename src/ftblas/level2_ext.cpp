@@ -1,0 +1,176 @@
+#include "ftblas/level2_ext.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace ftgemm::ftblas {
+
+namespace {
+
+constexpr index_t kBlock = 512;
+
+/// Dense triangular mat-vec into out[0..n): out = op(T) * x.
+void trmv_into(Uplo uplo, Trans trans, index_t n, const double* a,
+               index_t lda, const double* x, index_t incx,
+               double* __restrict__ out) {
+  // Effective element T(i, j): zero outside the triangle.
+  const bool upper = (uplo == Uplo::kUpper) != (trans == Trans::kTrans);
+  for (index_t i = 0; i < n; ++i) {
+    const index_t j_lo = upper ? i : 0;
+    const index_t j_hi = upper ? n : i + 1;
+    double acc = 0.0;
+    for (index_t j = j_lo; j < j_hi; ++j) {
+      const double aval =
+          trans == Trans::kTrans ? a[j + i * lda] : a[i + j * lda];
+      acc += aval * x[j * incx];
+    }
+    out[i] = acc;
+  }
+}
+
+/// In-place triangular solve (sequential dependency).
+void trsv_inplace(Uplo uplo, Trans trans, index_t n, const double* a,
+                  index_t lda, double* x, index_t incx) {
+  const bool upper = (uplo == Uplo::kUpper) != (trans == Trans::kTrans);
+  const auto at = [&](index_t i, index_t j) {
+    return trans == Trans::kTrans ? a[j + i * lda] : a[i + j * lda];
+  };
+  if (upper) {
+    for (index_t i = n - 1; i >= 0; --i) {
+      double acc = x[i * incx];
+      for (index_t j = i + 1; j < n; ++j) acc -= at(i, j) * x[j * incx];
+      x[i * incx] = acc / at(i, i);
+      if (i == 0) break;
+    }
+  } else {
+    for (index_t i = 0; i < n; ++i) {
+      double acc = x[i * incx];
+      for (index_t j = 0; j < i; ++j) acc -= at(i, j) * x[j * incx];
+      x[i * incx] = acc / at(i, i);
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ger
+// ---------------------------------------------------------------------------
+
+void dger(index_t m, index_t n, double alpha, const double* x, index_t incx,
+          const double* y, index_t incy, double* a, index_t lda) {
+  for (index_t j = 0; j < n; ++j) {
+    const double ay = alpha * y[j * incy];
+    double* __restrict__ col = a + j * lda;
+    if (incx == 1) {
+      for (index_t i = 0; i < m; ++i) col[i] += x[i] * ay;
+    } else {
+      for (index_t i = 0; i < m; ++i) col[i] += x[i * incx] * ay;
+    }
+  }
+}
+
+DmrReport ft_dger(index_t m, index_t n, double alpha, const double* x,
+                  index_t incx, const double* y, index_t incy, double* a,
+                  index_t lda, const StreamFaultHook& hook) {
+  DmrReport report;
+  double t1[kBlock], t2[kBlock];
+  for (index_t j = 0; j < n; ++j) {
+    const double ay = alpha * y[j * incy];
+    double ay2 = ay;
+    dmr_shield(ay2);
+    double* col = a + j * lda;
+    for (index_t start = 0; start < m; start += kBlock) {
+      const index_t len = std::min(kBlock, m - start);
+      for (index_t i = 0; i < len; ++i) {
+        const double xv = x[(start + i) * incx];
+        const double av = col[start + i];
+        t1[i] = av + xv * ay;
+        t2[i] = av + xv * ay2;
+      }
+      if (hook) hook(t1, j * m + start, len);
+      bool mismatch = false;
+      for (index_t i = 0; i < len; ++i) mismatch |= (t1[i] != t2[i]);
+      if (mismatch) {
+        ++report.faults_detected;
+        ++report.recomputations;
+        for (index_t i = 0; i < len; ++i)
+          t1[i] = col[start + i] + x[(start + i) * incx] * ay;
+      }
+      for (index_t i = 0; i < len; ++i) col[start + i] = t1[i];
+    }
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// trmv
+// ---------------------------------------------------------------------------
+
+void dtrmv(Uplo uplo, Trans trans, index_t n, const double* a, index_t lda,
+           double* x, index_t incx) {
+  std::vector<double> out(static_cast<std::size_t>(n));
+  trmv_into(uplo, trans, n, a, lda, x, incx, out.data());
+  for (index_t i = 0; i < n; ++i) x[i * incx] = out[std::size_t(i)];
+}
+
+DmrReport ft_dtrmv(Uplo uplo, Trans trans, index_t n, const double* a,
+                   index_t lda, double* x, index_t incx,
+                   const StreamFaultHook& hook) {
+  DmrReport report;
+  std::vector<double> out1(static_cast<std::size_t>(n));
+  std::vector<double> out2(static_cast<std::size_t>(n));
+  trmv_into(uplo, trans, n, a, lda, x, incx, out1.data());
+  trmv_into(uplo, trans, n, a, lda, x, incx, out2.data());
+  for (auto& v : out2) dmr_shield(v);
+  if (hook) hook(out1.data(), 0, n);
+  bool mismatch = false;
+  for (index_t i = 0; i < n; ++i)
+    mismatch |= (out1[std::size_t(i)] != out2[std::size_t(i)]);
+  if (mismatch) {
+    ++report.faults_detected;
+    ++report.recomputations;
+    trmv_into(uplo, trans, n, a, lda, x, incx, out1.data());
+  }
+  for (index_t i = 0; i < n; ++i) x[i * incx] = out1[std::size_t(i)];
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// trsv
+// ---------------------------------------------------------------------------
+
+void dtrsv(Uplo uplo, Trans trans, index_t n, const double* a, index_t lda,
+           double* x, index_t incx) {
+  trsv_inplace(uplo, trans, n, a, lda, x, incx);
+}
+
+DmrReport ft_dtrsv(Uplo uplo, Trans trans, index_t n, const double* a,
+                   index_t lda, double* x, index_t incx,
+                   const StreamFaultHook& hook) {
+  // The solve's sequential dependency rules out block-local verification:
+  // run the whole substitution twice on private copies and compare.
+  DmrReport report;
+  std::vector<double> x1(static_cast<std::size_t>(n));
+  std::vector<double> x2(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i)
+    x1[std::size_t(i)] = x2[std::size_t(i)] = x[i * incx];
+  trsv_inplace(uplo, trans, n, a, lda, x1.data(), 1);
+  trsv_inplace(uplo, trans, n, a, lda, x2.data(), 1);
+  for (auto& v : x2) dmr_shield(v);
+  if (hook) hook(x1.data(), 0, n);
+  bool mismatch = false;
+  for (index_t i = 0; i < n; ++i)
+    mismatch |= (x1[std::size_t(i)] != x2[std::size_t(i)]);
+  if (mismatch) {
+    ++report.faults_detected;
+    ++report.recomputations;
+    for (index_t i = 0; i < n; ++i) x1[std::size_t(i)] = x[i * incx];
+    trsv_inplace(uplo, trans, n, a, lda, x1.data(), 1);
+  }
+  for (index_t i = 0; i < n; ++i) x[i * incx] = x1[std::size_t(i)];
+  return report;
+}
+
+}  // namespace ftgemm::ftblas

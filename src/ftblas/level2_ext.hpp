@@ -1,0 +1,39 @@
+// Remaining DMR-protected Level-2 routines of the FT-BLAS substrate:
+// ger (rank-1 update), trmv and trsv (triangular multiply / solve).
+//
+// trsv is the interesting one: the solve has a sequential dependency, so
+// the redundancy runs the full forward/back substitution twice and compares
+// block results before committing — the FT-BLAS recipe for routines whose
+// outputs feed their own later computation.
+#pragma once
+
+#include "core/options.hpp"
+#include "ftblas/level1.hpp"
+
+namespace ftgemm::ftblas {
+
+/// Which triangle of the matrix holds the data.
+enum class Uplo { kUpper, kLower };
+
+// -- ger: A += alpha * x * yᵀ -------------------------------------------------
+void dger(index_t m, index_t n, double alpha, const double* x, index_t incx,
+          const double* y, index_t incy, double* a, index_t lda);
+DmrReport ft_dger(index_t m, index_t n, double alpha, const double* x,
+                  index_t incx, const double* y, index_t incy, double* a,
+                  index_t lda, const StreamFaultHook& hook = {});
+
+// -- trmv: x = op(T) * x (unit or non-unit diagonal not supported: non-unit) --
+void dtrmv(Uplo uplo, Trans trans, index_t n, const double* a, index_t lda,
+           double* x, index_t incx);
+DmrReport ft_dtrmv(Uplo uplo, Trans trans, index_t n, const double* a,
+                   index_t lda, double* x, index_t incx,
+                   const StreamFaultHook& hook = {});
+
+// -- trsv: solve op(T) * x = b in place (non-unit diagonal) -------------------
+void dtrsv(Uplo uplo, Trans trans, index_t n, const double* a, index_t lda,
+           double* x, index_t incx);
+DmrReport ft_dtrsv(Uplo uplo, Trans trans, index_t n, const double* a,
+                   index_t lda, double* x, index_t incx,
+                   const StreamFaultHook& hook = {});
+
+}  // namespace ftgemm::ftblas

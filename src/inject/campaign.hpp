@@ -1,0 +1,47 @@
+// Injection campaign driver (§3.2 methodology).
+//
+// Orchestrates a series of protected GEMMs under a configurable fault
+// regime, verifies every result against a fault-free reference, and
+// aggregates the statistics the paper's reliability argument rests on:
+// injected vs detected vs corrected counts, residual-error distribution,
+// and throughput with and without faults.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/gemm.hpp"
+#include "inject/injectors.hpp"
+#include "util/matrix.hpp"
+
+namespace ftgemm {
+
+struct CampaignConfig {
+  index_t size = 512;            ///< square problem size
+  int runs = 10;                 ///< protected multiplications to execute
+  int errors_per_run = 20;       ///< paper's Fig 2(c) regime
+  double magnitude = 2.0;        ///< injected delta scale
+  std::uint64_t seed = 1234;
+  int threads = 1;
+  bool use_reliable = false;     ///< route through ft_dgemm_reliable
+};
+
+struct CampaignResult {
+  std::size_t injected = 0;
+  std::int64_t detected = 0;
+  std::int64_t corrected = 0;
+  int uncorrectable_runs = 0;  ///< runs whose final report was not clean
+  int wrong_result_runs = 0;   ///< runs whose C differed from the reference
+  int retries = 0;             ///< re-executions (reliable mode)
+  double max_rel_error = 0.0;  ///< worst per-run result error vs reference
+  double mean_gflops = 0.0;
+
+  /// The reliability claim: every fault either corrected or flagged, and
+  /// no run produced a silently wrong result.
+  [[nodiscard]] bool reliable() const { return wrong_result_runs == 0; }
+};
+
+/// Execute the campaign.  Deterministic under config.seed.
+CampaignResult run_injection_campaign(const CampaignConfig& config);
+
+}  // namespace ftgemm

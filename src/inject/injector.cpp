@@ -1,0 +1,42 @@
+#include "inject/injector.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace ftgemm {
+
+namespace {
+
+template <typename T, typename Bits>
+double flip_bit(T& value, int bit) {
+  Bits bits;
+  std::memcpy(&bits, &value, sizeof(T));
+  bits ^= (Bits(1) << (bit % (sizeof(T) * 8)));
+  T flipped;
+  std::memcpy(&flipped, &bits, sizeof(T));
+  const double delta = double(flipped) - double(value);
+  value = flipped;
+  return delta;
+}
+
+}  // namespace
+
+template <>
+double apply_corruption<double>(double& value, const InjectionRecord& rec) {
+  if (rec.kind == InjectionKind::kAddDelta) {
+    value += rec.delta;
+    return rec.delta;
+  }
+  return flip_bit<double, std::uint64_t>(value, rec.bit);
+}
+
+template <>
+double apply_corruption<float>(float& value, const InjectionRecord& rec) {
+  if (rec.kind == InjectionKind::kAddDelta) {
+    value += float(rec.delta);
+    return double(float(rec.delta));
+  }
+  return flip_bit<float, std::uint32_t>(value, rec.bit);
+}
+
+}  // namespace ftgemm

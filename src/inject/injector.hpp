@@ -1,0 +1,101 @@
+// Fault-injection framework (§3.2).
+//
+// The paper injects errors "at the source code level to minimize the
+// performance impact on native programs".  We emulate a soft error inside
+// the compute kernel: the corrupted FMA result is what gets stored to C
+// *and* what the register-level reference checksums observe.  The driver
+// therefore applies an injected delta to C(i, j), cc_ref[i] and cr_ref[j]
+// together — exactly the footprint a real in-register fault would leave —
+// while the predicted checksums (derived from A and B) keep the truth.
+//
+// Injectors only *plan* corruptions; the drivers apply them at the
+// macro-block hook and append ground truth to the log so tests can assert
+// exact detection and correction.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace ftgemm {
+
+/// Where the planned corruption lands.
+enum class InjectionKind {
+  kAddDelta,  ///< C(i, j) += delta
+  kFlipBit,   ///< flip mantissa/exponent bit `bit` of C(i, j)
+};
+
+/// Identifies one macro-block update, the granularity of the driver hook.
+struct BlockContext {
+  int panel = 0;          ///< rank-KC panel index (verification interval)
+  std::int64_t i0 = 0;    ///< first global row of the block
+  std::int64_t j0 = 0;    ///< first global column of the block
+  std::int64_t mlen = 0;  ///< rows in the block
+  std::int64_t nlen = 0;  ///< columns in the block
+  int thread = 0;         ///< executing thread
+};
+
+/// One planned / recorded corruption. `delta` is filled with the actually
+/// applied perturbation when the driver executes a bit flip.
+struct InjectionRecord {
+  InjectionKind kind = InjectionKind::kAddDelta;
+  int panel = 0;
+  std::int64_t i = 0;  ///< global row
+  std::int64_t j = 0;  ///< global column
+  double delta = 0.0;
+  int bit = 0;  ///< for kFlipBit: which of the 64/32 bits to flip
+};
+
+/// Abstract fault injector.  Implementations decide *when and where*;
+/// drivers decide *how* (and log ground truth).
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  /// Called once at the start of each protected GEMM call with the problem
+  /// geometry, so rate/count-based injectors can plan schedules.
+  virtual void begin_call(std::int64_t m, std::int64_t n, std::int64_t k,
+                          int num_panels) {
+    (void)m;
+    (void)n;
+    (void)k;
+    (void)num_panels;
+  }
+
+  /// Append the corruptions to apply inside this block to `out`.  Positions
+  /// must satisfy i in [i0, i0+mlen), j in [j0, j0+nlen).  Called from
+  /// worker threads; implementations must be thread-safe.
+  virtual void plan_block(const BlockContext& ctx,
+                          std::vector<InjectionRecord>& out) = 0;
+
+  /// Ground-truth log of corruptions actually applied by the driver.
+  void record(const InjectionRecord& rec) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    log_.push_back(rec);
+  }
+
+  [[nodiscard]] std::vector<InjectionRecord> log() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return log_;
+  }
+
+  [[nodiscard]] std::size_t injected_count() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return log_.size();
+  }
+
+  void clear_log() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    log_.clear();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<InjectionRecord> log_;
+};
+
+/// Apply a planned corruption to a value; returns the applied delta.
+template <typename T>
+double apply_corruption(T& value, const InjectionRecord& rec);
+
+}  // namespace ftgemm

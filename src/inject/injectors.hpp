@@ -1,0 +1,154 @@
+// Concrete fault injectors.
+//
+//  - DeterministicInjector: an explicit schedule (tests, reproducible demos).
+//  - CountInjector: N errors per GEMM call at uniformly random positions —
+//    the paper's Fig 2(c)/(d) regime ("tolerating 20 injected errors").
+//  - RateInjector: wall-clock Poisson-style rate ("hundreds of errors per
+//    minute"), thinned across block hooks.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "inject/injector.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace ftgemm {
+
+/// Replays a fixed schedule of corruptions.
+class DeterministicInjector final : public FaultInjector {
+ public:
+  explicit DeterministicInjector(std::vector<InjectionRecord> schedule)
+      : schedule_(std::move(schedule)) {}
+
+  void begin_call(std::int64_t, std::int64_t, std::int64_t, int) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    delivered_.assign(schedule_.size(), false);
+  }
+
+  void plan_block(const BlockContext& ctx,
+                  std::vector<InjectionRecord>& out) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t s = 0; s < schedule_.size(); ++s) {
+      const InjectionRecord& rec = schedule_[s];
+      if (delivered_[s] || rec.panel != ctx.panel) continue;
+      if (rec.i < ctx.i0 || rec.i >= ctx.i0 + ctx.mlen) continue;
+      if (rec.j < ctx.j0 || rec.j >= ctx.j0 + ctx.nlen) continue;
+      out.push_back(rec);
+      delivered_[s] = true;
+    }
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<InjectionRecord> schedule_;
+  std::vector<bool> delivered_;
+};
+
+/// Injects `count` corruptions per GEMM call at uniform random positions.
+class CountInjector final : public FaultInjector {
+ public:
+  CountInjector(int count, std::uint64_t seed, double magnitude = 1.0,
+                InjectionKind kind = InjectionKind::kAddDelta, int bit = 52)
+      : count_(count), seed_(seed), magnitude_(magnitude), kind_(kind),
+        bit_(bit) {}
+
+  void begin_call(std::int64_t m, std::int64_t n, std::int64_t k,
+                  int num_panels) override {
+    (void)k;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Xoshiro256 rng(seed_ + 0x1234u * std::uint64_t(call_index_++));
+    schedule_.clear();
+    for (int e = 0; e < count_; ++e) {
+      InjectionRecord rec;
+      rec.kind = kind_;
+      rec.bit = bit_;
+      rec.panel = int(rng.bounded(std::uint64_t(std::max(num_panels, 1))));
+      rec.i = std::int64_t(rng.bounded(std::uint64_t(std::max<std::int64_t>(m, 1))));
+      rec.j = std::int64_t(rng.bounded(std::uint64_t(std::max<std::int64_t>(n, 1))));
+      rec.delta = magnitude_ * (rng.uniform() < 0.5 ? -1.0 : 1.0) *
+                  (0.5 + rng.uniform());
+      schedule_.push_back(rec);
+    }
+    delivered_.assign(schedule_.size(), false);
+  }
+
+  void plan_block(const BlockContext& ctx,
+                  std::vector<InjectionRecord>& out) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t s = 0; s < schedule_.size(); ++s) {
+      const InjectionRecord& rec = schedule_[s];
+      if (delivered_[s] || rec.panel != ctx.panel) continue;
+      if (rec.i < ctx.i0 || rec.i >= ctx.i0 + ctx.mlen) continue;
+      if (rec.j < ctx.j0 || rec.j >= ctx.j0 + ctx.nlen) continue;
+      out.push_back(rec);
+      delivered_[s] = true;
+    }
+  }
+
+ private:
+  std::mutex mutex_;
+  int count_;
+  std::uint64_t seed_;
+  double magnitude_;
+  InjectionKind kind_;
+  int bit_;
+  int call_index_ = 0;
+  std::vector<InjectionRecord> schedule_;
+  std::vector<bool> delivered_;
+};
+
+/// Wall-clock rate injector: approximately `errors_per_minute` corruptions
+/// spread over elapsed time, applied at whichever blocks are executing when
+/// the quota accrues.
+class RateInjector final : public FaultInjector {
+ public:
+  RateInjector(double errors_per_minute, std::uint64_t seed,
+               double magnitude = 1.0)
+      : rate_per_second_(errors_per_minute / 60.0), rng_(seed),
+        magnitude_(magnitude) {}
+
+  void begin_call(std::int64_t, std::int64_t, std::int64_t, int) override {
+    // The wall clock persists across GEMM calls: an error "due" during one
+    // short multiplication carries over to the next, so the configured rate
+    // holds for back-to-back sub-second calls too.
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!started_) {
+      timer_.restart();
+      accrued_ = 0.0;
+      started_ = true;
+    }
+  }
+
+  void plan_block(const BlockContext& ctx,
+                  std::vector<InjectionRecord>& out) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const double due = timer_.seconds() * rate_per_second_;
+    while (accrued_ + 1.0 <= due) {
+      accrued_ += 1.0;
+      InjectionRecord rec;
+      rec.kind = InjectionKind::kAddDelta;
+      rec.panel = ctx.panel;
+      rec.i = ctx.i0 + std::int64_t(rng_.bounded(std::uint64_t(ctx.mlen)));
+      rec.j = ctx.j0 + std::int64_t(rng_.bounded(std::uint64_t(ctx.nlen)));
+      rec.delta = magnitude_ * (rng_.uniform() < 0.5 ? -1.0 : 1.0) *
+                  (0.5 + rng_.uniform());
+      out.push_back(rec);
+    }
+  }
+
+ private:
+  std::mutex mutex_;
+  double rate_per_second_;
+  Xoshiro256 rng_;
+  double magnitude_;
+  WallTimer timer_;
+  double accrued_ = 0.0;
+  bool started_ = false;
+};
+
+}  // namespace ftgemm

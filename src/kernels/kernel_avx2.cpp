@@ -1,0 +1,178 @@
+// AVX2/FMA micro-kernels (f64 8x6, f32 16x6) — the classic Haswell shapes.
+//
+// Used on machines without AVX-512 and as an ablation point (the paper's
+// motivation is precisely that AVX-512 widens the compute/memory gap; the
+// AVX2 kernels let the benchmark harness quantify that).
+#include <immintrin.h>
+
+#include "kernels/microkernel.hpp"
+
+namespace ftgemm {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// f64: MR = 8 (two ymm), NR = 6 -> 12 accumulators + 3 operands in 16 ymm.
+// ---------------------------------------------------------------------------
+
+constexpr index_t kMrF64 = 8;
+constexpr index_t kNrF64 = 6;
+
+void dkernel_8x6_base(index_t kc, const double* a, const double* b, double* c,
+                      index_t ldc) {
+  __m256d acc0[kNrF64];
+  __m256d acc1[kNrF64];
+#pragma GCC unroll 6
+  for (int j = 0; j < kNrF64; ++j) {
+    acc0[j] = _mm256_setzero_pd();
+    acc1[j] = _mm256_setzero_pd();
+  }
+  for (index_t p = 0; p < kc; ++p) {
+    const __m256d a0 = _mm256_load_pd(a);
+    const __m256d a1 = _mm256_load_pd(a + 4);
+    a += kMrF64;
+#pragma GCC unroll 6
+    for (int j = 0; j < kNrF64; ++j) {
+      const __m256d bv = _mm256_broadcast_sd(b + j);
+      acc0[j] = _mm256_fmadd_pd(a0, bv, acc0[j]);
+      acc1[j] = _mm256_fmadd_pd(a1, bv, acc1[j]);
+    }
+    b += kNrF64;
+  }
+#pragma GCC unroll 6
+  for (int j = 0; j < kNrF64; ++j) {
+    double* cj = c + j * ldc;
+    _mm256_storeu_pd(cj, _mm256_add_pd(_mm256_loadu_pd(cj), acc0[j]));
+    _mm256_storeu_pd(cj + 4, _mm256_add_pd(_mm256_loadu_pd(cj + 4), acc1[j]));
+  }
+}
+
+void dkernel_8x6_ft(index_t kc, const double* a, const double* b, double* c,
+                    index_t ldc, double* cr_ref, double* cc_ref) {
+  __m256d acc0[kNrF64];
+  __m256d acc1[kNrF64];
+#pragma GCC unroll 6
+  for (int j = 0; j < kNrF64; ++j) {
+    acc0[j] = _mm256_setzero_pd();
+    acc1[j] = _mm256_setzero_pd();
+  }
+  for (index_t p = 0; p < kc; ++p) {
+    const __m256d a0 = _mm256_load_pd(a);
+    const __m256d a1 = _mm256_load_pd(a + 4);
+    a += kMrF64;
+#pragma GCC unroll 6
+    for (int j = 0; j < kNrF64; ++j) {
+      const __m256d bv = _mm256_broadcast_sd(b + j);
+      acc0[j] = _mm256_fmadd_pd(a0, bv, acc0[j]);
+      acc1[j] = _mm256_fmadd_pd(a1, bv, acc1[j]);
+    }
+    b += kNrF64;
+  }
+  __m256d rowsum0 = _mm256_setzero_pd();
+  __m256d rowsum1 = _mm256_setzero_pd();
+#pragma GCC unroll 6
+  for (int j = 0; j < kNrF64; ++j) {
+    double* cj = c + j * ldc;
+    const __m256d c0 = _mm256_add_pd(_mm256_loadu_pd(cj), acc0[j]);
+    const __m256d c1 = _mm256_add_pd(_mm256_loadu_pd(cj + 4), acc1[j]);
+    _mm256_storeu_pd(cj, c0);
+    _mm256_storeu_pd(cj + 4, c1);
+    rowsum0 = _mm256_add_pd(rowsum0, c0);
+    rowsum1 = _mm256_add_pd(rowsum1, c1);
+    double* crj = cr_ref + j * 4;  // 4 lane partials per column (cr_lanes)
+    _mm256_storeu_pd(
+        crj, _mm256_add_pd(_mm256_loadu_pd(crj), _mm256_add_pd(c0, c1)));
+  }
+  _mm256_storeu_pd(cc_ref, _mm256_add_pd(_mm256_loadu_pd(cc_ref), rowsum0));
+  _mm256_storeu_pd(cc_ref + 4,
+                   _mm256_add_pd(_mm256_loadu_pd(cc_ref + 4), rowsum1));
+}
+
+// ---------------------------------------------------------------------------
+// f32: MR = 16 (two ymm), NR = 6.
+// ---------------------------------------------------------------------------
+
+constexpr index_t kMrF32 = 16;
+constexpr index_t kNrF32 = 6;
+
+void skernel_16x6_base(index_t kc, const float* a, const float* b, float* c,
+                       index_t ldc) {
+  __m256 acc0[kNrF32];
+  __m256 acc1[kNrF32];
+#pragma GCC unroll 6
+  for (int j = 0; j < kNrF32; ++j) {
+    acc0[j] = _mm256_setzero_ps();
+    acc1[j] = _mm256_setzero_ps();
+  }
+  for (index_t p = 0; p < kc; ++p) {
+    const __m256 a0 = _mm256_load_ps(a);
+    const __m256 a1 = _mm256_load_ps(a + 8);
+    a += kMrF32;
+#pragma GCC unroll 6
+    for (int j = 0; j < kNrF32; ++j) {
+      const __m256 bv = _mm256_broadcast_ss(b + j);
+      acc0[j] = _mm256_fmadd_ps(a0, bv, acc0[j]);
+      acc1[j] = _mm256_fmadd_ps(a1, bv, acc1[j]);
+    }
+    b += kNrF32;
+  }
+#pragma GCC unroll 6
+  for (int j = 0; j < kNrF32; ++j) {
+    float* cj = c + j * ldc;
+    _mm256_storeu_ps(cj, _mm256_add_ps(_mm256_loadu_ps(cj), acc0[j]));
+    _mm256_storeu_ps(cj + 8, _mm256_add_ps(_mm256_loadu_ps(cj + 8), acc1[j]));
+  }
+}
+
+void skernel_16x6_ft(index_t kc, const float* a, const float* b, float* c,
+                     index_t ldc, float* cr_ref, float* cc_ref) {
+  __m256 acc0[kNrF32];
+  __m256 acc1[kNrF32];
+#pragma GCC unroll 6
+  for (int j = 0; j < kNrF32; ++j) {
+    acc0[j] = _mm256_setzero_ps();
+    acc1[j] = _mm256_setzero_ps();
+  }
+  for (index_t p = 0; p < kc; ++p) {
+    const __m256 a0 = _mm256_load_ps(a);
+    const __m256 a1 = _mm256_load_ps(a + 8);
+    a += kMrF32;
+#pragma GCC unroll 6
+    for (int j = 0; j < kNrF32; ++j) {
+      const __m256 bv = _mm256_broadcast_ss(b + j);
+      acc0[j] = _mm256_fmadd_ps(a0, bv, acc0[j]);
+      acc1[j] = _mm256_fmadd_ps(a1, bv, acc1[j]);
+    }
+    b += kNrF32;
+  }
+  __m256 rowsum0 = _mm256_setzero_ps();
+  __m256 rowsum1 = _mm256_setzero_ps();
+#pragma GCC unroll 6
+  for (int j = 0; j < kNrF32; ++j) {
+    float* cj = c + j * ldc;
+    const __m256 c0 = _mm256_add_ps(_mm256_loadu_ps(cj), acc0[j]);
+    const __m256 c1 = _mm256_add_ps(_mm256_loadu_ps(cj + 8), acc1[j]);
+    _mm256_storeu_ps(cj, c0);
+    _mm256_storeu_ps(cj + 8, c1);
+    rowsum0 = _mm256_add_ps(rowsum0, c0);
+    rowsum1 = _mm256_add_ps(rowsum1, c1);
+    float* crj = cr_ref + j * 8;  // 8 lane partials per column (cr_lanes)
+    _mm256_storeu_ps(
+        crj, _mm256_add_ps(_mm256_loadu_ps(crj), _mm256_add_ps(c0, c1)));
+  }
+  _mm256_storeu_ps(cc_ref, _mm256_add_ps(_mm256_loadu_ps(cc_ref), rowsum0));
+  _mm256_storeu_ps(cc_ref + 8,
+                   _mm256_add_ps(_mm256_loadu_ps(cc_ref + 8), rowsum1));
+}
+
+}  // namespace
+
+KernelSet<double> avx2_kernels_f64() {
+  return {&dkernel_8x6_base, &dkernel_8x6_ft, kMrF64, kNrF64, 4, Isa::kAvx2};
+}
+
+KernelSet<float> avx2_kernels_f32() {
+  return {&skernel_16x6_base, &skernel_16x6_ft, kMrF32, kNrF32, 8, Isa::kAvx2};
+}
+
+}  // namespace ftgemm

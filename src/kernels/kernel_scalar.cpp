@@ -1,0 +1,92 @@
+// Portable scalar micro-kernels (4x4 register tile).
+//
+// These are the correctness anchor: every SIMD kernel is tested against
+// them, and they are the fallback on machines without AVX2.  The tile is
+// kept in a local array that the compiler fully registerizes at -O3.
+#include "kernels/microkernel.hpp"
+#include "util/env.hpp"
+
+namespace ftgemm {
+
+namespace {
+
+constexpr index_t kMr = 4;
+constexpr index_t kNr = 4;
+
+template <typename T>
+void kernel_base(index_t kc, const T* a, const T* b, T* c, index_t ldc) {
+  T acc[kMr * kNr] = {};
+  for (index_t p = 0; p < kc; ++p) {
+    const T* ap = a + p * kMr;
+    const T* bp = b + p * kNr;
+    for (index_t j = 0; j < kNr; ++j) {
+      const T bv = bp[j];
+      for (index_t i = 0; i < kMr; ++i) acc[i + j * kMr] += ap[i] * bv;
+    }
+  }
+  for (index_t j = 0; j < kNr; ++j)
+    for (index_t i = 0; i < kMr; ++i) c[i + j * ldc] += acc[i + j * kMr];
+}
+
+template <typename T>
+void kernel_ft(index_t kc, const T* a, const T* b, T* c, index_t ldc,
+               T* cr_ref, T* cc_ref) {
+  T acc[kMr * kNr] = {};
+  for (index_t p = 0; p < kc; ++p) {
+    const T* ap = a + p * kMr;
+    const T* bp = b + p * kNr;
+    for (index_t j = 0; j < kNr; ++j) {
+      const T bv = bp[j];
+      for (index_t i = 0; i < kMr; ++i) acc[i + j * kMr] += ap[i] * bv;
+    }
+  }
+  T rowsum[kMr] = {};
+  for (index_t j = 0; j < kNr; ++j) {
+    T colsum = T(0);
+    for (index_t i = 0; i < kMr; ++i) {
+      const T final_value = c[i + j * ldc] + acc[i + j * kMr];
+      c[i + j * ldc] = final_value;
+      colsum += final_value;
+      rowsum[i] += final_value;
+    }
+    cr_ref[j] += colsum;  // cr_lanes == 1: direct scalar accumulation
+  }
+  for (index_t i = 0; i < kMr; ++i) cc_ref[i] += rowsum[i];
+}
+
+}  // namespace
+
+KernelSet<double> scalar_kernels_f64() {
+  return {&kernel_base<double>, &kernel_ft<double>, kMr, kNr, 1, Isa::kScalar};
+}
+
+KernelSet<float> scalar_kernels_f32() {
+  return {&kernel_base<float>, &kernel_ft<float>, kMr, kNr, 1, Isa::kScalar};
+}
+
+template <typename T>
+KernelSet<T> get_kernel_set(Isa isa) {
+  if constexpr (sizeof(T) == 8) {
+    switch (isa) {
+      case Isa::kAvx512:
+        // Kernel-shape override for the ablation bench; register_tile()
+        // applies the same sanitized value so packing stays consistent.
+        return avx512_kernels_f64_mr(env_long("FTGEMM_KERNEL_MR", 16));
+      case Isa::kAvx2: return avx2_kernels_f64();
+      case Isa::kScalar: return scalar_kernels_f64();
+    }
+    return scalar_kernels_f64();
+  } else {
+    switch (isa) {
+      case Isa::kAvx512: return avx512_kernels_f32();
+      case Isa::kAvx2: return avx2_kernels_f32();
+      case Isa::kScalar: return scalar_kernels_f32();
+    }
+    return scalar_kernels_f32();
+  }
+}
+
+template KernelSet<double> get_kernel_set<double>(Isa);
+template KernelSet<float> get_kernel_set<float>(Isa);
+
+}  // namespace ftgemm

@@ -1,0 +1,71 @@
+// Micro-kernel interface and dispatch.
+//
+// A micro-kernel performs the register-resident rank-KC update of one
+// MR x NR tile of C:
+//
+//     C_tile += Apanel(MR x kc) * Bpanel(kc x NR)
+//
+// where Apanel/Bpanel are packed contiguously (see packing.hpp).  Two
+// variants exist per (ISA, element type):
+//
+//  - base:  the plain update (used by the "Ori" GEMM and for edge tiles),
+//  - ft:    the fused-ABFT update (§2.2): after the k-loop the *final* C
+//           values are still in registers, so the kernel additionally
+//           accumulates the reference checksums
+//              cr_ref[j] += sum_i C_tile(i, j)   (column sums)
+//              cc_ref[i] += sum_j C_tile(i, j)   (row sums)
+//           at register level, exactly the "reuse the computed C elements at
+//           register level" optimization the paper fuses into the assembly.
+//
+// To keep the FT epilogue free of horizontal-reduction latency chains, the
+// SIMD kernels accumulate the column sums as *vector-wide lane partials*:
+// cr_ref is laid out with `cr_lanes` slots per column, the kernel performs a
+// single vector add per column, and the lanes are summed once per panel at
+// verification time (O(N) instead of O(N * K/KC * M/MR) horizontal sums).
+#pragma once
+
+#include <cstdint>
+
+#include "arch/isa.hpp"
+
+namespace ftgemm {
+
+using index_t = std::int64_t;
+
+template <typename T>
+using MicroKernelBase = void (*)(index_t kc, const T* a, const T* b, T* c,
+                                 index_t ldc);
+
+template <typename T>
+using MicroKernelFt = void (*)(index_t kc, const T* a, const T* b, T* c,
+                               index_t ldc, T* cr_ref, T* cc_ref);
+
+/// The kernels plus their register tile shape.
+template <typename T>
+struct KernelSet {
+  MicroKernelBase<T> base = nullptr;
+  MicroKernelFt<T> ft = nullptr;
+  index_t mr = 0;
+  index_t nr = 0;
+  /// Lane partials per cr_ref column (SIMD width of the FT epilogue).
+  index_t cr_lanes = 1;
+  Isa isa = Isa::kScalar;
+};
+
+/// Dispatch: returns the kernel set for the requested ISA (which callers
+/// obtain from select_isa(), already clamped to hardware capability).
+template <typename T>
+KernelSet<T> get_kernel_set(Isa isa);
+
+// Per-ISA accessors implemented in the ISA-specific translation units.
+KernelSet<double> avx512_kernels_f64();
+/// Alternative AVX-512 f64 register-tile heights (8/16/24 rows) for the
+/// kernel-shape ablation; FTGEMM_KERNEL_MR selects one globally.
+KernelSet<double> avx512_kernels_f64_mr(index_t mr);
+KernelSet<float> avx512_kernels_f32();
+KernelSet<double> avx2_kernels_f64();
+KernelSet<float> avx2_kernels_f32();
+KernelSet<double> scalar_kernels_f64();
+KernelSet<float> scalar_kernels_f32();
+
+}  // namespace ftgemm

@@ -1,0 +1,182 @@
+// Packing routines: copy operand panels into contiguous, zero-padded,
+// register-tile-ordered buffers — plus the checksum-fused variants that are
+// the heart of the paper's contribution (§2.2).
+//
+// Plain packing is what every high-performance GEMM does.  The FT variants
+// reuse every loaded element for checksum arithmetic *while it is hot*:
+//
+//   pack_b_ft:  each B element is used three times per load —
+//                 (1) stored into the packed panel B~,
+//                 (2) accumulated into the panel column checksum Bc = B_p·e,
+//                 (3) multiplied with Ar to update the predicted row
+//                     checksum of C:  Cr += Ar_p · B_p.
+//
+//   pack_a_ft:  each A element is used twice per load —
+//                 (1) scaled by alpha and stored into A~,
+//                 (2) multiplied with Bc to update the predicted column
+//                     checksum of C:  Cc += (alpha·A_p) · Bc_p.
+//
+// This converts the O(n^2) checksum encodings from separate memory passes
+// (the ~15% overhead of classic ABFT at AVX-512 speeds) into pure extra
+// arithmetic on data already in registers (~3% overhead).
+#pragma once
+
+#include <algorithm>
+
+#include "kernels/microkernel.hpp"
+
+namespace ftgemm {
+
+/// Read-only view of a matrix operand with an optional transpose, so the
+/// packing code is the single place where Trans is resolved.
+template <typename T>
+struct OperandView {
+  const T* data;
+  index_t ld;
+  bool trans;
+
+  /// Element (i, j) of the *effective* (post-transpose) operand.
+  [[nodiscard]] T at(index_t i, index_t j) const {
+    return trans ? data[j + i * ld] : data[i + j * ld];
+  }
+};
+
+/// Pack rows [m0, m0+mlen) x cols [k0, k0+klen) of the effective A into
+/// MR-tall panels, scaled by alpha and zero-padded to a multiple of MR.
+/// Panel layout: panel q (rows q*MR..) is klen consecutive MR-columns.
+template <typename T>
+void pack_a(const OperandView<T>& a, index_t m0, index_t k0, index_t mlen,
+            index_t klen, index_t mr, T alpha, T* __restrict__ dst) {
+  for (index_t ip = 0; ip < mlen; ip += mr) {
+    const index_t rows = std::min(mr, mlen - ip);
+    for (index_t kk = 0; kk < klen; ++kk) {
+      T* __restrict__ col = dst + kk * mr;
+      for (index_t ii = 0; ii < rows; ++ii)
+        col[ii] = alpha * a.at(m0 + ip + ii, k0 + kk);
+      for (index_t ii = rows; ii < mr; ++ii) col[ii] = T(0);
+    }
+    dst += mr * klen;
+  }
+}
+
+/// pack_a + fused predicted-column-checksum update:
+///   cc[ii] += sum_kk (alpha * A(m0+ip+ii, k0+kk)) * bc[kk]
+/// where `bc` is the (already reduced) column checksum of the current
+/// B panel and `cc` points at the checksum entries for row m0.
+template <typename T>
+void pack_a_ft(const OperandView<T>& a, index_t m0, index_t k0, index_t mlen,
+               index_t klen, index_t mr, T alpha, T* __restrict__ dst,
+               const T* __restrict__ bc, T* __restrict__ cc) {
+  for (index_t ip = 0; ip < mlen; ip += mr) {
+    const index_t rows = std::min(mr, mlen - ip);
+    for (index_t kk = 0; kk < klen; ++kk) {
+      T* __restrict__ col = dst + kk * mr;
+      const T bcv = bc[kk];
+      T* __restrict__ cc_rows = cc + ip;
+      for (index_t ii = 0; ii < rows; ++ii) {
+        const T v = alpha * a.at(m0 + ip + ii, k0 + kk);
+        col[ii] = v;
+        cc_rows[ii] += v * bcv;
+      }
+      for (index_t ii = rows; ii < mr; ++ii) col[ii] = T(0);
+    }
+    dst += mr * klen;
+  }
+}
+
+/// Pack rows [k0, k0+klen) x cols [j0, j0+nlen) of the effective B into
+/// NR-wide panels, zero-padded to a multiple of NR.
+///
+/// For NoTrans the reads walk NR parallel column streams (unit stride along
+/// k, prefetch-friendly) and the stores are contiguous; for Trans the
+/// effective row itself is contiguous.
+template <typename T>
+void pack_b(const OperandView<T>& b, index_t k0, index_t j0, index_t klen,
+            index_t nlen, index_t nr, T* __restrict__ dst) {
+  for (index_t jp = 0; jp < nlen; jp += nr) {
+    const index_t cols = std::min(nr, nlen - jp);
+    for (index_t kk = 0; kk < klen; ++kk) {
+      T* __restrict__ row = dst + kk * nr;
+      for (index_t jj = 0; jj < cols; ++jj)
+        row[jj] = b.at(k0 + kk, j0 + jp + jj);
+      for (index_t jj = cols; jj < nr; ++jj) row[jj] = T(0);
+    }
+    dst += nr * klen;
+  }
+}
+
+/// pack_b + the fused predicted-row-checksum update
+///   cr[jp+jj] += sum_kk ar[kk] * B(k0+kk, j0+jp+jj),
+/// i.e. Cr += Ar_p · B_p ("each B element loaded from main memory is
+/// re-used", §2.3).  `ar` points at the alpha-scaled A row-checksum entries
+/// for depth k0; `cr` points at the checksum entries for column j0.
+///
+/// The panel checksum Bc = B_p·e is *not* accumulated here: the packed panel
+/// is L2/L3-resident by construction, so the driver derives Bc from B~
+/// during the cross-thread reduction stage at cache speed (see
+/// reduce_bc_from_panel), keeping this inner loop at two streams and fully
+/// vectorizable.
+template <typename T>
+void pack_b_ft(const OperandView<T>& b, index_t k0, index_t j0, index_t klen,
+               index_t nlen, index_t nr, T* __restrict__ dst,
+               const T* __restrict__ ar, T* __restrict__ cr) {
+  constexpr index_t kMaxNrLocal = 16;
+  for (index_t jp = 0; jp < nlen; jp += nr) {
+    const index_t cols = std::min(nr, nlen - jp);
+    // 1) Pack this NR-wide sub-panel (identical to pack_b).
+    for (index_t kk = 0; kk < klen; ++kk) {
+      T* __restrict__ row = dst + kk * nr;
+      for (index_t jj = 0; jj < cols; ++jj)
+        row[jj] = b.at(k0 + kk, j0 + jp + jj);
+      for (index_t jj = cols; jj < nr; ++jj) row[jj] = T(0);
+    }
+    // 2) Cr += Arᵀ·(sub-panel) while the 16 KiB sub-panel is L1-hot: one
+    // NR-wide FMA per k step, contiguous loads, vector accumulators.  The
+    // zero padding contributes nothing, so the accumulate runs full NR wide.
+    T acc[kMaxNrLocal] = {};
+    for (index_t kk = 0; kk < klen; ++kk) {
+      const T* __restrict__ row = dst + kk * nr;
+      const T arv = ar[kk];
+      for (index_t jj = 0; jj < nr; ++jj) acc[jj] += arv * row[jj];
+    }
+    T* __restrict__ cr_cols = cr + jp;
+    for (index_t jj = 0; jj < cols; ++jj) cr_cols[jj] += acc[jj];
+    dst += nr * klen;
+  }
+}
+
+/// Derive the panel column checksum Bc[kk] = sum_j B_p(kk, j) for
+/// kk in [kk0, kk0+kklen) from the packed (zero-padded) panel itself, and
+/// fold the running amax of |B| (needed by the tolerance model) into the
+/// same cache-speed sweep.  `b_packed` covers `nlen` columns in NR-wide
+/// sub-panels of depth `klen`.  Returns max(amax_in, amax of the slice).
+template <typename T>
+double reduce_bc_from_panel(const T* __restrict__ b_packed, index_t klen,
+                            index_t nlen, index_t nr, index_t kk0,
+                            index_t kklen, T* __restrict__ bc,
+                            double amax_in) {
+  constexpr index_t kMaxNrLocal = 16;
+  const index_t panels = (nlen + nr - 1) / nr;
+  T amax_lane[kMaxNrLocal] = {};
+  for (index_t kk = kk0; kk < kk0 + kklen; ++kk) bc[kk] = T(0);
+  for (index_t q = 0; q < panels; ++q) {
+    const T* __restrict__ panel = b_packed + q * (nr * klen);
+    for (index_t kk = kk0; kk < kk0 + kklen; ++kk) {
+      const T* __restrict__ row = panel + kk * nr;
+      T sum = T(0);
+      for (index_t jj = 0; jj < nr; ++jj) {
+        const T v = row[jj];
+        const T x = std::abs(v);
+        sum += v;
+        amax_lane[jj] = amax_lane[jj] > x ? amax_lane[jj] : x;
+      }
+      bc[kk] += sum;
+    }
+  }
+  double amax = amax_in;
+  for (index_t jj = 0; jj < nr; ++jj)
+    amax = std::max(amax, double(amax_lane[jj]));
+  return amax;
+}
+
+}  // namespace ftgemm

@@ -1,0 +1,81 @@
+// Aligned heap buffer with RAII ownership.
+//
+// GEMM packing buffers and checksum vectors must be 64-byte aligned so that
+// AVX-512 loads/stores never split cache lines.  std::vector cannot guarantee
+// that alignment portably, hence this small owning wrapper.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <utility>
+
+namespace ftgemm {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Owning, 64-byte aligned, non-initializing buffer of trivially copyable T.
+template <typename T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() noexcept = default;
+
+  explicit AlignedBuffer(std::size_t count) { reset(count); }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { release(); }
+
+  /// Reallocate to hold `count` elements.  Contents are indeterminate.
+  void reset(std::size_t count) {
+    release();
+    if (count == 0) return;
+    // Round the byte size up to a multiple of the alignment as required by
+    // std::aligned_alloc.
+    const std::size_t bytes =
+        (count * sizeof(T) + kCacheLineBytes - 1) / kCacheLineBytes *
+        kCacheLineBytes;
+    data_ = static_cast<T*>(std::aligned_alloc(kCacheLineBytes, bytes));
+    if (data_ == nullptr) throw std::bad_alloc();
+    size_ = count;
+  }
+
+  /// Grow-only variant used for workspace reuse across GEMM calls.
+  void ensure(std::size_t count) {
+    if (count > size_) reset(count);
+  }
+
+  [[nodiscard]] T* data() noexcept { return data_; }
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+ private:
+  void release() noexcept {
+    std::free(data_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ftgemm

@@ -1,0 +1,33 @@
+// Environment-variable helpers used for benchmark sizing and ISA overrides.
+#pragma once
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ftgemm {
+
+inline std::optional<std::string> env_string(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return std::nullopt;
+  return std::string(v);
+}
+
+inline long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+}  // namespace ftgemm

@@ -1,0 +1,98 @@
+// Column-major matrix helpers shared by tests, examples and benchmarks.
+//
+// The library's public API operates on raw pointers with leading dimensions
+// (the BLAS convention); Matrix<T> is a convenience owner for everything
+// around the API: test fixtures, workload generators, reference results.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+#include "util/aligned_buffer.hpp"
+#include "util/rng.hpp"
+
+namespace ftgemm {
+
+using index_t = std::int64_t;
+
+/// Owning column-major matrix with an explicit leading dimension.
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(index_t rows, index_t cols, index_t ld = 0)
+      : rows_(rows), cols_(cols), ld_(ld == 0 ? rows : ld) {
+    if (rows < 0 || cols < 0 || ld_ < rows) {
+      throw std::invalid_argument("Matrix: bad dimensions");
+    }
+    storage_.reset(static_cast<std::size_t>(ld_ * cols_));
+  }
+
+  [[nodiscard]] index_t rows() const noexcept { return rows_; }
+  [[nodiscard]] index_t cols() const noexcept { return cols_; }
+  [[nodiscard]] index_t ld() const noexcept { return ld_; }
+
+  [[nodiscard]] T* data() noexcept { return storage_.data(); }
+  [[nodiscard]] const T* data() const noexcept { return storage_.data(); }
+
+  T& operator()(index_t i, index_t j) noexcept {
+    return storage_[static_cast<std::size_t>(i + j * ld_)];
+  }
+  const T& operator()(index_t i, index_t j) const noexcept {
+    return storage_[static_cast<std::size_t>(i + j * ld_)];
+  }
+
+  void fill(T value) {
+    for (index_t j = 0; j < cols_; ++j)
+      for (index_t i = 0; i < ld_; ++i) (*this)(i, j) = value;
+  }
+
+  /// Uniform random fill in [lo, hi); deterministic under `seed`.
+  void fill_random(std::uint64_t seed, T lo = T(-1), T hi = T(1)) {
+    Xoshiro256 rng(seed);
+    for (index_t j = 0; j < cols_; ++j)
+      for (index_t i = 0; i < rows_; ++i)
+        (*this)(i, j) = static_cast<T>(rng.uniform(double(lo), double(hi)));
+  }
+
+  [[nodiscard]] Matrix clone() const {
+    Matrix out(rows_, cols_, ld_);
+    std::copy(data(), data() + static_cast<std::size_t>(ld_ * cols_),
+              out.data());
+    return out;
+  }
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t ld_ = 0;
+  AlignedBuffer<T> storage_;
+};
+
+/// Largest absolute element difference between equally shaped matrices.
+template <typename T>
+double max_abs_diff(const Matrix<T>& a, const Matrix<T>& b) {
+  double worst = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i)
+      worst = std::max(worst, std::abs(double(a(i, j)) - double(b(i, j))));
+  return worst;
+}
+
+/// Largest relative element difference, guarded against tiny denominators.
+template <typename T>
+double max_rel_diff(const Matrix<T>& a, const Matrix<T>& b) {
+  double worst = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i) {
+      const double x = double(a(i, j)), y = double(b(i, j));
+      const double denom = std::max({std::abs(x), std::abs(y), 1.0});
+      worst = std::max(worst, std::abs(x - y) / denom);
+    }
+  return worst;
+}
+
+}  // namespace ftgemm

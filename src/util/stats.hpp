@@ -1,0 +1,37 @@
+// Small statistics helpers for the benchmark harness (the paper reports
+// 20-repetition averages; we additionally expose median and stddev).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace ftgemm {
+
+struct SampleStats {
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+inline SampleStats compute_stats(std::vector<double> samples) {
+  SampleStats s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.min = samples.front();
+  s.max = samples.back();
+  const std::size_t n = samples.size();
+  s.median = (n % 2 == 1) ? samples[n / 2]
+                          : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  s.mean = sum / double(n);
+  double sq = 0.0;
+  for (double v : samples) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = n > 1 ? std::sqrt(sq / double(n - 1)) : 0.0;
+  return s;
+}
+
+}  // namespace ftgemm

@@ -1,0 +1,32 @@
+// Monotonic wall-clock timer used by the benchmark harness and FT reports.
+#pragma once
+
+#include <chrono>
+
+namespace ftgemm {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last restart.
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// GFLOPS for an m x n x k GEMM that took `seconds`.
+inline double gemm_gflops(double m, double n, double k, double seconds) {
+  if (seconds <= 0.0) return 0.0;
+  return 2.0 * m * n * k / seconds / 1e9;
+}
+
+}  // namespace ftgemm

@@ -1,0 +1,111 @@
+// Unit tests: cache discovery and blocking-plan derivation.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "blocking/cache_info.hpp"
+#include "blocking/plan.hpp"
+#include "kernels/microkernel.hpp"
+
+namespace ftgemm {
+namespace {
+
+TEST(CacheInfo, SizesArePlausible) {
+  const CacheInfo& c = cache_info();
+  EXPECT_GE(c.l1d_bytes, 8u * 1024);
+  EXPECT_LE(c.l1d_bytes, 1u * 1024 * 1024);
+  EXPECT_GE(c.l2_bytes, c.l1d_bytes);
+  EXPECT_GE(c.l3_bytes, c.l2_bytes);
+}
+
+class PlanTest : public ::testing::TestWithParam<std::tuple<Isa, int>> {};
+
+TEST_P(PlanTest, InvariantsHold) {
+  const auto [isa, bytes] = GetParam();
+  const BlockingPlan p = make_plan(isa, bytes);
+  EXPECT_GT(p.mr, 0);
+  EXPECT_GT(p.nr, 0);
+  EXPECT_GE(p.kc, 1);
+  EXPECT_GE(p.mc, p.mr);
+  EXPECT_GE(p.nc, p.nr);
+  EXPECT_EQ(p.mc % p.mr, 0) << "MC must tile exactly into MR rows";
+  EXPECT_EQ(p.nc % p.nr, 0) << "NC must tile exactly into NR columns";
+}
+
+TEST_P(PlanTest, PackedPanelsFitTheirCacheLevels) {
+  const auto [isa, bytes] = GetParam();
+  const BlockingPlan p = make_plan(isa, bytes);
+  const CacheInfo& c = cache_info();
+  EXPECT_LE(static_cast<std::size_t>(p.mc * p.kc * bytes), c.l2_bytes)
+      << "packed A block must fit in L2";
+  EXPECT_LE(static_cast<std::size_t>(p.kc * p.nc * bytes), c.l3_bytes)
+      << "packed B panel must fit in L3";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIsaAndWidths, PlanTest,
+    ::testing::Combine(::testing::Values(Isa::kScalar, Isa::kAvx2,
+                                         Isa::kAvx512),
+                       ::testing::Values(4, 8)),
+    [](const auto& info) {
+      return std::string(isa_name(std::get<0>(info.param))) +
+             (std::get<1>(info.param) == 8 ? "_f64" : "_f32");
+    });
+
+TEST(Plan, RegisterTileMatchesKernelSets) {
+  // The plan and the dispatched kernels must agree on MR/NR, or packing and
+  // the micro-kernel would disagree about panel layout.
+  const KernelSet<double> d_avx512 = avx512_kernels_f64();
+  const KernelSet<double> d_avx2 = avx2_kernels_f64();
+  const KernelSet<double> d_scalar = scalar_kernels_f64();
+  const KernelSet<float> s_avx512 = avx512_kernels_f32();
+  const KernelSet<float> s_avx2 = avx2_kernels_f32();
+  const KernelSet<float> s_scalar = scalar_kernels_f32();
+
+  index_t mr = 0, nr = 0;
+  register_tile(Isa::kAvx512, 8, mr, nr);
+  EXPECT_EQ(mr, d_avx512.mr);
+  EXPECT_EQ(nr, d_avx512.nr);
+  register_tile(Isa::kAvx2, 8, mr, nr);
+  EXPECT_EQ(mr, d_avx2.mr);
+  EXPECT_EQ(nr, d_avx2.nr);
+  register_tile(Isa::kScalar, 8, mr, nr);
+  EXPECT_EQ(mr, d_scalar.mr);
+  EXPECT_EQ(nr, d_scalar.nr);
+  register_tile(Isa::kAvx512, 4, mr, nr);
+  EXPECT_EQ(mr, s_avx512.mr);
+  EXPECT_EQ(nr, s_avx512.nr);
+  register_tile(Isa::kAvx2, 4, mr, nr);
+  EXPECT_EQ(mr, s_avx2.mr);
+  EXPECT_EQ(nr, s_avx2.nr);
+  register_tile(Isa::kScalar, 4, mr, nr);
+  EXPECT_EQ(mr, s_scalar.mr);
+  EXPECT_EQ(nr, s_scalar.nr);
+}
+
+TEST(Plan, EnvOverridesAreHonoredAndSanitized) {
+  ::setenv("FTGEMM_KC", "128", 1);
+  ::setenv("FTGEMM_MC", "99", 1);  // not a multiple of MR -> rounded down
+  ::setenv("FTGEMM_NC", "640", 1);
+  const BlockingPlan p = make_plan(Isa::kAvx512, 8);
+  EXPECT_EQ(p.kc, 128);
+  EXPECT_EQ(p.mc % p.mr, 0);
+  EXPECT_LE(p.mc, 99);
+  EXPECT_EQ(p.nc, 640);
+  ::unsetenv("FTGEMM_KC");
+  ::unsetenv("FTGEMM_MC");
+  ::unsetenv("FTGEMM_NC");
+}
+
+TEST(Plan, MaxTileBoundsCoverAllKernels) {
+  // macro_kernel's scratch tile is sized by these constants; every kernel
+  // set must fit.
+  EXPECT_LE(avx512_kernels_f32().mr, 32);
+  EXPECT_LE(avx512_kernels_f32().nr, 8);
+  EXPECT_LE(avx512_kernels_f64().mr, 32);
+  EXPECT_LE(avx2_kernels_f32().mr, 32);
+  EXPECT_LE(avx2_kernels_f64().mr, 32);
+}
+
+}  // namespace
+}  // namespace ftgemm

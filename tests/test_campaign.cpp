@@ -1,0 +1,79 @@
+// Tests for the injection-campaign driver (the §3.2 methodology harness).
+#include <gtest/gtest.h>
+
+#include "inject/campaign.hpp"
+
+namespace ftgemm {
+namespace {
+
+TEST(Campaign, TwentyErrorRegimeIsReliable) {
+  CampaignConfig config;
+  config.size = 192;
+  config.runs = 5;
+  config.errors_per_run = 20;
+  config.seed = 77;
+  const CampaignResult r = run_injection_campaign(config);
+  EXPECT_EQ(r.injected, 100u);
+  EXPECT_TRUE(r.reliable()) << "no silently wrong results, ever";
+  EXPECT_GT(r.corrected, 0);
+  EXPECT_GT(r.mean_gflops, 0.0);
+}
+
+TEST(Campaign, DeterministicUnderSeed) {
+  CampaignConfig config;
+  config.size = 96;
+  config.runs = 3;
+  config.errors_per_run = 5;
+  config.seed = 99;
+  const CampaignResult a = run_injection_campaign(config);
+  const CampaignResult b = run_injection_campaign(config);
+  EXPECT_EQ(a.injected, b.injected);
+  EXPECT_EQ(a.detected, b.detected);
+  EXPECT_EQ(a.corrected, b.corrected);
+  EXPECT_EQ(a.uncorrectable_runs, b.uncorrectable_runs);
+}
+
+TEST(Campaign, ReliableModeRetriesDirtyRuns) {
+  // High error density in a small matrix provokes occasional uncorrectable
+  // panels; reliable mode must keep wrong_result_runs at zero AND scrub
+  // uncorrectable runs via retry.
+  CampaignConfig config;
+  config.size = 96;
+  config.runs = 8;
+  config.errors_per_run = 30;
+  config.magnitude = 4.0;
+  config.seed = 1;
+  config.use_reliable = true;
+  const CampaignResult r = run_injection_campaign(config);
+  EXPECT_TRUE(r.reliable());
+  // Every retry re-runs under a fresh 30-error schedule, so the injected
+  // total is 240 plus 30 per retry.
+  EXPECT_EQ(r.injected, 240u + 30u * std::size_t(r.retries));
+}
+
+TEST(Campaign, ZeroErrorsMeansCleanBaseline) {
+  CampaignConfig config;
+  config.size = 64;
+  config.runs = 2;
+  config.errors_per_run = 0;
+  const CampaignResult r = run_injection_campaign(config);
+  EXPECT_EQ(r.injected, 0u);
+  EXPECT_EQ(r.detected, 0);
+  EXPECT_EQ(r.uncorrectable_runs, 0);
+  EXPECT_LT(r.max_rel_error, 1e-12);
+}
+
+TEST(Campaign, ParallelThreadsSupported) {
+  CampaignConfig config;
+  config.size = 128;
+  config.runs = 3;
+  config.errors_per_run = 10;
+  config.threads = 4;
+  config.seed = 5;
+  const CampaignResult r = run_injection_campaign(config);
+  EXPECT_TRUE(r.reliable());
+  EXPECT_EQ(r.injected, 30u);
+}
+
+}  // namespace
+}  // namespace ftgemm

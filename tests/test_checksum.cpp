@@ -1,0 +1,231 @@
+// Unit tests: checksum encoders and the tolerance model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "abft/checksum.hpp"
+#include "abft/tolerance.hpp"
+#include "util/matrix.hpp"
+
+namespace ftgemm {
+namespace {
+
+class ScaleEncodeTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ScaleEncodeTest, MatchesStandaloneEncoders) {
+  const double beta = GetParam();
+  const index_t m = 37, n = 29;
+  Matrix<double> c(m, n);
+  c.fill_random(31, -3.0, 3.0);
+  Matrix<double> expected = c.clone();
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i)
+      expected(i, j) = beta == 0.0 ? 0.0 : beta * expected(i, j);
+
+  std::vector<double> cc(static_cast<std::size_t>(m), 0.0), cr(static_cast<std::size_t>(n), 0.0);
+  const double amax = scale_encode_c(c.data(), c.ld(), 0, m, n, beta,
+                                     cc.data(), cr.data());
+
+  EXPECT_DOUBLE_EQ(max_abs_diff(c, expected), 0.0);
+  // amax reports the pre-scale magnitudes (or 0 for the beta==0 fast path,
+  // where nothing is read).
+  if (beta != 0.0) {
+    EXPECT_NEAR(amax, 3.0, 0.05);
+  }
+
+  std::vector<double> cc_ref(static_cast<std::size_t>(m));
+  std::vector<double> cr_ref(static_cast<std::size_t>(n));
+  encode_cc_standalone(c.data(), c.ld(), m, n, cc_ref.data());
+  encode_cr_standalone(c.data(), c.ld(), m, n, cr_ref.data());
+  for (index_t i = 0; i < m; ++i)
+    EXPECT_NEAR(cc[std::size_t(i)], cc_ref[std::size_t(i)], 1e-12);
+  for (index_t j = 0; j < n; ++j)
+    EXPECT_NEAR(cr[std::size_t(j)], cr_ref[std::size_t(j)], 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, ScaleEncodeTest,
+                         ::testing::Values(0.0, 1.0, -0.75, 2.0),
+                         [](const auto& info) {
+                           std::string s = "beta_" +
+                                           std::to_string(info.index);
+                           return s;
+                         });
+
+TEST(ScaleEncode, RowSliceOnlyTouchesItsRows) {
+  const index_t m = 40, n = 8;
+  Matrix<double> c(m, n);
+  c.fill(1.0);
+  std::vector<double> cc(static_cast<std::size_t>(m), 0.0), cr(static_cast<std::size_t>(n), 0.0);
+  scale_encode_c(c.data(), c.ld(), 10, 5, n, 2.0, cc.data(), cr.data());
+  for (index_t i = 0; i < m; ++i) {
+    const bool inside = i >= 10 && i < 15;
+    EXPECT_DOUBLE_EQ(c(i, 0), inside ? 2.0 : 1.0);
+    EXPECT_DOUBLE_EQ(cc[std::size_t(i)], inside ? 2.0 * n : 0.0);
+  }
+  for (index_t j = 0; j < n; ++j) EXPECT_DOUBLE_EQ(cr[std::size_t(j)], 10.0);
+}
+
+TEST(ScaleEncode, BetaZeroOverwritesGarbageIncludingNaN) {
+  const index_t m = 16, n = 4;
+  Matrix<double> c(m, n);
+  c.fill(std::numeric_limits<double>::quiet_NaN());
+  std::vector<double> cc(static_cast<std::size_t>(m), 0.0), cr(static_cast<std::size_t>(n), 0.0);
+  scale_encode_c(c.data(), c.ld(), 0, m, n, 0.0, cc.data(), cr.data());
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) EXPECT_EQ(c(i, j), 0.0);
+  for (index_t i = 0; i < m; ++i) EXPECT_EQ(cc[std::size_t(i)], 0.0);
+}
+
+TEST(ScaleC, PlainVariantMatchesBlasSemantics) {
+  const index_t m = 24, n = 6;
+  Matrix<double> c(m, n);
+  c.fill_random(37);
+  Matrix<double> orig = c.clone();
+  scale_c(c.data(), c.ld(), 0, m, n, 1.0);
+  EXPECT_DOUBLE_EQ(max_abs_diff(c, orig), 0.0) << "beta=1 must not write";
+  scale_c(c.data(), c.ld(), 0, m, n, -2.0);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i)
+      EXPECT_DOUBLE_EQ(c(i, j), -2.0 * orig(i, j));
+}
+
+class EncodeArTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(EncodeArTest, PartialSumsAndAmax) {
+  const bool trans = GetParam();
+  const index_t m = 33, k = 21;
+  // Storage dims depend on trans: effective A is m x k.
+  Matrix<double> a(trans ? k : m, trans ? m : k);
+  a.fill_random(41, -4.0, 4.0);
+  const OperandView<double> view{a.data(), a.ld(), trans};
+
+  std::vector<double> ar(static_cast<std::size_t>(k), 0.5);  // pre-seeded accumulators
+  const double alpha = 1.5;
+  const double amax = encode_ar_partial(view, 3, m - 3, k, alpha, ar.data());
+
+  double amax_want = 0.0;
+  for (index_t p = 0; p < k; ++p) {
+    double want = 0.5;
+    double colsum = 0.0;
+    for (index_t i = 3; i < m; ++i) {
+      colsum += view.at(i, p);
+      amax_want = std::max(amax_want, std::abs(view.at(i, p)));
+    }
+    want += alpha * colsum;
+    EXPECT_NEAR(ar[std::size_t(p)], want, 1e-12 * std::max(1.0, std::abs(want)))
+        << "p=" << p;
+  }
+  EXPECT_DOUBLE_EQ(amax, amax_want);
+}
+
+INSTANTIATE_TEST_SUITE_P(Both, EncodeArTest, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? std::string("trans")
+                                             : std::string("notrans");
+                         });
+
+TEST(AmaxB, BothOrientations) {
+  const index_t k = 19, n = 23;
+  Matrix<double> b(k, n);
+  b.fill_random(43, -1.0, 1.0);
+  b(7, 11) = -9.5;
+  const OperandView<double> nt{b.data(), b.ld(), false};
+  EXPECT_DOUBLE_EQ(amax_b_slice(nt, k, 0, n), 9.5);
+  // Transposed view: storage is (n x k) effective, so build accordingly.
+  Matrix<double> bt(n, k);
+  bt.fill_random(44, -1.0, 1.0);
+  bt(11, 7) = 8.25;  // effective B(7, 11)
+  const OperandView<double> tv{bt.data(), bt.ld(), true};
+  EXPECT_DOUBLE_EQ(amax_b_slice(tv, k, 0, n), 8.25);
+  // Column sub-range excludes the spike.
+  EXPECT_LT(amax_b_slice(nt, k, 0, 11), 9.5);
+}
+
+TEST(ChecksumGemv, PropagatesThroughMultiplication) {
+  // Identity check of the ABFT algebra: (A·Bc) equals row sums of A·B.
+  const index_t m = 14, k = 9, n = 11;
+  Matrix<double> a(m, k), b(k, n);
+  a.fill_random(51);
+  b.fill_random(52);
+  const OperandView<double> av{a.data(), a.ld(), false};
+  const OperandView<double> bv{b.data(), b.ld(), false};
+
+  std::vector<double> bc(static_cast<std::size_t>(k));
+  encode_bc_standalone(bv, k, n, bc.data());
+  std::vector<double> cc(static_cast<std::size_t>(m), 0.0);
+  checksum_gemv(av, m, k, 2.0, bc.data(), cc.data());
+
+  for (index_t i = 0; i < m; ++i) {
+    double want = 0.0;
+    for (index_t j = 0; j < n; ++j)
+      for (index_t p = 0; p < k; ++p) want += 2.0 * a(i, p) * b(p, j);
+    EXPECT_NEAR(cc[std::size_t(i)], want, 1e-11 * std::max(1.0, std::abs(want)));
+  }
+}
+
+TEST(ChecksumGevm, PropagatesThroughMultiplication) {
+  const index_t m = 6, k = 8, n = 10;
+  Matrix<double> a(m, k), b(k, n);
+  a.fill_random(53);
+  b.fill_random(54);
+  const OperandView<double> av{a.data(), a.ld(), false};
+  const OperandView<double> bv{b.data(), b.ld(), false};
+
+  std::vector<double> ar(static_cast<std::size_t>(k), 0.0);
+  encode_ar_partial(av, 0, m, k, 1.0, ar.data());
+  std::vector<double> cr(static_cast<std::size_t>(n), 0.0);
+  checksum_gevm(bv, k, n, 1.0, ar.data(), cr.data());
+
+  for (index_t j = 0; j < n; ++j) {
+    double want = 0.0;
+    for (index_t i = 0; i < m; ++i)
+      for (index_t p = 0; p < k; ++p) want += a(i, p) * b(p, j);
+    EXPECT_NEAR(cr[std::size_t(j)], want, 1e-11 * std::max(1.0, std::abs(want)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tolerance model.
+// ---------------------------------------------------------------------------
+
+TEST(Tolerance, ScalesWithProblemAndMagnitudes) {
+  const auto t1 = ToleranceModel<double>::compute(100, 100, 100, 1, 1, 1, 1,
+                                                  1, 512);
+  const auto t2 = ToleranceModel<double>::compute(100, 100, 400, 1, 1, 1, 1,
+                                                  1, 512);
+  EXPECT_GT(t2.cc_tau, t1.cc_tau) << "deeper K -> larger accumulation noise";
+  const auto t3 = ToleranceModel<double>::compute(100, 100, 100, 10, 1, 1, 1,
+                                                  1, 512);
+  EXPECT_GT(t3.cc_tau, t1.cc_tau) << "bigger data -> larger threshold";
+  const auto t4 = ToleranceModel<double>::compute(100, 400, 100, 1, 1, 1, 1,
+                                                  1, 512);
+  EXPECT_GT(t4.cc_tau, t1.cc_tau) << "wider N -> larger row-sum noise";
+}
+
+TEST(Tolerance, FloatIsCoarserThanDouble) {
+  const auto td = ToleranceModel<double>::compute(64, 64, 64, 1, 1, 1, 1, 1,
+                                                  512);
+  const auto tf = ToleranceModel<float>::compute(64, 64, 64, 1, 1, 1, 1, 1,
+                                                 512);
+  EXPECT_GT(tf.cc_tau, td.cc_tau);
+}
+
+TEST(Tolerance, ZeroOperandsStillPositive) {
+  const auto t = ToleranceModel<double>::compute(8, 8, 8, 0, 0, 0, 1, 0, 512);
+  EXPECT_GT(t.cc_tau, 0.0) << "threshold must never be exactly zero";
+  EXPECT_GT(t.cr_tau, 0.0);
+}
+
+TEST(Tolerance, TypicalNoiseBelowTypicalInjection) {
+  // The separating property the whole scheme rests on: for unit-scale data
+  // at bench sizes, tau sits far below an injected delta of O(1) and far
+  // above accumulated rounding of ~eps*sqrt(K)*K.
+  const index_t k = 4096;
+  const auto t = ToleranceModel<double>::compute(k, k, k, 1, 1, 1, 1, 1, 512);
+  EXPECT_LT(t.cc_tau, 1e-3);
+  const double noise = 2.2e-16 * std::sqrt(double(k)) * 64.0;
+  EXPECT_GT(t.cc_tau, noise);
+}
+
+}  // namespace
+}  // namespace ftgemm

@@ -1,0 +1,95 @@
+// Shared helpers for the FT-GEMM test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "baseline/naive_gemm.hpp"
+#include "core/gemm.hpp"
+#include "util/matrix.hpp"
+
+namespace ftgemm::testing {
+
+/// A GEMM problem shape with operand transposes and scalars.
+struct GemmCase {
+  index_t m, n, k;
+  Trans ta = Trans::kNoTrans;
+  Trans tb = Trans::kNoTrans;
+  double alpha = 1.0;
+  double beta = 0.0;
+
+  [[nodiscard]] std::string name() const {
+    std::string s = std::to_string(m) + "x" + std::to_string(n) + "x" +
+                    std::to_string(k);
+    s += ta == Trans::kTrans ? "_Ta" : "_Na";
+    s += tb == Trans::kTrans ? "_Tb" : "_Nb";
+    auto scal = [](double v) {
+      std::string t = std::to_string(v);
+      for (char& ch : t) {
+        if (ch == '.') ch = 'p';
+        if (ch == '-') ch = 'm';
+      }
+      return t;
+    };
+    s += "_a" + scal(alpha) + "_b" + scal(beta);
+    return s;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const GemmCase& c) {
+  return os << const_cast<GemmCase&>(c).name();
+}
+
+/// Effective dimensions of the stored operand matrices for a case.
+inline std::pair<index_t, index_t> a_dims(const GemmCase& c) {
+  return c.ta == Trans::kTrans ? std::pair{c.k, c.m} : std::pair{c.m, c.k};
+}
+inline std::pair<index_t, index_t> b_dims(const GemmCase& c) {
+  return c.tb == Trans::kTrans ? std::pair{c.n, c.k} : std::pair{c.k, c.n};
+}
+
+/// Build random operands for a case; all deterministic under `seed`.
+template <typename T>
+struct Problem {
+  Matrix<T> a, b, c;
+
+  explicit Problem(const GemmCase& cs, std::uint64_t seed = 7,
+                   index_t ld_slack = 0) {
+    const auto [am, an] = a_dims(cs);
+    const auto [bm, bn] = b_dims(cs);
+    a = Matrix<T>(am, an, am + ld_slack);
+    b = Matrix<T>(bm, bn, bm + ld_slack);
+    c = Matrix<T>(cs.m, cs.n, cs.m + ld_slack);
+    a.fill_random(seed);
+    b.fill_random(seed + 1);
+    c.fill_random(seed + 2);
+  }
+};
+
+/// Reference result via the naive oracle (column-major).
+template <typename T>
+Matrix<T> reference_result(const GemmCase& cs, const Problem<T>& p) {
+  Matrix<T> ref = p.c.clone();
+  if constexpr (sizeof(T) == 8) {
+    baseline::naive_dgemm(cs.ta, cs.tb, cs.m, cs.n, cs.k, T(cs.alpha),
+                          p.a.data(), p.a.ld(), p.b.data(), p.b.ld(),
+                          T(cs.beta), ref.data(), ref.ld());
+  } else {
+    baseline::naive_sgemm(cs.ta, cs.tb, cs.m, cs.n, cs.k, T(cs.alpha),
+                          p.a.data(), p.a.ld(), p.b.data(), p.b.ld(),
+                          T(cs.beta), ref.data(), ref.ld());
+  }
+  return ref;
+}
+
+/// Rounding-error budget for an m*n*k GEMM comparison against a different
+/// summation order.
+template <typename T>
+double gemm_tolerance(index_t k) {
+  const double eps = std::numeric_limits<T>::epsilon();
+  return 64.0 * eps * std::sqrt(double(std::max<index_t>(k, 1)));
+}
+
+}  // namespace ftgemm::testing

@@ -1,0 +1,178 @@
+// Integration tests: fault-tolerant dgemm in fault-free operation.
+//
+// Key invariants: (1) the FT path computes bit-identical results to the Ori
+// path (its kernels run the same FMA sequence); (2) no false positives on
+// clean runs across shapes, scalars and data distributions; (3) reports are
+// well-formed.
+#include <gtest/gtest.h>
+
+#include "test_common.hpp"
+
+namespace ftgemm {
+namespace {
+
+using testing::GemmCase;
+using testing::Problem;
+using testing::gemm_tolerance;
+using testing::reference_result;
+
+class FtDgemmSweep : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(FtDgemmSweep, BitwiseEqualToOriAndClean) {
+  const GemmCase cs = GetParam();
+  Problem<double> p(cs);
+
+  Matrix<double> c_ori = p.c.clone();
+  dgemm(Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n, cs.k, cs.alpha,
+        p.a.data(), p.a.ld(), p.b.data(), p.b.ld(), cs.beta, c_ori.data(),
+        c_ori.ld());
+
+  Matrix<double> c_ft = p.c.clone();
+  const FtReport rep = ft_dgemm(Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n,
+                                cs.k, cs.alpha, p.a.data(), p.a.ld(),
+                                p.b.data(), p.b.ld(), cs.beta, c_ft.data(),
+                                c_ft.ld());
+
+  EXPECT_DOUBLE_EQ(max_abs_diff(c_ft, c_ori), 0.0) << cs;
+  EXPECT_TRUE(rep.clean()) << cs;
+  EXPECT_EQ(rep.errors_detected, 0) << cs;
+  EXPECT_EQ(rep.errors_corrected, 0) << cs;
+  EXPECT_GE(rep.elapsed_seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FtDgemmSweep,
+    ::testing::Values(
+        GemmCase{1, 1, 1}, GemmCase{16, 8, 64}, GemmCase{17, 9, 65},
+        GemmCase{129, 127, 300}, GemmCase{97, 101, 103},
+        GemmCase{64, 300, 512}, GemmCase{300, 64, 600},
+        GemmCase{65, 43, 87, Trans::kTrans, Trans::kNoTrans},
+        GemmCase{65, 43, 87, Trans::kNoTrans, Trans::kTrans},
+        GemmCase{65, 43, 87, Trans::kTrans, Trans::kTrans},
+        GemmCase{60, 60, 60, Trans::kNoTrans, Trans::kNoTrans, -1.5, 0.5},
+        GemmCase{60, 60, 60, Trans::kNoTrans, Trans::kNoTrans, 2.0, 1.0},
+        GemmCase{60, 60, 60, Trans::kNoTrans, Trans::kNoTrans, 0.0, 0.5},
+        GemmCase{60, 60, 60, Trans::kNoTrans, Trans::kNoTrans, 1.0, 0.0}),
+    [](const auto& info) { return GemmCase(info.param).name(); });
+
+TEST(FtDgemm, PanelCountMatchesBlockingPlan) {
+  const index_t k = 1000;
+  const BlockingPlan plan = make_plan(select_isa(), 8);
+  const index_t want_panels = (k + plan.kc - 1) / plan.kc;
+
+  Matrix<double> a(32, k), b(k, 32), c(32, 32);
+  a.fill_random(1);
+  b.fill_random(2);
+  c.fill(0.0);
+  const FtReport rep = ft_dgemm(Layout::kColMajor, Trans::kNoTrans,
+                                Trans::kNoTrans, 32, 32, k, 1.0, a.data(), 32,
+                                b.data(), k, 0.0, c.data(), 32);
+  EXPECT_EQ(rep.panels, int(want_panels))
+      << "one verification interval per KC panel";
+}
+
+TEST(FtDgemm, NoFalsePositivesOnAdversarialData) {
+  // All-positive data maximizes checksum magnitudes (no cancellation), the
+  // worst case for the tolerance model.
+  const index_t sz = 160;
+  Matrix<double> a(sz, sz), b(sz, sz), c(sz, sz);
+  a.fill_random(7, 0.5, 1.0);
+  b.fill_random(8, 0.5, 1.0);
+  c.fill_random(9, 100.0, 200.0);
+  const FtReport rep = ft_dgemm(Layout::kColMajor, Trans::kNoTrans,
+                                Trans::kNoTrans, sz, sz, sz, 3.0, a.data(),
+                                sz, b.data(), sz, -2.0, c.data(), sz);
+  EXPECT_TRUE(rep.clean());
+  EXPECT_EQ(rep.errors_detected, 0);
+}
+
+TEST(FtDgemm, NoFalsePositivesOnTinyMagnitudes) {
+  const index_t sz = 64;
+  Matrix<double> a(sz, sz), b(sz, sz), c(sz, sz);
+  a.fill_random(7, -1e-8, 1e-8);
+  b.fill_random(8, -1e-8, 1e-8);
+  c.fill(0.0);
+  const FtReport rep = ft_dgemm(Layout::kColMajor, Trans::kNoTrans,
+                                Trans::kNoTrans, sz, sz, sz, 1.0, a.data(),
+                                sz, b.data(), sz, 0.0, c.data(), sz);
+  EXPECT_TRUE(rep.clean());
+  EXPECT_EQ(rep.errors_detected, 0);
+}
+
+TEST(FtDgemm, AlphaZeroSkipsPanelsButScalesC) {
+  const index_t sz = 32;
+  Matrix<double> a(sz, sz), b(sz, sz), c(sz, sz);
+  a.fill_random(1);
+  b.fill_random(2);
+  c.fill(4.0);
+  const FtReport rep = ft_dgemm(Layout::kColMajor, Trans::kNoTrans,
+                                Trans::kNoTrans, sz, sz, sz, 0.0, a.data(),
+                                sz, b.data(), sz, 0.25, c.data(), sz);
+  EXPECT_EQ(rep.panels, 0);
+  for (index_t j = 0; j < sz; ++j)
+    for (index_t i = 0; i < sz; ++i) EXPECT_DOUBLE_EQ(c(i, j), 1.0);
+}
+
+TEST(FtDgemm, RowMajorLayoutSupported) {
+  const index_t m = 33, n = 27, k = 40;
+  Matrix<double> a_rm(k, m), b_rm(n, k), c_rm(n, m);
+  a_rm.fill_random(61);
+  b_rm.fill_random(62);
+  c_rm.fill_random(63);
+
+  Matrix<double> c_ft = c_rm.clone();
+  const FtReport rep = ft_dgemm(Layout::kRowMajor, Trans::kNoTrans,
+                                Trans::kNoTrans, m, n, k, 1.0, a_rm.data(),
+                                a_rm.ld(), b_rm.data(), b_rm.ld(), 0.0,
+                                c_ft.data(), c_ft.ld());
+  EXPECT_TRUE(rep.clean());
+
+  Matrix<double> ref = c_rm.clone();
+  baseline::naive_dgemm(Trans::kNoTrans, Trans::kNoTrans, n, m, k, 1.0,
+                        b_rm.data(), b_rm.ld(), a_rm.data(), a_rm.ld(), 0.0,
+                        ref.data(), ref.ld());
+  EXPECT_LE(max_rel_diff(c_ft, ref), gemm_tolerance<double>(k));
+}
+
+TEST(FtDgemm, EngineReusesWorkspaceAcrossCalls) {
+  GemmEngine<double> engine;
+  for (index_t sz : {64, 96, 48, 96}) {
+    Matrix<double> a(sz, sz), b(sz, sz), c(sz, sz);
+    a.fill_random(std::uint64_t(sz));
+    b.fill_random(std::uint64_t(sz) + 1);
+    c.fill(0.0);
+    const FtReport rep = engine.ft_gemm(Layout::kColMajor, Trans::kNoTrans,
+                                        Trans::kNoTrans, sz, sz, sz, 1.0,
+                                        a.data(), sz, b.data(), sz, 0.0,
+                                        c.data(), sz);
+    EXPECT_TRUE(rep.clean()) << "size " << sz;
+
+    Matrix<double> ref(sz, sz);
+    ref.fill(0.0);
+    baseline::naive_dgemm(Trans::kNoTrans, Trans::kNoTrans, sz, sz, sz, 1.0,
+                          a.data(), sz, b.data(), sz, 0.0, ref.data(), sz);
+    EXPECT_LE(max_rel_diff(c, ref), gemm_tolerance<double>(sz));
+  }
+}
+
+TEST(FtDgemm, ToleranceFactorOptionRespected) {
+  // An absurdly small factor turns rounding noise into "errors": the run
+  // must detect mismatches (and may or may not manage to pair them), proving
+  // the option reaches the verifier.  We only require it not to crash and to
+  // flag something on a problem large enough to have visible noise.
+  const index_t sz = 256;
+  Matrix<double> a(sz, sz), b(sz, sz), c(sz, sz);
+  a.fill_random(3, 0.0, 1.0);
+  b.fill_random(4, 0.0, 1.0);
+  c.fill(0.0);
+  Options opts;
+  opts.tolerance_factor = 1e-9;
+  const FtReport rep = ft_dgemm(Layout::kColMajor, Trans::kNoTrans,
+                                Trans::kNoTrans, sz, sz, sz, 1.0, a.data(),
+                                sz, b.data(), sz, 0.0, c.data(), sz, opts);
+  EXPECT_GT(rep.errors_detected + rep.uncorrectable_panels, 0)
+      << "a near-zero tolerance must flag rounding noise";
+}
+
+}  // namespace
+}  // namespace ftgemm

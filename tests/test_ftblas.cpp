@@ -1,0 +1,261 @@
+// Tests for the DMR-protected Level-1/2 substrate (FT-BLAS, ref [4]).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ftblas/level1.hpp"
+#include "ftblas/level2.hpp"
+#include "util/matrix.hpp"
+
+namespace ftgemm::ftblas {
+namespace {
+
+std::vector<double> random_vec(index_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Plain (baseline) routines.
+// ---------------------------------------------------------------------------
+
+TEST(Dscal, ScalesWithStride) {
+  std::vector<double> x = {1, 2, 3, 4, 5, 6};
+  dscal(3, 2.0, x.data(), 2);
+  EXPECT_EQ(x, (std::vector<double>{2, 2, 6, 4, 10, 6}));
+}
+
+TEST(Daxpy, AccumulatesWithStride) {
+  std::vector<double> x = {1, 1, 1};
+  std::vector<double> y = {1, 2, 3};
+  daxpy(3, 0.5, x.data(), 1, y.data(), 1);
+  EXPECT_EQ(y, (std::vector<double>{1.5, 2.5, 3.5}));
+}
+
+TEST(Ddot, MatchesManualSum) {
+  const auto x = random_vec(1537, 1);
+  const auto y = random_vec(1537, 2);
+  double want = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) want += x[i] * y[i];
+  EXPECT_NEAR(ddot(1537, x.data(), 1, y.data(), 1), want, 1e-10);
+}
+
+TEST(Dnrm2, MatchesStd) {
+  const auto x = random_vec(777, 3);
+  double ss = 0.0;
+  for (double v : x) ss += v * v;
+  EXPECT_NEAR(dnrm2(777, x.data(), 1), std::sqrt(ss), 1e-10);
+}
+
+// ---------------------------------------------------------------------------
+// DMR-protected routines, fault-free: identical results, clean reports.
+// ---------------------------------------------------------------------------
+
+class FtL1Sweep : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(FtL1Sweep, ScalMatchesPlain) {
+  const index_t n = GetParam();
+  auto x1 = random_vec(n, 10);
+  auto x2 = x1;
+  dscal(n, -1.75, x1.data(), 1);
+  const DmrReport rep = ft_dscal(n, -1.75, x2.data(), 1);
+  EXPECT_TRUE(rep.clean());
+  EXPECT_EQ(x1, x2) << "DMR path must be bitwise identical";
+}
+
+TEST_P(FtL1Sweep, AxpyMatchesPlain) {
+  const index_t n = GetParam();
+  const auto x = random_vec(n, 11);
+  auto y1 = random_vec(n, 12);
+  auto y2 = y1;
+  daxpy(n, 0.3, x.data(), 1, y1.data(), 1);
+  const DmrReport rep = ft_daxpy(n, 0.3, x.data(), 1, y2.data(), 1);
+  EXPECT_TRUE(rep.clean());
+  EXPECT_EQ(y1, y2);
+}
+
+TEST_P(FtL1Sweep, DotMatchesPlain) {
+  const index_t n = GetParam();
+  const auto x = random_vec(n, 13);
+  const auto y = random_vec(n, 14);
+  DmrReport rep;
+  const double got = ft_ddot(n, x.data(), 1, y.data(), 1, &rep);
+  EXPECT_TRUE(rep.clean());
+  // Block-wise DMR accumulation uses a different summation order than the
+  // single-sweep plain dot.
+  const double want = ddot(n, x.data(), 1, y.data(), 1);
+  EXPECT_NEAR(got, want, 1e-10 * std::max(1.0, std::abs(want)) *
+                             std::sqrt(double(std::max<index_t>(n, 1))));
+}
+
+TEST_P(FtL1Sweep, Nrm2MatchesPlain) {
+  const index_t n = GetParam();
+  const auto x = random_vec(n, 15);
+  DmrReport rep;
+  const double want = dnrm2(n, x.data(), 1);
+  EXPECT_NEAR(ft_dnrm2(n, x.data(), 1, &rep), want, 1e-10 * (1.0 + want));
+  EXPECT_TRUE(rep.clean());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FtL1Sweep,
+                         ::testing::Values<index_t>(0, 1, 7, 511, 512, 513,
+                                                    4096, 10000));
+
+// ---------------------------------------------------------------------------
+// DMR fault injection: corrupt the primary stream, require detection+heal.
+// ---------------------------------------------------------------------------
+
+TEST(FtDscalInjection, DetectsAndHeals) {
+  const index_t n = 2000;
+  auto x = random_vec(n, 20);
+  auto want = x;
+  dscal(n, 3.0, want.data(), 1);
+
+  int fired = 0;
+  const StreamFaultHook hook = [&fired](double* block, index_t start,
+                                        index_t len) {
+    if (start == 512 && len > 3 && fired == 0) {
+      block[3] += 42.0;
+      ++fired;
+    }
+  };
+  const DmrReport rep = ft_dscal(n, 3.0, x.data(), 1, hook);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(rep.faults_detected, 1);
+  EXPECT_EQ(rep.recomputations, 1);
+  EXPECT_EQ(x, want) << "healed output must equal the fault-free result";
+}
+
+TEST(FtDaxpyInjection, DetectsAndHeals) {
+  const index_t n = 1024;
+  const auto x = random_vec(n, 21);
+  auto y = random_vec(n, 22);
+  auto want = y;
+  daxpy(n, -0.5, x.data(), 1, want.data(), 1);
+
+  const StreamFaultHook hook = [](double* block, index_t start, index_t) {
+    if (start == 0) block[0] = 1e30;
+  };
+  const DmrReport rep = ft_daxpy(n, -0.5, x.data(), 1, y.data(), 1, hook);
+  EXPECT_GE(rep.faults_detected, 1);
+  EXPECT_EQ(y, want);
+}
+
+TEST(FtDdotInjection, DetectsAndHeals) {
+  const index_t n = 3000;
+  const auto x = random_vec(n, 23);
+  const auto y = random_vec(n, 24);
+  const double want = ddot(n, x.data(), 1, y.data(), 1);
+
+  const StreamFaultHook hook = [](double* partial, index_t start, index_t) {
+    if (start == 1024) *partial += 7.0;
+  };
+  DmrReport rep;
+  const double got = ft_ddot(n, x.data(), 1, y.data(), 1, &rep, hook);
+  EXPECT_EQ(rep.faults_detected, 1);
+  EXPECT_DOUBLE_EQ(got, want);
+}
+
+TEST(FtL1Injection, EveryBlockPositionHealed) {
+  // Property sweep: a corruption in any block must be healed.
+  const index_t n = 2100;  // 5 blocks, last one partial
+  for (index_t target = 0; target < n; target += 397) {
+    auto x = random_vec(n, 30 + std::uint64_t(target));
+    auto want = x;
+    dscal(n, 1.5, want.data(), 1);
+    const StreamFaultHook hook = [target](double* block, index_t start,
+                                          index_t len) {
+      if (target >= start && target < start + len)
+        block[target - start] -= 3.25;
+    };
+    const DmrReport rep = ft_dscal(n, 1.5, x.data(), 1, hook);
+    EXPECT_EQ(rep.faults_detected, 1) << "target " << target;
+    EXPECT_EQ(x, want) << "target " << target;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Level-2: gemv.
+// ---------------------------------------------------------------------------
+
+class GemvSweep
+    : public ::testing::TestWithParam<std::tuple<index_t, index_t, Trans>> {};
+
+TEST_P(GemvSweep, PlainMatchesManual) {
+  const auto [m, n, trans] = GetParam();
+  Matrix<double> a(m, n);
+  a.fill_random(40);
+  const index_t xlen = trans == Trans::kNoTrans ? n : m;
+  const index_t ylen = trans == Trans::kNoTrans ? m : n;
+  const auto x = random_vec(xlen, 41);
+  auto y = random_vec(ylen, 42);
+  auto want = y;
+
+  // Manual oracle.
+  for (index_t r = 0; r < ylen; ++r) {
+    double acc = 0.0;
+    for (index_t q = 0; q < xlen; ++q) {
+      const double aval = trans == Trans::kNoTrans ? a(r, q) : a(q, r);
+      acc += aval * x[std::size_t(q)];
+    }
+    want[std::size_t(r)] = 1.5 * acc + 0.5 * want[std::size_t(r)];
+  }
+
+  dgemv(trans, m, n, 1.5, a.data(), a.ld(), x.data(), 1, 0.5, y.data(), 1);
+  for (index_t r = 0; r < ylen; ++r)
+    EXPECT_NEAR(y[std::size_t(r)], want[std::size_t(r)],
+                1e-11 * std::max(1.0, std::abs(want[std::size_t(r)])));
+}
+
+TEST_P(GemvSweep, FtMatchesPlainAndClean) {
+  const auto [m, n, trans] = GetParam();
+  Matrix<double> a(m, n);
+  a.fill_random(50);
+  const index_t xlen = trans == Trans::kNoTrans ? n : m;
+  const index_t ylen = trans == Trans::kNoTrans ? m : n;
+  const auto x = random_vec(xlen, 51);
+  auto y1 = random_vec(ylen, 52);
+  auto y2 = y1;
+
+  dgemv(trans, m, n, -2.0, a.data(), a.ld(), x.data(), 1, 1.0, y1.data(), 1);
+  const DmrReport rep = ft_dgemv(trans, m, n, -2.0, a.data(), a.ld(),
+                                 x.data(), 1, 1.0, y2.data(), 1);
+  EXPECT_TRUE(rep.clean());
+  EXPECT_EQ(y1, y2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemvSweep,
+    ::testing::Combine(::testing::Values<index_t>(1, 33, 512, 1000),
+                       ::testing::Values<index_t>(1, 29, 600),
+                       ::testing::Values(Trans::kNoTrans, Trans::kTrans)),
+    [](const auto& info) {
+      return "m" + std::to_string(std::get<0>(info.param)) + "_n" +
+             std::to_string(std::get<1>(info.param)) +
+             (std::get<2>(info.param) == Trans::kTrans ? "_T" : "_N");
+    });
+
+TEST(FtDgemvInjection, DetectsAndHeals) {
+  const index_t m = 700, n = 300;
+  Matrix<double> a(m, n);
+  a.fill_random(60);
+  const auto x = random_vec(n, 61);
+  auto y = random_vec(m, 62);
+  auto want = y;
+  dgemv(Trans::kNoTrans, m, n, 1.0, a.data(), a.ld(), x.data(), 1, 0.0,
+        want.data(), 1);
+
+  const StreamFaultHook hook = [](double* block, index_t start, index_t len) {
+    if (start == 512 && len > 10) block[10] *= -1.0;
+  };
+  const DmrReport rep = ft_dgemv(Trans::kNoTrans, m, n, 1.0, a.data(),
+                                 a.ld(), x.data(), 1, 0.0, y.data(), 1, hook);
+  EXPECT_EQ(rep.faults_detected, 1);
+  EXPECT_EQ(y, want);
+}
+
+}  // namespace
+}  // namespace ftgemm::ftblas

@@ -1,0 +1,300 @@
+// Tests for the extended FT-BLAS substrate: asum/iamax/copy/swap/rot,
+// ger/trmv/trsv, and the TMR dot extension.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ftblas/level1_ext.hpp"
+#include "ftblas/level2_ext.hpp"
+#include "util/matrix.hpp"
+
+namespace ftgemm::ftblas {
+namespace {
+
+std::vector<double> random_vec(index_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// asum / iamax
+// ---------------------------------------------------------------------------
+
+TEST(Dasum, MatchesManual) {
+  const auto x = random_vec(1333, 1);
+  double want = 0.0;
+  for (double v : x) want += std::abs(v);
+  EXPECT_NEAR(dasum(1333, x.data(), 1), want, 1e-10);
+  DmrReport rep;
+  EXPECT_NEAR(ft_dasum(1333, x.data(), 1, &rep), want, 1e-10);
+  EXPECT_TRUE(rep.clean());
+}
+
+TEST(Dasum, InjectionDetectedAndHealed) {
+  const auto x = random_vec(2048, 2);
+  const double want = dasum(2048, x.data(), 1);
+  const StreamFaultHook hook = [](double* partial, index_t start, index_t) {
+    if (start == 512) *partial += 100.0;
+  };
+  DmrReport rep;
+  const double got = ft_dasum(2048, x.data(), 1, &rep, hook);
+  EXPECT_EQ(rep.faults_detected, 1);
+  EXPECT_DOUBLE_EQ(got, want);
+}
+
+TEST(Idamax, FindsFirstMaximum) {
+  std::vector<double> x = {1.0, -5.0, 3.0, 5.0, -2.0};
+  EXPECT_EQ(idamax(5, x.data(), 1), 1) << "first occurrence of |5|";
+  EXPECT_EQ(ft_idamax(5, x.data(), 1), 1);
+  EXPECT_EQ(idamax(0, x.data(), 1), -1);
+  EXPECT_EQ(ft_idamax(-3, x.data(), 1), -1);
+}
+
+TEST(Idamax, StrideRespected) {
+  std::vector<double> x = {1.0, 99.0, 3.0, 99.0, -7.0, 99.0};
+  EXPECT_EQ(idamax(3, x.data(), 2), 2) << "elements 1, 3, -7";
+}
+
+// ---------------------------------------------------------------------------
+// copy / swap
+// ---------------------------------------------------------------------------
+
+TEST(Dcopy, CopiesWithStrides) {
+  const auto x = random_vec(777, 3);
+  std::vector<double> y(777, 0.0);
+  const DmrReport rep = ft_dcopy(777, x.data(), 1, y.data(), 1);
+  EXPECT_TRUE(rep.clean());
+  EXPECT_EQ(x, y);
+}
+
+TEST(Dcopy, InjectionOnDestinationHealed) {
+  const auto x = random_vec(1200, 4);
+  std::vector<double> y(1200, 0.0);
+  const StreamFaultHook hook = [](double* block, index_t start, index_t len) {
+    if (start == 512 && len > 5) block[5] = -1e9;
+  };
+  const DmrReport rep = ft_dcopy(1200, x.data(), 1, y.data(), 1, hook);
+  EXPECT_EQ(rep.faults_detected, 1);
+  EXPECT_EQ(x, y);
+}
+
+TEST(Dswap, SwapsAndVerifies) {
+  auto x = random_vec(600, 5);
+  auto y = random_vec(600, 6);
+  const auto x0 = x;
+  const auto y0 = y;
+  const DmrReport rep = ft_dswap(600, x.data(), 1, y.data(), 1);
+  EXPECT_TRUE(rep.clean());
+  EXPECT_EQ(x, y0);
+  EXPECT_EQ(y, x0);
+}
+
+// ---------------------------------------------------------------------------
+// rot
+// ---------------------------------------------------------------------------
+
+TEST(Drot, MatchesManualRotation) {
+  const double c = std::cos(0.7), s = std::sin(0.7);
+  auto x = random_vec(555, 7);
+  auto y = random_vec(555, 8);
+  auto wx = x;
+  auto wy = y;
+  for (std::size_t i = 0; i < wx.size(); ++i) {
+    const double xv = wx[i], yv = wy[i];
+    wx[i] = c * xv + s * yv;
+    wy[i] = c * yv - s * xv;
+  }
+  const DmrReport rep = ft_drot(555, x.data(), 1, y.data(), 1, c, s);
+  EXPECT_TRUE(rep.clean());
+  EXPECT_EQ(x, wx);
+  EXPECT_EQ(y, wy);
+}
+
+TEST(Drot, PreservesNormProperty) {
+  // A rotation preserves sqrt(x_i^2 + y_i^2) element-wise.
+  const double c = std::cos(1.1), s = std::sin(1.1);
+  auto x = random_vec(256, 9);
+  auto y = random_vec(256, 10);
+  std::vector<double> norms(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    norms[i] = std::hypot(x[i], y[i]);
+  ft_drot(256, x.data(), 1, y.data(), 1, c, s);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(std::hypot(x[i], y[i]), norms[i], 1e-12);
+}
+
+TEST(Drot, InjectionHealed) {
+  const double c = 0.6, s = 0.8;
+  auto x = random_vec(1111, 11);
+  auto y = random_vec(1111, 12);
+  auto wx = x;
+  auto wy = y;
+  drot(1111, wx.data(), 1, wy.data(), 1, c, s);
+  const StreamFaultHook hook = [](double* block, index_t start, index_t) {
+    if (start == 0) block[0] += 3.0;
+  };
+  const DmrReport rep = ft_drot(1111, x.data(), 1, y.data(), 1, c, s, hook);
+  EXPECT_EQ(rep.faults_detected, 1);
+  EXPECT_EQ(x, wx);
+  EXPECT_EQ(y, wy);
+}
+
+// ---------------------------------------------------------------------------
+// TMR dot
+// ---------------------------------------------------------------------------
+
+TEST(TmrDdot, MatchesDdotClean) {
+  const auto x = random_vec(3000, 13);
+  const auto y = random_vec(3000, 14);
+  DmrReport rep;
+  const double got = tmr_ddot(3000, x.data(), 1, y.data(), 1, &rep);
+  const double want = ddot(3000, x.data(), 1, y.data(), 1);
+  EXPECT_NEAR(got, want, 1e-10 * (1.0 + std::abs(want)));
+  EXPECT_TRUE(rep.clean());
+}
+
+TEST(TmrDdot, MasksFaultWithoutRecomputation) {
+  const auto x = random_vec(1024, 15);
+  const auto y = random_vec(1024, 16);
+  const double want = tmr_ddot(1024, x.data(), 1, y.data(), 1);
+  const StreamFaultHook hook = [](double* s1, index_t start, index_t) {
+    if (start == 0) *s1 += 9.0;  // corrupt the first copy only
+  };
+  DmrReport rep;
+  const double got = tmr_ddot(1024, x.data(), 1, y.data(), 1, &rep, hook);
+  EXPECT_EQ(rep.faults_detected, 1);
+  EXPECT_EQ(rep.recomputations, 0) << "majority vote masks without recompute";
+  EXPECT_DOUBLE_EQ(got, want);
+}
+
+// ---------------------------------------------------------------------------
+// ger
+// ---------------------------------------------------------------------------
+
+TEST(Dger, MatchesManualRank1Update) {
+  const index_t m = 70, n = 40;
+  Matrix<double> a(m, n);
+  a.fill_random(20);
+  Matrix<double> want = a.clone();
+  const auto x = random_vec(m, 21);
+  const auto y = random_vec(n, 22);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i)
+      want(i, j) += 1.5 * x[std::size_t(i)] * y[std::size_t(j)];
+
+  const DmrReport rep =
+      ft_dger(m, n, 1.5, x.data(), 1, y.data(), 1, a.data(), a.ld());
+  EXPECT_TRUE(rep.clean());
+  // The oracle rounds 1.5*x*y; the routine rounds x*(1.5*y) — one ulp apart.
+  EXPECT_LE(max_abs_diff(a, want), 1e-14);
+}
+
+TEST(Dger, InjectionHealed) {
+  const index_t m = 600, n = 3;
+  Matrix<double> a(m, n);
+  a.fill_random(23);
+  Matrix<double> want = a.clone();
+  const auto x = random_vec(m, 24);
+  const auto y = random_vec(n, 25);
+  dger(m, n, -2.0, x.data(), 1, y.data(), 1, want.data(), want.ld());
+
+  const StreamFaultHook hook = [](double* block, index_t key, index_t) {
+    if (key == 512) block[0] *= 2.0;  // column 0, second block
+  };
+  const DmrReport rep = ft_dger(m, n, -2.0, x.data(), 1, y.data(), 1,
+                                a.data(), a.ld(), hook);
+  EXPECT_GE(rep.faults_detected, 1);
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, want), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// trmv / trsv
+// ---------------------------------------------------------------------------
+
+class TriangularSweep
+    : public ::testing::TestWithParam<std::tuple<Uplo, Trans, index_t>> {};
+
+TEST_P(TriangularSweep, TrmvMatchesDenseOracle) {
+  const auto [uplo, trans, n] = GetParam();
+  Matrix<double> t(n, n);
+  t.fill_random(30);
+  // Zero the dead triangle so the dense oracle sees the same operator.
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i)
+      if ((uplo == Uplo::kUpper && i > j) || (uplo == Uplo::kLower && i < j))
+        t(i, j) = 0.0;
+
+  auto x = random_vec(n, 31);
+  std::vector<double> want(static_cast<std::size_t>(n), 0.0);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < n; ++j) {
+      const double aval = trans == Trans::kTrans ? t(j, i) : t(i, j);
+      want[std::size_t(i)] += aval * x[std::size_t(j)];
+    }
+
+  const DmrReport rep =
+      ft_dtrmv(uplo, trans, n, t.data(), t.ld(), x.data(), 1);
+  EXPECT_TRUE(rep.clean());
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_NEAR(x[std::size_t(i)], want[std::size_t(i)],
+                1e-11 * std::max(1.0, std::abs(want[std::size_t(i)])));
+}
+
+TEST_P(TriangularSweep, TrsvInvertsTrmv) {
+  const auto [uplo, trans, n] = GetParam();
+  Matrix<double> t(n, n);
+  t.fill_random(32, 0.1, 1.0);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i)
+      if ((uplo == Uplo::kUpper && i > j) || (uplo == Uplo::kLower && i < j))
+        t(i, j) = 0.0;
+    t(j, j) += 2.0;  // well-conditioned diagonal
+  }
+
+  const auto x0 = random_vec(n, 33);
+  auto x = x0;
+  dtrmv(uplo, trans, n, t.data(), t.ld(), x.data(), 1);   // x = T x0
+  const DmrReport rep =
+      ft_dtrsv(uplo, trans, n, t.data(), t.ld(), x.data(), 1);  // solve back
+  EXPECT_TRUE(rep.clean());
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_NEAR(x[std::size_t(i)], x0[std::size_t(i)], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TriangularSweep,
+    ::testing::Combine(::testing::Values(Uplo::kUpper, Uplo::kLower),
+                       ::testing::Values(Trans::kNoTrans, Trans::kTrans),
+                       ::testing::Values<index_t>(1, 17, 128)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param) == Uplo::kUpper ? "U" : "L") +
+             (std::get<1>(info.param) == Trans::kTrans ? "T" : "N") + "_n" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(Dtrsv, InjectionHealed) {
+  const index_t n = 200;
+  Matrix<double> t(n, n);
+  t.fill_random(34, 0.1, 1.0);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < j; ++i) t(i, j) = 0.0;  // keep lower triangle
+    t(j, j) += 3.0;
+  }
+  auto x = random_vec(n, 35);
+  auto want = x;
+  dtrsv(Uplo::kLower, Trans::kNoTrans, n, t.data(), t.ld(), want.data(), 1);
+
+  const StreamFaultHook hook = [](double* sol, index_t, index_t len) {
+    if (len > 50) sol[50] += 1.0;
+  };
+  const DmrReport rep = ft_dtrsv(Uplo::kLower, Trans::kNoTrans, n, t.data(),
+                                 t.ld(), x.data(), 1, hook);
+  EXPECT_EQ(rep.faults_detected, 1);
+  EXPECT_EQ(x, want);
+}
+
+}  // namespace
+}  // namespace ftgemm::ftblas

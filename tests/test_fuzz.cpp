@@ -1,0 +1,149 @@
+// Randomized property sweeps ("fuzz"): arbitrary shapes, scalars,
+// transposes and fault patterns, all seeds deterministic.  Each iteration
+// asserts the two core invariants end-to-end:
+//   (1) ft_dgemm equals the naive oracle on clean runs,
+//   (2) under random injection the result is either corrected to the
+//       oracle or the report flags the run — never silently wrong.
+// Also pins the correction log to the injector's ground truth.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_common.hpp"
+#include "inject/injectors.hpp"
+
+namespace ftgemm {
+namespace {
+
+using testing::GemmCase;
+using testing::Problem;
+using testing::gemm_tolerance;
+using testing::reference_result;
+
+GemmCase random_case(Xoshiro256& rng) {
+  GemmCase cs{1 + index_t(rng.bounded(200)), 1 + index_t(rng.bounded(200)),
+              1 + index_t(rng.bounded(300))};
+  cs.ta = rng.uniform() < 0.5 ? Trans::kNoTrans : Trans::kTrans;
+  cs.tb = rng.uniform() < 0.5 ? Trans::kNoTrans : Trans::kTrans;
+  const double alphas[] = {1.0, -1.0, 0.5, 2.0, 0.0};
+  const double betas[] = {0.0, 1.0, -0.5, 2.0};
+  cs.alpha = alphas[rng.bounded(5)];
+  cs.beta = betas[rng.bounded(4)];
+  return cs;
+}
+
+class FuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSweep, CleanRunsMatchOracle) {
+  Xoshiro256 rng(GetParam());
+  for (int iter = 0; iter < 8; ++iter) {
+    const GemmCase cs = random_case(rng);
+    Problem<double> p(cs, rng.next());
+    const Matrix<double> ref = reference_result(cs, p);
+    Matrix<double> c = p.c.clone();
+    const FtReport rep = ft_dgemm(Layout::kColMajor, cs.ta, cs.tb, cs.m,
+                                  cs.n, cs.k, cs.alpha, p.a.data(), p.a.ld(),
+                                  p.b.data(), p.b.ld(), cs.beta, c.data(),
+                                  c.ld());
+    EXPECT_TRUE(rep.clean()) << cs;
+    EXPECT_EQ(rep.errors_detected, 0) << cs;
+    EXPECT_LE(max_rel_diff(c, ref), gemm_tolerance<double>(cs.k)) << cs;
+  }
+}
+
+TEST_P(FuzzSweep, InjectedRunsNeverSilentlyWrong) {
+  Xoshiro256 rng(GetParam() ^ 0xABCDEF);
+  for (int iter = 0; iter < 6; ++iter) {
+    GemmCase cs = random_case(rng);
+    // Injection needs a non-degenerate product.
+    cs.alpha = cs.alpha == 0.0 ? 1.0 : cs.alpha;
+    cs.m = std::max<index_t>(cs.m, 8);
+    cs.n = std::max<index_t>(cs.n, 8);
+    cs.k = std::max<index_t>(cs.k, 8);
+    Problem<double> p(cs, rng.next());
+    const Matrix<double> ref = reference_result(cs, p);
+    Matrix<double> c = p.c.clone();
+    CountInjector inj(int(1 + rng.bounded(8)), rng.next(), 5.0);
+    Options opts;
+    opts.injector = &inj;
+    const FtReport rep = ft_dgemm(Layout::kColMajor, cs.ta, cs.tb, cs.m,
+                                  cs.n, cs.k, cs.alpha, p.a.data(), p.a.ld(),
+                                  p.b.data(), p.b.ld(), cs.beta, c.data(),
+                                  c.ld(), opts);
+    const double err = max_rel_diff(c, ref);
+    if (rep.clean()) {
+      EXPECT_LE(err, std::max(gemm_tolerance<double>(cs.k), 1e-10))
+          << cs << " injected=" << inj.injected_count();
+    }
+    // Dirty reports are allowed (pathological patterns) — silent corruption
+    // is not: a large error with a clean report is the only failure mode.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
+                         ::testing::Values<std::uint64_t>(11, 22, 33, 44, 55,
+                                                          66, 77, 88));
+
+TEST(CorrectionLog, MatchesInjectorGroundTruth) {
+  const GemmCase cs{96, 80, 320};
+  Problem<double> p(cs);
+  Matrix<double> c = p.c.clone();
+  DeterministicInjector inj({
+      {InjectionKind::kAddDelta, 0, 10, 20, 2.5, 0},
+      {InjectionKind::kAddDelta, 1, 70, 5, -4.25, 0},
+  });
+  std::vector<CorrectionRecord> log;
+  Options opts;
+  opts.injector = &inj;
+  opts.correction_log = &log;
+  const FtReport rep = ft_dgemm(Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n,
+                                cs.k, cs.alpha, p.a.data(), p.a.ld(),
+                                p.b.data(), p.b.ld(), cs.beta, c.data(),
+                                c.ld(), opts);
+  ASSERT_TRUE(rep.clean());
+  ASSERT_EQ(log.size(), 2u);
+  std::sort(log.begin(), log.end(),
+            [](const CorrectionRecord& a, const CorrectionRecord& b) {
+              return a.panel < b.panel;
+            });
+  EXPECT_EQ(log[0].panel, 0);
+  EXPECT_EQ(log[0].i, 10);
+  EXPECT_EQ(log[0].j, 20);
+  EXPECT_NEAR(log[0].delta, 2.5, 1e-9);
+  EXPECT_EQ(log[0].round, 0);
+  EXPECT_EQ(log[1].panel, 1);
+  EXPECT_EQ(log[1].i, 70);
+  EXPECT_EQ(log[1].j, 5);
+  EXPECT_NEAR(log[1].delta, -4.25, 1e-9);
+}
+
+TEST(CorrectionLog, RecordsRecheckRounds) {
+  // A corruption whose magnitude dwarfs the whole row sum (an exponent-
+  // scale upset) cannot be fixed by one checksum delta: subtracting the
+  // estimate annihilates the corrupted value but loses the original, which
+  // only the exact-recheck round recovers.  The log must show both steps.
+  const GemmCase cs{64, 64, 64};
+  Problem<double> p(cs);
+  Matrix<double> c = p.c.clone();
+  DeterministicInjector inj(
+      {{InjectionKind::kAddDelta, 0, 17, 23, 1e300, 0}});
+  std::vector<CorrectionRecord> log;
+  Options opts;
+  opts.injector = &inj;
+  opts.correction_log = &log;
+  const FtReport rep = ft_dgemm(Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n,
+                                cs.k, cs.alpha, p.a.data(), p.a.ld(),
+                                p.b.data(), p.b.ld(), cs.beta, c.data(),
+                                c.ld(), opts);
+  EXPECT_TRUE(rep.clean());
+  ASSERT_GE(log.size(), 2u) << "huge flip requires a refinement round";
+  EXPECT_EQ(log[0].round, 0);
+  EXPECT_GT(log.back().round, 0);
+  for (const CorrectionRecord& r : log) {
+    EXPECT_EQ(r.i, 17);
+    EXPECT_EQ(r.j, 23);
+  }
+}
+
+}  // namespace
+}  // namespace ftgemm

@@ -1,0 +1,151 @@
+// Integration tests: the high-performance dgemm ("Ori") against the naive
+// oracle, across shapes, transposes, scalars, layouts and ISAs.
+#include <gtest/gtest.h>
+
+#include "arch/cpu_features.hpp"
+#include "test_common.hpp"
+
+namespace ftgemm {
+namespace {
+
+using testing::GemmCase;
+using testing::Problem;
+using testing::gemm_tolerance;
+using testing::reference_result;
+
+class DgemmSweep : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(DgemmSweep, MatchesNaiveOracle) {
+  const GemmCase cs = GetParam();
+  Problem<double> p(cs);
+  const Matrix<double> ref = reference_result(cs, p);
+
+  Matrix<double> c = p.c.clone();
+  dgemm(Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n, cs.k, cs.alpha,
+        p.a.data(), p.a.ld(), p.b.data(), p.b.ld(), cs.beta, c.data(),
+        c.ld());
+  EXPECT_LE(max_rel_diff(c, ref), gemm_tolerance<double>(cs.k)) << cs;
+}
+
+// Shapes chosen to stress every edge path: micro-tile remainders in M and N,
+// KC panel remainders in K, single-row/column cases, tall/flat aspect
+// ratios, and sizes spanning several cache-blocking regimes.
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DgemmSweep,
+    ::testing::Values(
+        GemmCase{1, 1, 1}, GemmCase{2, 3, 4}, GemmCase{16, 8, 64},
+        GemmCase{17, 9, 65}, GemmCase{15, 7, 63}, GemmCase{33, 1, 10},
+        GemmCase{1, 33, 10}, GemmCase{10, 10, 1}, GemmCase{128, 128, 128},
+        GemmCase{129, 127, 130}, GemmCase{97, 101, 103},
+        GemmCase{64, 512, 32}, GemmCase{512, 64, 32}, GemmCase{31, 29, 512},
+        GemmCase{200, 300, 400}, GemmCase{257, 255, 256}),
+    [](const auto& info) { return GemmCase(info.param).name(); });
+
+INSTANTIATE_TEST_SUITE_P(
+    TransposeCombos, DgemmSweep,
+    ::testing::Values(
+        GemmCase{65, 43, 87, Trans::kTrans, Trans::kNoTrans},
+        GemmCase{65, 43, 87, Trans::kNoTrans, Trans::kTrans},
+        GemmCase{65, 43, 87, Trans::kTrans, Trans::kTrans},
+        GemmCase{128, 128, 128, Trans::kTrans, Trans::kTrans},
+        GemmCase{17, 130, 64, Trans::kTrans, Trans::kNoTrans},
+        GemmCase{130, 17, 64, Trans::kNoTrans, Trans::kTrans}),
+    [](const auto& info) { return GemmCase(info.param).name(); });
+
+INSTANTIATE_TEST_SUITE_P(
+    ScalarCombos, DgemmSweep,
+    ::testing::Values(
+        GemmCase{60, 60, 60, Trans::kNoTrans, Trans::kNoTrans, 0.0, 0.0},
+        GemmCase{60, 60, 60, Trans::kNoTrans, Trans::kNoTrans, 0.0, 2.0},
+        GemmCase{60, 60, 60, Trans::kNoTrans, Trans::kNoTrans, 1.0, 1.0},
+        GemmCase{60, 60, 60, Trans::kNoTrans, Trans::kNoTrans, -1.5, 0.5},
+        GemmCase{60, 60, 60, Trans::kNoTrans, Trans::kNoTrans, 2.0, -1.0},
+        GemmCase{60, 60, 60, Trans::kTrans, Trans::kTrans, -2.25, 3.0}),
+    [](const auto& info) { return GemmCase(info.param).name(); });
+
+TEST(Dgemm, RowMajorMatchesColMajorTransposition) {
+  const index_t m = 37, n = 29, k = 41;
+  // Row-major A (m x k): store as col-major (k x m) transposed view.
+  Matrix<double> a_rm(k, m), b_rm(n, k), c_rm(n, m);
+  a_rm.fill_random(61);
+  b_rm.fill_random(62);
+  c_rm.fill_random(63);
+
+  // Row-major call: leading dimension is the row length.
+  Matrix<double> c_test = c_rm.clone();
+  dgemm(Layout::kRowMajor, Trans::kNoTrans, Trans::kNoTrans, m, n, k, 1.0,
+        a_rm.data(), a_rm.ld(), b_rm.data(), b_rm.ld(), 0.5, c_test.data(),
+        c_test.ld());
+
+  // Oracle: the row-major matrices reinterpreted as column-major are the
+  // transposes, so C_cmᵀ = Bᵀ·Aᵀ i.e. naive(n, m, k) on swapped operands.
+  Matrix<double> ref = c_rm.clone();
+  baseline::naive_dgemm(Trans::kNoTrans, Trans::kNoTrans, n, m, k, 1.0,
+                        b_rm.data(), b_rm.ld(), a_rm.data(), a_rm.ld(), 0.5,
+                        ref.data(), ref.ld());
+  EXPECT_LE(max_rel_diff(c_test, ref), gemm_tolerance<double>(k));
+}
+
+TEST(Dgemm, NonTightLeadingDimensions) {
+  const GemmCase cs{70, 50, 90};
+  Problem<double> p(cs, 71, /*ld_slack=*/13);
+  const Matrix<double> ref = reference_result(cs, p);
+  Matrix<double> c = p.c.clone();
+  dgemm(Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n, cs.k, cs.alpha,
+        p.a.data(), p.a.ld(), p.b.data(), p.b.ld(), cs.beta, c.data(),
+        c.ld());
+  EXPECT_LE(max_rel_diff(c, ref), gemm_tolerance<double>(cs.k));
+}
+
+TEST(Dgemm, ZeroSizedProblemsAreNoOps) {
+  Matrix<double> a(4, 4), b(4, 4), c(4, 4);
+  a.fill_random(1);
+  b.fill_random(2);
+  c.fill_random(3);
+  Matrix<double> before = c.clone();
+  dgemm(Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, 0, 4, 4, 1.0,
+        a.data(), 4, b.data(), 4, 1.0, c.data(), 4);
+  dgemm(Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, 4, 0, 4, 1.0,
+        a.data(), 4, b.data(), 4, 1.0, c.data(), 4);
+  EXPECT_DOUBLE_EQ(max_abs_diff(c, before), 0.0);
+}
+
+TEST(Dgemm, KZeroScalesOnly) {
+  Matrix<double> a(4, 1), b(1, 4), c(4, 4);
+  c.fill(2.0);
+  dgemm(Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, 4, 4, 0, 1.0,
+        a.data(), 4, b.data(), 1, 0.5, c.data(), 4);
+  for (index_t j = 0; j < 4; ++j)
+    for (index_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(c(i, j), 1.0);
+}
+
+class DgemmIsaSweep : public ::testing::TestWithParam<Isa> {};
+
+TEST_P(DgemmIsaSweep, EveryIsaMatchesOracle) {
+  const Isa isa = GetParam();
+  if (isa == Isa::kAvx512 && !cpu_features().has_avx512_kernel_support())
+    GTEST_SKIP() << "no AVX-512 on this machine";
+  if (isa == Isa::kAvx2 && !cpu_features().has_avx2_kernel_support())
+    GTEST_SKIP() << "no AVX2 on this machine";
+
+  const GemmCase cs{131, 77, 200, Trans::kNoTrans, Trans::kTrans, 1.25, 0.5};
+  Problem<double> p(cs);
+  const Matrix<double> ref = reference_result(cs, p);
+  Matrix<double> c = p.c.clone();
+  Options opts;
+  opts.isa = isa;
+  dgemm(Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n, cs.k, cs.alpha,
+        p.a.data(), p.a.ld(), p.b.data(), p.b.ld(), cs.beta, c.data(), c.ld(),
+        opts);
+  EXPECT_LE(max_rel_diff(c, ref), gemm_tolerance<double>(cs.k));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIsas, DgemmIsaSweep,
+                         ::testing::Values(Isa::kScalar, Isa::kAvx2,
+                                           Isa::kAvx512),
+                         [](const auto& info) {
+                           return std::string(isa_name(info.param));
+                         });
+
+}  // namespace
+}  // namespace ftgemm

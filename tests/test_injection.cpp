@@ -1,0 +1,373 @@
+// Fault-injection tests: the heart of the reproduction.
+//
+// Property under test (§3.2): with online ABFT operating, injected compute
+// errors are detected at the end of their rank-KC panel, located by the
+// row/column mismatch intersection, and corrected — the final C equals the
+// fault-free result to rounding error.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blocking/plan.hpp"
+#include "inject/injectors.hpp"
+#include "test_common.hpp"
+
+namespace ftgemm {
+namespace {
+
+using testing::GemmCase;
+using testing::Problem;
+using testing::gemm_tolerance;
+using testing::reference_result;
+
+/// Run ft_dgemm under a given injector and return (report, result-vs-ref).
+struct InjectionRun {
+  FtReport report;
+  double rel_err;
+  std::size_t injected;
+};
+
+InjectionRun run_with_injector(const GemmCase& cs, FaultInjector& inj,
+                               std::uint64_t seed = 7,
+                               bool paranoid = false) {
+  Problem<double> p(cs, seed);
+  const Matrix<double> ref = reference_result(cs, p);
+  Matrix<double> c = p.c.clone();
+  Options opts;
+  opts.injector = &inj;
+  opts.paranoid_recheck = paranoid;
+  InjectionRun out;
+  out.report = ft_dgemm(Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n, cs.k,
+                        cs.alpha, p.a.data(), p.a.ld(), p.b.data(), p.b.ld(),
+                        cs.beta, c.data(), c.ld(), opts);
+  out.rel_err = max_rel_diff(c, ref);
+  out.injected = inj.injected_count();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustive single-error property sweep: an error in any panel, any
+// quadrant of C, positive or negative, large or small-but-above-threshold,
+// must be corrected exactly.
+// ---------------------------------------------------------------------------
+
+class SingleErrorSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(SingleErrorSweep, DetectedLocatedCorrected) {
+  const auto [panel, corner, delta] = GetParam();
+  const GemmCase cs{130, 120, 600};  // KC=256ish -> >= 2 panels, edge tiles
+  const BlockingPlan plan = make_plan(select_isa(), 8);
+  const int num_panels = int((cs.k + plan.kc - 1) / plan.kc);
+  if (panel >= num_panels) GTEST_SKIP() << "plan has fewer panels";
+
+  const index_t i = corner % 2 == 0 ? 3 : cs.m - 2;
+  const index_t j = corner / 2 == 0 ? 5 : cs.n - 3;
+  DeterministicInjector inj({{InjectionKind::kAddDelta, panel, i, j, delta, 0}});
+
+  const InjectionRun run = run_with_injector(cs, inj);
+  EXPECT_EQ(run.injected, 1u);
+  EXPECT_EQ(run.report.errors_detected, 1);
+  EXPECT_EQ(run.report.errors_corrected, 1);
+  EXPECT_TRUE(run.report.clean());
+  // ABFT correction recovers the element to checksum rounding accuracy,
+  // which scales with the *injected* magnitude (the delta estimate is a
+  // difference of sums containing the corrupted value).
+  const double corr_tol =
+      std::max(gemm_tolerance<double>(cs.k),
+               1e-12 * std::max(1.0, std::abs(delta)));
+  EXPECT_LE(run.rel_err, corr_tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PanelsCornersDeltas, SingleErrorSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(1.0, -1.0, 1e6, -1e-4, 1e-6)),
+    [](const auto& info) {
+      const double delta = std::get<2>(info.param);
+      std::string d = std::to_string(int(std::log10(std::abs(delta))));
+      for (char& ch : d)
+        if (ch == '-') ch = 'm';
+      return "panel" + std::to_string(std::get<0>(info.param)) + "_corner" +
+             std::to_string(std::get<1>(info.param)) +
+             (delta > 0 ? "_pos" : "_neg") + "_e" + d;
+    });
+
+// ---------------------------------------------------------------------------
+// Multi-error patterns within one panel.
+// ---------------------------------------------------------------------------
+
+TEST(MultiError, DistinctRowsAndColumns) {
+  const GemmCase cs{96, 96, 96};
+  DeterministicInjector inj({
+      {InjectionKind::kAddDelta, 0, 10, 20, 2.0, 0},
+      {InjectionKind::kAddDelta, 0, 30, 40, -3.0, 0},
+      {InjectionKind::kAddDelta, 0, 50, 60, 0.5, 0},
+  });
+  const InjectionRun run = run_with_injector(cs, inj);
+  EXPECT_EQ(run.report.errors_corrected, 3);
+  EXPECT_TRUE(run.report.clean());
+  EXPECT_LE(run.rel_err, gemm_tolerance<double>(cs.k));
+}
+
+TEST(MultiError, BurstInOneRow) {
+  // A corrupted packed-A element manifests as several errors in one row.
+  const GemmCase cs{64, 64, 64};
+  DeterministicInjector inj({
+      {InjectionKind::kAddDelta, 0, 7, 3, 1.0, 0},
+      {InjectionKind::kAddDelta, 0, 7, 12, 2.0, 0},
+      {InjectionKind::kAddDelta, 0, 7, 40, -4.0, 0},
+  });
+  const InjectionRun run = run_with_injector(cs, inj);
+  EXPECT_EQ(run.report.errors_corrected, 3);
+  EXPECT_TRUE(run.report.clean());
+  EXPECT_LE(run.rel_err, gemm_tolerance<double>(cs.k));
+}
+
+TEST(MultiError, BurstInOneColumn) {
+  const GemmCase cs{64, 64, 64};
+  DeterministicInjector inj({
+      {InjectionKind::kAddDelta, 0, 3, 9, 1.5, 0},
+      {InjectionKind::kAddDelta, 0, 21, 9, -2.5, 0},
+      {InjectionKind::kAddDelta, 0, 45, 9, 8.0, 0},
+  });
+  const InjectionRun run = run_with_injector(cs, inj);
+  EXPECT_EQ(run.report.errors_corrected, 3);
+  EXPECT_TRUE(run.report.clean());
+  EXPECT_LE(run.rel_err, gemm_tolerance<double>(cs.k));
+}
+
+TEST(MultiError, ErrorsInDifferentPanelsAreIndependent) {
+  const GemmCase cs{80, 80, 600};
+  DeterministicInjector inj({
+      {InjectionKind::kAddDelta, 0, 5, 5, 1.0, 0},
+      {InjectionKind::kAddDelta, 1, 6, 6, -2.0, 0},
+      {InjectionKind::kAddDelta, 2, 7, 7, 3.0, 0},
+  });
+  const BlockingPlan plan = make_plan(select_isa(), 8);
+  const int num_panels = int((cs.k + plan.kc - 1) / plan.kc);
+  if (num_panels < 3) GTEST_SKIP();
+  const InjectionRun run = run_with_injector(cs, inj);
+  EXPECT_EQ(run.report.errors_corrected, 3);
+  EXPECT_TRUE(run.report.clean());
+  EXPECT_LE(run.rel_err, gemm_tolerance<double>(cs.k));
+}
+
+TEST(MultiError, SameElementTwiceInOnePanelMergesIntoOneCorrection) {
+  const GemmCase cs{64, 64, 64};
+  DeterministicInjector inj({
+      {InjectionKind::kAddDelta, 0, 11, 13, 1.0, 0},
+      {InjectionKind::kAddDelta, 0, 11, 13, 2.0, 0},
+  });
+  const InjectionRun run = run_with_injector(cs, inj);
+  // The two deltas sum in both checksums: one located error of +3.
+  EXPECT_EQ(run.report.errors_corrected, 1);
+  EXPECT_TRUE(run.report.clean());
+  EXPECT_LE(run.rel_err, gemm_tolerance<double>(cs.k));
+}
+
+TEST(MultiError, CancellingPairInRowIsAtLeastDetected) {
+  // +d and -d in the same row cancel in Cc but not in Cr: the locator
+  // cannot close the assignment, so the panel must be flagged
+  // uncorrectable — silent corruption is the one forbidden outcome.
+  const GemmCase cs{64, 64, 64};
+  DeterministicInjector inj({
+      {InjectionKind::kAddDelta, 0, 9, 10, 5.0, 0},
+      {InjectionKind::kAddDelta, 0, 9, 30, -5.0, 0},
+  });
+  const InjectionRun run = run_with_injector(cs, inj);
+  EXPECT_EQ(run.report.uncorrectable_panels, 1);
+  EXPECT_FALSE(run.report.clean());
+}
+
+// ---------------------------------------------------------------------------
+// Bit-flip fault model.
+// ---------------------------------------------------------------------------
+
+class BitflipSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitflipSweep, HighBitsCorrected) {
+  const int bit = GetParam();
+  const GemmCase cs{64, 64, 64};
+  DeterministicInjector inj(
+      {{InjectionKind::kFlipBit, 0, 17, 23, 0.0, bit}});
+  const InjectionRun run = run_with_injector(cs, inj);
+  ASSERT_EQ(run.injected, 1u);
+  const double applied = std::abs(inj.log()[0].delta);
+  if (applied > 1e-4) {
+    EXPECT_EQ(run.report.errors_corrected, 1) << "bit " << bit;
+    EXPECT_TRUE(run.report.clean());
+  }
+  // Whether corrected (large flip, converged via the exact-recheck rounds)
+  // or below threshold (low mantissa bit, numerically harmless by the
+  // tolerance argument), the result must stay near the reference.
+  EXPECT_LE(run.rel_err, std::max(gemm_tolerance<double>(cs.k), 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, BitflipSweep,
+                         ::testing::Values(62, 60, 55, 52, 40, 30),
+                         [](const auto& info) {
+                           return "bit" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Stochastic injectors.
+// ---------------------------------------------------------------------------
+
+TEST(CountInjectorTest, TwentyErrorsPerRunAllCorrected) {
+  // The paper's Fig 2(c) regime: 20 injected errors per multiplication.
+  const GemmCase cs{256, 256, 512};
+  CountInjector inj(20, 4242, 3.0);
+  const InjectionRun run = run_with_injector(cs, inj);
+  EXPECT_EQ(run.injected, 20u);
+  EXPECT_TRUE(run.report.clean());
+  EXPECT_GE(run.report.errors_corrected, 18)
+      << "collisions may merge corrections, but nearly all are distinct";
+  EXPECT_LE(run.rel_err, gemm_tolerance<double>(cs.k));
+}
+
+TEST(CountInjectorTest, RepeatedCallsUseFreshSchedules) {
+  CountInjector inj(4, 1, 1.0);
+  const GemmCase cs{64, 64, 64};
+  const InjectionRun r1 = run_with_injector(cs, inj);
+  inj.clear_log();
+  const InjectionRun r2 = run_with_injector(cs, inj);
+  EXPECT_TRUE(r1.report.clean());
+  EXPECT_TRUE(r2.report.clean());
+}
+
+TEST(RateInjectorTest, InjectsRoughlyAtConfiguredRate) {
+  // A very high rate guarantees injections even on a fast machine; all must
+  // be corrected.
+  const GemmCase cs{192, 192, 512};
+  RateInjector inj(/*errors_per_minute=*/60.0 * 1e4, 7, 2.0);
+  const InjectionRun run = run_with_injector(cs, inj);
+  EXPECT_GT(run.injected, 0u) << "rate injector should have fired";
+  EXPECT_TRUE(run.report.clean());
+  EXPECT_LE(run.rel_err, gemm_tolerance<double>(cs.k));
+}
+
+// ---------------------------------------------------------------------------
+// Failure modes and recovery paths.
+// ---------------------------------------------------------------------------
+
+TEST(OriUnderInjection, SilentlyCorrupts) {
+  // Sanity check of the experiment design: without FT the same injection
+  // visibly corrupts the result.
+  const GemmCase cs{96, 96, 96};
+  Problem<double> p(cs);
+  const Matrix<double> ref = reference_result(cs, p);
+  Matrix<double> c = p.c.clone();
+  DeterministicInjector inj({{InjectionKind::kAddDelta, 0, 1, 1, 100.0, 0}});
+  Options opts;
+  opts.injector = &inj;
+  dgemm(Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n, cs.k, cs.alpha,
+        p.a.data(), p.a.ld(), p.b.data(), p.b.ld(), cs.beta, c.data(),
+        c.ld(), opts);
+  EXPECT_GT(max_rel_diff(c, ref), 1.0);
+}
+
+TEST(ParanoidRecheck, ConfirmsGoodCorrections) {
+  const GemmCase cs{96, 96, 96};
+  DeterministicInjector inj({{InjectionKind::kAddDelta, 0, 10, 20, 2.0, 0}});
+  const InjectionRun run = run_with_injector(cs, inj, 7, /*paranoid=*/true);
+  EXPECT_EQ(run.report.errors_corrected, 1);
+  EXPECT_TRUE(run.report.clean());
+}
+
+TEST(ReliableWrapper, RetriesUncorrectablePattern) {
+  // The cancelling pair is uncorrectable in-flight; ft_dgemm_reliable must
+  // roll back and re-run.  The injector fires on every call, so retries
+  // exhaust and the final report stays dirty — but C must never silently
+  // hold a wrong result without the report saying so.
+  const GemmCase cs{64, 64, 64};
+  Problem<double> p(cs);
+  Matrix<double> c = p.c.clone();
+  DeterministicInjector inj({
+      {InjectionKind::kAddDelta, 0, 9, 10, 5.0, 0},
+      {InjectionKind::kAddDelta, 0, 9, 30, -5.0, 0},
+  });
+  Options opts;
+  opts.injector = &inj;
+  const FtReport rep = ft_dgemm_reliable(Layout::kColMajor, cs.ta, cs.tb,
+                                         cs.m, cs.n, cs.k, cs.alpha,
+                                         p.a.data(), p.a.ld(), p.b.data(),
+                                         p.b.ld(), cs.beta, c.data(), c.ld(),
+                                         opts, /*max_retries=*/2);
+  EXPECT_EQ(rep.retries, 2);
+  EXPECT_FALSE(rep.clean());
+}
+
+TEST(ReliableWrapper, OneTransientFaultHealsOnRetry) {
+  // An injector that only corrupts the first call: the retry is clean and
+  // the final result exact.
+  class OneShotInjector final : public FaultInjector {
+   public:
+    void plan_block(const BlockContext& ctx,
+                    std::vector<InjectionRecord>& out) override {
+      if (fired_ || ctx.panel != 0) return;
+      // Cancelling pair within one block -> uncorrectable on first attempt.
+      if (ctx.i0 <= 9 && 9 < ctx.i0 + ctx.mlen && ctx.j0 <= 10 &&
+          30 < ctx.j0 + ctx.nlen) {
+        out.push_back({InjectionKind::kAddDelta, 0, 9, 10, 5.0, 0});
+        out.push_back({InjectionKind::kAddDelta, 0, 9, 30, -5.0, 0});
+        fired_ = true;
+      }
+    }
+
+   private:
+    bool fired_ = false;
+  };
+
+  const GemmCase cs{64, 64, 64};
+  Problem<double> p(cs);
+  const Matrix<double> ref = reference_result(cs, p);
+  Matrix<double> c = p.c.clone();
+  OneShotInjector inj;
+  Options opts;
+  opts.injector = &inj;
+  const FtReport rep = ft_dgemm_reliable(Layout::kColMajor, cs.ta, cs.tb,
+                                         cs.m, cs.n, cs.k, cs.alpha,
+                                         p.a.data(), p.a.ld(), p.b.data(),
+                                         p.b.ld(), cs.beta, c.data(), c.ld(),
+                                         opts, 2);
+  EXPECT_TRUE(rep.clean());
+  EXPECT_EQ(rep.retries, 1);
+  EXPECT_LE(max_rel_diff(c, ref), gemm_tolerance<double>(cs.k));
+}
+
+TEST(InjectionLog, RecordsGroundTruthPositionsAndDeltas) {
+  const GemmCase cs{64, 64, 64};
+  DeterministicInjector inj({{InjectionKind::kAddDelta, 0, 12, 34, 1.5, 0}});
+  run_with_injector(cs, inj);
+  const auto log = inj.log();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].i, 12);
+  EXPECT_EQ(log[0].j, 34);
+  EXPECT_DOUBLE_EQ(log[0].delta, 1.5);
+}
+
+TEST(ApplyCorruption, BitflipReturnsExactDelta) {
+  double v = 3.25;
+  const double orig = v;
+  InjectionRecord rec;
+  rec.kind = InjectionKind::kFlipBit;
+  rec.bit = 62;
+  const double delta = apply_corruption(v, rec);
+  // For exponent flips the tiny original is below the ulp of the delta, so
+  // orig + delta only reproduces v to rounding of the larger magnitude.
+  EXPECT_NEAR(orig + delta, v,
+              4e-16 * std::max({std::abs(orig), std::abs(v), 1.0}));
+  // Flipping the same bit back restores the value.
+  apply_corruption(v, rec);
+  EXPECT_DOUBLE_EQ(v, orig);
+
+  float f = -1.5f;
+  rec.bit = 30;
+  const double fdelta = apply_corruption(f, rec);
+  EXPECT_NE(fdelta, 0.0);
+}
+
+}  // namespace
+}  // namespace ftgemm

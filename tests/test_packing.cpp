@@ -1,0 +1,207 @@
+// Unit tests: packing routines and their fused checksum side effects.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kernels/packing.hpp"
+#include "util/matrix.hpp"
+
+namespace ftgemm {
+namespace {
+
+/// Reconstruct element (i, kk) of a packed-A region.
+template <typename T>
+T packed_a_at(const std::vector<T>& dst, index_t mr, index_t klen, index_t i,
+              index_t kk) {
+  const index_t panel = i / mr;
+  return dst[std::size_t(panel * mr * klen + kk * mr + (i % mr))];
+}
+
+/// Reconstruct element (kk, j) of a packed-B region.
+template <typename T>
+T packed_b_at(const std::vector<T>& dst, index_t nr, index_t klen, index_t kk,
+              index_t j) {
+  const index_t panel = j / nr;
+  return dst[std::size_t(panel * nr * klen + kk * nr + (j % nr))];
+}
+
+class PackATest
+    : public ::testing::TestWithParam<std::tuple<index_t, index_t, bool>> {};
+
+TEST_P(PackATest, RoundTripWithAlphaAndPadding) {
+  const auto [mlen, klen, trans] = GetParam();
+  const index_t mr = 16;
+  const double alpha = 1.25;
+  // Source "A" is 100x100 so sub-regions with offsets are exercised.
+  Matrix<double> src(100, 100);
+  src.fill_random(11);
+  const OperandView<double> view{src.data(), src.ld(), trans};
+  const index_t m0 = 8, k0 = 8;
+
+  const index_t panels = (mlen + mr - 1) / mr;
+  std::vector<double> dst(static_cast<std::size_t>(panels * mr * klen), -777.0);
+  pack_a(view, m0, k0, mlen, klen, mr, alpha, dst.data());
+
+  for (index_t i = 0; i < mlen; ++i)
+    for (index_t kk = 0; kk < klen; ++kk)
+      EXPECT_DOUBLE_EQ(packed_a_at(dst, mr, klen, i, kk),
+                       alpha * view.at(m0 + i, k0 + kk))
+          << i << "," << kk;
+  // Zero padding in the last partial panel.
+  for (index_t i = mlen; i < panels * mr; ++i)
+    for (index_t kk = 0; kk < klen; ++kk)
+      EXPECT_DOUBLE_EQ(packed_a_at(dst, mr, klen, i, kk), 0.0);
+}
+
+TEST_P(PackATest, FtVariantPacksIdenticallyAndUpdatesCc) {
+  const auto [mlen, klen, trans] = GetParam();
+  const index_t mr = 16;
+  const double alpha = -0.5;
+  Matrix<double> src(100, 100);
+  src.fill_random(13);
+  const OperandView<double> view{src.data(), src.ld(), trans};
+  const index_t m0 = 0, k0 = 4;
+
+  std::vector<double> bc(static_cast<std::size_t>(klen));
+  for (index_t kk = 0; kk < klen; ++kk) bc[std::size_t(kk)] = 0.1 * double(kk + 1);
+
+  const index_t panels = (mlen + mr - 1) / mr;
+  std::vector<double> dst_plain(static_cast<std::size_t>(panels * mr * klen));
+  std::vector<double> dst_ft(static_cast<std::size_t>(panels * mr * klen));
+  std::vector<double> cc(static_cast<std::size_t>(mlen), 1.0);  // pre-seeded: must accumulate
+
+  pack_a(view, m0, k0, mlen, klen, mr, alpha, dst_plain.data());
+  pack_a_ft(view, m0, k0, mlen, klen, mr, alpha, dst_ft.data(), bc.data(),
+            cc.data());
+
+  EXPECT_EQ(dst_plain, dst_ft) << "FT packing must not change the panel";
+  for (index_t i = 0; i < mlen; ++i) {
+    double want = 1.0;
+    for (index_t kk = 0; kk < klen; ++kk)
+      want += alpha * view.at(m0 + i, k0 + kk) * bc[std::size_t(kk)];
+    EXPECT_NEAR(cc[std::size_t(i)], want,
+                1e-12 * std::max(1.0, std::abs(want)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PackATest,
+    ::testing::Combine(::testing::Values<index_t>(1, 15, 16, 17, 48, 61),
+                       ::testing::Values<index_t>(1, 7, 64),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      return "m" + std::to_string(std::get<0>(info.param)) + "_k" +
+             std::to_string(std::get<1>(info.param)) +
+             (std::get<2>(info.param) ? "_trans" : "_notrans");
+    });
+
+class PackBTest
+    : public ::testing::TestWithParam<std::tuple<index_t, index_t, bool>> {};
+
+TEST_P(PackBTest, RoundTripWithPadding) {
+  const auto [nlen, klen, trans] = GetParam();
+  const index_t nr = 8;
+  Matrix<double> src(100, 100);
+  src.fill_random(17);
+  const OperandView<double> view{src.data(), src.ld(), trans};
+  const index_t k0 = 3, j0 = 5;
+
+  const index_t panels = (nlen + nr - 1) / nr;
+  std::vector<double> dst(static_cast<std::size_t>(panels * nr * klen), -777.0);
+  pack_b(view, k0, j0, klen, nlen, nr, dst.data());
+
+  for (index_t kk = 0; kk < klen; ++kk) {
+    for (index_t j = 0; j < nlen; ++j)
+      EXPECT_DOUBLE_EQ(packed_b_at(dst, nr, klen, kk, j),
+                       view.at(k0 + kk, j0 + j));
+    for (index_t j = nlen; j < panels * nr; ++j)
+      EXPECT_DOUBLE_EQ(packed_b_at(dst, nr, klen, kk, j), 0.0);
+  }
+}
+
+TEST_P(PackBTest, FtVariantPacksIdenticallyAndUpdatesCr) {
+  const auto [nlen, klen, trans] = GetParam();
+  const index_t nr = 8;
+  Matrix<double> src(100, 100);
+  src.fill_random(19);
+  const OperandView<double> view{src.data(), src.ld(), trans};
+  const index_t k0 = 0, j0 = 2;
+
+  std::vector<double> ar(static_cast<std::size_t>(klen));
+  for (index_t kk = 0; kk < klen; ++kk)
+    ar[std::size_t(kk)] = 0.01 * double(kk) - 0.3;
+
+  const index_t panels = (nlen + nr - 1) / nr;
+  std::vector<double> dst_plain(static_cast<std::size_t>(panels * nr * klen));
+  std::vector<double> dst_ft(static_cast<std::size_t>(panels * nr * klen));
+  std::vector<double> cr(static_cast<std::size_t>(nlen), 2.0);
+
+  pack_b(view, k0, j0, klen, nlen, nr, dst_plain.data());
+  pack_b_ft(view, k0, j0, klen, nlen, nr, dst_ft.data(), ar.data(),
+            cr.data());
+
+  EXPECT_EQ(dst_plain, dst_ft);
+  for (index_t j = 0; j < nlen; ++j) {
+    double want = 2.0;
+    for (index_t kk = 0; kk < klen; ++kk)
+      want += ar[std::size_t(kk)] * view.at(k0 + kk, j0 + j);
+    EXPECT_NEAR(cr[std::size_t(j)], want,
+                1e-11 * std::max(1.0, std::abs(want)))
+        << "col " << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PackBTest,
+    ::testing::Combine(::testing::Values<index_t>(1, 7, 8, 9, 40, 83),
+                       ::testing::Values<index_t>(1, 13, 64),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_k" +
+             std::to_string(std::get<1>(info.param)) +
+             (std::get<2>(info.param) ? "_trans" : "_notrans");
+    });
+
+TEST(ReduceBc, MatchesDirectRowSumsAndTracksAmax) {
+  const index_t nr = 8, klen = 37, nlen = 43;
+  Matrix<double> src(klen, nlen);
+  src.fill_random(23, -2.0, 2.0);
+  const OperandView<double> view{src.data(), src.ld(), false};
+
+  const index_t panels = (nlen + nr - 1) / nr;
+  std::vector<double> packed(static_cast<std::size_t>(panels * nr * klen));
+  pack_b(view, 0, 0, klen, nlen, nr, packed.data());
+
+  std::vector<double> bc(static_cast<std::size_t>(klen), -1.0);
+  const double amax =
+      reduce_bc_from_panel(packed.data(), klen, nlen, nr, 0, klen, bc.data(),
+                           0.5);
+
+  double amax_want = 0.5;
+  for (index_t kk = 0; kk < klen; ++kk) {
+    double want = 0.0;
+    for (index_t j = 0; j < nlen; ++j) {
+      want += src(kk, j);
+      amax_want = std::max(amax_want, std::abs(src(kk, j)));
+    }
+    EXPECT_NEAR(bc[std::size_t(kk)], want, 1e-12 * std::max(1.0, std::abs(want)));
+  }
+  EXPECT_DOUBLE_EQ(amax, amax_want);
+}
+
+TEST(ReduceBc, PartialKRangeOnlyTouchesItsSlice) {
+  const index_t nr = 8, klen = 16, nlen = 16;
+  std::vector<double> packed(static_cast<std::size_t>(2 * nr * klen), 1.0);
+  std::vector<double> bc(static_cast<std::size_t>(klen), -9.0);
+  reduce_bc_from_panel(packed.data(), klen, nlen, nr, 4, 8, bc.data(), 0.0);
+  for (index_t kk = 0; kk < klen; ++kk) {
+    if (kk >= 4 && kk < 12) {
+      EXPECT_DOUBLE_EQ(bc[std::size_t(kk)], double(nlen));
+    } else {
+      EXPECT_DOUBLE_EQ(bc[std::size_t(kk)], -9.0) << "outside slice";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ftgemm

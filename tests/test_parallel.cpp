@@ -1,0 +1,146 @@
+// Parallel FT-GEMM tests (§2.3): the same driver with threads > 1 must
+// produce correct results, preserve FT guarantees, and partition work
+// per the shared-B~/private-A~ scheme.  On a single-core CI machine the
+// threads oversubscribe, which still exercises every synchronization path.
+#include <gtest/gtest.h>
+
+#include "inject/injectors.hpp"
+#include "test_common.hpp"
+
+namespace ftgemm {
+namespace {
+
+using testing::GemmCase;
+using testing::Problem;
+using testing::gemm_tolerance;
+using testing::reference_result;
+
+class ParallelSweep
+    : public ::testing::TestWithParam<std::tuple<int, GemmCase>> {};
+
+TEST_P(ParallelSweep, OriMatchesOracle) {
+  const auto [threads, cs] = GetParam();
+  Problem<double> p(cs);
+  const Matrix<double> ref = reference_result(cs, p);
+  Matrix<double> c = p.c.clone();
+  Options opts;
+  opts.threads = threads;
+  dgemm(Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n, cs.k, cs.alpha,
+        p.a.data(), p.a.ld(), p.b.data(), p.b.ld(), cs.beta, c.data(), c.ld(),
+        opts);
+  EXPECT_LE(max_rel_diff(c, ref), gemm_tolerance<double>(cs.k))
+      << "threads=" << threads << " " << cs;
+}
+
+TEST_P(ParallelSweep, FtCleanAndMatchesOracle) {
+  const auto [threads, cs] = GetParam();
+  Problem<double> p(cs);
+  const Matrix<double> ref = reference_result(cs, p);
+  Matrix<double> c = p.c.clone();
+  Options opts;
+  opts.threads = threads;
+  const FtReport rep = ft_dgemm(Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n,
+                                cs.k, cs.alpha, p.a.data(), p.a.ld(),
+                                p.b.data(), p.b.ld(), cs.beta, c.data(),
+                                c.ld(), opts);
+  EXPECT_TRUE(rep.clean()) << "threads=" << threads << " " << cs;
+  EXPECT_EQ(rep.errors_detected, 0);
+  EXPECT_LE(max_rel_diff(c, ref), gemm_tolerance<double>(cs.k));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadsTimesShapes, ParallelSweep,
+    ::testing::Combine(
+        ::testing::Values(2, 3, 4),
+        ::testing::Values(GemmCase{128, 96, 300},
+                          GemmCase{97, 203, 129},
+                          // fewer M-rows than threads*MR: some threads idle
+                          GemmCase{17, 64, 64},
+                          GemmCase{256, 32, 512, Trans::kTrans,
+                                   Trans::kNoTrans},
+                          GemmCase{64, 64, 64, Trans::kNoTrans,
+                                   Trans::kTrans, -1.5, 2.0})),
+    [](const auto& info) {
+      return "t" + std::to_string(std::get<0>(info.param)) + "_" +
+             GemmCase(std::get<1>(info.param)).name();
+    });
+
+TEST(ParallelFt, InjectionCorrectedAcrossThreadBoundaries) {
+  // Errors in different threads' row partitions, same panel: the Cr
+  // reduction and the single-threaded solve must see all of them.
+  const GemmCase cs{128, 128, 128};
+  Problem<double> p(cs);
+  const Matrix<double> ref = reference_result(cs, p);
+  Matrix<double> c = p.c.clone();
+  DeterministicInjector inj({
+      {InjectionKind::kAddDelta, 0, 5, 100, 2.0, 0},    // thread 0 rows
+      {InjectionKind::kAddDelta, 0, 120, 3, -7.0, 0},   // last thread rows
+  });
+  Options opts;
+  opts.threads = 4;
+  opts.injector = &inj;
+  const FtReport rep = ft_dgemm(Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n,
+                                cs.k, cs.alpha, p.a.data(), p.a.ld(),
+                                p.b.data(), p.b.ld(), cs.beta, c.data(),
+                                c.ld(), opts);
+  EXPECT_EQ(static_cast<std::size_t>(rep.errors_corrected), inj.injected_count());
+  EXPECT_TRUE(rep.clean());
+  EXPECT_LE(max_rel_diff(c, ref), gemm_tolerance<double>(cs.k));
+}
+
+TEST(ParallelFt, TwentyRandomErrorsWithFourThreads) {
+  const GemmCase cs{192, 160, 384};
+  CountInjector inj(20, 2024, 5.0);
+  Problem<double> p(cs);
+  const Matrix<double> ref = reference_result(cs, p);
+  Matrix<double> c = p.c.clone();
+  Options opts;
+  opts.threads = 4;
+  opts.injector = &inj;
+  const FtReport rep = ft_dgemm(Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n,
+                                cs.k, cs.alpha, p.a.data(), p.a.ld(),
+                                p.b.data(), p.b.ld(), cs.beta, c.data(),
+                                c.ld(), opts);
+  EXPECT_EQ(inj.injected_count(), 20u);
+  EXPECT_TRUE(rep.clean());
+  EXPECT_LE(max_rel_diff(c, ref), gemm_tolerance<double>(cs.k));
+}
+
+TEST(ParallelFt, ResultsIdenticalAcrossThreadCounts) {
+  // The M-partition changes which kernel instance computes each row, but
+  // every row's FMA sequence is identical -> results must match bitwise.
+  const GemmCase cs{160, 96, 320};
+  Problem<double> p(cs);
+  Matrix<double> c1 = p.c.clone();
+  Matrix<double> c4 = p.c.clone();
+  Options o1, o4;
+  o1.threads = 1;
+  o4.threads = 4;
+  ft_dgemm(Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n, cs.k, cs.alpha,
+           p.a.data(), p.a.ld(), p.b.data(), p.b.ld(), cs.beta, c1.data(),
+           c1.ld(), o1);
+  ft_dgemm(Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n, cs.k, cs.alpha,
+           p.a.data(), p.a.ld(), p.b.data(), p.b.ld(), cs.beta, c4.data(),
+           c4.ld(), o4);
+  EXPECT_DOUBLE_EQ(max_abs_diff(c1, c4), 0.0);
+}
+
+TEST(ParallelFt, MoreThreadsThanRowTiles) {
+  // 8 threads, one MR tile of rows: most threads have empty M-partitions
+  // yet still participate in packing and barriers.
+  const GemmCase cs{16, 128, 256};
+  Problem<double> p(cs);
+  const Matrix<double> ref = reference_result(cs, p);
+  Matrix<double> c = p.c.clone();
+  Options opts;
+  opts.threads = 8;
+  const FtReport rep = ft_dgemm(Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n,
+                                cs.k, cs.alpha, p.a.data(), p.a.ld(),
+                                p.b.data(), p.b.ld(), cs.beta, c.data(),
+                                c.ld(), opts);
+  EXPECT_TRUE(rep.clean());
+  EXPECT_LE(max_rel_diff(c, ref), gemm_tolerance<double>(cs.k));
+}
+
+}  // namespace
+}  // namespace ftgemm

@@ -1,0 +1,210 @@
+// Unit tests: util module (aligned buffers, matrices, RNG, stats) and the
+// driver's partition helper.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+
+#include "core/driver.hpp"
+#include "util/aligned_buffer.hpp"
+#include "util/env.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace ftgemm {
+namespace {
+
+TEST(AlignedBuffer, AllocatesCacheLineAligned) {
+  for (std::size_t count : {1u, 7u, 64u, 1000u}) {
+    AlignedBuffer<double> buf(count);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % 64, 0u);
+    EXPECT_EQ(buf.size(), count);
+  }
+}
+
+TEST(AlignedBuffer, DefaultIsEmpty) {
+  AlignedBuffer<float> buf;
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.data(), nullptr);
+}
+
+TEST(AlignedBuffer, EnsureGrowsButNeverShrinks) {
+  AlignedBuffer<double> buf(16);
+  double* old = buf.data();
+  buf.ensure(8);
+  EXPECT_EQ(buf.data(), old);
+  EXPECT_EQ(buf.size(), 16u);
+  buf.ensure(1024);
+  EXPECT_GE(buf.size(), 1024u);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer<int> a(32);
+  a[0] = 42;
+  AlignedBuffer<int> b(std::move(a));
+  EXPECT_EQ(b[0], 42);
+  EXPECT_EQ(a.data(), nullptr);
+  AlignedBuffer<int> c;
+  c = std::move(b);
+  EXPECT_EQ(c[0], 42);
+  EXPECT_EQ(b.data(), nullptr);
+}
+
+TEST(Matrix, IndexingIsColumnMajor) {
+  Matrix<double> m(3, 2);
+  m.fill(0.0);
+  m(2, 1) = 5.0;
+  EXPECT_EQ(m.data()[2 + 1 * m.ld()], 5.0);
+}
+
+TEST(Matrix, LeadingDimensionRespected) {
+  Matrix<double> m(3, 2, 10);
+  EXPECT_EQ(m.ld(), 10);
+  m.fill(1.0);
+  m(0, 1) = 2.0;
+  EXPECT_EQ(m.data()[10], 2.0);
+}
+
+TEST(Matrix, RandomFillIsDeterministic) {
+  Matrix<double> a(17, 13), b(17, 13);
+  a.fill_random(99);
+  b.fill_random(99);
+  EXPECT_EQ(max_abs_diff(a, b), 0.0);
+  b.fill_random(100);
+  EXPECT_GT(max_abs_diff(a, b), 0.0);
+}
+
+TEST(Matrix, CloneIsDeepCopy) {
+  Matrix<double> a(4, 4);
+  a.fill_random(1);
+  Matrix<double> b = a.clone();
+  b(0, 0) += 1.0;
+  EXPECT_NE(a(0, 0), b(0, 0));
+}
+
+TEST(Matrix, RejectsBadDimensions) {
+  EXPECT_THROW(Matrix<double>(-1, 2), std::invalid_argument);
+  EXPECT_THROW(Matrix<double>(4, 2, 2), std::invalid_argument);
+}
+
+TEST(Matrix, DiffHelpers) {
+  Matrix<double> a(2, 2), b(2, 2);
+  a.fill(1.0);
+  b.fill(1.0);
+  b(1, 1) = 1.5;
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(max_rel_diff(a, b), 0.5 / 1.5);
+}
+
+TEST(Xoshiro, UniformIsInRange) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Xoshiro, BoundedRespectsBound) {
+  Xoshiro256 rng(6);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.bounded(17);
+    EXPECT_LT(v, 17u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 17u) << "all residues should appear in 1000 draws";
+  EXPECT_EQ(rng.bounded(0), 0u);
+}
+
+TEST(Xoshiro, SeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Stats, BasicMoments) {
+  const SampleStats s = compute_stats({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Stats, EvenCountMedianAverages) {
+  const SampleStats s = compute_stats({4.0, 1.0, 3.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+}
+
+TEST(Stats, EmptyAndSingle) {
+  EXPECT_DOUBLE_EQ(compute_stats({}).mean, 0.0);
+  const SampleStats s = compute_stats({7.0});
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Timer, GflopsFormula) {
+  EXPECT_DOUBLE_EQ(gemm_gflops(1000, 1000, 1000, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(gemm_gflops(1000, 1000, 1000, 0.0), 0.0);
+}
+
+TEST(Env, ParsesNumbers) {
+  ::setenv("FTGEMM_TEST_ENV_L", "42", 1);
+  EXPECT_EQ(env_long("FTGEMM_TEST_ENV_L", 7), 42);
+  ::setenv("FTGEMM_TEST_ENV_L", "bogus", 1);
+  EXPECT_EQ(env_long("FTGEMM_TEST_ENV_L", 7), 7);
+  ::unsetenv("FTGEMM_TEST_ENV_L");
+  EXPECT_EQ(env_long("FTGEMM_TEST_ENV_L", 7), 7);
+  ::setenv("FTGEMM_TEST_ENV_D", "2.5", 1);
+  EXPECT_DOUBLE_EQ(env_double("FTGEMM_TEST_ENV_D", 1.0), 2.5);
+  ::unsetenv("FTGEMM_TEST_ENV_D");
+}
+
+// ---------------------------------------------------------------------------
+// partition_units: the load-balancing primitive every parallel phase uses.
+// ---------------------------------------------------------------------------
+
+TEST(PartitionUnits, CoversRangeExactlyAndInOrder) {
+  for (index_t total : {0, 1, 7, 16, 100, 1023}) {
+    for (index_t unit : {1, 4, 8, 16}) {
+      for (int parts : {1, 2, 3, 7, 16}) {
+        index_t covered = 0;
+        index_t expected_off = 0;
+        for (int idx = 0; idx < parts; ++idx) {
+          index_t off = -1, len = -1;
+          detail::partition_units(total, unit, parts, idx, off, len);
+          EXPECT_GE(len, 0);
+          if (len > 0) {
+            EXPECT_EQ(off, expected_off);
+            EXPECT_EQ(off % unit, 0) << "chunk must start on a unit boundary";
+            expected_off = off + len;
+          }
+          covered += len;
+        }
+        EXPECT_EQ(covered, total)
+            << "total=" << total << " unit=" << unit << " parts=" << parts;
+      }
+    }
+  }
+}
+
+TEST(PartitionUnits, BalancedWithinOneUnit) {
+  index_t off0, len0, off1, len1;
+  detail::partition_units(100, 4, 2, 0, off0, len0);
+  detail::partition_units(100, 4, 2, 1, off1, len1);
+  EXPECT_LE(std::abs(len0 - len1), 4);
+}
+
+TEST(PartitionUnits, SinglePartTakesAll) {
+  index_t off, len;
+  detail::partition_units(37, 8, 1, 0, off, len);
+  EXPECT_EQ(off, 0);
+  EXPECT_EQ(len, 37);
+}
+
+}  // namespace
+}  // namespace ftgemm
