@@ -1,0 +1,112 @@
+// Batched dispatch vs. looped-serial dispatch (the new subsystem's claim).
+//
+// Workload: BATCH independent problems of one size (default 64 x 256^3, the
+// ml-inference regime), run four ways per mode (Ori / FT):
+//
+//   loop      — one ft_gemm/gemm call per problem, back to back (what
+//               examples/ml_inference.cpp did before the batched API),
+//   intra     — one batched call, forced serial-over-problems scheduling
+//               (isolates the fork/join amortization),
+//   inter     — one batched call, forced one-worker-per-problem scheduling,
+//   auto      — one batched call, the production decision rule.
+//
+// Environment knobs:
+//   FTGEMM_BENCH_BATCH   problems per batch          (default 64)
+//   FTGEMM_BENCH_SIZE    square per-problem size     (default 256)
+//   FTGEMM_BENCH_REPS    timed repetitions           (default 5)
+//   FTGEMM_BENCH_THREADS worker cap                  (default all cores)
+//
+// Output: whole-batch GFLOPS per strategy plus the batched/loop speedup.
+#include "bench_common.hpp"
+#include "core/gemm_batched.hpp"
+
+namespace ftgemm::bench {
+namespace {
+
+struct BatchWorkload {
+  index_t n, batch, stride;
+  Matrix<double> a, b, c;
+
+  BatchWorkload(index_t size, index_t count)
+      : n(size), batch(count), stride(size * size), a(size, size * count),
+        b(size, size * count), c(size, size * count) {
+    a.fill_random(42);
+    b.fill_random(43);
+    c.fill(0.0);
+  }
+};
+
+template <typename Fn>
+double batch_gflops(const BatchWorkload& w, int reps, Fn&& fn) {
+  return median_gflops(w.n * w.batch, w.n, w.n, reps, fn);
+}
+
+void run(bool ft) {
+  const index_t size = env_long("FTGEMM_BENCH_SIZE", 256);
+  const index_t batch = env_long("FTGEMM_BENCH_BATCH", 64);
+  const int reps = bench_reps();
+  const int threads = bench_threads();
+  BatchWorkload w(size, batch);
+
+  Options single;
+  single.threads = threads;
+
+  const auto batched = [&](BatchSchedule sched) {
+    BatchOptions opts;
+    opts.base.threads = threads;
+    opts.schedule = sched;
+    if (ft) {
+      ft_gemm_strided_batched<double>(
+          Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, w.n, w.n, w.n,
+          1.0, w.a.data(), w.n, w.stride, w.b.data(), w.n, w.stride, 0.0,
+          w.c.data(), w.n, w.stride, w.batch, opts);
+    } else {
+      gemm_strided_batched<double>(
+          Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, w.n, w.n, w.n,
+          1.0, w.a.data(), w.n, w.stride, w.b.data(), w.n, w.stride, 0.0,
+          w.c.data(), w.n, w.stride, w.batch, opts);
+    }
+  };
+
+  const double loop = batch_gflops(w, reps, [&] {
+    for (index_t p = 0; p < w.batch; ++p) {
+      const index_t off = p * w.stride;
+      if (ft) {
+        ft_dgemm(Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, w.n,
+                 w.n, w.n, 1.0, w.a.data() + off, w.n, w.b.data() + off, w.n,
+                 0.0, w.c.data() + off, w.n, single);
+      } else {
+        dgemm(Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, w.n, w.n,
+              w.n, 1.0, w.a.data() + off, w.n, w.b.data() + off, w.n, 0.0,
+              w.c.data() + off, w.n, single);
+      }
+    }
+  });
+  const double intra =
+      batch_gflops(w, reps, [&] { batched(BatchSchedule::kIntra); });
+  const double inter =
+      batch_gflops(w, reps, [&] { batched(BatchSchedule::kInter); });
+  const double autod =
+      batch_gflops(w, reps, [&] { batched(BatchSchedule::kAuto); });
+
+  const double best = std::max({intra, inter, autod});
+  std::printf("%-6s%14.2f%14.2f%14.2f%14.2f%13.2fx\n", ft ? "FT" : "Ori",
+              loop, intra, inter, autod, best / loop);
+}
+
+}  // namespace
+}  // namespace ftgemm::bench
+
+int main() {
+  using namespace ftgemm::bench;
+  const long size = ftgemm::env_long("FTGEMM_BENCH_SIZE", 256);
+  const long batch = ftgemm::env_long("FTGEMM_BENCH_BATCH", 64);
+  std::printf("# batched vs looped dispatch, %ld x (%ld^3) problems\n", batch,
+              size);
+  std::printf("# threads=%d reps=%d\n", bench_threads(), bench_reps());
+  std::printf("%-6s%14s%14s%14s%14s%14s\n", "mode", "loop", "intra", "inter",
+              "auto", "best/loop");
+  run(false);
+  run(true);
+  return 0;
+}

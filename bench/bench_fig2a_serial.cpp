@@ -2,7 +2,7 @@
 //
 // Paper series: MKL, BLIS, OpenBLAS, FT-BLAS:Ori, FT-BLAS:FT on sizes
 // 1024^2..10240^2.  MKL/OpenBLAS/BLIS are unavailable offline, so the
-// stand-in baselines are (see DESIGN.md §2): the naive triple loop, the
+// stand-in baselines are (see docs/DESIGN.md §4): the naive triple loop, the
 // cache-blocked portable GEMM, and the *unfused* classic-ABFT GEMM; the
 // in-repo Ori and FT columns correspond directly to the paper's.
 //

@@ -1,0 +1,60 @@
+#!/bin/sh
+# Run a benchmark binary and record its table output as BENCH_<name>.json
+# in the current directory (see bench/README.md for the convention).
+#
+#   bench/record.sh build/bench/bench_fig2a_serial [args...]
+set -eu
+
+[ $# -ge 1 ] || { echo "usage: $0 <bench-binary> [args...]" >&2; exit 2; }
+bin=$1
+shift
+[ -x "$bin" ] || { echo "error: $bin is not an executable benchmark" >&2; exit 2; }
+name=$(basename "$bin" | sed 's/^bench_//')
+out="BENCH_${name}.json"
+
+"$bin" "$@" | awk -v name="$name" '
+  BEGIN {
+    printf "{\n  \"bench\": \"%s\",\n", name
+    "date -u +%Y-%m-%dT%H:%M:%SZ" | getline d
+    printf "  \"date\": \"%s\",\n", d
+    printf "  \"env\": {"
+    sep = ""
+    split("FTGEMM_BENCH_MAX FTGEMM_BENCH_REPS FTGEMM_BENCH_THREADS " \
+          "FTGEMM_BENCH_BATCH FTGEMM_BENCH_SIZE FTGEMM_ISA " \
+          "FTGEMM_MC FTGEMM_NC FTGEMM_KC", knobs, " ")
+    for (i in knobs) if (knobs[i] in ENVIRON) {
+      printf "%s\"%s\": \"%s\"", sep, knobs[i], ENVIRON[knobs[i]]
+      sep = ", "
+    }
+    printf "},\n"
+    ncomments = 0; have_cols = 0; nrows = 0
+  }
+  /^#/ { sub(/^# ?/, ""); comments[ncomments++] = $0; next }
+  NF == 0 { next }
+  !have_cols {
+    for (i = 1; i <= NF; i++) cols[i] = $i
+    ncols = NF; have_cols = 1; next
+  }
+  { for (i = 1; i <= NF; i++) rows[nrows, i] = $i; rowlen[nrows] = NF; nrows++ }
+  END {
+    printf "  \"comments\": ["
+    for (i = 0; i < ncomments; i++) {
+      gsub(/"/, "\\\"", comments[i])
+      printf "%s\"%s\"", (i ? ", " : ""), comments[i]
+    }
+    printf "],\n  \"columns\": ["
+    for (i = 1; i <= ncols; i++) printf "%s\"%s\"", (i > 1 ? ", " : ""), cols[i]
+    printf "],\n  \"rows\": [\n"
+    for (r = 0; r < nrows; r++) {
+      printf "    ["
+      for (i = 1; i <= rowlen[r]; i++) {
+        v = rows[r, i]
+        if (v ~ /^-?[0-9]+\.?[0-9]*x?$/) { sub(/x$/, "", v); printf "%s%s", (i > 1 ? ", " : ""), v }
+        else { gsub(/"/, "\\\"", v); printf "%s\"%s\"", (i > 1 ? ", " : ""), v }
+      }
+      printf "]%s\n", (r < nrows - 1 ? "," : "")
+    }
+    printf "  ]\n}\n"
+  }
+' > "$out"
+echo "wrote $out"

@@ -1,11 +1,20 @@
-// Example: MLP inference with fault-tolerant GEMM layers.
+// Example: MLP inference serving with batched fault-tolerant GEMM.
 //
-// A 4-layer perceptron (GEMM + bias + ReLU per layer) classifies a batch of
-// synthetic inputs.  The forward pass runs twice: unprotected under fault
-// injection (accuracy collapses on the corrupted samples) and FT-protected
-// under the same fault schedule (accuracy preserved, errors corrected).
+// A 4-layer perceptron (GEMM + bias + ReLU per layer) classifies inputs for
+// many concurrent *requests*.  Instead of one monolithic GEMM per layer,
+// each layer runs one ft_gemm_strided_batched call over the requests: the
+// weight matrix is broadcast with stride 0, every request's activation
+// block is an independent batch member, and the scheduler spreads members
+// across cores (the serving-traffic shape the batched subsystem exists
+// for).
 //
-//   build/examples/ml_inference [batch]
+// The forward pass runs twice under the same fault schedule — unprotected
+// (accuracy collapses on the corrupted requests) and FT-protected (faults
+// corrected per member, accuracy preserved).  Faults target one randomly
+// chosen request per layer, emulating a soft error striking one of many
+// in-flight multiplications.
+//
+//   build/examples/ml_inference [requests] [cols_per_request]
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -36,31 +45,45 @@ struct Mlp {
     }
   }
 
-  /// Forward pass; returns argmax class per column.  When `opts` carries an
-  /// injector and `protect` is set, every GEMM runs under ft_dgemm.
-  std::vector<int> forward(const Matrix<double>& input, bool protect,
-                           const Options& opts, FtReport* total) const {
-    const index_t batch = input.cols();
+  /// Forward pass over `requests` independent activation blocks of
+  /// `cols` columns each.  Per layer: one strided-batched GEMM with the
+  /// weight broadcast (stride 0).  When `injector` is set, layer l targets
+  /// request `targets[l]`.  Returns argmax class per input column.
+  std::vector<int> forward(const Matrix<double>& input, index_t requests,
+                           index_t cols, bool protect,
+                           FaultInjector* injector,
+                           const std::vector<index_t>& targets,
+                           BatchReport* total) const {
+    const index_t batch = requests * cols;
     Matrix<double> act = input.clone();
     for (int l = 0; l < 4; ++l) {
       Matrix<double> next(kDims[l + 1], batch);
       next.fill(0.0);
+
+      BatchOptions opts;
+      opts.base.injector = injector;
+      opts.inject_problem = injector != nullptr ? targets[std::size_t(l)] : 0;
+      const index_t stride_in = kDims[l] * cols;
+      const index_t stride_out = kDims[l + 1] * cols;
       if (protect) {
-        const FtReport rep = ft_dgemm(
+        const BatchReport rep = ft_gemm_strided_batched<double>(
             Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans,
-            kDims[l + 1], batch, kDims[l], 1.0, weights[std::size_t(l)].data(),
-            weights[std::size_t(l)].ld(), act.data(), act.ld(), 0.0,
-            next.data(), next.ld(), opts);
+            kDims[l + 1], cols, kDims[l], 1.0, weights[std::size_t(l)].data(),
+            weights[std::size_t(l)].ld(), 0, act.data(), kDims[l], stride_in,
+            0.0, next.data(), kDims[l + 1], stride_out, requests, opts);
         if (total != nullptr) {
           total->errors_detected += rep.errors_detected;
           total->errors_corrected += rep.errors_corrected;
           total->uncorrectable_panels += rep.uncorrectable_panels;
+          total->faulty_problems += rep.faulty_problems;
+          total->dirty_problems += rep.dirty_problems;
         }
       } else {
-        dgemm(Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans,
-              kDims[l + 1], batch, kDims[l], 1.0,
-              weights[std::size_t(l)].data(), weights[std::size_t(l)].ld(),
-              act.data(), act.ld(), 0.0, next.data(), next.ld(), opts);
+        gemm_strided_batched<double>(
+            Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans,
+            kDims[l + 1], cols, kDims[l], 1.0, weights[std::size_t(l)].data(),
+            weights[std::size_t(l)].ld(), 0, act.data(), kDims[l], stride_in,
+            0.0, next.data(), kDims[l + 1], stride_out, requests, opts);
       }
       // Bias + ReLU (last layer: bias only).
       for (index_t j = 0; j < batch; ++j) {
@@ -86,30 +109,38 @@ struct Mlp {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const index_t batch = argc > 1 ? std::atoll(argv[1]) : 128;
+  const index_t requests = argc > 1 ? std::atoll(argv[1]) : 16;
+  const index_t cols = argc > 2 ? std::atoll(argv[2]) : 8;
+  if (requests < 1 || cols < 1) {
+    std::fprintf(stderr, "usage: ml_inference [requests >= 1] [cols >= 1]\n");
+    return 2;
+  }
   Mlp model;
 
-  Matrix<double> input(Mlp::kDims[0], batch);
+  Matrix<double> input(Mlp::kDims[0], requests * cols);
   input.fill_random(999, 0.0, 1.0);
 
+  // One targeted request per layer, fixed across both faulty runs so the
+  // protected pass faces the same schedule the unprotected one did.
+  Xoshiro256 rng(4242);
+  std::vector<index_t> targets;
+  for (int l = 0; l < 4; ++l)
+    targets.push_back(index_t(rng.bounded(std::uint64_t(requests))));
+
   // Ground-truth labels from a clean run.
-  Options clean;
-  const std::vector<int> truth = model.forward(input, false, clean, nullptr);
+  const std::vector<int> truth =
+      model.forward(input, requests, cols, false, nullptr, targets, nullptr);
 
   // Unprotected inference under injection.
   CountInjector inj_unprot(3, 31337, 10.0);
-  Options unprot;
-  unprot.injector = &inj_unprot;
-  const std::vector<int> corrupted =
-      model.forward(input, false, unprot, nullptr);
+  const std::vector<int> corrupted = model.forward(
+      input, requests, cols, false, &inj_unprot, targets, nullptr);
 
-  // Protected inference under the same kind of fault pressure.
+  // Protected inference under the same fault schedule.
   CountInjector inj_prot(3, 31337, 10.0);
-  Options prot;
-  prot.injector = &inj_prot;
-  FtReport total;
+  BatchReport total;
   const std::vector<int> protected_labels =
-      model.forward(input, true, prot, &total);
+      model.forward(input, requests, cols, true, &inj_prot, targets, &total);
 
   auto accuracy = [&](const std::vector<int>& got) {
     int same = 0;
@@ -118,16 +149,18 @@ int main(int argc, char** argv) {
     return 100.0 * double(same) / double(truth.size());
   };
 
-  std::printf("MLP inference, batch=%lld, 3 faults injected per layer GEMM\n",
-              (long long)batch);
+  std::printf("MLP inference, %lld requests x %lld cols, 3 faults aimed at "
+              "one request per layer\n",
+              (long long)requests, (long long)cols);
   std::printf("  unprotected accuracy vs clean run : %6.2f%% (%zu faults)\n",
               accuracy(corrupted), inj_unprot.injected_count());
   std::printf("  FT-protected accuracy             : %6.2f%% (%zu faults, "
-              "%lld corrected)\n",
+              "%lld corrected, %lld requests hit)\n",
               accuracy(protected_labels), inj_prot.injected_count(),
-              (long long)total.errors_corrected);
+              (long long)total.errors_corrected,
+              (long long)total.faulty_problems);
   const bool ok =
-      accuracy(protected_labels) == 100.0 && total.uncorrectable_panels == 0;
+      accuracy(protected_labels) == 100.0 && total.dirty_problems == 0;
   std::printf("  protected run %s\n", ok ? "PRESERVED all predictions"
                                          : "FAILED to preserve predictions");
   return ok ? 0 : 1;

@@ -2,7 +2,7 @@
 //
 // These are the in-repo stand-ins for the external baselines the paper
 // measures against (MKL / OpenBLAS / BLIS are unavailable offline; see
-// DESIGN.md §2).  naive_gemm is also the correctness oracle for the whole
+// docs/DESIGN.md §4).  naive_gemm is also the correctness oracle for the whole
 // test suite: every optimized path must match it to rounding error.
 #pragma once
 

@@ -11,6 +11,7 @@
 //     reductions the parallel algorithm requires.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "blocking/plan.hpp"
@@ -82,6 +83,34 @@ class GemmContext {
   index_t atilde_stride_ = 0;
   index_t crref_stride_ = 0;
   index_t ar_stride_ = 0;
+};
+
+/// Pool of GemmContexts for the batched scheduler: one slot per concurrent
+/// worker, so inter-batch parallelism gives every in-flight problem its own
+/// workspace.  Grow-only, like the contexts it holds — a steady-state batch
+/// workload allocates on the first call and never again.  Slot addresses are
+/// stable across grow() calls (contexts are held by unique_ptr), so worker
+/// threads may keep references while another batch geometry is being
+/// prepared.
+///
+/// Not thread-safe for concurrent grow(); callers grow once up front and
+/// then hand disjoint slots to the workers (which is exactly the batched
+/// driver's access pattern).
+template <typename T>
+class ContextCache {
+ public:
+  /// Make at least `slots` contexts available.
+  void grow(int slots) {
+    while (int(slots_.size()) < slots)
+      slots_.push_back(std::make_unique<GemmContext<T>>());
+  }
+
+  [[nodiscard]] int size() const { return int(slots_.size()); }
+
+  [[nodiscard]] GemmContext<T>& slot(int i) { return *slots_[std::size_t(i)]; }
+
+ private:
+  std::vector<std::unique_ptr<GemmContext<T>>> slots_;
 };
 
 }  // namespace ftgemm

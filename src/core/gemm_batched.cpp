@@ -1,0 +1,234 @@
+#include "core/gemm_batched.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "util/env.hpp"
+#include "util/timer.hpp"
+
+namespace ftgemm {
+
+namespace {
+
+/// Per-problem flop count at or below which kAuto picks inter-batch
+/// parallelism: threading a problem this small is mostly barrier overhead
+/// (the FT driver synchronizes several times per rank-KC panel), while one
+/// worker per problem keeps every core on independent arithmetic.  The
+/// default hands problems up to ~400^3 to the inter-batch path; override
+/// with FTGEMM_BATCH_INTER_FLOPS for tuning or A/B experiments.
+constexpr double kInterBatchFlopCutoff = 134.0e6;
+
+bool pick_inter_batch(const BatchOptions& opts, index_t m, index_t n,
+                      index_t k, index_t batch) {
+  switch (opts.schedule) {
+    case BatchSchedule::kInter: return true;
+    case BatchSchedule::kIntra: return false;
+    case BatchSchedule::kAuto: break;
+  }
+  if (batch < 2) return false;
+  const double flops = 2.0 * double(m) * double(n) * double(std::max<index_t>(k, 1));
+  return flops <= env_double("FTGEMM_BATCH_INTER_FLOPS", kInterBatchFlopCutoff);
+}
+
+/// Per-calling-thread workspace pool, keyed on the element type only (the
+/// contexts themselves are FT-agnostic), so Ori and FT batched calls from
+/// one serving thread share a single grow-only set of workspaces.
+template <typename T>
+ContextCache<T>& batched_cache() {
+  thread_local ContextCache<T> cache;
+  return cache;
+}
+
+template <typename T, bool FT>
+BatchReport run_batched(Layout layout, Trans ta, Trans tb, index_t m,
+                        index_t n, index_t k, T alpha, const T* const* a,
+                        index_t lda, const T* const* b, index_t ldb, T beta,
+                        T* const* c, index_t ldc, index_t batch,
+                        const BatchOptions& opts) {
+  BatchReport report;
+  const WallTimer timer;
+  if (batch <= 0) return report;
+  report.problems = batch;
+
+  // Resolve the row-major case onto the column-major core, exactly as the
+  // single-problem dispatch does: swap the operand roles and (m, n).
+  if (layout == Layout::kRowMajor) {
+    std::swap(ta, tb);
+    std::swap(m, n);
+    std::swap(a, b);
+    std::swap(lda, ldb);
+  }
+
+  int nt = opts.base.threads > 0 ? opts.base.threads : omp_get_max_threads();
+  nt = std::max(nt, 1);
+
+  // A shared injector must see its begin_call / plan_block protocol one
+  // problem at a time, and a shared correction log may not be appended to
+  // by concurrent GEMMs (Options contract); inject_problem < 0 shares both
+  // across every member, so serialize the batch.
+  const bool shared_sink =
+      (opts.base.injector != nullptr || opts.base.correction_log != nullptr) &&
+      opts.inject_problem < 0;
+  const bool inter = !shared_sink && pick_inter_batch(opts, m, n, k, batch);
+  report.inter_batch = inter;
+  const int workers = inter ? int(std::min<index_t>(nt, batch)) : 1;
+
+  // One workspace per concurrent worker.  The cache is thread_local to the
+  // *calling* thread, so concurrent batched calls issued from different
+  // application threads never share slots.
+  ContextCache<T>& cache = batched_cache<T>();
+  cache.grow(workers);
+
+  std::vector<FtReport> reports(static_cast<std::size_t>(batch));
+
+  const auto run_one = [&](index_t p, int nthreads, GemmContext<T>& ctx) {
+    Options o = opts.base;
+    o.threads = nthreads;
+    if (opts.inject_problem >= 0 && p != opts.inject_problem) {
+      o.injector = nullptr;
+      o.correction_log = nullptr;
+    }
+    reports[std::size_t(p)] = detail::run_gemm<T, FT>(
+        ta, tb, m, n, k, alpha, a[p], lda, b[p], ldb, beta, c[p], ldc, o, ctx);
+  };
+
+  if (inter) {
+#pragma omp parallel num_threads(workers)
+    {
+      GemmContext<T>& ctx = cache.slot(omp_get_thread_num());
+#pragma omp for schedule(dynamic)
+      for (index_t p = 0; p < batch; ++p) run_one(p, 1, ctx);
+    }
+  } else {
+    for (index_t p = 0; p < batch; ++p) run_one(p, nt, cache.slot(0));
+  }
+
+  if constexpr (FT) {
+    for (const FtReport& r : reports) {
+      report.errors_detected += r.errors_detected;
+      report.errors_corrected += r.errors_corrected;
+      report.uncorrectable_panels += r.uncorrectable_panels;
+      if (r.errors_detected > 0) ++report.faulty_problems;
+      if (!r.clean()) ++report.dirty_problems;
+    }
+    report.per_problem = std::move(reports);
+  }
+  report.elapsed_seconds = timer.seconds();
+  return report;
+}
+
+template <typename T, bool FT>
+BatchReport run_strided_batched(Layout layout, Trans ta, Trans tb, index_t m,
+                                index_t n, index_t k, T alpha, const T* a,
+                                index_t lda, index_t stride_a, const T* b,
+                                index_t ldb, index_t stride_b, T beta, T* c,
+                                index_t ldc, index_t stride_c, index_t batch,
+                                const BatchOptions& opts) {
+  if (batch <= 0) return {};
+  std::vector<const T*> ap(static_cast<std::size_t>(batch));
+  std::vector<const T*> bp(static_cast<std::size_t>(batch));
+  std::vector<T*> cp(static_cast<std::size_t>(batch));
+  for (index_t p = 0; p < batch; ++p) {
+    ap[std::size_t(p)] = a + p * stride_a;
+    bp[std::size_t(p)] = b + p * stride_b;
+    cp[std::size_t(p)] = c + p * stride_c;
+  }
+  return run_batched<T, FT>(layout, ta, tb, m, n, k, alpha, ap.data(), lda,
+                            bp.data(), ldb, beta, cp.data(), ldc, batch, opts);
+}
+
+}  // namespace
+
+template <typename T>
+BatchReport gemm_batched(Layout layout, Trans ta, Trans tb, index_t m,
+                         index_t n, index_t k, T alpha, const T* const* a,
+                         index_t lda, const T* const* b, index_t ldb, T beta,
+                         T* const* c, index_t ldc, index_t batch,
+                         const BatchOptions& opts) {
+  return run_batched<T, false>(layout, ta, tb, m, n, k, alpha, a, lda, b, ldb,
+                               beta, c, ldc, batch, opts);
+}
+
+template <typename T>
+BatchReport ft_gemm_batched(Layout layout, Trans ta, Trans tb, index_t m,
+                            index_t n, index_t k, T alpha, const T* const* a,
+                            index_t lda, const T* const* b, index_t ldb,
+                            T beta, T* const* c, index_t ldc, index_t batch,
+                            const BatchOptions& opts) {
+  return run_batched<T, true>(layout, ta, tb, m, n, k, alpha, a, lda, b, ldb,
+                              beta, c, ldc, batch, opts);
+}
+
+template <typename T>
+BatchReport gemm_strided_batched(Layout layout, Trans ta, Trans tb, index_t m,
+                                 index_t n, index_t k, T alpha, const T* a,
+                                 index_t lda, index_t stride_a, const T* b,
+                                 index_t ldb, index_t stride_b, T beta, T* c,
+                                 index_t ldc, index_t stride_c, index_t batch,
+                                 const BatchOptions& opts) {
+  return run_strided_batched<T, false>(layout, ta, tb, m, n, k, alpha, a, lda,
+                                       stride_a, b, ldb, stride_b, beta, c,
+                                       ldc, stride_c, batch, opts);
+}
+
+template <typename T>
+BatchReport ft_gemm_strided_batched(Layout layout, Trans ta, Trans tb,
+                                    index_t m, index_t n, index_t k, T alpha,
+                                    const T* a, index_t lda, index_t stride_a,
+                                    const T* b, index_t ldb, index_t stride_b,
+                                    T beta, T* c, index_t ldc,
+                                    index_t stride_c, index_t batch,
+                                    const BatchOptions& opts) {
+  return run_strided_batched<T, true>(layout, ta, tb, m, n, k, alpha, a, lda,
+                                      stride_a, b, ldb, stride_b, beta, c,
+                                      ldc, stride_c, batch, opts);
+}
+
+template BatchReport gemm_batched<float>(Layout, Trans, Trans, index_t,
+                                         index_t, index_t, float,
+                                         const float* const*, index_t,
+                                         const float* const*, index_t, float,
+                                         float* const*, index_t, index_t,
+                                         const BatchOptions&);
+template BatchReport gemm_batched<double>(Layout, Trans, Trans, index_t,
+                                          index_t, index_t, double,
+                                          const double* const*, index_t,
+                                          const double* const*, index_t,
+                                          double, double* const*, index_t,
+                                          index_t, const BatchOptions&);
+template BatchReport ft_gemm_batched<float>(Layout, Trans, Trans, index_t,
+                                            index_t, index_t, float,
+                                            const float* const*, index_t,
+                                            const float* const*, index_t,
+                                            float, float* const*, index_t,
+                                            index_t, const BatchOptions&);
+template BatchReport ft_gemm_batched<double>(Layout, Trans, Trans, index_t,
+                                             index_t, index_t, double,
+                                             const double* const*, index_t,
+                                             const double* const*, index_t,
+                                             double, double* const*, index_t,
+                                             index_t, const BatchOptions&);
+template BatchReport gemm_strided_batched<float>(Layout, Trans, Trans,
+                                                 index_t, index_t, index_t,
+                                                 float, const float*, index_t,
+                                                 index_t, const float*,
+                                                 index_t, index_t, float,
+                                                 float*, index_t, index_t,
+                                                 index_t, const BatchOptions&);
+template BatchReport gemm_strided_batched<double>(
+    Layout, Trans, Trans, index_t, index_t, index_t, double, const double*,
+    index_t, index_t, const double*, index_t, index_t, double, double*,
+    index_t, index_t, index_t, const BatchOptions&);
+template BatchReport ft_gemm_strided_batched<float>(
+    Layout, Trans, Trans, index_t, index_t, index_t, float, const float*,
+    index_t, index_t, const float*, index_t, index_t, float, float*, index_t,
+    index_t, index_t, const BatchOptions&);
+template BatchReport ft_gemm_strided_batched<double>(
+    Layout, Trans, Trans, index_t, index_t, index_t, double, const double*,
+    index_t, index_t, const double*, index_t, index_t, double, double*,
+    index_t, index_t, index_t, const BatchOptions&);
+
+}  // namespace ftgemm

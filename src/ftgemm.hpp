@@ -2,7 +2,7 @@
 //
 // Reproduction of "FT-GEMM: A Fault Tolerant High Performance GEMM
 // Implementation on x86 CPUs" (Wu et al., HPDC '23).  See README.md for a
-// tour and DESIGN.md for the architecture.
+// tour and docs/DESIGN.md for the architecture.
 //
 //   #include <ftgemm.hpp>
 //
@@ -21,6 +21,7 @@
 #include "baseline/unfused_abft.hpp" // IWYU pragma: export
 #include "blocking/plan.hpp"       // IWYU pragma: export
 #include "core/gemm.hpp"           // IWYU pragma: export
+#include "core/gemm_batched.hpp"   // IWYU pragma: export
 #include "core/options.hpp"        // IWYU pragma: export
 #include "ftblas/level1.hpp"       // IWYU pragma: export
 #include "ftblas/level2.hpp"       // IWYU pragma: export

@@ -62,4 +62,81 @@ CampaignResult run_injection_campaign(const CampaignConfig& config) {
   return result;
 }
 
+BatchedCampaignResult run_batched_injection_campaign(
+    const BatchedCampaignConfig& config) {
+  BatchedCampaignResult result;
+  const index_t n = config.size;
+  const index_t batch = config.batch;
+  const index_t stride = n * n;
+
+  // Strided batch storage: problem p lives at offset p * n^2.
+  Matrix<double> a(n, n * batch), b(n, n * batch), c(n, n * batch);
+  Matrix<double> ref(n, n * batch);
+  a.fill_random(config.seed);
+  b.fill_random(config.seed + 1);
+
+  // Fault-free reference for every batch member.
+  ref.fill(0.0);
+  BatchOptions clean_opts;
+  clean_opts.base.threads = config.threads;
+  clean_opts.schedule = config.schedule;
+  gemm_strided_batched<double>(Layout::kColMajor, Trans::kNoTrans,
+                               Trans::kNoTrans, n, n, n, 1.0, a.data(), n,
+                               stride, b.data(), n, stride, 0.0, ref.data(),
+                               n, stride, batch, clean_opts);
+
+  CountInjector injector(config.errors_per_run, config.seed + 7,
+                         config.magnitude);
+  Xoshiro256 target_rng(config.seed + 99);
+
+  double gflops_sum = 0.0;
+  for (int run = 0; run < config.runs; ++run) {
+    c.fill(0.0);
+    const index_t target =
+        index_t(target_rng.bounded(std::uint64_t(std::max<index_t>(batch, 1))));
+    result.targets.push_back(target);
+
+    BatchOptions opts;
+    opts.base.threads = config.threads;
+    opts.base.injector = &injector;
+    opts.schedule = config.schedule;
+    opts.inject_problem = target;
+
+    WallTimer t;
+    const BatchReport rep = ft_gemm_strided_batched<double>(
+        Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, n, n, n, 1.0,
+        a.data(), n, stride, b.data(), n, stride, 0.0, c.data(), n, stride,
+        batch, opts);
+    gflops_sum += gemm_gflops(double(n) * double(batch), double(n), double(n),
+                              t.seconds());
+
+    result.detected += rep.errors_detected;
+    result.corrected += rep.errors_corrected;
+    result.faulty_problems += rep.faulty_problems;
+    result.dirty_problems += rep.dirty_problems;
+
+    // Verify every member against its reference; only members whose report
+    // claimed clean may count as silently wrong (same contract as the
+    // single-problem campaign).
+    bool silent_wrong = false;
+    for (index_t p = 0; p < batch; ++p) {
+      double worst = 0.0;
+      for (index_t j = 0; j < n; ++j) {
+        for (index_t i = 0; i < n; ++i) {
+          const double x = c(i, p * n + j), y = ref(i, p * n + j);
+          const double denom = std::max({std::abs(x), std::abs(y), 1.0});
+          worst = std::max(worst, std::abs(x - y) / denom);
+        }
+      }
+      result.max_rel_error = std::max(result.max_rel_error, worst);
+      if (worst > 1e-9 && rep.per_problem[std::size_t(p)].clean())
+        silent_wrong = true;
+    }
+    if (silent_wrong) ++result.wrong_result_runs;
+  }
+  result.injected = injector.injected_count();
+  result.mean_gflops = gflops_sum / double(std::max(config.runs, 1));
+  return result;
+}
+
 }  // namespace ftgemm

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/gemm.hpp"
+#include "core/gemm_batched.hpp"
 #include "inject/injectors.hpp"
 #include "util/matrix.hpp"
 
@@ -43,5 +44,44 @@ struct CampaignResult {
 
 /// Execute the campaign.  Deterministic under config.seed.
 CampaignResult run_injection_campaign(const CampaignConfig& config);
+
+// ---------------------------------------------------------------------------
+// Batched campaign: the serving-traffic regime.
+// ---------------------------------------------------------------------------
+
+/// Configuration for a campaign over batched FT-GEMM calls.  Each run
+/// executes one ft_gemm_strided_batched over `batch` independent problems
+/// and aims the injector at a *randomly chosen* batch member, emulating a
+/// soft error striking one of many concurrent small multiplications.
+struct BatchedCampaignConfig {
+  index_t size = 128;        ///< square per-problem size
+  index_t batch = 16;        ///< problems per batched call
+  int runs = 10;             ///< batched calls to execute
+  int errors_per_run = 4;    ///< faults injected into the targeted problem
+  double magnitude = 2.0;    ///< injected delta scale
+  std::uint64_t seed = 1234;
+  int threads = 0;           ///< batch-wide worker cap (0 = all cores)
+  BatchSchedule schedule = BatchSchedule::kAuto;
+};
+
+struct BatchedCampaignResult {
+  std::size_t injected = 0;       ///< ground-truth corruptions applied
+  std::int64_t detected = 0;
+  std::int64_t corrected = 0;
+  index_t faulty_problems = 0;    ///< batch members reporting detections
+  index_t dirty_problems = 0;     ///< batch members left uncorrected
+  int wrong_result_runs = 0;      ///< runs with a silent wrong member
+  std::vector<index_t> targets;   ///< problem index targeted in each run
+  double max_rel_error = 0.0;     ///< worst member error vs reference
+  double mean_gflops = 0.0;       ///< whole-batch throughput per run
+
+  /// Every fault either corrected or flagged; no silent corruption.
+  [[nodiscard]] bool reliable() const { return wrong_result_runs == 0; }
+};
+
+/// Execute the batched campaign.  Deterministic under config.seed (including
+/// the per-run choice of targeted batch member).
+BatchedCampaignResult run_batched_injection_campaign(
+    const BatchedCampaignConfig& config);
 
 }  // namespace ftgemm

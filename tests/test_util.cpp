@@ -206,5 +206,29 @@ TEST(PartitionUnits, SinglePartTakesAll) {
   EXPECT_EQ(len, 37);
 }
 
+TEST(PartitionUnits, MorePartsThanBlocks) {
+  // 2 blocks of 4 split 5 ways: the first two workers get one block each
+  // (the second truncated at total), the rest must be empty with offsets
+  // clamped into [0, total] — the driver indexes buffers at `off` even when
+  // len == 0, so an out-of-range offset would be UB under inter-batch
+  // parallelism with more workers than work.
+  for (int idx = 0; idx < 5; ++idx) {
+    index_t off = -1, len = -1;
+    detail::partition_units(5, 4, 5, idx, off, len);
+    EXPECT_GE(off, 0) << "idx=" << idx;
+    EXPECT_LE(off, 5) << "idx=" << idx;
+    EXPECT_GE(len, 0) << "idx=" << idx;
+    EXPECT_LE(off + len, 5) << "idx=" << idx;
+  }
+  index_t off, len;
+  detail::partition_units(5, 4, 5, 0, off, len);
+  EXPECT_EQ(len, 4);
+  detail::partition_units(5, 4, 5, 1, off, len);
+  EXPECT_EQ(off, 4);
+  EXPECT_EQ(len, 1);
+  detail::partition_units(5, 4, 5, 2, off, len);
+  EXPECT_EQ(len, 0);
+}
+
 }  // namespace
 }  // namespace ftgemm

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Verify that file references in the markdown docs point at real files.
+
+Two kinds of references are checked, in README.md, docs/*.md and
+bench/README.md:
+
+  1. relative markdown link targets: [text](docs/DESIGN.md)
+  2. backticked repo paths rooted at a tracked top-level directory:
+     `src/core/driver.hpp`, `bench/record.sh`, `tests/` ...
+
+Backticked tokens containing placeholders (<, *, {) or shell fragments are
+skipped; `build/...` outputs are not repo files and are not checked.
+Exits non-zero listing every dangling reference.
+"""
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+DOCS = [ROOT / "README.md", ROOT / "bench" / "README.md",
+        *sorted((ROOT / "docs").glob("*.md"))]
+TOP_DIRS = ("src/", "docs/", "bench/", "tests/", "examples/", "tools/")
+
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)\)")
+BACKTICK = re.compile(r"`([^`\n]+)`")
+
+
+def main() -> int:
+    failures = []
+    for doc in DOCS:
+        if not doc.exists():
+            failures.append(f"{doc.relative_to(ROOT)}: document itself missing")
+            continue
+        text = doc.read_text(encoding="utf-8")
+        refs = set()
+        for target in MD_LINK.findall(text):
+            if "://" in target or target.startswith("mailto:"):
+                continue
+            refs.add((target, "link"))
+        for token in BACKTICK.findall(text):
+            if any(ch in token for ch in "<>*{} $"):
+                continue
+            if token.startswith(TOP_DIRS):
+                refs.add((token, "path"))
+        for target, kind in sorted(refs):
+            resolved = (doc.parent / target if kind == "link"
+                        else ROOT / target)
+            if not resolved.exists():
+                failures.append(
+                    f"{doc.relative_to(ROOT)}: dangling {kind} -> {target}")
+    if failures:
+        print("\n".join(failures))
+        return 1
+    print(f"checked {len(DOCS)} documents, all file references resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
