@@ -16,8 +16,8 @@ using namespace ftgemm::bench;
 namespace {
 
 double run_point(index_t n, int reps, bool ft, SquareWorkload<double>& w) {
-  // A fresh engine per point: the blocking plan is re-derived per call from
-  // the (just overridden) environment.
+  // A fresh engine per point: FTGEMM_* knobs are read at plan-build time and
+  // a warm PlanCache would mask the override, so start from an empty cache.
   GemmEngine<double> engine;
   engine.options().threads = 1;
   return median_gflops(n, n, n, reps, [&] {

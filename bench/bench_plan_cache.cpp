@@ -1,0 +1,96 @@
+// Plan-cache + small-GEMM fast-path benchmark: the serving regime of many
+// repeated small protected GEMMs.
+//
+// Two series over repeated FT calls of one small shape (64..128 cubed):
+//   uncached — every call re-plans from scratch (ISA selection, env reads,
+//              cache-derived blocking, kernel dispatch) and executes the
+//              general cooperative-packing path: the pre-plan-cache cost
+//              model.
+//   cached   — every call is a PlanCache hit executing the planner's
+//              single-macro-tile fast path: the steady-state cost model.
+//
+// Columns are GFLOPS over a burst of `calls` back-to-back invocations
+// (median of FTGEMM_BENCH_REPS bursts), plus the cached/uncached speedup.
+// FTGEMM_BENCH_CALLS overrides the burst length.
+#include "bench_common.hpp"
+#include "core/driver.hpp"
+#include "core/plan.hpp"
+
+using namespace ftgemm;
+using namespace ftgemm::bench;
+
+namespace {
+
+/// Median GFLOPS of `reps` bursts of `calls` invocations, measured for two
+/// competing series with their bursts interleaved (A, B, A, B, ...) so
+/// frequency/noise drift on a shared machine biases neither side.
+template <typename FnA, typename FnB>
+std::pair<double, double> interleaved_burst_gflops(index_t n, index_t calls,
+                                                   int reps, FnA&& fa,
+                                                   FnB&& fb) {
+  std::vector<double> sa, sb;
+  sa.reserve(std::size_t(reps));
+  sb.reserve(std::size_t(reps));
+  fa();  // warm-up: touch workspaces, populate caches
+  fb();
+  for (int r = 0; r < reps; ++r) {
+    WallTimer ta;
+    for (index_t i = 0; i < calls; ++i) fa();
+    sa.push_back(gemm_gflops(double(n) * double(calls), double(n), double(n),
+                             ta.seconds()));
+    WallTimer tb;
+    for (index_t i = 0; i < calls; ++i) fb();
+    sb.push_back(gemm_gflops(double(n) * double(calls), double(n), double(n),
+                             tb.seconds()));
+  }
+  return {compute_stats(sa).median, compute_stats(sb).median};
+}
+
+}  // namespace
+
+int main() {
+  const int reps = bench_reps();
+  const index_t calls = env_long("FTGEMM_BENCH_CALLS", 200);
+  std::printf("# plan cache + small-GEMM fast path, repeated ft_dgemm\n");
+  std::printf("# uncached = re-plan every call + general path; "
+              "cached = PlanCache hit + single-macro-tile path\n");
+  std::printf("# calls=%lld reps=%d threads=1\n", (long long)calls, reps);
+  std::printf("%-8s%14s%14s%14s\n", "size", "uncached_GF", "cached_GF",
+              "speedup");
+
+  for (const index_t n : {index_t(64), index_t(96), index_t(128)}) {
+    SquareWorkload<double> w(n);
+    GemmContext<double> ctx;
+
+    Options uncached_opts;
+    uncached_opts.threads = 1;
+    uncached_opts.small_fast_path = false;
+    Options cached_opts;
+    cached_opts.threads = 1;
+    PlanCache<double>& plans = ctx.plans();
+    const auto [uncached, cached] = interleaved_burst_gflops(
+        n, calls, reps,
+        [&] {
+          // Full per-call planning, exactly what the pre-refactor driver
+          // paid, plus the general cooperative-packing path.
+          const GemmPlan<double> plan = build_plan<double>(
+              Trans::kNoTrans, Trans::kNoTrans, n, n, n, uncached_opts,
+              true);
+          detail::execute<double, true>(plan, 1.0, w.a.data(), n,
+                                        w.b.data(), n, 0.0, w.c.data(), n,
+                                        nullptr, nullptr, ctx);
+        },
+        [&] {
+          const auto plan = plans.get_or_build(
+              Trans::kNoTrans, Trans::kNoTrans, n, n, n, cached_opts, true);
+          detail::execute<double, true>(*plan, 1.0, w.a.data(), n,
+                                        w.b.data(), n, 0.0, w.c.data(), n,
+                                        nullptr, nullptr, ctx);
+        });
+
+    std::printf("%-8lld%14.2f%14.2f%13.2fx\n", (long long)n, uncached,
+                cached, uncached > 0 ? cached / uncached : 0.0);
+    std::fflush(stdout);
+  }
+  return 0;
+}

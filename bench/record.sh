@@ -20,8 +20,8 @@ out="BENCH_${name}.json"
     printf "  \"env\": {"
     sep = ""
     split("FTGEMM_BENCH_MAX FTGEMM_BENCH_REPS FTGEMM_BENCH_THREADS " \
-          "FTGEMM_BENCH_BATCH FTGEMM_BENCH_SIZE FTGEMM_ISA " \
-          "FTGEMM_MC FTGEMM_NC FTGEMM_KC", knobs, " ")
+          "FTGEMM_BENCH_BATCH FTGEMM_BENCH_SIZE FTGEMM_BENCH_CALLS " \
+          "FTGEMM_ISA FTGEMM_MC FTGEMM_NC FTGEMM_KC", knobs, " ")
     for (i in knobs) if (knobs[i] in ENVIRON) {
       printf "%s\"%s\": \"%s\"", sep, knobs[i], ENVIRON[knobs[i]]
       sep = ", "

@@ -14,6 +14,10 @@ index_t round_down(index_t value, index_t multiple) {
   return r > 0 ? r : multiple;
 }
 
+index_t round_up(index_t value, index_t multiple) {
+  return (std::max<index_t>(value, 1) + multiple - 1) / multiple * multiple;
+}
+
 }  // namespace
 
 void register_tile(Isa isa, int elem_bytes, index_t& mr, index_t& nr) {
@@ -77,6 +81,15 @@ BlockingPlan make_plan(Isa isa, int elem_bytes) {
   plan.kc = std::max<index_t>(plan.kc, 1);
   plan.mc = round_down(std::max(plan.mc, plan.mr), plan.mr);
   plan.nc = round_down(std::max(plan.nc, plan.nr), plan.nr);
+  return plan;
+}
+
+BlockingPlan make_plan(Isa isa, int elem_bytes, index_t m, index_t n,
+                       index_t k) {
+  BlockingPlan plan = make_plan(isa, elem_bytes);
+  plan.kc = std::min(plan.kc, std::max<index_t>(k, 1));
+  plan.mc = std::min(plan.mc, round_up(m, plan.mr));
+  plan.nc = std::min(plan.nc, round_up(n, plan.nr));
   return plan;
 }
 

@@ -31,6 +31,15 @@ struct BlockingPlan {
 /// benchmark.
 BlockingPlan make_plan(Isa isa, int elem_bytes);
 
+/// Shape-aware overload: the cache-derived plan above, with each block size
+/// clamped to what the (m, n, k) problem can actually fill — KC to K, MC to
+/// M rounded up to MR, NC to N rounded up to NR.  Clamping never changes
+/// results (a loop that would run once with a larger block still runs once),
+/// it only shrinks workspace and makes the single-macro-tile condition
+/// `m <= mc && n <= nc && k <= kc` exact for the planner's fast path.
+BlockingPlan make_plan(Isa isa, int elem_bytes, index_t m, index_t n,
+                       index_t k);
+
 /// Register tile for an ISA/element width (MR x NR of the micro-kernel).
 void register_tile(Isa isa, int elem_bytes, index_t& mr, index_t& nr);
 

@@ -11,10 +11,12 @@
 //     reductions the parallel algorithm requires.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
 #include "blocking/plan.hpp"
+#include "core/plan.hpp"
 #include "util/aligned_buffer.hpp"
 #include "util/matrix.hpp"
 
@@ -68,6 +70,16 @@ class GemmContext {
   }
   [[nodiscard]] T* bc() { return bc_.data(); }
 
+  /// Size all buffers for the problem a GemmPlan was built for.
+  void ensure(const GemmPlan<T>& plan) {
+    ensure(plan.key.m, plan.key.n, std::max<index_t>(plan.key.k, 1),
+           plan.blocking, plan.threads, plan.key.ft, plan.kernels.cr_lanes);
+  }
+
+  /// Plans this workspace's owner has built, so repeated calls of one shape
+  /// skip re-planning entirely (LRU, see core/plan.hpp).
+  [[nodiscard]] PlanCache<T>& plans() { return plans_; }
+
  private:
   /// Pad a per-thread stride to a cache-line multiple to avoid false
   /// sharing between adjacent threads' partials.
@@ -83,6 +95,7 @@ class GemmContext {
   index_t atilde_stride_ = 0;
   index_t crref_stride_ = 0;
   index_t ar_stride_ = 0;
+  PlanCache<T> plans_;
 };
 
 /// Pool of GemmContexts for the batched scheduler: one slot per concurrent
@@ -109,8 +122,13 @@ class ContextCache {
 
   [[nodiscard]] GemmContext<T>& slot(int i) { return *slots_[std::size_t(i)]; }
 
+  /// Batch-level plan cache: one batched call plans its shape once here and
+  /// every worker slot executes the same immutable plan.
+  [[nodiscard]] PlanCache<T>& plans() { return plans_; }
+
  private:
   std::vector<std::unique_ptr<GemmContext<T>>> slots_;
+  PlanCache<T> plans_;
 };
 
 }  // namespace ftgemm

@@ -1,9 +1,16 @@
-// The (FT-)GEMM driver: a faithful implementation of Fig. 1 of the paper.
+// The (FT-)GEMM executor: a faithful implementation of Fig. 1 of the paper,
+// split into plan and execute phases (see core/plan.hpp).
 //
 // One template, two instantiations per element type:
 //   FT = false : the "Ori" high-performance GEMM (packing + cache blocking
 //                + SIMD micro-kernels),
 //   FT = true  : FT-GEMM with the fused ABFT scheme of §2.2/§2.3.
+//
+// execute() is a *pure executor*: every decision — ISA, kernel set, blocking,
+// thread topology, tolerance factor, fast-path selection — was made by the
+// planner and arrives frozen in the GemmPlan.  The only data-dependent
+// branch taken here is the alpha == 0 degeneracy, which depends on an
+// operand value no plan fingerprint covers.
 //
 // Thread topology (§2.3): the OpenMP parallel region partitions C along the
 // M-dimension; B~ is one buffer shared by all threads and packed
@@ -11,6 +18,14 @@
 // panel checksum Bc); each thread packs its own private A~.  Running with
 // threads = 1 *is* the serial algorithm — no separate code path exists, so
 // serial and parallel results are produced by the same verified code.
+//
+// The planner's small-GEMM fast path (plan.fast_path) takes execute_small
+// instead: the whole problem fits a single macro-tile, so B~ and A~ are each
+// packed exactly once by one thread, with no parallel region, no partition
+// bookkeeping, no barriers, and no per-call reduction scratch — the dominant
+// costs of the general path at serving-style sizes.  The arithmetic, packing
+// layout and summation order are identical to the general path at nt = 1,
+// so results (Ori and FT) are bit-identical.
 //
 // Verification happens once per rank-KC panel ("p-loop: verify" in Fig. 1):
 // every element of C is updated exactly once per panel, so the reference
@@ -31,6 +46,7 @@
 #include "blocking/plan.hpp"
 #include "core/context.hpp"
 #include "core/options.hpp"
+#include "core/plan.hpp"
 #include "kernels/macro_kernel.hpp"
 #include "kernels/microkernel.hpp"
 #include "kernels/packing.hpp"
@@ -52,38 +68,236 @@ inline void partition_units(index_t total, index_t unit, int parts, int idx,
   len = std::min(my_blocks * unit, total - off);
 }
 
+/// Locate/correct the errors behind the found checksum mismatches, then
+/// re-verify the touched rows and columns with exact sums over C and repeat
+/// if needed.  One round suffices for ordinary errors; corrections whose
+/// delta estimate was degraded by catastrophic rounding (an exponent bit
+/// flip dwarfing the entire row sum) converge in two.  Single-threaded:
+/// the general path calls it from an `omp single` section, the fast path
+/// directly.  `rows`/`cols` are consumed as scratch.
+template <typename T>
+inline void locate_correct_reverify(
+    std::vector<Mismatch>& rows, std::vector<Mismatch>& cols,
+    const ToleranceModel<T>& tol, index_t m, index_t n, T* c, index_t ldc,
+    GemmContext<T>& ctx, int panel,
+    std::vector<CorrectionRecord>* correction_log, std::int64_t& detected,
+    std::int64_t& corrected, int& uncorrectable) {
+  if (rows.empty() && cols.empty()) return;
+  bool failed = false;
+  std::vector<index_t> touched_rows, touched_cols;
+  constexpr int kMaxRounds = 4;
+  for (int round = 0;; ++round) {
+    const double slack = std::max(tol.cc_tau, tol.cr_tau) *
+                         double(2 + rows.size() + cols.size());
+    const SolveOutcome outcome = solve_error_assignment(rows, cols, slack);
+    if (!outcome.solved) {
+      if (round == 0) {
+        detected += std::int64_t(std::max(rows.size(), cols.size()));
+      }
+      failed = true;
+      break;
+    }
+    for (const LocatedError& err : outcome.errors) {
+      c[err.row + err.col * ldc] -= T(err.delta);
+      touched_rows.push_back(err.row);
+      touched_cols.push_back(err.col);
+      if (correction_log != nullptr) {
+        correction_log->push_back({panel, round, err.row, err.col, err.delta});
+      }
+    }
+    if (round == 0) {
+      detected += std::int64_t(outcome.errors.size());
+      corrected += std::int64_t(outcome.errors.size());
+    }
+    // Exact re-verification of everything we touched.
+    std::sort(touched_rows.begin(), touched_rows.end());
+    touched_rows.erase(std::unique(touched_rows.begin(), touched_rows.end()),
+                       touched_rows.end());
+    std::sort(touched_cols.begin(), touched_cols.end());
+    touched_cols.erase(std::unique(touched_cols.begin(), touched_cols.end()),
+                       touched_cols.end());
+    rows.clear();
+    cols.clear();
+    for (const index_t i : touched_rows) {
+      T sum = T(0);
+      for (index_t j = 0; j < n; ++j) sum += c[i + j * ldc];
+      const double d = double(sum) - double(ctx.cc()[i]);
+      if (std::abs(d) > tol.cc_tau) rows.push_back({i, d});
+    }
+    for (const index_t j : touched_cols) {
+      T sum = T(0);
+      for (index_t i = 0; i < m; ++i) sum += c[i + j * ldc];
+      const double d = double(sum) - double(ctx.cr()[j]);
+      if (std::abs(d) > tol.cr_tau) cols.push_back({j, d});
+    }
+    if (rows.empty() && cols.empty()) break;  // converged
+    if (round + 1 >= kMaxRounds) {
+      failed = true;
+      break;
+    }
+  }
+  if (failed) ++uncorrectable;
+}
+
+/// Apply the corruptions an injector planned for one macro block, emulating
+/// an in-kernel fault: the register-level reference checksums would have
+/// seen the corrupted value too.  `crref_lane` is the executing thread's
+/// lane-strided Cr reference partial.
 template <typename T, bool FT>
-FtReport run_gemm(Trans ta, Trans tb, index_t m, index_t n, index_t k,
-                  T alpha, const T* a, index_t lda, const T* b, index_t ldb,
-                  T beta, T* c, index_t ldc, const Options& opts,
-                  GemmContext<T>& ctx) {
+inline void apply_planned_injections(FaultInjector* injector,
+                                     const BlockContext& bctx,
+                                     std::vector<InjectionRecord>& planned,
+                                     T* c, index_t ldc, GemmContext<T>& ctx,
+                                     T* crref_lane, index_t lanes) {
+  planned.clear();
+  injector->plan_block(bctx, planned);
+  for (InjectionRecord rec : planned) {
+    T& value = c[rec.i + rec.j * ldc];
+    const double applied = apply_corruption(value, rec);
+    if constexpr (FT) {
+      ctx.ccref()[rec.i] += T(applied);
+      crref_lane[rec.j * lanes] += T(applied);
+    }
+    rec.delta = applied;
+    injector->record(rec);
+  }
+}
+
+/// Single-macro-tile direct path (plan.fast_path): serial, packed-once, no
+/// parallel region, no partition/barrier machinery, no per-call reduction
+/// scratch.  Bit-identical to the general path (FT checksums still fused).
+template <typename T, bool FT>
+FtReport execute_small(const GemmPlan<T>& plan, T alpha, const T* a,
+                       index_t lda, const T* b, index_t ldb, T beta, T* c,
+                       index_t ldc, FaultInjector* injector,
+                       std::vector<CorrectionRecord>* correction_log,
+                       GemmContext<T>& ctx) {
   FtReport report;
-  if (m <= 0 || n <= 0) return report;
   const WallTimer timer;
+  const PlanKey& key = plan.key;
+  const index_t m = key.m, n = key.n, k = key.k;
+  const KernelSet<T>& ks = plan.kernels;
+  const index_t lanes = ks.cr_lanes;
+  const bool degenerate = plan.k_zero || alpha == T(0);
 
-  const Isa isa = opts.isa.value_or(select_isa());
-  const KernelSet<T> ks = get_kernel_set<T>(isa);
-  const BlockingPlan plan = make_plan(isa, int(sizeof(T)));
+  if (injector != nullptr) injector->begin_call(m, n, k, 1);
+  ctx.ensure(plan);
 
-  int nt = opts.threads > 0 ? opts.threads : omp_get_max_threads();
-  nt = std::max(nt, 1);
+  const OperandView<T> av{a, lda, key.ta == Trans::kTrans};
+  const OperandView<T> bv{b, ldb, key.tb == Trans::kTrans};
 
-  const index_t num_panels = plan.kc > 0 ? (k + plan.kc - 1) / plan.kc : 0;
-  const bool degenerate = (k <= 0 || alpha == T(0));
+  // ---- Encode phase (one pass over C fused with beta-scaling, one over A).
+  double amax_a = 0.0, amax_b = 0.0, amax_c = 0.0;
+  if constexpr (FT) {
+    std::fill(ctx.cc(), ctx.cc() + m, T(0));
+    std::fill(ctx.crref_part(0), ctx.crref_part(0) + n, T(0));
+    std::fill(ctx.ar_part(0), ctx.ar_part(0) + k, T(0));
+    amax_c = scale_encode_c(c, ldc, index_t(0), m, n, beta, ctx.cc(),
+                            ctx.crref_part(0));
+    amax_a = encode_ar_partial(av, index_t(0), m, k, alpha, ctx.ar_part(0));
+    // The general path's cross-thread reductions collapse to copies at one
+    // thread (a sum of a single term), keeping results bit-identical.
+    std::copy(ctx.ar_part(0), ctx.ar_part(0) + k, ctx.ar());
+    std::copy(ctx.crref_part(0), ctx.crref_part(0) + n, ctx.cr());
+  } else {
+    scale_c(c, ldc, index_t(0), m, n, beta);
+  }
 
-  FaultInjector* const injector = opts.injector;
+  std::int64_t detected = 0, corrected = 0;
+  int uncorrectable = 0;
+  int panels_run = 0;
+
+  if (!degenerate) {
+    // ---- The single rank-K panel: pack B~ once, pack A~ once, one macro
+    // block, verify.
+    if constexpr (FT) {
+      std::fill(ctx.ccref(), ctx.ccref() + m, T(0));
+      std::fill(ctx.crref_part(0), ctx.crref_part(0) + n * lanes, T(0));
+      pack_b_ft(bv, 0, 0, k, n, plan.blocking.nr, ctx.btilde(), ctx.ar(),
+                ctx.cr());
+      amax_b = reduce_bc_from_panel(ctx.btilde(), k, n, plan.blocking.nr,
+                                    index_t(0), k, ctx.bc(), 0.0);
+      pack_a_ft(av, 0, 0, m, k, plan.blocking.mr, alpha, ctx.atilde(0),
+                ctx.bc(), ctx.cc());
+    } else {
+      pack_b(bv, 0, 0, k, n, plan.blocking.nr, ctx.btilde());
+      pack_a(av, 0, 0, m, k, plan.blocking.mr, alpha, ctx.atilde(0));
+    }
+
+    run_macro_block<T, FT>(ks, m, n, k, ctx.atilde(0), ctx.btilde(), c, ldc,
+                           FT ? ctx.crref_part(0) : nullptr,
+                           FT ? ctx.ccref() : nullptr);
+
+    if (injector != nullptr) {
+      std::vector<InjectionRecord> planned;
+      const BlockContext bctx{0, 0, 0, m, n, 0};
+      apply_planned_injections<T, FT>(injector, bctx, planned, c, ldc, ctx,
+                                      ctx.crref_part(0), lanes);
+    }
+
+    if constexpr (FT) {
+      const ToleranceModel<T> tol =
+          ToleranceModel<T>::compute(m, n, k, amax_a, amax_b, amax_c,
+                                     double(alpha), double(beta),
+                                     plan.tol_factor);
+      for (index_t j = 0; j < n; ++j) {
+        T sum = T(0);
+        const T* part = ctx.crref_part(0) + j * lanes;
+        for (index_t l = 0; l < lanes; ++l) sum += part[l];
+        ctx.crref()[j] = sum;
+      }
+      std::vector<Mismatch> rows, cols;
+      find_mismatches(ctx.cc(), ctx.ccref(), m, tol.cc_tau, index_t(0), rows);
+      find_mismatches(ctx.cr(), ctx.crref(), n, tol.cr_tau, index_t(0), cols);
+      locate_correct_reverify(rows, cols, tol, m, n, c, ldc, ctx, 0,
+                              correction_log, detected, corrected,
+                              uncorrectable);
+      ++panels_run;
+    }
+  }
+
+  report.panels = FT ? panels_run : int(degenerate ? 0 : 1);
+  report.errors_detected = detected;
+  report.errors_corrected = corrected;
+  report.uncorrectable_panels = uncorrectable;
+  report.elapsed_seconds = timer.seconds();
+  return report;
+}
+
+/// Execute a planned (FT-)GEMM.  Shape, transposes, kernels, blocking,
+/// topology and tolerance all come from `plan`; `injector`/`correction_log`
+/// are per-call instrumentation sinks (may be null).
+template <typename T, bool FT>
+FtReport execute(const GemmPlan<T>& plan, T alpha, const T* a, index_t lda,
+                 const T* b, index_t ldb, T beta, T* c, index_t ldc,
+                 FaultInjector* injector,
+                 std::vector<CorrectionRecord>* correction_log,
+                 GemmContext<T>& ctx) {
+  FtReport report;
+  const PlanKey& key = plan.key;
+  const index_t m = key.m, n = key.n, k = key.k;
+  if (m <= 0 || n <= 0) return report;
+
+  if (plan.fast_path) {
+    return execute_small<T, FT>(plan, alpha, a, lda, b, ldb, beta, c, ldc,
+                                injector, correction_log, ctx);
+  }
+
+  const WallTimer timer;
+  const KernelSet<T>& ks = plan.kernels;
+  const BlockingPlan& bp = plan.blocking;
+  const int nt = plan.threads;
+  const bool degenerate = plan.k_zero || alpha == T(0);
+
   if (injector != nullptr)
-    injector->begin_call(m, n, k, int(std::max<index_t>(num_panels, 1)));
+    injector->begin_call(m, n, k,
+                         int(std::max<index_t>(plan.num_panels, 1)));
 
   const index_t lanes = ks.cr_lanes;
-  ctx.ensure(m, n, std::max<index_t>(k, 1), plan, nt, FT, lanes);
+  ctx.ensure(plan);
 
-  const double tol_factor = opts.tolerance_factor > 0.0
-                                ? opts.tolerance_factor
-                                : default_tolerance_factor_for<T>();
-
-  const OperandView<T> av{a, lda, ta == Trans::kTrans};
-  const OperandView<T> bv{b, ldb, tb == Trans::kTrans};
+  const OperandView<T> av{a, lda, key.ta == Trans::kTrans};
+  const OperandView<T> bv{b, ldb, key.tb == Trans::kTrans};
 
   // Shared across the parallel region.
   std::vector<double> amax_parts(std::size_t(nt) * 3, 0.0);
@@ -103,7 +317,7 @@ FtReport run_gemm(Trans ta, Trans tb, index_t m, index_t n, index_t k,
     // M-partition of C (and A) for this thread, aligned to MR so only the
     // global edge produces partial register tiles.
     index_t ms = 0, mlen = 0;
-    partition_units(m, plan.mr, nt, tid, ms, mlen);
+    partition_units(m, bp.mr, nt, tid, ms, mlen);
     // Static N-partition used for reductions and checksum scans.
     index_t js_red = 0, jlen_red = 0;
     partition_units(n, 1, nt, tid, js_red, jlen_red);
@@ -149,8 +363,8 @@ FtReport run_gemm(Trans ta, Trans tb, index_t m, index_t n, index_t k,
     // ---- Panel loop: one rank-KC update + verification per iteration. ----
     if (!degenerate) {
       int panel = 0;
-      for (index_t p = 0; p < k; p += plan.kc, ++panel) {
-        const index_t pinc = std::min(plan.kc, k - p);
+      for (index_t p = 0; p < k; p += bp.kc, ++panel) {
+        const index_t pinc = std::min(bp.kc, k - p);
 
         if constexpr (FT) {
           // Reference checksums cover exactly this panel's C values.
@@ -160,23 +374,23 @@ FtReport run_gemm(Trans ta, Trans tb, index_t m, index_t n, index_t k,
                     T(0));
         }
 
-        for (index_t jc = 0; jc < n; jc += plan.nc) {
-          const index_t jinc = std::min(plan.nc, n - jc);
+        for (index_t jc = 0; jc < n; jc += bp.nc) {
+          const index_t jinc = std::min(bp.nc, n - jc);
 
           // Cooperative packing of B~ along N (unit NR so panel boundaries
           // land on micro-panel boundaries).
           index_t js = 0, jlen = 0;
-          partition_units(jinc, plan.nr, nt, tid, js, jlen);
+          partition_units(jinc, bp.nr, nt, tid, js, jlen);
           if constexpr (FT) {
             if (jlen > 0) {
-              pack_b_ft(bv, p, jc + js, pinc, jlen, plan.nr,
-                        ctx.btilde() + (js / plan.nr) * (plan.nr * pinc),
+              pack_b_ft(bv, p, jc + js, pinc, jlen, bp.nr,
+                        ctx.btilde() + (js / bp.nr) * (bp.nr * pinc),
                         ctx.ar() + p, ctx.cr() + jc + js);
             }
           } else {
             if (jlen > 0) {
-              pack_b(bv, p, jc + js, pinc, jlen, plan.nr,
-                     ctx.btilde() + (js / plan.nr) * (plan.nr * pinc));
+              pack_b(bv, p, jc + js, pinc, jlen, bp.nr,
+                     ctx.btilde() + (js / bp.nr) * (bp.nr * pinc));
             }
           }
 #pragma omp barrier
@@ -188,20 +402,20 @@ FtReport run_gemm(Trans ta, Trans tb, index_t m, index_t n, index_t k,
             partition_units(pinc, 1, nt, tid, kks, kklen);
             if (kklen > 0) {
               amax_parts[std::size_t(tid) * 3 + 1] = reduce_bc_from_panel(
-                  ctx.btilde(), pinc, jinc, plan.nr, kks, kklen, ctx.bc(),
+                  ctx.btilde(), pinc, jinc, bp.nr, kks, kklen, ctx.bc(),
                   amax_parts[std::size_t(tid) * 3 + 1]);
             }
 #pragma omp barrier
           }
 
           // Macro loop over this thread's rows.
-          for (index_t ic = 0; ic < mlen; ic += plan.mc) {
-            const index_t ilen = std::min(plan.mc, mlen - ic);
+          for (index_t ic = 0; ic < mlen; ic += bp.mc) {
+            const index_t ilen = std::min(bp.mc, mlen - ic);
             if constexpr (FT) {
-              pack_a_ft(av, ms + ic, p, ilen, pinc, plan.mr, alpha,
+              pack_a_ft(av, ms + ic, p, ilen, pinc, bp.mr, alpha,
                         ctx.atilde(tid), ctx.bc(), ctx.cc() + ms + ic);
             } else {
-              pack_a(av, ms + ic, p, ilen, pinc, plan.mr, alpha,
+              pack_a(av, ms + ic, p, ilen, pinc, bp.mr, alpha,
                      ctx.atilde(tid));
             }
 
@@ -212,21 +426,10 @@ FtReport run_gemm(Trans ta, Trans tb, index_t m, index_t n, index_t k,
                 FT ? ctx.ccref() + ms + ic : nullptr);
 
             if (injector != nullptr) {
-              planned.clear();
               const BlockContext bctx{panel, ms + ic, jc, ilen, jinc, tid};
-              injector->plan_block(bctx, planned);
-              for (InjectionRecord rec : planned) {
-                T& value = c[rec.i + rec.j * ldc];
-                const double applied = apply_corruption(value, rec);
-                if constexpr (FT) {
-                  // Emulate an in-kernel fault: the register-level reference
-                  // checksums would have seen the corrupted value too.
-                  ctx.ccref()[rec.i] += T(applied);
-                  ctx.crref_part(tid)[rec.j * lanes] += T(applied);
-                }
-                rec.delta = applied;
-                injector->record(rec);
-              }
+              apply_planned_injections<T, FT>(injector, bctx, planned, c,
+                                              ldc, ctx, ctx.crref_part(tid),
+                                              lanes);
             }
           }
 #pragma omp barrier  // B~ chunk complete before it is repacked
@@ -249,7 +452,7 @@ FtReport run_gemm(Trans ta, Trans tb, index_t m, index_t n, index_t k,
             }
             tol = ToleranceModel<T>::compute(m, n, k, amax_a_all, amax_b_all,
                                              amax_c_all, double(alpha),
-                                             double(beta), tol_factor);
+                                             double(beta), plan.tol_factor);
           }  // implicit barrier
           // Reduce per-thread Cr references, then scan for mismatches in
           // parallel (rows over the M-partition, columns over N).
@@ -282,72 +485,9 @@ FtReport run_gemm(Trans ta, Trans tb, index_t m, index_t n, index_t k,
               cols.insert(cols.end(), col_mm[std::size_t(t)].begin(),
                           col_mm[std::size_t(t)].end());
             }
-            if (!rows.empty() || !cols.empty()) {
-              // Locate/correct, then *re-verify the touched rows and columns
-              // with exact sums over C* and repeat if needed.  One round
-              // suffices for ordinary errors; corrections whose delta
-              // estimate was degraded by catastrophic rounding (an exponent
-              // bit flip dwarfing the entire row sum) converge in two.
-              bool failed = false;
-              std::vector<index_t> touched_rows, touched_cols;
-              constexpr int kMaxRounds = 4;
-              for (int round = 0;; ++round) {
-                const double slack = std::max(tol.cc_tau, tol.cr_tau) *
-                                     double(2 + rows.size() + cols.size());
-                const SolveOutcome outcome =
-                    solve_error_assignment(rows, cols, slack);
-                if (!outcome.solved) {
-                  if (round == 0) {
-                    detected +=
-                        std::int64_t(std::max(rows.size(), cols.size()));
-                  }
-                  failed = true;
-                  break;
-                }
-                for (const LocatedError& err : outcome.errors) {
-                  c[err.row + err.col * ldc] -= T(err.delta);
-                  touched_rows.push_back(err.row);
-                  touched_cols.push_back(err.col);
-                  if (opts.correction_log != nullptr) {
-                    opts.correction_log->push_back(
-                        {panel, round, err.row, err.col, err.delta});
-                  }
-                }
-                if (round == 0) {
-                  detected += std::int64_t(outcome.errors.size());
-                  corrected += std::int64_t(outcome.errors.size());
-                }
-                // Exact re-verification of everything we touched.
-                std::sort(touched_rows.begin(), touched_rows.end());
-                touched_rows.erase(
-                    std::unique(touched_rows.begin(), touched_rows.end()),
-                    touched_rows.end());
-                std::sort(touched_cols.begin(), touched_cols.end());
-                touched_cols.erase(
-                    std::unique(touched_cols.begin(), touched_cols.end()),
-                    touched_cols.end());
-                rows.clear();
-                cols.clear();
-                for (const index_t i : touched_rows) {
-                  T sum = T(0);
-                  for (index_t j = 0; j < n; ++j) sum += c[i + j * ldc];
-                  const double d = double(sum) - double(ctx.cc()[i]);
-                  if (std::abs(d) > tol.cc_tau) rows.push_back({i, d});
-                }
-                for (const index_t j : touched_cols) {
-                  T sum = T(0);
-                  for (index_t i = 0; i < m; ++i) sum += c[i + j * ldc];
-                  const double d = double(sum) - double(ctx.cr()[j]);
-                  if (std::abs(d) > tol.cr_tau) cols.push_back({j, d});
-                }
-                if (rows.empty() && cols.empty()) break;  // converged
-                if (round + 1 >= kMaxRounds) {
-                  failed = true;
-                  break;
-                }
-              }
-              if (failed) ++uncorrectable;
-            }
+            locate_correct_reverify(rows, cols, tol, m, n, c, ldc, ctx,
+                                    panel, correction_log, detected,
+                                    corrected, uncorrectable);
             ++panels_run;
           }  // implicit barrier
         }
@@ -355,7 +495,7 @@ FtReport run_gemm(Trans ta, Trans tb, index_t m, index_t n, index_t k,
     }
   }  // omp parallel
 
-  report.panels = FT ? panels_run : int(degenerate ? 0 : num_panels);
+  report.panels = FT ? panels_run : int(degenerate ? 0 : plan.num_panels);
   report.errors_detected = detected;
   report.errors_corrected = corrected;
   report.uncorrectable_panels = uncorrectable;

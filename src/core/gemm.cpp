@@ -1,36 +1,36 @@
 #include "core/gemm.hpp"
 
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/driver.hpp"
+#include "core/plan.hpp"
 
 namespace ftgemm {
 
 namespace {
 
-/// Resolve the row-major case onto the column-major core: a row-major
+/// Resolve the row-major case onto the column-major core (a row-major
 /// matrix viewed column-major with the same ld is its transpose, so
-///   C_rm = op(A)·op(B)   ⇔   C_cmᵀ = op(B)·op(A) with operands swapped.
-struct CanonicalArgs {
-  Trans ta, tb;
-  index_t m, n, k;
-  const void* a;
-  index_t lda;
-  const void* b;
-  index_t ldb;
-};
-
+///   C_rm = op(A)·op(B)   ⇔   C_cmᵀ = op(B)·op(A) with operands swapped),
+/// then plan via the context's PlanCache and hand the frozen plan to the
+/// pure executor.
 template <typename T, bool FT>
 FtReport dispatch(Layout layout, Trans ta, Trans tb, index_t m, index_t n,
                   index_t k, T alpha, const T* a, index_t lda, const T* b,
                   index_t ldb, T beta, T* c, index_t ldc, const Options& opts,
                   GemmContext<T>& ctx) {
   if (layout == Layout::kRowMajor) {
-    return detail::run_gemm<T, FT>(tb, ta, n, m, k, alpha, b, ldb, a, lda,
-                                   beta, c, ldc, opts, ctx);
+    std::swap(ta, tb);
+    std::swap(m, n);
+    std::swap(a, b);
+    std::swap(lda, ldb);
   }
-  return detail::run_gemm<T, FT>(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta,
-                                 c, ldc, opts, ctx);
+  const std::shared_ptr<const GemmPlan<T>> plan =
+      ctx.plans().get_or_build(ta, tb, m, n, k, opts, FT);
+  return detail::execute<T, FT>(*plan, alpha, a, lda, b, ldb, beta, c, ldc,
+                                opts.injector, opts.correction_log, ctx);
 }
 
 template <typename T>
@@ -77,6 +77,11 @@ FtReport reliable_impl(Layout layout, Trans ta, Trans tb, index_t m,
 }
 
 }  // namespace
+
+void clear_thread_plan_cache() {
+  tls_context<double>().plans().clear();
+  tls_context<float>().plans().clear();
+}
 
 void dgemm(Layout layout, Trans ta, Trans tb, index_t m, index_t n, index_t k,
            double alpha, const double* a, index_t lda, const double* b,

@@ -18,9 +18,12 @@
 // an unconditional correct-result guarantee under any error pattern the
 // checksums can detect.
 //
-// GemmEngine<T> offers the same operations with workspace reuse across
-// calls (steady-state allocation-free), which is what the benchmark harness
-// and long-running applications should use.
+// GemmEngine<T> offers the same operations with workspace *and plan* reuse
+// across calls (steady-state allocation-free, re-planning-free via the
+// PlanCache in its context — see core/plan.hpp), which is what the
+// benchmark harness and long-running applications should use.  The free
+// functions get the same treatment from a thread-local context, so repeated
+// one-off calls of a recurring shape are also cache hits.
 #pragma once
 
 #include "core/context.hpp"
@@ -74,12 +77,21 @@ FtReport ft_sgemm_reliable(Layout layout, Trans ta, Trans tb, index_t m,
                            float beta, float* c, index_t ldc,
                            const Options& opts = {}, int max_retries = 2);
 
+/// Drop the calling thread's cached plans (both precisions).  FTGEMM_*
+/// environment knobs (ISA, blocking, tolerance, fast-path bound) are read
+/// when a plan is *built*, so a warm free-function cache will not observe
+/// later changes to them — call this after mutating the environment
+/// mid-process.  Engines are unaffected (their cache dies with them; use a
+/// fresh engine instead).
+void clear_thread_plan_cache();
+
 // ---------------------------------------------------------------------------
 // Engine with workspace reuse.
 // ---------------------------------------------------------------------------
 
-/// Reusable GEMM engine: owns the packing buffers and checksum vectors so
-/// repeated calls of similar size perform no allocation.
+/// Reusable GEMM engine: owns the packing buffers, checksum vectors, and
+/// plan cache, so repeated calls of similar size perform no allocation and
+/// no re-planning.
 template <typename T>
 class GemmEngine {
  public:

@@ -3,9 +3,12 @@
 #include <omp.h>
 
 #include <algorithm>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/driver.hpp"
+#include "core/plan.hpp"
 #include "util/env.hpp"
 #include "util/timer.hpp"
 
@@ -68,11 +71,17 @@ BatchReport run_batched(Layout layout, Trans ta, Trans tb, index_t m,
   // A shared injector must see its begin_call / plan_block protocol one
   // problem at a time, and a shared correction log may not be appended to
   // by concurrent GEMMs (Options contract); inject_problem < 0 shares both
-  // across every member, so serialize the batch.
+  // across every member.  Under kAuto that vetoes the inter-batch choice
+  // (members big enough to thread then run the full nt-thread driver;
+  // members under the fast-path work bound run serial either way — at that
+  // size threading is all barrier); a *forced* kInter is honored, with the
+  // injected members' execution serialized through sink_gate below so the
+  // protocol stays well-defined.
   const bool shared_sink =
       (opts.base.injector != nullptr || opts.base.correction_log != nullptr) &&
       opts.inject_problem < 0;
-  const bool inter = !shared_sink && pick_inter_batch(opts, m, n, k, batch);
+  const bool inter = pick_inter_batch(opts, m, n, k, batch) &&
+                     (opts.schedule == BatchSchedule::kInter || !shared_sink);
   report.inter_batch = inter;
   const int workers = inter ? int(std::min<index_t>(nt, batch)) : 1;
 
@@ -82,17 +91,36 @@ BatchReport run_batched(Layout layout, Trans ta, Trans tb, index_t m,
   ContextCache<T>& cache = batched_cache<T>();
   cache.grow(workers);
 
+  // Plan the batch's single shape once; every member executes the same
+  // frozen plan (inter-batch workers run the serial driver, so the plan is
+  // built for one thread per problem).
+  Options plan_opts = opts.base;
+  plan_opts.threads = inter ? 1 : nt;
+  const std::shared_ptr<const GemmPlan<T>> plan =
+      cache.plans().get_or_build(ta, tb, m, n, k, plan_opts, FT);
+
   std::vector<FtReport> reports(static_cast<std::size_t>(batch));
 
-  const auto run_one = [&](index_t p, int nthreads, GemmContext<T>& ctx) {
-    Options o = opts.base;
-    o.threads = nthreads;
+  // Serializes injected members when a protocol-stateful injector (or a
+  // shared correction log) is attached to more than one member on the
+  // inter-batch path: each member's begin_call -> plan_block -> record
+  // sequence runs under the gate, never interleaved with another member's.
+  std::mutex sink_gate;
+  const bool gate_sinks = inter && shared_sink;
+
+  const auto run_one = [&](index_t p, GemmContext<T>& ctx) {
+    FaultInjector* injector = opts.base.injector;
+    std::vector<CorrectionRecord>* log = opts.base.correction_log;
     if (opts.inject_problem >= 0 && p != opts.inject_problem) {
-      o.injector = nullptr;
-      o.correction_log = nullptr;
+      injector = nullptr;
+      log = nullptr;
     }
-    reports[std::size_t(p)] = detail::run_gemm<T, FT>(
-        ta, tb, m, n, k, alpha, a[p], lda, b[p], ldb, beta, c[p], ldc, o, ctx);
+    std::unique_lock<std::mutex> gate;
+    if (gate_sinks && (injector != nullptr || log != nullptr))
+      gate = std::unique_lock<std::mutex>(sink_gate);
+    reports[std::size_t(p)] =
+        detail::execute<T, FT>(*plan, alpha, a[p], lda, b[p], ldb, beta, c[p],
+                               ldc, injector, log, ctx);
   };
 
   if (inter) {
@@ -100,10 +128,10 @@ BatchReport run_batched(Layout layout, Trans ta, Trans tb, index_t m,
     {
       GemmContext<T>& ctx = cache.slot(omp_get_thread_num());
 #pragma omp for schedule(dynamic)
-      for (index_t p = 0; p < batch; ++p) run_one(p, 1, ctx);
+      for (index_t p = 0; p < batch; ++p) run_one(p, ctx);
     }
   } else {
-    for (index_t p = 0; p < batch; ++p) run_one(p, nt, cache.slot(0));
+    for (index_t p = 0; p < batch; ++p) run_one(p, cache.slot(0));
   }
 
   if constexpr (FT) {

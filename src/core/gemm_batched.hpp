@@ -28,10 +28,13 @@
 // Fault injection: BatchOptions::base.injector targets the single problem
 // selected by BatchOptions::inject_problem (an injection campaign picks a
 // random member per run, see run_batched_injection_campaign).  Setting
-// inject_problem < 0 attaches the injector to *every* problem, which forces
-// intra-batch scheduling — FaultInjector's begin_call/plan_block protocol is
-// per-call stateful, so concurrent injected problems would corrupt its
-// schedule.
+// inject_problem < 0 attaches the injector to *every* problem.
+// FaultInjector's begin_call/plan_block protocol is per-call stateful, so
+// two injected problems must never interleave: under kAuto a shared
+// injector (or correction log) steers the scheduler to intra-batch, and
+// under a forced kInter the dispatcher serializes the injected members'
+// execution through an internal gate — the campaign regime is well-defined
+// under either schedule.
 #pragma once
 
 #include <vector>
@@ -57,9 +60,9 @@ struct BatchOptions {
   /// Scheduling policy (see header comment).
   BatchSchedule schedule = BatchSchedule::kAuto;
   /// Batch member the injector and correction log attach to.  Negative =
-  /// every member (forces intra-batch scheduling when either sink is set —
-  /// both are per-call stateful and must not be shared across concurrent
-  /// problems).
+  /// every member; both sinks are per-call stateful and must not be shared
+  /// across concurrent problems, so kAuto then schedules intra-batch, and a
+  /// forced kInter serializes the injected members' execution.
   index_t inject_problem = 0;
 };
 

@@ -36,6 +36,11 @@ struct Options {
   /// Verification threshold safety factor; 0 means the library default
   /// (512, overridable with FTGEMM_TOL_FACTOR).  FT entry points only.
   double tolerance_factor = 0.0;
+  /// Let the planner take the single-macro-tile direct path for problems
+  /// that fit one MC x NC x KC tile (pins the call to one thread, skips the
+  /// cooperative-packing machinery; results are bit-identical).  Disable to
+  /// force the general blocked path, e.g. for A/B comparison.
+  bool small_fast_path = true;
   /// After correcting, recompute the affected row sums of C directly and
   /// re-verify them against the predicted checksums (O(N) per error).
   bool paranoid_recheck = false;

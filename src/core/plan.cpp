@@ -1,0 +1,81 @@
+#include "core/plan.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+
+#include "abft/tolerance.hpp"
+#include "util/env.hpp"
+
+namespace ftgemm {
+
+PlanKey make_plan_key(Trans ta, Trans tb, index_t m, index_t n, index_t k,
+                      const Options& opts, bool ft) {
+  PlanKey key;
+  key.m = m;
+  key.n = n;
+  key.k = k;
+  key.ta = ta;
+  key.tb = tb;
+  key.ft = ft;
+  key.fast_path_allowed = opts.small_fast_path;
+  key.threads =
+      std::max(opts.threads > 0 ? opts.threads : omp_get_max_threads(), 1);
+  key.isa_override = opts.isa ? int(*opts.isa) : -1;
+  key.tolerance_factor = opts.tolerance_factor;
+  return key;
+}
+
+template <typename T>
+GemmPlan<T> build_plan(const PlanKey& key) {
+  GemmPlan<T> plan;
+  plan.key = key;
+  plan.isa = key.isa_override >= 0 ? Isa(key.isa_override) : select_isa();
+  plan.kernels = get_kernel_set<T>(plan.isa);
+  plan.blocking =
+      make_plan(plan.isa, int(sizeof(T)), key.m, key.n, key.k);
+  plan.k_zero = key.k <= 0;
+  plan.num_panels =
+      plan.k_zero ? 0 : (key.k + plan.blocking.kc - 1) / plan.blocking.kc;
+  plan.tol_factor = !key.ft ? 0.0
+                    : key.tolerance_factor > 0.0
+                        ? key.tolerance_factor
+                        : default_tolerance_factor_for<T>();
+
+  // Single-macro-tile fast path: the whole problem fits one packed-A block
+  // and one packed-B panel, so the cooperative-packing machinery would be
+  // pure overhead.  Pin the topology to one thread (below the flop bound,
+  // threading a problem is all barrier, no work — see kFastPathFlopCutoff
+  // for why the tile test alone is not enough).
+  const double flops =
+      2.0 * double(key.m) * double(key.n) * double(key.k);
+  plan.fast_path = key.fast_path_allowed && key.m > 0 && key.n > 0 &&
+                   key.k > 0 && key.m <= plan.blocking.mc &&
+                   key.n <= plan.blocking.nc && key.k <= plan.blocking.kc &&
+                   flops <= env_double("FTGEMM_FAST_PATH_FLOPS",
+                                       kFastPathFlopCutoff);
+  plan.threads = plan.fast_path ? 1 : key.threads;
+
+  // Workspace footprint (diagnostics; GemmContext::ensure is the allocation
+  // authority and pads per-thread strides on top of these).
+  const auto elems = [](index_t v) { return std::size_t(std::max<index_t>(v, 0)); };
+  std::size_t ws = elems(plan.blocking.mc * plan.blocking.kc) *
+                       std::size_t(plan.threads) +        // atilde per thread
+                   elems(plan.blocking.kc * plan.blocking.nc);  // shared btilde
+  if (key.ft) {
+    const index_t lanes = plan.kernels.cr_lanes;
+    const index_t kk = std::max<index_t>(key.k, 1);
+    ws += elems(2 * key.m);                                // cc, ccref
+    ws += elems(2 * key.n);                                // cr, crref
+    ws += elems(key.n * lanes) * std::size_t(plan.threads);  // crref partials
+    ws += elems(kk) + elems(kk) * std::size_t(plan.threads);  // ar + partials
+    ws += elems(plan.blocking.kc);                         // bc
+  }
+  plan.workspace_bytes = ws * sizeof(T);
+  return plan;
+}
+
+template GemmPlan<float> build_plan<float>(const PlanKey&);
+template GemmPlan<double> build_plan<double>(const PlanKey&);
+
+}  // namespace ftgemm

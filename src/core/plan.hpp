@@ -1,0 +1,217 @@
+// Plan/execute split: everything a (FT-)GEMM call decides *before* touching
+// operand data lives in an immutable GemmPlan, built once per (shape, opts)
+// fingerprint and cached, so steady-state calls — the serving regime of many
+// small protected GEMMs — pay for ISA selection, kernel dispatch, cache-aware
+// blocking, thread topology, tolerance resolution, and workspace sizing
+// exactly once.
+//
+//   PlanKey    — the fingerprint a plan is built from (shape, transposes,
+//                FT mode, resolved thread count, raw ISA/tolerance knobs).
+//   GemmPlan   — the immutable result: resolved ISA + KernelSet, shape-aware
+//                BlockingPlan, thread topology, panel count, FT tolerance
+//                factor, workspace footprint, and the small-GEMM fast-path
+//                decision.
+//   PlanCache  — a small LRU of shared_ptr<const GemmPlan>, seeded into
+//                GemmContext / ContextCache so every entry point (free
+//                functions, GemmEngine, ft_*_reliable, batched) reuses plans
+//                instead of re-planning.
+//
+// Environment knobs (FTGEMM_ISA, FTGEMM_TOL_FACTOR, FTGEMM_MC/NC/KC,
+// FTGEMM_KERNEL_MR, FTGEMM_FAST_PATH_FLOPS) are read when a plan is
+// *built*; a warm cache will not observe later changes to them.  Callers
+// that mutate the environment mid-process (the blocking-ablation bench)
+// must start from an empty cache: a fresh GemmEngine for engine users,
+// clear_thread_plan_cache() (core/gemm.hpp) for free-function users.
+//
+// The small-GEMM fast path: when the whole problem fits one macro-tile
+// (m <= MC, n <= NC, k <= KC after shape-aware clamping) AND its flop count
+// stays under kFastPathFlopCutoff, the planner pins the topology to one
+// thread and marks the plan fast_path.  The executor then skips the
+// parallel region, the cooperative-packing partitions and their barriers,
+// and the per-call reduction scratch: pack B~ once, pack A~ once, run the
+// macro kernel, verify — FT checksums still fused.  Results are
+// bit-identical to the general path (same packing, same kernels, same
+// summation order; a one-thread reduction is a copy).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "arch/isa.hpp"
+#include "blocking/plan.hpp"
+#include "core/options.hpp"
+#include "kernels/microkernel.hpp"
+
+namespace ftgemm {
+
+/// Work bound for the small-GEMM fast path: a problem must both fit one
+/// macro-tile and keep 2*m*n*k at or below this for the planner to pin it
+/// to one thread (NC alone can span thousands of columns, so the tile test
+/// by itself would capture multi-GFLOP shapes and silently drop the
+/// caller's thread request).  2*128^3 — the serving-size regime the fast
+/// path exists for, far below kInterBatchFlopCutoff (134e6), under which
+/// the batched scheduler already judges per-problem threading to be
+/// barrier-dominated.  Override with FTGEMM_FAST_PATH_FLOPS (read at
+/// plan-build time).
+inline constexpr double kFastPathFlopCutoff = 2.0 * 128.0 * 128.0 * 128.0;
+
+/// Fingerprint of every input the planner reads.  ISA and tolerance are kept
+/// *raw* (as the caller's Options carried them) so cache lookups stay free of
+/// env reads and cpuid checks; the thread count is kept *resolved* so a
+/// changed omp_get_max_threads() is never masked by a warm cache.
+struct PlanKey {
+  index_t m = 0;
+  index_t n = 0;
+  index_t k = 0;
+  Trans ta = Trans::kNoTrans;
+  Trans tb = Trans::kNoTrans;
+  bool ft = false;
+  bool fast_path_allowed = true;  ///< Options::small_fast_path
+  int threads = 1;                ///< resolved worker-count request
+  int isa_override = -1;          ///< int(Options::isa) or -1 for auto
+  double tolerance_factor = 0.0;  ///< raw Options value; 0 = library default
+
+  [[nodiscard]] bool operator==(const PlanKey& o) const {
+    return m == o.m && n == o.n && k == o.k && ta == o.ta && tb == o.tb &&
+           ft == o.ft && fast_path_allowed == o.fast_path_allowed &&
+           threads == o.threads && isa_override == o.isa_override &&
+           tolerance_factor == o.tolerance_factor;
+  }
+};
+
+struct PlanKeyHash {
+  std::size_t operator()(const PlanKey& key) const {
+    // FNV-1a over the discriminating fields; shapes dominate, so fold them
+    // first.
+    std::uint64_t h = 1469598103934665603ull;
+    const auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ull;
+    };
+    mix(std::uint64_t(key.m));
+    mix(std::uint64_t(key.n));
+    mix(std::uint64_t(key.k));
+    mix(std::uint64_t(key.ta == Trans::kTrans) | (std::uint64_t(key.tb == Trans::kTrans) << 1) |
+        (std::uint64_t(key.ft) << 2) | (std::uint64_t(key.fast_path_allowed) << 3));
+    mix(std::uint64_t(std::uint32_t(key.threads)));
+    mix(std::uint64_t(std::uint32_t(key.isa_override)));
+    std::uint64_t tol_bits = 0;
+    static_assert(sizeof(tol_bits) == sizeof(key.tolerance_factor));
+    __builtin_memcpy(&tol_bits, &key.tolerance_factor, sizeof(tol_bits));
+    mix(tol_bits);
+    return std::size_t(h);
+  }
+};
+
+/// The immutable result of planning one (shape, opts) combination.  Executors
+/// (core/driver.hpp) read every decision from here and contain none of their
+/// own.
+template <typename T>
+struct GemmPlan {
+  PlanKey key;               ///< fingerprint this plan was built from
+  Isa isa = Isa::kScalar;    ///< resolved instruction set
+  KernelSet<T> kernels;      ///< resolved micro-kernel pair + tile shape
+  BlockingPlan blocking;     ///< shape-aware MC/NC/KC/MR/NR
+  int threads = 1;           ///< execution topology (1 on the fast path)
+  index_t num_panels = 0;    ///< rank-KC verification intervals for k > 0
+  bool k_zero = false;       ///< k <= 0 (alpha == 0 is resolved per call)
+  bool fast_path = false;    ///< single-macro-tile direct execution
+  double tol_factor = 0.0;   ///< resolved verification safety factor
+  std::size_t workspace_bytes = 0;  ///< packing + checksum footprint
+
+  [[nodiscard]] bool ft() const { return key.ft; }
+  [[nodiscard]] index_t m() const { return key.m; }
+  [[nodiscard]] index_t n() const { return key.n; }
+  [[nodiscard]] index_t k() const { return key.k; }
+};
+
+/// Build the lookup key for (shape, opts).  Resolves the thread count
+/// (0 -> omp_get_max_threads()) but deliberately nothing else.
+PlanKey make_plan_key(Trans ta, Trans tb, index_t m, index_t n, index_t k,
+                      const Options& opts, bool ft);
+
+/// Build a plan from its key: resolve the ISA (select_isa unless overridden),
+/// fetch the kernel set, derive the shape-aware blocking, resolve the FT
+/// tolerance factor, size the workspace, and decide the fast path.
+/// Deterministic: equal keys (under an unchanged environment) produce equal
+/// plans.
+template <typename T>
+GemmPlan<T> build_plan(const PlanKey& key);
+
+/// Convenience: key + build in one step, bypassing any cache.
+template <typename T>
+GemmPlan<T> build_plan(Trans ta, Trans tb, index_t m, index_t n, index_t k,
+                       const Options& opts, bool ft) {
+  return build_plan<T>(make_plan_key(ta, tb, m, n, k, opts, ft));
+}
+
+/// Small LRU cache of immutable plans.  Not thread-safe: each cache lives in
+/// a thread-local or per-engine GemmContext / ContextCache, mirroring the
+/// workspace ownership model (no locks on the hot path).
+template <typename T>
+class PlanCache {
+ public:
+  /// Distinct (shape, opts) fingerprints kept; a serving workload cycling
+  /// through more shapes than this re-plans on the recurrence.
+  static constexpr std::size_t kDefaultCapacity = 64;
+
+  explicit PlanCache(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity > 0 ? capacity : 1) {}
+
+  /// Look up (building on miss) the plan for (shape, opts).
+  std::shared_ptr<const GemmPlan<T>> get_or_build(Trans ta, Trans tb,
+                                                  index_t m, index_t n,
+                                                  index_t k,
+                                                  const Options& opts,
+                                                  bool ft) {
+    return get_or_build(make_plan_key(ta, tb, m, n, k, opts, ft));
+  }
+
+  std::shared_ptr<const GemmPlan<T>> get_or_build(const PlanKey& key) {
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second);  // mark most recent
+      return it->second->second;
+    }
+    ++misses_;
+    auto plan = std::make_shared<const GemmPlan<T>>(build_plan<T>(key));
+    lru_.emplace_front(key, plan);
+    index_[key] = lru_.begin();
+    if (lru_.size() > capacity_) {
+      index_.erase(lru_.back().first);
+      lru_.pop_back();
+    }
+    return plan;
+  }
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::size_t size() const { return lru_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Drop every cached plan (e.g. after mutating FTGEMM_* environment
+  /// knobs); the hit/miss counters survive.
+  void clear() {
+    lru_.clear();
+    index_.clear();
+  }
+
+ private:
+  using Entry = std::pair<PlanKey, std::shared_ptr<const GemmPlan<T>>>;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<PlanKey, typename std::list<Entry>::iterator,
+                     PlanKeyHash>
+      index_;
+  std::size_t capacity_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+extern template GemmPlan<float> build_plan<float>(const PlanKey&);
+extern template GemmPlan<double> build_plan<double>(const PlanKey&);
+
+}  // namespace ftgemm

@@ -23,6 +23,7 @@
 #include "core/gemm.hpp"           // IWYU pragma: export
 #include "core/gemm_batched.hpp"   // IWYU pragma: export
 #include "core/options.hpp"        // IWYU pragma: export
+#include "core/plan.hpp"           // IWYU pragma: export
 #include "ftblas/level1.hpp"       // IWYU pragma: export
 #include "ftblas/level2.hpp"       // IWYU pragma: export
 #include "inject/injectors.hpp"    // IWYU pragma: export

@@ -338,6 +338,77 @@ TEST(BatchedGemm, ReportAggregationMatchesPerProblemSum) {
   EXPECT_GE(rep.elapsed_seconds, 0.0);
 }
 
+TEST(BatchedGemm, ForcedInterWithSharedInjectorIsWellDefined) {
+  // Regression for the former limitation: an injector attached to every
+  // member (inject_problem < 0) used to silently downgrade a forced kInter
+  // to intra-batch, because the begin_call/plan_block protocol is per-call
+  // stateful.  The dispatcher now honors kInter and serializes the injected
+  // members' execution instead — the protocol must come out exact: every
+  // member's faults planned, applied, detected, and corrected, with no
+  // leakage between members.
+  const index_t m = 40, n = 36, k = 80, batch = 6;
+  BatchProblem<double> bp(m, n, k, batch, 91);
+  Matrix<double> c = bp.c.clone();
+
+  CountInjector injector(2, 123, 6.0);  // 2 faults per member call
+  BatchOptions opts;
+  opts.base.injector = &injector;
+  opts.inject_problem = -1;
+  opts.schedule = BatchSchedule::kInter;
+
+  const BatchReport rep = ft_gemm_strided_batched<double>(
+      Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, m, n, k, 1.0,
+      bp.a.data(), m, bp.sa, bp.b.data(), k, bp.sb, 0.5, c.data(), m, bp.sc,
+      batch, opts);
+
+  EXPECT_TRUE(rep.inter_batch) << "a forced kInter schedule is honored";
+  EXPECT_TRUE(rep.clean());
+  EXPECT_EQ(injector.injected_count(), std::size_t(2 * batch));
+  EXPECT_EQ(rep.errors_corrected, 2 * batch);
+  EXPECT_EQ(rep.faulty_problems, batch);
+  const double tol = gemm_tolerance<double>(k);
+  for (index_t p = 0; p < batch; ++p) {
+    EXPECT_LE(bp.member_err(c, p), tol) << "member " << p;
+    EXPECT_EQ(rep.per_problem[std::size_t(p)].errors_corrected, 2)
+        << "member " << p << " saw another member's schedule";
+  }
+}
+
+TEST(BatchedGemm, AutoStillSerializesSharedSinks) {
+  // kAuto keeps preferring intra-batch for shared sinks (whole-batch
+  // serialization keeps all cores busy on the one running problem).
+  BatchProblem<double> bp(24, 24, 32, 4);
+  Matrix<double> c = bp.c.clone();
+  CountInjector injector(1, 9, 5.0);
+  BatchOptions opts;
+  opts.base.injector = &injector;
+  opts.inject_problem = -1;
+  const BatchReport rep = ft_gemm_strided_batched<double>(
+      Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, bp.m, bp.n, bp.k,
+      1.0, bp.a.data(), bp.m, bp.sa, bp.b.data(), bp.k, bp.sb, 0.5, c.data(),
+      bp.m, bp.sc, bp.batch, opts);
+  EXPECT_FALSE(rep.inter_batch);
+  EXPECT_TRUE(rep.clean());
+  EXPECT_EQ(rep.errors_corrected, bp.batch);
+}
+
+TEST(BatchedCampaign, ForcedInterCampaignIsReliable) {
+  // The serving-regime campaign under inter-batch scheduling: one random
+  // target per run, concurrent untargeted members, protocol still exact.
+  BatchedCampaignConfig config;
+  config.size = 48;
+  config.batch = 8;
+  config.runs = 5;
+  config.errors_per_run = 2;
+  config.seed = 77;
+  config.schedule = BatchSchedule::kInter;
+  const BatchedCampaignResult res = run_batched_injection_campaign(config);
+  EXPECT_EQ(res.injected, std::size_t(config.runs * config.errors_per_run));
+  EXPECT_EQ(res.corrected, std::int64_t(config.runs * config.errors_per_run));
+  EXPECT_EQ(res.dirty_problems, 0);
+  EXPECT_TRUE(res.reliable());
+}
+
 TEST(BatchedCampaign, RandomTargetCampaignIsReliable) {
   BatchedCampaignConfig config;
   config.size = 64;

@@ -1,0 +1,229 @@
+// Degenerate-input behavior: k == 0, alpha == 0, m/n == 0, and beta-only
+// scaling must be well-defined, BLAS-conforming no-op/scale semantics for
+// every entry point — dgemm/sgemm, ft_* (including *_reliable), and the
+// batched forms.  The executor's `degenerate` branch (skip the panel loop,
+// still apply C = beta*C) was previously untested.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/gemm_batched.hpp"
+#include "test_common.hpp"
+
+namespace ftgemm {
+namespace {
+
+/// C filled with a sentinel so any unexpected write is visible.
+template <typename T>
+Matrix<T> sentinel_c(index_t m, index_t n, T value = T(3)) {
+  Matrix<T> c(m, n);
+  c.fill(value);
+  return c;
+}
+
+template <typename T>
+void expect_all_eq(const Matrix<T>& c, T expected) {
+  for (index_t j = 0; j < c.cols(); ++j)
+    for (index_t i = 0; i < c.rows(); ++i)
+      ASSERT_EQ(c(i, j), expected) << "C(" << i << ", " << j << ")";
+}
+
+template <typename T>
+class DegenerateTyped : public ::testing::Test {};
+using Precisions = ::testing::Types<float, double>;
+TYPED_TEST_SUITE(DegenerateTyped, Precisions);
+
+TYPED_TEST(DegenerateTyped, KZeroScalesCByBeta) {
+  using T = TypeParam;
+  // k == 0: op(A)*op(B) is an empty sum, so C = beta*C exactly.  A/B may be
+  // null per BLAS convention (they are never dereferenced).
+  const index_t m = 17, n = 11;
+  for (const bool ft : {false, true}) {
+    Matrix<T> c = sentinel_c<T>(m, n, T(4));
+    FtReport rep;
+    if constexpr (sizeof(T) == 8) {
+      if (ft) {
+        rep = ft_dgemm(Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans,
+                       m, n, 0, 2.0, nullptr, 1, nullptr, 1, 0.25, c.data(),
+                       c.ld());
+      } else {
+        dgemm(Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, m, n, 0,
+              2.0, nullptr, 1, nullptr, 1, 0.25, c.data(), c.ld());
+      }
+    } else {
+      if (ft) {
+        rep = ft_sgemm(Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans,
+                       m, n, 0, T(2), nullptr, 1, nullptr, 1, T(0.25),
+                       c.data(), c.ld());
+      } else {
+        sgemm(Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, m, n, 0,
+              T(2), nullptr, 1, nullptr, 1, T(0.25), c.data(), c.ld());
+      }
+    }
+    expect_all_eq(c, T(1));
+    if (ft) {
+      EXPECT_EQ(rep.panels, 0) << "no rank-KC panel runs for k == 0";
+      EXPECT_TRUE(rep.clean());
+      EXPECT_EQ(rep.errors_detected, 0);
+    }
+  }
+}
+
+TYPED_TEST(DegenerateTyped, AlphaZeroScalesCByBeta) {
+  using T = TypeParam;
+  // alpha == 0 with k > 0: the product term vanishes, A/B must not
+  // contribute (they hold NaN bait here — a path that multiplies by them
+  // would poison C).
+  const index_t m = 24, n = 9, k = 33;
+  Matrix<T> a(m, k), b(k, n);
+  a.fill(std::numeric_limits<T>::quiet_NaN());
+  b.fill(std::numeric_limits<T>::quiet_NaN());
+  for (const bool ft : {false, true}) {
+    Matrix<T> c = sentinel_c<T>(m, n, T(8));
+    FtReport rep;
+    if constexpr (sizeof(T) == 8) {
+      if (ft) {
+        rep = ft_dgemm(Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans,
+                       m, n, k, 0.0, a.data(), a.ld(), b.data(), b.ld(), 0.5,
+                       c.data(), c.ld());
+      } else {
+        dgemm(Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, m, n, k,
+              0.0, a.data(), a.ld(), b.data(), b.ld(), 0.5, c.data(),
+              c.ld());
+      }
+    } else {
+      if (ft) {
+        rep = ft_sgemm(Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans,
+                       m, n, k, T(0), a.data(), a.ld(), b.data(), b.ld(),
+                       T(0.5), c.data(), c.ld());
+      } else {
+        sgemm(Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, m, n, k,
+              T(0), a.data(), a.ld(), b.data(), b.ld(), T(0.5), c.data(),
+              c.ld());
+      }
+    }
+    expect_all_eq(c, T(4));
+    if (ft) {
+      EXPECT_EQ(rep.panels, 0);
+      EXPECT_TRUE(rep.clean());
+    }
+  }
+}
+
+TYPED_TEST(DegenerateTyped, EmptyMOrNTouchesNothing) {
+  using T = TypeParam;
+  // m == 0 or n == 0: the result has no elements; the call must not write
+  // anywhere (C here is a 4x4 canary around the "empty" problem).
+  Matrix<T> c = sentinel_c<T>(4, 4, T(7));
+  for (const index_t m : {index_t(0), index_t(4)}) {
+    const index_t n = m == 0 ? 4 : 0;
+    if constexpr (sizeof(T) == 8) {
+      dgemm(Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, m, n, 5,
+            1.0, nullptr, 4, nullptr, 5, 0.0, c.data(), c.ld());
+      const FtReport rep =
+          ft_dgemm(Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, m, n,
+                   5, 1.0, nullptr, 4, nullptr, 5, 0.0, c.data(), c.ld());
+      EXPECT_TRUE(rep.clean());
+      EXPECT_EQ(rep.panels, 0);
+    } else {
+      sgemm(Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, m, n, 5,
+            T(1), nullptr, 4, nullptr, 5, T(0), c.data(), c.ld());
+      const FtReport rep =
+          ft_sgemm(Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, m, n,
+                   5, T(1), nullptr, 4, nullptr, 5, T(0), c.data(), c.ld());
+      EXPECT_TRUE(rep.clean());
+      EXPECT_EQ(rep.panels, 0);
+    }
+  }
+  // An empty problem must not scale or zero the canary.
+  expect_all_eq(c, T(7));
+}
+
+TEST(Degenerate, BetaZeroOverwritesUninitializedC) {
+  // beta == 0 must assign, not multiply: C seeded with NaN would otherwise
+  // stay NaN.  Exercises both the degenerate (k == 0) and the computing
+  // path.
+  const index_t m = 19, n = 13, k = 21;
+  Matrix<double> a(m, k), b(k, n);
+  a.fill_random(5);
+  b.fill_random(6);
+
+  Matrix<double> c(m, n);
+  c.fill(std::numeric_limits<double>::quiet_NaN());
+  dgemm(Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, m, n, 0, 1.0,
+        a.data(), a.ld(), b.data(), b.ld(), 0.0, c.data(), c.ld());
+  expect_all_eq(c, 0.0);
+
+  c.fill(std::numeric_limits<double>::quiet_NaN());
+  const FtReport rep =
+      ft_dgemm(Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, m, n, k,
+               1.0, a.data(), a.ld(), b.data(), b.ld(), 0.0, c.data(),
+               c.ld());
+  EXPECT_TRUE(rep.clean());
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i)
+      ASSERT_TRUE(std::isfinite(c(i, j))) << "C(" << i << ", " << j << ")";
+}
+
+TEST(Degenerate, ReliableVariantHandlesDegenerateInputs) {
+  Matrix<double> c = sentinel_c<double>(8, 8, 2.0);
+  // k == 0 through the snapshot/retry wrapper.
+  const FtReport rep = ft_dgemm_reliable(
+      Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, 8, 8, 0, 1.0,
+      nullptr, 8, nullptr, 1, 0.5, c.data(), c.ld());
+  EXPECT_TRUE(rep.clean());
+  EXPECT_EQ(rep.retries, 0);
+  EXPECT_EQ(rep.panels, 0);
+  expect_all_eq(c, 1.0);
+
+  // alpha == 0, float flavor.
+  Matrix<float> cf = sentinel_c<float>(6, 6, 4.0f);
+  Matrix<float> af(6, 6), bf(6, 6);
+  af.fill(0.0f);
+  bf.fill(0.0f);
+  const FtReport repf = ft_sgemm_reliable(
+      Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, 6, 6, 6, 0.0f,
+      af.data(), af.ld(), bf.data(), bf.ld(), 1.0f, cf.data(), cf.ld());
+  EXPECT_TRUE(repf.clean());
+  // alpha == 0, beta == 1 must leave C unchanged.
+  expect_all_eq(cf, 4.0f);
+}
+
+TEST(Degenerate, BatchedDegenerateMembers) {
+  // Batched entry points apply the same semantics per member: k == 0 and
+  // alpha == 0 both reduce to C = beta*C for every member, with per-member
+  // reports still emitted.
+  const index_t m = 6, n = 5, batch = 4;
+  const index_t sc = m * n;
+
+  // k == 0 (array-of-pointers form).
+  Matrix<double> c(m, n * batch);
+  c.fill(10.0);
+  std::vector<double*> cp;
+  for (index_t p = 0; p < batch; ++p) cp.push_back(c.data() + p * sc);
+  std::vector<const double*> ap(std::size_t(batch), nullptr);
+  std::vector<const double*> bp(std::size_t(batch), nullptr);
+  const BatchReport rep = ft_gemm_batched<double>(
+      Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, m, n, 0, 1.0,
+      ap.data(), m, bp.data(), 1, 0.1, cp.data(), m, batch);
+  EXPECT_EQ(rep.problems, batch);
+  EXPECT_TRUE(rep.clean());
+  EXPECT_EQ(index_t(rep.per_problem.size()), batch);
+  for (const FtReport& r : rep.per_problem) EXPECT_EQ(r.panels, 0);
+  expect_all_eq(c, 1.0);
+
+  // alpha == 0 (strided form), non-FT.
+  Matrix<double> a(m, m * batch), b(m, n * batch), c2(m, n * batch);
+  a.fill(std::numeric_limits<double>::quiet_NaN());
+  b.fill(std::numeric_limits<double>::quiet_NaN());
+  c2.fill(6.0);
+  const BatchReport rep2 = gemm_strided_batched<double>(
+      Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, m, n, m, 0.0,
+      a.data(), m, m * m, b.data(), m, m * n, 0.5, c2.data(), m, sc, batch);
+  EXPECT_EQ(rep2.problems, batch);
+  expect_all_eq(c2, 3.0);
+}
+
+}  // namespace
+}  // namespace ftgemm
