@@ -12,6 +12,13 @@
 // encodings live in kernels/packing.hpp.  The standalone variants are used
 // by the *unfused* ABFT baseline (classic scheme, extra memory passes) and
 // by tests as an independent oracle.
+//
+// Hot-path callers (core/driver.hpp) do not call scale_encode_c /
+// encode_ar_partial directly: they go through the plan's ISA-dispatched
+// PackSet (kernels/microkernel.hpp), for which the templates below are the
+// scalar fallback and the test oracle.  SIMD implementations reassociate
+// the lane sums, so dispatched checksums match these within the
+// ToleranceModel bound, not bit-for-bit.
 #pragma once
 
 #include <algorithm>

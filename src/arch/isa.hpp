@@ -1,4 +1,6 @@
-// Instruction-set selection for the GEMM kernels.
+// Instruction-set selection for the GEMM kernels — one resolved Isa governs
+// both the micro-kernels (get_kernel_set) and the packing & checksum engine
+// (get_pack_set); the two are never mixed across levels.
 #pragma once
 
 #include <string_view>

@@ -12,6 +12,12 @@
 // branch taken here is the alpha == 0 degeneracy, which depends on an
 // operand value no plan fingerprint covers.
 //
+// The O(n^2) packing and checksum-encode layer is reached exclusively
+// through the plan's kernel set (plan.kernels.pack — the ISA-dispatched
+// PackSet): SIMD packing is bit-identical to the scalar templates, the
+// fused checksum sums are lane-reassociated within the ToleranceModel
+// bound (docs/DESIGN.md, "SIMD packing & checksum engine").
+//
 // Thread topology (§2.3): the OpenMP parallel region partitions C along the
 // M-dimension; B~ is one buffer shared by all threads and packed
 // cooperatively along the N-dimension (with a cross-thread reduction for the
@@ -192,9 +198,9 @@ FtReport execute_small(const GemmPlan<T>& plan, T alpha, const T* a,
     std::fill(ctx.cc(), ctx.cc() + m, T(0));
     std::fill(ctx.crref_part(0), ctx.crref_part(0) + n, T(0));
     std::fill(ctx.ar_part(0), ctx.ar_part(0) + k, T(0));
-    amax_c = scale_encode_c(c, ldc, index_t(0), m, n, beta, ctx.cc(),
-                            ctx.crref_part(0));
-    amax_a = encode_ar_partial(av, index_t(0), m, k, alpha, ctx.ar_part(0));
+    amax_c = ks.pack.scale_encode_c(c, ldc, index_t(0), m, n, beta, ctx.cc(),
+                                    ctx.crref_part(0));
+    amax_a = ks.pack.encode_ar(av, index_t(0), m, k, alpha, ctx.ar_part(0));
     // The general path's cross-thread reductions collapse to copies at one
     // thread (a sum of a single term), keeping results bit-identical.
     std::copy(ctx.ar_part(0), ctx.ar_part(0) + k, ctx.ar());
@@ -213,15 +219,15 @@ FtReport execute_small(const GemmPlan<T>& plan, T alpha, const T* a,
     if constexpr (FT) {
       std::fill(ctx.ccref(), ctx.ccref() + m, T(0));
       std::fill(ctx.crref_part(0), ctx.crref_part(0) + n * lanes, T(0));
-      pack_b_ft(bv, 0, 0, k, n, plan.blocking.nr, ctx.btilde(), ctx.ar(),
-                ctx.cr());
-      amax_b = reduce_bc_from_panel(ctx.btilde(), k, n, plan.blocking.nr,
-                                    index_t(0), k, ctx.bc(), 0.0);
-      pack_a_ft(av, 0, 0, m, k, plan.blocking.mr, alpha, ctx.atilde(0),
-                ctx.bc(), ctx.cc());
+      ks.pack.pack_b_ft(bv, 0, 0, k, n, plan.blocking.nr, ctx.btilde(),
+                        ctx.ar(), ctx.cr());
+      amax_b = ks.pack.reduce_bc(ctx.btilde(), k, n, plan.blocking.nr,
+                                 index_t(0), k, ctx.bc(), 0.0);
+      ks.pack.pack_a_ft(av, 0, 0, m, k, plan.blocking.mr, alpha,
+                        ctx.atilde(0), ctx.bc(), ctx.cc());
     } else {
-      pack_b(bv, 0, 0, k, n, plan.blocking.nr, ctx.btilde());
-      pack_a(av, 0, 0, m, k, plan.blocking.mr, alpha, ctx.atilde(0));
+      ks.pack.pack_b(bv, 0, 0, k, n, plan.blocking.nr, ctx.btilde());
+      ks.pack.pack_a(av, 0, 0, m, k, plan.blocking.mr, alpha, ctx.atilde(0));
     }
 
     run_macro_block<T, FT>(ks, m, n, k, ctx.atilde(0), ctx.btilde(), c, ldc,
@@ -332,9 +338,9 @@ FtReport execute(const GemmPlan<T>& plan, T alpha, const T* a, index_t lda,
       std::fill(ctx.ar_part(tid), ctx.ar_part(tid) + k, T(0));
       double amax_c = 0.0, amax_a = 0.0;
       if (mlen > 0) {
-        amax_c = scale_encode_c(c, ldc, ms, mlen, n, beta, ctx.cc(),
-                                ctx.crref_part(tid));
-        amax_a = encode_ar_partial(av, ms, mlen, k, alpha, ctx.ar_part(tid));
+        amax_c = ks.pack.scale_encode_c(c, ldc, ms, mlen, n, beta, ctx.cc(),
+                                        ctx.crref_part(tid));
+        amax_a = ks.pack.encode_ar(av, ms, mlen, k, alpha, ctx.ar_part(tid));
       }
       amax_parts[std::size_t(tid) * 3 + 0] = amax_a;
       // amax(B) is folded into the per-panel Bc reduction sweep; slot 1
@@ -383,14 +389,14 @@ FtReport execute(const GemmPlan<T>& plan, T alpha, const T* a, index_t lda,
           partition_units(jinc, bp.nr, nt, tid, js, jlen);
           if constexpr (FT) {
             if (jlen > 0) {
-              pack_b_ft(bv, p, jc + js, pinc, jlen, bp.nr,
-                        ctx.btilde() + (js / bp.nr) * (bp.nr * pinc),
-                        ctx.ar() + p, ctx.cr() + jc + js);
+              ks.pack.pack_b_ft(bv, p, jc + js, pinc, jlen, bp.nr,
+                                ctx.btilde() + (js / bp.nr) * (bp.nr * pinc),
+                                ctx.ar() + p, ctx.cr() + jc + js);
             }
           } else {
             if (jlen > 0) {
-              pack_b(bv, p, jc + js, pinc, jlen, bp.nr,
-                     ctx.btilde() + (js / bp.nr) * (bp.nr * pinc));
+              ks.pack.pack_b(bv, p, jc + js, pinc, jlen, bp.nr,
+                             ctx.btilde() + (js / bp.nr) * (bp.nr * pinc));
             }
           }
 #pragma omp barrier
@@ -401,7 +407,7 @@ FtReport execute(const GemmPlan<T>& plan, T alpha, const T* a, index_t lda,
             index_t kks = 0, kklen = 0;
             partition_units(pinc, 1, nt, tid, kks, kklen);
             if (kklen > 0) {
-              amax_parts[std::size_t(tid) * 3 + 1] = reduce_bc_from_panel(
+              amax_parts[std::size_t(tid) * 3 + 1] = ks.pack.reduce_bc(
                   ctx.btilde(), pinc, jinc, bp.nr, kks, kklen, ctx.bc(),
                   amax_parts[std::size_t(tid) * 3 + 1]);
             }
@@ -412,11 +418,12 @@ FtReport execute(const GemmPlan<T>& plan, T alpha, const T* a, index_t lda,
           for (index_t ic = 0; ic < mlen; ic += bp.mc) {
             const index_t ilen = std::min(bp.mc, mlen - ic);
             if constexpr (FT) {
-              pack_a_ft(av, ms + ic, p, ilen, pinc, bp.mr, alpha,
-                        ctx.atilde(tid), ctx.bc(), ctx.cc() + ms + ic);
+              ks.pack.pack_a_ft(av, ms + ic, p, ilen, pinc, bp.mr, alpha,
+                                ctx.atilde(tid), ctx.bc(),
+                                ctx.cc() + ms + ic);
             } else {
-              pack_a(av, ms + ic, p, ilen, pinc, bp.mr, alpha,
-                     ctx.atilde(tid));
+              ks.pack.pack_a(av, ms + ic, p, ilen, pinc, bp.mr, alpha,
+                             ctx.atilde(tid));
             }
 
             run_macro_block<T, FT>(

@@ -113,7 +113,10 @@ template <typename T>
 struct GemmPlan {
   PlanKey key;               ///< fingerprint this plan was built from
   Isa isa = Isa::kScalar;    ///< resolved instruction set
-  KernelSet<T> kernels;      ///< resolved micro-kernel pair + tile shape
+  /// Resolved micro-kernel pair + tile shape + the ISA-dispatched packing &
+  /// checksum engine (kernels.pack); executors reach the whole per-ISA
+  /// surface through this one member.
+  KernelSet<T> kernels;
   BlockingPlan blocking;     ///< shape-aware MC/NC/KC/MR/NR
   int threads = 1;           ///< execution topology (1 on the fast path)
   index_t num_panels = 0;    ///< rank-KC verification intervals for k > 0

@@ -168,11 +168,11 @@ void skernel_16x6_ft(index_t kc, const float* a, const float* b, float* c,
 }  // namespace
 
 KernelSet<double> avx2_kernels_f64() {
-  return {&dkernel_8x6_base, &dkernel_8x6_ft, kMrF64, kNrF64, 4, Isa::kAvx2};
+  return {&dkernel_8x6_base, &dkernel_8x6_ft, kMrF64, kNrF64, 4, Isa::kAvx2, {}};
 }
 
 KernelSet<float> avx2_kernels_f32() {
-  return {&skernel_16x6_base, &skernel_16x6_ft, kMrF32, kNrF32, 8, Isa::kAvx2};
+  return {&skernel_16x6_base, &skernel_16x6_ft, kMrF32, kNrF32, 8, Isa::kAvx2, {}};
 }
 
 }  // namespace ftgemm

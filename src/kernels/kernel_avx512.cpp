@@ -189,17 +189,17 @@ KernelSet<double> avx512_kernels_f64() {
 KernelSet<double> avx512_kernels_f64_mr(index_t mr) {
   switch (mr) {
     case 8:
-      return {&dkernel_base<1>, &dkernel_ft<1>, 8, kNrF64, 8, Isa::kAvx512};
+      return {&dkernel_base<1>, &dkernel_ft<1>, 8, kNrF64, 8, Isa::kAvx512, {}};
     case 24:
-      return {&dkernel_base<3>, &dkernel_ft<3>, 24, kNrF64, 8, Isa::kAvx512};
+      return {&dkernel_base<3>, &dkernel_ft<3>, 24, kNrF64, 8, Isa::kAvx512, {}};
     case 16:
     default:
-      return {&dkernel_base<2>, &dkernel_ft<2>, 16, kNrF64, 8, Isa::kAvx512};
+      return {&dkernel_base<2>, &dkernel_ft<2>, 16, kNrF64, 8, Isa::kAvx512, {}};
   }
 }
 
 KernelSet<float> avx512_kernels_f32() {
-  return {&skernel_32x8_base, &skernel_32x8_ft, kMrF32, kNrF32, 16, Isa::kAvx512};
+  return {&skernel_32x8_base, &skernel_32x8_ft, kMrF32, kNrF32, 16, Isa::kAvx512, {}};
 }
 
 }  // namespace ftgemm

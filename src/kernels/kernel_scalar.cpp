@@ -57,33 +57,37 @@ void kernel_ft(index_t kc, const T* a, const T* b, T* c, index_t ldc,
 }  // namespace
 
 KernelSet<double> scalar_kernels_f64() {
-  return {&kernel_base<double>, &kernel_ft<double>, kMr, kNr, 1, Isa::kScalar};
+  return {&kernel_base<double>, &kernel_ft<double>, kMr, kNr, 1, Isa::kScalar, {}};
 }
 
 KernelSet<float> scalar_kernels_f32() {
-  return {&kernel_base<float>, &kernel_ft<float>, kMr, kNr, 1, Isa::kScalar};
+  return {&kernel_base<float>, &kernel_ft<float>, kMr, kNr, 1, Isa::kScalar, {}};
 }
 
 template <typename T>
 KernelSet<T> get_kernel_set(Isa isa) {
+  KernelSet<T> ks;
   if constexpr (sizeof(T) == 8) {
     switch (isa) {
       case Isa::kAvx512:
         // Kernel-shape override for the ablation bench; register_tile()
         // applies the same sanitized value so packing stays consistent.
-        return avx512_kernels_f64_mr(env_long("FTGEMM_KERNEL_MR", 16));
-      case Isa::kAvx2: return avx2_kernels_f64();
-      case Isa::kScalar: return scalar_kernels_f64();
+        ks = avx512_kernels_f64_mr(env_long("FTGEMM_KERNEL_MR", 16));
+        break;
+      case Isa::kAvx2: ks = avx2_kernels_f64(); break;
+      case Isa::kScalar: ks = scalar_kernels_f64(); break;
     }
-    return scalar_kernels_f64();
   } else {
     switch (isa) {
-      case Isa::kAvx512: return avx512_kernels_f32();
-      case Isa::kAvx2: return avx2_kernels_f32();
-      case Isa::kScalar: return scalar_kernels_f32();
+      case Isa::kAvx512: ks = avx512_kernels_f32(); break;
+      case Isa::kAvx2: ks = avx2_kernels_f32(); break;
+      case Isa::kScalar: ks = scalar_kernels_f32(); break;
     }
-    return scalar_kernels_f32();
   }
+  // The packing & checksum engine rides along with the micro-kernels so
+  // executors reach the whole ISA surface through one dispatch point.
+  ks.pack = get_pack_set<T>(ks.isa);
+  return ks;
 }
 
 template KernelSet<double> get_kernel_set<double>(Isa);

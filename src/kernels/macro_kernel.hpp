@@ -15,9 +15,8 @@
 
 namespace ftgemm {
 
-/// Upper bounds over all kernel sets, for the stack scratch tile.
-inline constexpr index_t kMaxMr = 32;
-inline constexpr index_t kMaxNr = 8;
+// kMaxMr / kMaxNr (upper bounds over all kernel sets, sizing the stack
+// scratch tile below) live in kernels/microkernel.hpp next to KernelSet.
 
 /// Run the macro kernel over C(0..mlen, 0..nlen) starting at `c`.
 ///

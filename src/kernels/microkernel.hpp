@@ -32,6 +32,36 @@ namespace ftgemm {
 
 using index_t = std::int64_t;
 
+/// Upper bounds over all kernel sets (register-tile shapes), shared by the
+/// macro-kernel scratch tile and the packing engine's lane-accumulator
+/// blocks.
+inline constexpr index_t kMaxMr = 32;
+inline constexpr index_t kMaxNr = 8;
+
+/// Read-only view of a matrix operand with an optional transpose, so the
+/// packing/encode code is the single place where Trans is resolved.  The
+/// stride accessors resolve the transpose *once*; inner loops index
+/// `data[i * row_stride() + j * col_stride()]` and stay branch-free.
+template <typename T>
+struct OperandView {
+  const T* data;
+  index_t ld;
+  bool trans;
+
+  /// Element (i, j) of the *effective* (post-transpose) operand.
+  [[nodiscard]] T at(index_t i, index_t j) const {
+    return trans ? data[j + i * ld] : data[i + j * ld];
+  }
+  /// Storage distance between effective rows i and i+1 (fixed j).
+  [[nodiscard]] index_t row_stride() const { return trans ? ld : 1; }
+  /// Storage distance between effective columns j and j+1 (fixed i).
+  [[nodiscard]] index_t col_stride() const { return trans ? 1 : ld; }
+  /// Address of effective element (i, j).
+  [[nodiscard]] const T* ptr(index_t i, index_t j) const {
+    return data + i * row_stride() + j * col_stride();
+  }
+};
+
 template <typename T>
 using MicroKernelBase = void (*)(index_t kc, const T* a, const T* b, T* c,
                                  index_t ldc);
@@ -39,6 +69,64 @@ using MicroKernelBase = void (*)(index_t kc, const T* a, const T* b, T* c,
 template <typename T>
 using MicroKernelFt = void (*)(index_t kc, const T* a, const T* b, T* c,
                                index_t ldc, T* cr_ref, T* cc_ref);
+
+// ---------------------------------------------------------------------------
+// Packing & checksum-encode engine (the O(n^2)-per-panel layer).
+//
+// Each function pointer mirrors one of the scalar templates in
+// kernels/packing.hpp / abft/checksum.hpp (which remain the portable
+// fallback and the test oracle).  SIMD implementations reorder the checksum
+// summations into vector lanes; packed panels are bit-identical to the
+// scalar path, checksum sums agree within the ToleranceModel bound (see
+// docs/DESIGN.md, "SIMD packing & checksum engine").
+// ---------------------------------------------------------------------------
+
+template <typename T>
+using PackAFn = void (*)(const OperandView<T>& a, index_t m0, index_t k0,
+                         index_t mlen, index_t klen, index_t mr, T alpha,
+                         T* dst);
+
+template <typename T>
+using PackAFtFn = void (*)(const OperandView<T>& a, index_t m0, index_t k0,
+                           index_t mlen, index_t klen, index_t mr, T alpha,
+                           T* dst, const T* bc, T* cc);
+
+template <typename T>
+using PackBFn = void (*)(const OperandView<T>& b, index_t k0, index_t j0,
+                         index_t klen, index_t nlen, index_t nr, T* dst);
+
+template <typename T>
+using PackBFtFn = void (*)(const OperandView<T>& b, index_t k0, index_t j0,
+                           index_t klen, index_t nlen, index_t nr, T* dst,
+                           const T* ar, T* cr);
+
+template <typename T>
+using ReduceBcFn = double (*)(const T* b_packed, index_t klen, index_t nlen,
+                              index_t nr, index_t kk0, index_t kklen, T* bc,
+                              double amax_in);
+
+template <typename T>
+using ScaleEncodeCFn = double (*)(T* c, index_t ldc, index_t i0, index_t ilen,
+                                  index_t n, T beta, T* cc, T* cr_part);
+
+template <typename T>
+using EncodeArFn = double (*)(const OperandView<T>& a, index_t i0,
+                              index_t ilen, index_t k, T alpha, T* ar_part);
+
+/// The ISA-dispatched pack/reduce/encode family.  Obtained via
+/// get_pack_set(); a KernelSet returned by get_kernel_set() carries the
+/// matching PackSet, so executors reach both through one dispatch point.
+template <typename T>
+struct PackSet {
+  PackAFn<T> pack_a = nullptr;
+  PackAFtFn<T> pack_a_ft = nullptr;
+  PackBFn<T> pack_b = nullptr;
+  PackBFtFn<T> pack_b_ft = nullptr;
+  ReduceBcFn<T> reduce_bc = nullptr;
+  ScaleEncodeCFn<T> scale_encode_c = nullptr;
+  EncodeArFn<T> encode_ar = nullptr;
+  Isa isa = Isa::kScalar;
+};
 
 /// The kernels plus their register tile shape.
 template <typename T>
@@ -50,12 +138,29 @@ struct KernelSet {
   /// Lane partials per cr_ref column (SIMD width of the FT epilogue).
   index_t cr_lanes = 1;
   Isa isa = Isa::kScalar;
+  /// Pack/reduce/encode routines matching `isa` (see get_pack_set).
+  PackSet<T> pack;
 };
 
 /// Dispatch: returns the kernel set for the requested ISA (which callers
-/// obtain from select_isa(), already clamped to hardware capability).
+/// obtain from select_isa(), already clamped to hardware capability).  The
+/// returned set's `pack` member is filled with get_pack_set(isa).
 template <typename T>
 KernelSet<T> get_kernel_set(Isa isa);
+
+/// Dispatch for the packing & checksum engine alone (tests and the packing
+/// bench compare ISAs side by side without dragging in micro-kernels).
+template <typename T>
+PackSet<T> get_pack_set(Isa isa);
+
+// Per-ISA pack/encode accessors implemented in the ISA-specific translation
+// units (pack_scalar.cpp / pack_avx2.cpp / pack_avx512.cpp).
+PackSet<double> scalar_pack_f64();
+PackSet<float> scalar_pack_f32();
+PackSet<double> avx2_pack_f64();
+PackSet<float> avx2_pack_f32();
+PackSet<double> avx512_pack_f64();
+PackSet<float> avx512_pack_f32();
 
 // Per-ISA accessors implemented in the ISA-specific translation units.
 KernelSet<double> avx512_kernels_f64();

@@ -1,0 +1,59 @@
+// Scalar PackSet + ISA dispatch for the packing & checksum engine.
+//
+// The scalar entries simply take the addresses of the portable templates in
+// kernels/packing.hpp / abft/checksum.hpp.  This translation unit is
+// compiled WITHOUT any SIMD flags on purpose: the template instantiations
+// bound into the scalar set here are the ones the fallback path executes on
+// machines without AVX2, so they must never contain AVX encodings.  (The
+// SIMD translation units reach the scalar fallback through scalar_pack_*()
+// function pointers instead of instantiating the templates themselves,
+// which would let the linker pick an AVX-compiled copy for everyone.)
+#include "abft/checksum.hpp"
+#include "kernels/packing.hpp"
+
+namespace ftgemm {
+
+namespace {
+
+template <typename T>
+PackSet<T> make_scalar_pack() {
+  PackSet<T> p;
+  p.pack_a = &pack_a<T>;
+  p.pack_a_ft = &pack_a_ft<T>;
+  p.pack_b = &pack_b<T>;
+  p.pack_b_ft = &pack_b_ft<T>;
+  p.reduce_bc = &reduce_bc_from_panel<T>;
+  p.scale_encode_c = &scale_encode_c<T>;
+  p.encode_ar = &encode_ar_partial<T>;
+  p.isa = Isa::kScalar;
+  return p;
+}
+
+}  // namespace
+
+PackSet<double> scalar_pack_f64() { return make_scalar_pack<double>(); }
+PackSet<float> scalar_pack_f32() { return make_scalar_pack<float>(); }
+
+template <typename T>
+PackSet<T> get_pack_set(Isa isa) {
+  if constexpr (sizeof(T) == 8) {
+    switch (isa) {
+      case Isa::kAvx512: return avx512_pack_f64();
+      case Isa::kAvx2: return avx2_pack_f64();
+      case Isa::kScalar: return scalar_pack_f64();
+    }
+    return scalar_pack_f64();
+  } else {
+    switch (isa) {
+      case Isa::kAvx512: return avx512_pack_f32();
+      case Isa::kAvx2: return avx2_pack_f32();
+      case Isa::kScalar: return scalar_pack_f32();
+    }
+    return scalar_pack_f32();
+  }
+}
+
+template PackSet<double> get_pack_set<double>(Isa);
+template PackSet<float> get_pack_set<float>(Isa);
+
+}  // namespace ftgemm

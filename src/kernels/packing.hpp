@@ -19,6 +19,15 @@
 // This converts the O(n^2) checksum encodings from separate memory passes
 // (the ~15% overhead of classic ABFT at AVX-512 speeds) into pure extra
 // arithmetic on data already in registers (~3% overhead).
+//
+// The templates below are the *portable scalar* implementations: the
+// transpose flag is resolved once into row/column strides (OperandView
+// stride accessors), so even non-SIMD builds run branch-free inner loops.
+// Hot-path callers go through the ISA-dispatched PackSet instead
+// (kernels/microkernel.hpp; AVX2/AVX-512 implementations in
+// pack_avx2.cpp / pack_avx512.cpp) — these templates stay as the fallback,
+// the ragged-edge path, and the test oracle the SIMD panels are asserted
+// bit-identical against.
 #pragma once
 
 #include <algorithm>
@@ -27,19 +36,13 @@
 
 namespace ftgemm {
 
-/// Read-only view of a matrix operand with an optional transpose, so the
-/// packing code is the single place where Trans is resolved.
-template <typename T>
-struct OperandView {
-  const T* data;
-  index_t ld;
-  bool trans;
-
-  /// Element (i, j) of the *effective* (post-transpose) operand.
-  [[nodiscard]] T at(index_t i, index_t j) const {
-    return trans ? data[j + i * ld] : data[i + j * ld];
-  }
-};
+/// Width of the fixed-size lane-accumulator blocks in the fused panel
+/// reductions below.  Any nr is handled (wider tiles sweep in chunks /
+/// wrap modulo the block) — but every shipped kernel tile fits one block,
+/// which keeps the accumulators register-resident.
+inline constexpr index_t kPackAccLanes = 16;
+static_assert(kPackAccLanes >= kMaxNr,
+              "panel accumulator block must cover the widest kernel tile");
 
 /// Pack rows [m0, m0+mlen) x cols [k0, k0+klen) of the effective A into
 /// MR-tall panels, scaled by alpha and zero-padded to a multiple of MR.
@@ -47,12 +50,14 @@ struct OperandView {
 template <typename T>
 void pack_a(const OperandView<T>& a, index_t m0, index_t k0, index_t mlen,
             index_t klen, index_t mr, T alpha, T* __restrict__ dst) {
+  const index_t rs = a.row_stride(), cs = a.col_stride();
   for (index_t ip = 0; ip < mlen; ip += mr) {
     const index_t rows = std::min(mr, mlen - ip);
+    const T* __restrict__ base = a.ptr(m0 + ip, k0);
     for (index_t kk = 0; kk < klen; ++kk) {
       T* __restrict__ col = dst + kk * mr;
-      for (index_t ii = 0; ii < rows; ++ii)
-        col[ii] = alpha * a.at(m0 + ip + ii, k0 + kk);
+      const T* __restrict__ src = base + kk * cs;
+      for (index_t ii = 0; ii < rows; ++ii) col[ii] = alpha * src[ii * rs];
       for (index_t ii = rows; ii < mr; ++ii) col[ii] = T(0);
     }
     dst += mr * klen;
@@ -67,14 +72,17 @@ template <typename T>
 void pack_a_ft(const OperandView<T>& a, index_t m0, index_t k0, index_t mlen,
                index_t klen, index_t mr, T alpha, T* __restrict__ dst,
                const T* __restrict__ bc, T* __restrict__ cc) {
+  const index_t rs = a.row_stride(), cs = a.col_stride();
   for (index_t ip = 0; ip < mlen; ip += mr) {
     const index_t rows = std::min(mr, mlen - ip);
+    const T* __restrict__ base = a.ptr(m0 + ip, k0);
     for (index_t kk = 0; kk < klen; ++kk) {
       T* __restrict__ col = dst + kk * mr;
+      const T* __restrict__ src = base + kk * cs;
       const T bcv = bc[kk];
       T* __restrict__ cc_rows = cc + ip;
       for (index_t ii = 0; ii < rows; ++ii) {
-        const T v = alpha * a.at(m0 + ip + ii, k0 + kk);
+        const T v = alpha * src[ii * rs];
         col[ii] = v;
         cc_rows[ii] += v * bcv;
       }
@@ -93,12 +101,14 @@ void pack_a_ft(const OperandView<T>& a, index_t m0, index_t k0, index_t mlen,
 template <typename T>
 void pack_b(const OperandView<T>& b, index_t k0, index_t j0, index_t klen,
             index_t nlen, index_t nr, T* __restrict__ dst) {
+  const index_t rs = b.row_stride(), cs = b.col_stride();
   for (index_t jp = 0; jp < nlen; jp += nr) {
     const index_t cols = std::min(nr, nlen - jp);
+    const T* __restrict__ base = b.ptr(k0, j0 + jp);
     for (index_t kk = 0; kk < klen; ++kk) {
       T* __restrict__ row = dst + kk * nr;
-      for (index_t jj = 0; jj < cols; ++jj)
-        row[jj] = b.at(k0 + kk, j0 + jp + jj);
+      const T* __restrict__ src = base + kk * rs;
+      for (index_t jj = 0; jj < cols; ++jj) row[jj] = src[jj * cs];
       for (index_t jj = cols; jj < nr; ++jj) row[jj] = T(0);
     }
     dst += nr * klen;
@@ -120,27 +130,35 @@ template <typename T>
 void pack_b_ft(const OperandView<T>& b, index_t k0, index_t j0, index_t klen,
                index_t nlen, index_t nr, T* __restrict__ dst,
                const T* __restrict__ ar, T* __restrict__ cr) {
-  constexpr index_t kMaxNrLocal = 16;
+  const index_t rs = b.row_stride(), cs = b.col_stride();
   for (index_t jp = 0; jp < nlen; jp += nr) {
     const index_t cols = std::min(nr, nlen - jp);
+    const T* __restrict__ base = b.ptr(k0, j0 + jp);
     // 1) Pack this NR-wide sub-panel (identical to pack_b).
     for (index_t kk = 0; kk < klen; ++kk) {
       T* __restrict__ row = dst + kk * nr;
-      for (index_t jj = 0; jj < cols; ++jj)
-        row[jj] = b.at(k0 + kk, j0 + jp + jj);
+      const T* __restrict__ src = base + kk * rs;
+      for (index_t jj = 0; jj < cols; ++jj) row[jj] = src[jj * cs];
       for (index_t jj = cols; jj < nr; ++jj) row[jj] = T(0);
     }
     // 2) Cr += Arᵀ·(sub-panel) while the 16 KiB sub-panel is L1-hot: one
     // NR-wide FMA per k step, contiguous loads, vector accumulators.  The
     // zero padding contributes nothing, so the accumulate runs full NR wide.
-    T acc[kMaxNrLocal] = {};
-    for (index_t kk = 0; kk < klen; ++kk) {
-      const T* __restrict__ row = dst + kk * nr;
-      const T arv = ar[kk];
-      for (index_t jj = 0; jj < nr; ++jj) acc[jj] += arv * row[jj];
-    }
+    // Tiles wider than the accumulator block sweep it in chunks (regression:
+    // a single fixed-size block indexed by jj < nr overran the stack for
+    // nr > kPackAccLanes).
     T* __restrict__ cr_cols = cr + jp;
-    for (index_t jj = 0; jj < cols; ++jj) cr_cols[jj] += acc[jj];
+    for (index_t jb = 0; jb < nr; jb += kPackAccLanes) {
+      const index_t w = std::min(kPackAccLanes, nr - jb);
+      T acc[kPackAccLanes] = {};
+      for (index_t kk = 0; kk < klen; ++kk) {
+        const T* __restrict__ row = dst + kk * nr + jb;
+        const T arv = ar[kk];
+        for (index_t jj = 0; jj < w; ++jj) acc[jj] += arv * row[jj];
+      }
+      const index_t jhi = std::min(cols, jb + w);
+      for (index_t jj = jb; jj < jhi; ++jj) cr_cols[jj] += acc[jj - jb];
+    }
     dst += nr * klen;
   }
 }
@@ -155,9 +173,11 @@ double reduce_bc_from_panel(const T* __restrict__ b_packed, index_t klen,
                             index_t nlen, index_t nr, index_t kk0,
                             index_t kklen, T* __restrict__ bc,
                             double amax_in) {
-  constexpr index_t kMaxNrLocal = 16;
   const index_t panels = (nlen + nr - 1) / nr;
-  T amax_lane[kMaxNrLocal] = {};
+  // amax lanes wrap modulo the block so any nr is in bounds (regression:
+  // indexing by jj < nr overran the stack for nr > kPackAccLanes); max is
+  // order-independent, so wrapping does not change the result.
+  T amax_lane[kPackAccLanes] = {};
   for (index_t kk = kk0; kk < kk0 + kklen; ++kk) bc[kk] = T(0);
   for (index_t q = 0; q < panels; ++q) {
     const T* __restrict__ panel = b_packed + q * (nr * klen);
@@ -168,13 +188,15 @@ double reduce_bc_from_panel(const T* __restrict__ b_packed, index_t klen,
         const T v = row[jj];
         const T x = std::abs(v);
         sum += v;
-        amax_lane[jj] = amax_lane[jj] > x ? amax_lane[jj] : x;
+        T& lane = amax_lane[jj % kPackAccLanes];
+        lane = lane > x ? lane : x;
       }
       bc[kk] += sum;
     }
   }
   double amax = amax_in;
-  for (index_t jj = 0; jj < nr; ++jj)
+  const index_t lanes = std::min(nr, kPackAccLanes);
+  for (index_t jj = 0; jj < lanes; ++jj)
     amax = std::max(amax, double(amax_lane[jj]));
   return amax;
 }

@@ -1,8 +1,15 @@
-// Unit tests: packing routines and their fused checksum side effects.
+// Unit tests: packing routines and their fused checksum side effects, plus
+// the ISA-dispatched SIMD engine against the scalar oracle (panels must be
+// bit-identical; checksum sums are lane-reassociated, so they match within
+// a rounding tolerance — the summation-order contract of
+// docs/DESIGN.md "SIMD packing & checksum engine").
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
+#include "abft/checksum.hpp"
+#include "arch/cpu_features.hpp"
 #include "kernels/packing.hpp"
 #include "util/matrix.hpp"
 
@@ -200,6 +207,259 @@ TEST(ReduceBc, PartialKRangeOnlyTouchesItsSlice) {
     } else {
       EXPECT_DOUBLE_EQ(bc[std::size_t(kk)], -9.0) << "outside slice";
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Regression: tiles wider than the fixed accumulator block (nr >
+// kPackAccLanes) used to overrun the stack-local amax/acc arrays.  Both
+// panel reductions must produce correct results for any nr.
+// ---------------------------------------------------------------------------
+
+TEST(WideTileRegression, ReduceBcHandlesNrBeyondAccumulatorBlock) {
+  const index_t nr = kPackAccLanes + 8;  // 24: wider than one acc block
+  const index_t klen = 9, nlen = 2 * nr + 5;
+  Matrix<double> src(klen, nlen);
+  src.fill_random(29, -3.0, 3.0);
+  const OperandView<double> view{src.data(), src.ld(), false};
+
+  const index_t panels = (nlen + nr - 1) / nr;
+  std::vector<double> packed(static_cast<std::size_t>(panels * nr * klen));
+  pack_b(view, 0, 0, klen, nlen, nr, packed.data());
+
+  std::vector<double> bc(static_cast<std::size_t>(klen));
+  const double amax =
+      reduce_bc_from_panel(packed.data(), klen, nlen, nr, 0, klen, bc.data(),
+                           0.0);
+
+  double amax_want = 0.0;
+  for (index_t kk = 0; kk < klen; ++kk) {
+    double want = 0.0;
+    for (index_t j = 0; j < nlen; ++j) {
+      want += src(kk, j);
+      amax_want = std::max(amax_want, std::abs(src(kk, j)));
+    }
+    EXPECT_NEAR(bc[std::size_t(kk)], want,
+                1e-12 * std::max(1.0, std::abs(want)));
+  }
+  EXPECT_DOUBLE_EQ(amax, amax_want);
+}
+
+TEST(WideTileRegression, PackBFtHandlesNrBeyondAccumulatorBlock) {
+  const index_t nr = kPackAccLanes + 8, klen = 11, nlen = nr + 7;
+  Matrix<double> src(klen, nlen);
+  src.fill_random(31);
+  const OperandView<double> view{src.data(), src.ld(), false};
+
+  std::vector<double> ar(static_cast<std::size_t>(klen));
+  for (index_t kk = 0; kk < klen; ++kk)
+    ar[std::size_t(kk)] = 0.05 * double(kk) - 0.2;
+
+  const index_t panels = (nlen + nr - 1) / nr;
+  std::vector<double> dst(static_cast<std::size_t>(panels * nr * klen));
+  std::vector<double> cr(static_cast<std::size_t>(nlen), 0.5);
+  pack_b_ft(view, 0, 0, klen, nlen, nr, dst.data(), ar.data(), cr.data());
+
+  for (index_t j = 0; j < nlen; ++j) {
+    double want = 0.5;
+    for (index_t kk = 0; kk < klen; ++kk)
+      want += ar[std::size_t(kk)] * src(kk, j);
+    EXPECT_NEAR(cr[std::size_t(j)], want,
+                1e-11 * std::max(1.0, std::abs(want)))
+        << "col " << j;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ISA-dispatched SIMD engine vs the scalar oracle: panels bit-identical,
+// checksums within a reassociation tolerance, over {NoTrans, Trans} x
+// ragged tails x every ISA this machine can execute.
+// ---------------------------------------------------------------------------
+
+std::vector<Isa> executable_isas() {
+  std::vector<Isa> v{Isa::kScalar};
+  if (cpu_features().has_avx2_kernel_support()) v.push_back(Isa::kAvx2);
+  if (cpu_features().has_avx512_kernel_support()) v.push_back(Isa::kAvx512);
+  return v;
+}
+
+template <typename T>
+double near_tol() {
+  return sizeof(T) == 8 ? 1e-11 : 1e-3;
+}
+
+template <typename T>
+void expect_near_vec(const std::vector<T>& got, const std::vector<T>& want,
+                     const char* what) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(double(got[i]), double(want[i]),
+                near_tol<T>() * std::max(1.0, std::abs(double(want[i]))))
+        << what << " [" << i << "]";
+  }
+}
+
+template <typename T>
+void run_dispatch_sweep(Isa isa) {
+  const PackSet<T> simd = get_pack_set<T>(isa);
+  const PackSet<T> ref = get_pack_set<T>(Isa::kScalar);
+  ASSERT_NE(simd.pack_a, nullptr);
+  ASSERT_NE(simd.pack_a_ft, nullptr);
+  ASSERT_NE(simd.pack_b, nullptr);
+  ASSERT_NE(simd.pack_b_ft, nullptr);
+  ASSERT_NE(simd.reduce_bc, nullptr);
+  ASSERT_NE(simd.scale_encode_c, nullptr);
+  ASSERT_NE(simd.encode_ar, nullptr);
+
+  const KernelSet<T> ks = get_kernel_set<T>(isa);
+  const index_t mr = ks.mr, nr = ks.nr;
+  const T alpha = T(1.25);
+  Matrix<T> src(200, 200);
+  src.fill_random(37);
+
+  const index_t klens[] = {1, 3, 7, 8, 64};
+  const index_t mlens[] = {1,      mr - 1, mr,         mr + 1,
+                           3 * mr, 5 * mr - 3};
+  const index_t nlens[] = {1,      nr - 1, nr,         nr + 1,
+                           4 * nr, 6 * nr - 3};
+
+  for (const bool trans : {false, true}) {
+    const OperandView<T> view{src.data(), src.ld(), trans};
+    for (const index_t klen : klens) {
+      // ---- pack_a / pack_a_ft ----
+      for (const index_t mlen : mlens) {
+        if (mlen <= 0) continue;
+        SCOPED_TRACE("isa=" + std::string(isa_name(isa)) +
+                     " trans=" + std::to_string(trans) +
+                     " mlen=" + std::to_string(mlen) +
+                     " klen=" + std::to_string(klen));
+        const index_t panels = (mlen + mr - 1) / mr;
+        const std::size_t dn = std::size_t(panels * mr * klen);
+        std::vector<T> want(dn, T(-77)), got(dn, T(-55));
+        ref.pack_a(view, 2, 1, mlen, klen, mr, alpha, want.data());
+        simd.pack_a(view, 2, 1, mlen, klen, mr, alpha, got.data());
+        EXPECT_EQ(want, got) << "pack_a panel must be bit-identical";
+
+        std::vector<T> bc(static_cast<std::size_t>(klen));
+        for (index_t kk = 0; kk < klen; ++kk)
+          bc[std::size_t(kk)] = T(0.1) * T(kk + 1);
+        std::vector<T> cc_want(std::size_t(mlen), T(1)),
+            cc_got(std::size_t(mlen), T(1));
+        ref.pack_a_ft(view, 2, 1, mlen, klen, mr, alpha, want.data(),
+                      bc.data(), cc_want.data());
+        simd.pack_a_ft(view, 2, 1, mlen, klen, mr, alpha, got.data(),
+                       bc.data(), cc_got.data());
+        EXPECT_EQ(want, got) << "pack_a_ft panel must be bit-identical";
+        expect_near_vec(cc_got, cc_want, "cc");
+      }
+
+      // ---- pack_b / pack_b_ft / reduce_bc ----
+      for (const index_t nlen : nlens) {
+        if (nlen <= 0) continue;
+        SCOPED_TRACE("isa=" + std::string(isa_name(isa)) +
+                     " trans=" + std::to_string(trans) +
+                     " nlen=" + std::to_string(nlen) +
+                     " klen=" + std::to_string(klen));
+        const index_t panels = (nlen + nr - 1) / nr;
+        const std::size_t dn = std::size_t(panels * nr * klen);
+        std::vector<T> want(dn, T(-77)), got(dn, T(-55));
+        ref.pack_b(view, 1, 2, klen, nlen, nr, want.data());
+        simd.pack_b(view, 1, 2, klen, nlen, nr, got.data());
+        EXPECT_EQ(want, got) << "pack_b panel must be bit-identical";
+
+        std::vector<T> ar(static_cast<std::size_t>(klen));
+        for (index_t kk = 0; kk < klen; ++kk)
+          ar[std::size_t(kk)] = T(0.01) * T(kk) - T(0.3);
+        std::vector<T> cr_want(std::size_t(nlen), T(2)),
+            cr_got(std::size_t(nlen), T(2));
+        ref.pack_b_ft(view, 1, 2, klen, nlen, nr, want.data(), ar.data(),
+                      cr_want.data());
+        simd.pack_b_ft(view, 1, 2, klen, nlen, nr, got.data(), ar.data(),
+                       cr_got.data());
+        EXPECT_EQ(want, got) << "pack_b_ft panel must be bit-identical";
+        expect_near_vec(cr_got, cr_want, "cr");
+
+        std::vector<T> bc_want(static_cast<std::size_t>(klen)), bc_got(static_cast<std::size_t>(klen));
+        const double amax_want = ref.reduce_bc(want.data(), klen, nlen, nr,
+                                               0, klen, bc_want.data(), 0.25);
+        const double amax_got = simd.reduce_bc(got.data(), klen, nlen, nr, 0,
+                                               klen, bc_got.data(), 0.25);
+        expect_near_vec(bc_got, bc_want, "bc");
+        EXPECT_DOUBLE_EQ(amax_got, amax_want) << "amax is order-independent";
+      }
+    }
+  }
+
+  // ---- scale_encode_c (beta = 0 / 1 / other) + encode_ar ----
+  for (const T beta : {T(0), T(1), T(-0.75)}) {
+    for (const index_t ilen : {index_t(1), index_t(7), index_t(8),
+                               index_t(33), index_t(64)}) {
+      SCOPED_TRACE("isa=" + std::string(isa_name(isa)) + " beta=" +
+                   std::to_string(double(beta)) +
+                   " ilen=" + std::to_string(ilen));
+      const index_t n = 19, ldc = 70, i0 = 3;
+      Matrix<T> c_want(ldc, n), c_got(ldc, n);
+      c_want.fill_random(41);
+      for (index_t j = 0; j < n; ++j)
+        for (index_t i = 0; i < ldc; ++i) c_got(i, j) = c_want(i, j);
+      std::vector<T> cc_want(std::size_t(i0 + ilen), T(0.5)),
+          cc_got(std::size_t(i0 + ilen), T(0.5));
+      std::vector<T> cr_want(std::size_t(n), T(-1)),
+          cr_got(std::size_t(n), T(-1));
+      const PackSet<T> sc = get_pack_set<T>(Isa::kScalar);
+      const double amax_want =
+          sc.scale_encode_c(c_want.data(), ldc, i0, ilen, n, beta,
+                            cc_want.data(), cr_want.data());
+      const double amax_got =
+          get_pack_set<T>(isa).scale_encode_c(c_got.data(), ldc, i0, ilen, n,
+                                              beta, cc_got.data(),
+                                              cr_got.data());
+      for (index_t j = 0; j < n; ++j)
+        for (index_t i = 0; i < ldc; ++i)
+          EXPECT_EQ(c_got(i, j), c_want(i, j))
+              << "scaled C must be bit-identical at " << i << "," << j;
+      expect_near_vec(cc_got, cc_want, "cc");
+      expect_near_vec(cr_got, cr_want, "cr_part");
+      EXPECT_DOUBLE_EQ(amax_got, amax_want);
+    }
+  }
+
+  for (const bool trans : {false, true}) {
+    for (const index_t ilen : {index_t(1), index_t(9), index_t(40)}) {
+      for (const index_t k : {index_t(1), index_t(13), index_t(64)}) {
+        SCOPED_TRACE("isa=" + std::string(isa_name(isa)) +
+                     " trans=" + std::to_string(trans) +
+                     " ilen=" + std::to_string(ilen) +
+                     " k=" + std::to_string(k));
+        const OperandView<T> view{src.data(), src.ld(), trans};
+        std::vector<T> ar_want(std::size_t(k), T(0.25)),
+            ar_got(std::size_t(k), T(0.25));
+        const double amax_want = get_pack_set<T>(Isa::kScalar).encode_ar(
+            view, 4, ilen, k, T(-0.5), ar_want.data());
+        const double amax_got = get_pack_set<T>(isa).encode_ar(
+            view, 4, ilen, k, T(-0.5), ar_got.data());
+        expect_near_vec(ar_got, ar_want, "ar_part");
+        EXPECT_DOUBLE_EQ(amax_got, amax_want);
+      }
+    }
+  }
+}
+
+TEST(PackDispatch, F64MatchesScalarOracleAcrossIsas) {
+  for (const Isa isa : executable_isas()) run_dispatch_sweep<double>(isa);
+}
+
+TEST(PackDispatch, F32MatchesScalarOracleAcrossIsas) {
+  for (const Isa isa : executable_isas()) run_dispatch_sweep<float>(isa);
+}
+
+TEST(PackDispatch, KernelSetCarriesMatchingPackSet) {
+  for (const Isa isa : executable_isas()) {
+    const KernelSet<double> ks = get_kernel_set<double>(isa);
+    EXPECT_EQ(ks.pack.isa, isa);
+    EXPECT_NE(ks.pack.pack_a_ft, nullptr);
+    EXPECT_NE(ks.pack.reduce_bc, nullptr);
+    EXPECT_NE(ks.pack.scale_encode_c, nullptr);
   }
 }
 
