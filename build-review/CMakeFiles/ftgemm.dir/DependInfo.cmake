@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/abft/verifier.cpp" "CMakeFiles/ftgemm.dir/src/abft/verifier.cpp.o" "gcc" "CMakeFiles/ftgemm.dir/src/abft/verifier.cpp.o.d"
+  "/root/repo/src/arch/cpu_features.cpp" "CMakeFiles/ftgemm.dir/src/arch/cpu_features.cpp.o" "gcc" "CMakeFiles/ftgemm.dir/src/arch/cpu_features.cpp.o.d"
+  "/root/repo/src/arch/isa.cpp" "CMakeFiles/ftgemm.dir/src/arch/isa.cpp.o" "gcc" "CMakeFiles/ftgemm.dir/src/arch/isa.cpp.o.d"
+  "/root/repo/src/baseline/naive_gemm.cpp" "CMakeFiles/ftgemm.dir/src/baseline/naive_gemm.cpp.o" "gcc" "CMakeFiles/ftgemm.dir/src/baseline/naive_gemm.cpp.o.d"
+  "/root/repo/src/baseline/unfused_abft.cpp" "CMakeFiles/ftgemm.dir/src/baseline/unfused_abft.cpp.o" "gcc" "CMakeFiles/ftgemm.dir/src/baseline/unfused_abft.cpp.o.d"
+  "/root/repo/src/blocking/cache_info.cpp" "CMakeFiles/ftgemm.dir/src/blocking/cache_info.cpp.o" "gcc" "CMakeFiles/ftgemm.dir/src/blocking/cache_info.cpp.o.d"
+  "/root/repo/src/blocking/plan.cpp" "CMakeFiles/ftgemm.dir/src/blocking/plan.cpp.o" "gcc" "CMakeFiles/ftgemm.dir/src/blocking/plan.cpp.o.d"
+  "/root/repo/src/core/gemm.cpp" "CMakeFiles/ftgemm.dir/src/core/gemm.cpp.o" "gcc" "CMakeFiles/ftgemm.dir/src/core/gemm.cpp.o.d"
+  "/root/repo/src/core/gemm_batched.cpp" "CMakeFiles/ftgemm.dir/src/core/gemm_batched.cpp.o" "gcc" "CMakeFiles/ftgemm.dir/src/core/gemm_batched.cpp.o.d"
+  "/root/repo/src/core/plan.cpp" "CMakeFiles/ftgemm.dir/src/core/plan.cpp.o" "gcc" "CMakeFiles/ftgemm.dir/src/core/plan.cpp.o.d"
+  "/root/repo/src/ftblas/level1.cpp" "CMakeFiles/ftgemm.dir/src/ftblas/level1.cpp.o" "gcc" "CMakeFiles/ftgemm.dir/src/ftblas/level1.cpp.o.d"
+  "/root/repo/src/ftblas/level1_ext.cpp" "CMakeFiles/ftgemm.dir/src/ftblas/level1_ext.cpp.o" "gcc" "CMakeFiles/ftgemm.dir/src/ftblas/level1_ext.cpp.o.d"
+  "/root/repo/src/ftblas/level2.cpp" "CMakeFiles/ftgemm.dir/src/ftblas/level2.cpp.o" "gcc" "CMakeFiles/ftgemm.dir/src/ftblas/level2.cpp.o.d"
+  "/root/repo/src/ftblas/level2_ext.cpp" "CMakeFiles/ftgemm.dir/src/ftblas/level2_ext.cpp.o" "gcc" "CMakeFiles/ftgemm.dir/src/ftblas/level2_ext.cpp.o.d"
+  "/root/repo/src/inject/campaign.cpp" "CMakeFiles/ftgemm.dir/src/inject/campaign.cpp.o" "gcc" "CMakeFiles/ftgemm.dir/src/inject/campaign.cpp.o.d"
+  "/root/repo/src/inject/injector.cpp" "CMakeFiles/ftgemm.dir/src/inject/injector.cpp.o" "gcc" "CMakeFiles/ftgemm.dir/src/inject/injector.cpp.o.d"
+  "/root/repo/src/kernels/kernel_avx2.cpp" "CMakeFiles/ftgemm.dir/src/kernels/kernel_avx2.cpp.o" "gcc" "CMakeFiles/ftgemm.dir/src/kernels/kernel_avx2.cpp.o.d"
+  "/root/repo/src/kernels/kernel_avx512.cpp" "CMakeFiles/ftgemm.dir/src/kernels/kernel_avx512.cpp.o" "gcc" "CMakeFiles/ftgemm.dir/src/kernels/kernel_avx512.cpp.o.d"
+  "/root/repo/src/kernels/kernel_scalar.cpp" "CMakeFiles/ftgemm.dir/src/kernels/kernel_scalar.cpp.o" "gcc" "CMakeFiles/ftgemm.dir/src/kernels/kernel_scalar.cpp.o.d"
+  "/root/repo/src/kernels/pack_avx2.cpp" "CMakeFiles/ftgemm.dir/src/kernels/pack_avx2.cpp.o" "gcc" "CMakeFiles/ftgemm.dir/src/kernels/pack_avx2.cpp.o.d"
+  "/root/repo/src/kernels/pack_avx512.cpp" "CMakeFiles/ftgemm.dir/src/kernels/pack_avx512.cpp.o" "gcc" "CMakeFiles/ftgemm.dir/src/kernels/pack_avx512.cpp.o.d"
+  "/root/repo/src/kernels/pack_scalar.cpp" "CMakeFiles/ftgemm.dir/src/kernels/pack_scalar.cpp.o" "gcc" "CMakeFiles/ftgemm.dir/src/kernels/pack_scalar.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

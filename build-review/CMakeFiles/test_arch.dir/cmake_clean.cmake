@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch.dir/tests/test_arch.cpp.o"
+  "CMakeFiles/test_arch.dir/tests/test_arch.cpp.o.d"
+  "test_arch"
+  "test_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

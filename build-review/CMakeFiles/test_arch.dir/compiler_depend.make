@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_arch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batched.dir/tests/test_batched.cpp.o"
+  "CMakeFiles/test_batched.dir/tests/test_batched.cpp.o.d"
+  "test_batched"
+  "test_batched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

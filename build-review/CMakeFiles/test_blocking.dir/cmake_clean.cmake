@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blocking.dir/tests/test_blocking.cpp.o"
+  "CMakeFiles/test_blocking.dir/tests/test_blocking.cpp.o.d"
+  "test_blocking"
+  "test_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

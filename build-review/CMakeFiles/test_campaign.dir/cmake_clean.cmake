@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_campaign.dir/tests/test_campaign.cpp.o"
+  "CMakeFiles/test_campaign.dir/tests/test_campaign.cpp.o.d"
+  "test_campaign"
+  "test_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checksum.dir/tests/test_checksum.cpp.o"
+  "CMakeFiles/test_checksum.dir/tests/test_checksum.cpp.o.d"
+  "test_checksum"
+  "test_checksum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checksum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

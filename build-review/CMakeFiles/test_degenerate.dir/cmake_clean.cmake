@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_degenerate.dir/tests/test_degenerate.cpp.o"
+  "CMakeFiles/test_degenerate.dir/tests/test_degenerate.cpp.o.d"
+  "test_degenerate"
+  "test_degenerate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_degenerate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

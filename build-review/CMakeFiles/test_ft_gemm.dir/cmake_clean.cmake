@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ft_gemm.dir/tests/test_ft_gemm.cpp.o"
+  "CMakeFiles/test_ft_gemm.dir/tests/test_ft_gemm.cpp.o.d"
+  "test_ft_gemm"
+  "test_ft_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ft_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

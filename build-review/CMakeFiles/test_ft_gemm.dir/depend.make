@@ -1,0 +1,2 @@
+# Empty dependencies file for test_ft_gemm.
+# This may be replaced when dependencies are built.

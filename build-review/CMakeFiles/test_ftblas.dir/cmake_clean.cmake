@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ftblas.dir/tests/test_ftblas.cpp.o"
+  "CMakeFiles/test_ftblas.dir/tests/test_ftblas.cpp.o.d"
+  "test_ftblas"
+  "test_ftblas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ftblas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

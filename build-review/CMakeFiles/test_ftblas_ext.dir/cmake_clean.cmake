@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ftblas_ext.dir/tests/test_ftblas_ext.cpp.o"
+  "CMakeFiles/test_ftblas_ext.dir/tests/test_ftblas_ext.cpp.o.d"
+  "test_ftblas_ext"
+  "test_ftblas_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ftblas_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_ftblas_ext.
+# This may be replaced when dependencies are built.

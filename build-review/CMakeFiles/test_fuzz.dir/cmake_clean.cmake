@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz.dir/tests/test_fuzz.cpp.o"
+  "CMakeFiles/test_fuzz.dir/tests/test_fuzz.cpp.o.d"
+  "test_fuzz"
+  "test_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

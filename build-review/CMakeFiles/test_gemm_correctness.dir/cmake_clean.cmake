@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gemm_correctness.dir/tests/test_gemm_correctness.cpp.o"
+  "CMakeFiles/test_gemm_correctness.dir/tests/test_gemm_correctness.cpp.o.d"
+  "test_gemm_correctness"
+  "test_gemm_correctness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gemm_correctness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gemm_float.dir/tests/test_gemm_float.cpp.o"
+  "CMakeFiles/test_gemm_float.dir/tests/test_gemm_float.cpp.o.d"
+  "test_gemm_float"
+  "test_gemm_float.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gemm_float.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

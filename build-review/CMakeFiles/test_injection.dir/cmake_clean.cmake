@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_injection.dir/tests/test_injection.cpp.o"
+  "CMakeFiles/test_injection.dir/tests/test_injection.cpp.o.d"
+  "test_injection"
+  "test_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

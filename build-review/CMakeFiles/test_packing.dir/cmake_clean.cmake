@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packing.dir/tests/test_packing.cpp.o"
+  "CMakeFiles/test_packing.dir/tests/test_packing.cpp.o.d"
+  "test_packing"
+  "test_packing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

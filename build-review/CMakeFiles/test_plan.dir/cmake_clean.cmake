@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plan.dir/tests/test_plan.cpp.o"
+  "CMakeFiles/test_plan.dir/tests/test_plan.cpp.o.d"
+  "test_plan"
+  "test_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

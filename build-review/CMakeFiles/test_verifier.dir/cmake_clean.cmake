@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_verifier.dir/tests/test_verifier.cpp.o"
+  "CMakeFiles/test_verifier.dir/tests/test_verifier.cpp.o.d"
+  "test_verifier"
+  "test_verifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_verifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
