@@ -1,0 +1,98 @@
+// Team-runtime dispatch latency: persistent worker pool vs per-call OpenMP
+// region entry, at the serving sizes where region overhead is a visible
+// fraction of the call (64^3 .. 256^3).
+//
+// Two kinds of rows:
+//   disp — an empty team body: pure fork/barrier/join cost of one parallel
+//          region (µs per dispatch).  This is the quantity the pool's
+//          parked-worker wakeup is designed to beat.
+//   N    — per-call latency (µs) of an Ori dgemm of size N^3 on the general
+//          blocked path (fast path disabled so the team machinery is always
+//          under test), same plan on both backends.
+//
+// Series are interleaved (omp, pool, omp, pool, ...) per rep so noise and
+// frequency drift bias neither side; the reported value is the median over
+// FTGEMM_BENCH_REPS bursts of FTGEMM_BENCH_CALLS calls.  Teams are
+// max(FTGEMM_BENCH_THREADS, 2) wide — dispatch latency is undefined for a
+// one-member team (both backends run it inline).
+#include <utility>
+
+#include "bench_common.hpp"
+#include "runtime/team.hpp"
+#include "runtime/topology.hpp"
+
+using namespace ftgemm;
+using namespace ftgemm::bench;
+
+namespace {
+
+/// Median per-call latency (µs) of two interleaved series.
+template <typename FnA, typename FnB>
+std::pair<double, double> interleaved_burst_us(index_t calls, int reps,
+                                               FnA&& fa, FnB&& fb) {
+  std::vector<double> sa, sb;
+  sa.reserve(std::size_t(reps));
+  sb.reserve(std::size_t(reps));
+  fa();  // warm-up: spawn pool workers, touch workspaces, populate caches
+  fb();
+  for (int r = 0; r < reps; ++r) {
+    WallTimer ta;
+    for (index_t i = 0; i < calls; ++i) fa();
+    sa.push_back(ta.seconds() / double(calls) * 1e6);
+    WallTimer tb;
+    for (index_t i = 0; i < calls; ++i) fb();
+    sb.push_back(tb.seconds() / double(calls) * 1e6);
+  }
+  return {compute_stats(sa).median, compute_stats(sb).median};
+}
+
+void print_row(const char* label, double omp_us, double pool_us) {
+  std::printf("%-8s%14.2f%14.2f%13.2fx\n", label, omp_us, pool_us,
+              pool_us > 0 ? omp_us / pool_us : 0.0);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  const int reps = bench_reps();
+  const index_t calls = env_long("FTGEMM_BENCH_CALLS", 200);
+  const int nt = std::max(bench_threads(), 2);
+  std::printf("# team-runtime dispatch: OpenMP region entry vs persistent "
+              "pool wakeup\n");
+  std::printf("# nt=%d calls=%lld reps=%d hw_threads=%d (disp = empty team "
+              "body, us/dispatch;\n",
+              nt, (long long)calls, reps, runtime::hardware_concurrency());
+  std::printf("# N = Ori dgemm N^3 us/call, general path, same plan both "
+              "backends)\n");
+  std::printf("%-8s%14s%14s%13s\n", "size", "omp_us", "pool_us",
+              "pool_speedup");
+
+  {
+    auto empty = [](runtime::TeamMember& tm) { tm.barrier(); };
+    const auto [omp_us, pool_us] = interleaved_burst_us(
+        calls, reps,
+        [&] { runtime::run_team(RuntimeBackend::kOpenMP, nt, empty); },
+        [&] { runtime::run_team(RuntimeBackend::kPool, nt, empty); });
+    print_row("disp", omp_us, pool_us);
+  }
+
+  for (const index_t n : {index_t(64), index_t(96), index_t(128),
+                          index_t(192), index_t(256)}) {
+    SquareWorkload<double> w(n);
+    Options omp_opts;
+    omp_opts.threads = nt;
+    omp_opts.runtime = RuntimeBackend::kOpenMP;
+    omp_opts.small_fast_path = false;
+    Options pool_opts = omp_opts;
+    pool_opts.runtime = RuntimeBackend::kPool;
+    const auto call = [&](const Options& o) {
+      dgemm(Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, n, n, n,
+            1.0, w.a.data(), n, w.b.data(), n, 0.0, w.c.data(), n, o);
+    };
+    const auto [omp_us, pool_us] = interleaved_burst_us(
+        calls, reps, [&] { call(omp_opts); }, [&] { call(pool_opts); });
+    print_row(std::to_string(n).c_str(), omp_us, pool_us);
+  }
+  return 0;
+}

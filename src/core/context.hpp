@@ -13,6 +13,8 @@
 
 #include <algorithm>
 #include <memory>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "blocking/plan.hpp"
@@ -98,37 +100,133 @@ class GemmContext {
   PlanCache<T> plans_;
 };
 
-/// Pool of GemmContexts for the batched scheduler: one slot per concurrent
-/// worker, so inter-batch parallelism gives every in-flight problem its own
-/// workspace.  Grow-only, like the contexts it holds — a steady-state batch
-/// workload allocates on the first call and never again.  Slot addresses are
-/// stable across grow() calls (contexts are held by unique_ptr), so worker
-/// threads may keep references while another batch geometry is being
-/// prepared.
+/// Thread-safe pool of GemmContexts plus a shared plan cache: the substrate
+/// that makes concurrent application threads first-class submitters.
 ///
-/// Not thread-safe for concurrent grow(); callers grow once up front and
-/// then hand disjoint slots to the workers (which is exactly the batched
-/// driver's access pattern).
+/// N serving threads calling (FT-)GEMM entry points simultaneously each
+/// lease() a private workspace for the duration of one call and return it on
+/// scope exit — so workspace memory scales with *concurrency*, not with the
+/// number of threads that have ever called in, and a recurring shape is
+/// planned once process-wide instead of once per thread.  Grow-only, like
+/// the contexts it holds: a steady-state workload allocates on the first
+/// call of each concurrency level and never again.  Context addresses are
+/// stable (held by unique_ptr) for the lifetime of the cache.
+///
+/// lease() and plan() are fully thread-safe (a free-list mutex and a plan
+/// mutex; both are microseconds-scale costs next to any GEMM).  The leased
+/// GemmContext itself is single-owner for the lease's lifetime, exactly like
+/// the per-thread contexts it replaces.
 template <typename T>
 class ContextCache {
  public:
-  /// Make at least `slots` contexts available.
-  void grow(int slots) {
-    while (int(slots_.size()) < slots)
-      slots_.push_back(std::make_unique<GemmContext<T>>());
+  /// RAII workspace lease; returns the context to the free list on
+  /// destruction.  Move-only.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(GemmContext<T>* ctx, ContextCache* owner)
+        : ctx_(ctx), owner_(owner) {}
+    Lease(Lease&& o) noexcept
+        : ctx_(std::exchange(o.ctx_, nullptr)),
+          owner_(std::exchange(o.owner_, nullptr)) {}
+    Lease& operator=(Lease&& o) noexcept {
+      if (this != &o) {
+        release();
+        ctx_ = std::exchange(o.ctx_, nullptr);
+        owner_ = std::exchange(o.owner_, nullptr);
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { release(); }
+
+    [[nodiscard]] GemmContext<T>& operator*() const { return *ctx_; }
+    [[nodiscard]] GemmContext<T>* operator->() const { return ctx_; }
+
+   private:
+    void release() {
+      if (owner_ != nullptr) owner_->release(ctx_);
+      ctx_ = nullptr;
+      owner_ = nullptr;
+    }
+    GemmContext<T>* ctx_ = nullptr;
+    ContextCache* owner_ = nullptr;
+  };
+
+  /// Lease a private workspace (growing the pool if every context is
+  /// currently out on loan).  Thread-safe.
+  [[nodiscard]] Lease lease() {
+    std::lock_guard<std::mutex> lk(m_);
+    if (free_.empty()) {
+      contexts_.push_back(std::make_unique<GemmContext<T>>());
+      free_.push_back(contexts_.back().get());
+    }
+    GemmContext<T>* ctx = free_.back();
+    free_.pop_back();
+    ++outstanding_;
+    return Lease(ctx, this);
   }
 
-  [[nodiscard]] int size() const { return int(slots_.size()); }
+  /// Look up (building on miss) the shared plan for (shape, opts).
+  /// Thread-safe; every submitter of a recurring shape gets the same
+  /// immutable plan.
+  [[nodiscard]] std::shared_ptr<const GemmPlan<T>> plan(
+      Trans ta, Trans tb, index_t m, index_t n, index_t k,
+      const Options& opts, bool ft) {
+    // The key resolves env/topology reads *outside* the lock.
+    const PlanKey key = make_plan_key(ta, tb, m, n, k, opts, ft);
+    std::lock_guard<std::mutex> lk(plan_m_);
+    return plans_.get_or_build(key);
+  }
 
-  [[nodiscard]] GemmContext<T>& slot(int i) { return *slots_[std::size_t(i)]; }
+  /// Drop every cached plan (thread-safe; see clear_thread_plan_cache).
+  void clear_plans() {
+    std::lock_guard<std::mutex> lk(plan_m_);
+    plans_.clear();
+  }
 
-  /// Batch-level plan cache: one batched call plans its shape once here and
-  /// every worker slot executes the same immutable plan.
-  [[nodiscard]] PlanCache<T>& plans() { return plans_; }
+  [[nodiscard]] std::uint64_t plan_hits() {
+    std::lock_guard<std::mutex> lk(plan_m_);
+    return plans_.hits();
+  }
+  [[nodiscard]] std::uint64_t plan_misses() {
+    std::lock_guard<std::mutex> lk(plan_m_);
+    return plans_.misses();
+  }
+
+  /// Contexts ever created / currently out on loan (diagnostics, tests).
+  [[nodiscard]] int size() {
+    std::lock_guard<std::mutex> lk(m_);
+    return int(contexts_.size());
+  }
+  [[nodiscard]] int outstanding() {
+    std::lock_guard<std::mutex> lk(m_);
+    return outstanding_;
+  }
 
  private:
-  std::vector<std::unique_ptr<GemmContext<T>>> slots_;
+  void release(GemmContext<T>* ctx) {
+    std::lock_guard<std::mutex> lk(m_);
+    free_.push_back(ctx);
+    --outstanding_;
+  }
+
+  std::mutex m_;
+  std::vector<std::unique_ptr<GemmContext<T>>> contexts_;
+  std::vector<GemmContext<T>*> free_;
+  int outstanding_ = 0;
+  std::mutex plan_m_;
   PlanCache<T> plans_;
 };
+
+/// The process-wide context pool + shared plan cache backing the free
+/// functions and the batched entry points.  GemmEngine deliberately keeps
+/// its own private context instead (an engine is a single-owner object).
+template <typename T>
+inline ContextCache<T>& process_context_cache() {
+  static ContextCache<T> cache;
+  return cache;
+}
 
 }  // namespace ftgemm

@@ -18,10 +18,14 @@
 // fused checksum sums are lane-reassociated within the ToleranceModel
 // bound (docs/DESIGN.md, "SIMD packing & checksum engine").
 //
-// Thread topology (§2.3): the OpenMP parallel region partitions C along the
-// M-dimension; B~ is one buffer shared by all threads and packed
+// Thread topology (§2.3): the thread team (runtime/team.hpp — persistent
+// worker pool or OpenMP region, frozen into the plan) partitions C along the
+// M-dimension; B~ is one buffer shared by all members and packed
 // cooperatively along the N-dimension (with a cross-thread reduction for the
-// panel checksum Bc); each thread packs its own private A~.  Running with
+// panel checksum Bc); each member packs its own private A~.  The executor is
+// runtime-agnostic: it sees only TeamMember's tid/nt/barrier/single, and a
+// member's rank fully determines its partition and reduction position, so
+// results are bit-identical across backends at equal nt.  Running with
 // threads = 1 *is* the serial algorithm — no separate code path exists, so
 // serial and parallel results are produced by the same verified code.
 //
@@ -39,8 +43,6 @@
 // of the current C, directly comparable with the predicted checksums.
 #pragma once
 
-#include <omp.h>
-
 #include <algorithm>
 #include <cstring>
 #include <vector>
@@ -56,9 +58,27 @@
 #include "kernels/macro_kernel.hpp"
 #include "kernels/microkernel.hpp"
 #include "kernels/packing.hpp"
+#include "runtime/team.hpp"
 #include "util/timer.hpp"
 
 namespace ftgemm::detail {
+
+/// Resolve the row-major case onto the column-major core (a row-major
+/// matrix viewed column-major with the same ld is its transpose, so
+///   C_rm = op(A)·op(B)   ⇔   C_cmᵀ = op(B)·op(A) with operands swapped).
+/// Shared by the single-problem and batched dispatchers; `APtr` abstracts
+/// over `const T*` and the batched `const T* const*` operand arrays.
+template <typename APtr>
+void normalize_layout(Layout layout, Trans& ta, Trans& tb, index_t& m,
+                      index_t& n, APtr& a, index_t& lda, APtr& b,
+                      index_t& ldb) {
+  if (layout == Layout::kRowMajor) {
+    std::swap(ta, tb);
+    std::swap(m, n);
+    std::swap(a, b);
+    std::swap(lda, ldb);
+  }
+}
 
 /// Split `total` into `parts` contiguous chunks aligned to `unit`
 /// (chunk boundaries fall on multiples of `unit`; the last chunk absorbs
@@ -315,9 +335,8 @@ FtReport execute(const GemmPlan<T>& plan, T alpha, const T* a, index_t lda,
   int uncorrectable = 0;
   int panels_run = 0;
 
-#pragma omp parallel num_threads(nt)
-  {
-    const int tid = omp_get_thread_num();
+  const auto team_body = [&](runtime::TeamMember& tm) {
+    const int tid = tm.tid();
     std::vector<InjectionRecord> planned;
 
     // M-partition of C (and A) for this thread, aligned to MR so only the
@@ -347,7 +366,7 @@ FtReport execute(const GemmPlan<T>& plan, T alpha, const T* a, index_t lda,
       // accumulates monotonically as panels stream through.
       amax_parts[std::size_t(tid) * 3 + 1] = 0.0;
       amax_parts[std::size_t(tid) * 3 + 2] = amax_c;
-#pragma omp barrier
+      tm.barrier();
       // Reduce the per-thread partials: Ar over a K-partition, Cr over an
       // N-partition (the encode pass stored Cr partials in crref_part).
       for (index_t p = ks_red; p < ks_red + klen_red; ++p) {
@@ -360,10 +379,10 @@ FtReport execute(const GemmPlan<T>& plan, T alpha, const T* a, index_t lda,
         for (int t = 0; t < nt; ++t) sum += ctx.crref_part(t)[j];
         ctx.cr()[j] = sum;
       }
-#pragma omp barrier
+      tm.barrier();
     } else {
       if (mlen > 0) scale_c(c, ldc, ms, mlen, n, beta);
-#pragma omp barrier
+      tm.barrier();
     }
 
     // ---- Panel loop: one rank-KC update + verification per iteration. ----
@@ -399,7 +418,7 @@ FtReport execute(const GemmPlan<T>& plan, T alpha, const T* a, index_t lda,
                              ctx.btilde() + (js / bp.nr) * (bp.nr * pinc));
             }
           }
-#pragma omp barrier
+          tm.barrier();
           if constexpr (FT) {
             // Bc reduction ("an extra stage of reduction operation among
             // threads", §2.3): each thread derives its K-slice of the panel
@@ -411,7 +430,7 @@ FtReport execute(const GemmPlan<T>& plan, T alpha, const T* a, index_t lda,
                   ctx.btilde(), pinc, jinc, bp.nr, kks, kklen, ctx.bc(),
                   amax_parts[std::size_t(tid) * 3 + 1]);
             }
-#pragma omp barrier
+            tm.barrier();
           }
 
           // Macro loop over this thread's rows.
@@ -439,15 +458,14 @@ FtReport execute(const GemmPlan<T>& plan, T alpha, const T* a, index_t lda,
                                               lanes);
             }
           }
-#pragma omp barrier  // B~ chunk complete before it is repacked
+          tm.barrier();  // B~ chunk complete before it is repacked
         }
 
         if constexpr (FT) {
           // Refresh the verification thresholds: amax(B) now covers every
           // panel streamed so far, i.e. exactly the contributions the
           // checksums have accumulated.
-#pragma omp single
-          {
+          tm.single([&] {
             double amax_a_all = 0.0, amax_b_all = 0.0, amax_c_all = 0.0;
             for (int t = 0; t < nt; ++t) {
               amax_a_all =
@@ -460,7 +478,7 @@ FtReport execute(const GemmPlan<T>& plan, T alpha, const T* a, index_t lda,
             tol = ToleranceModel<T>::compute(m, n, k, amax_a_all, amax_b_all,
                                              amax_c_all, double(alpha),
                                              double(beta), plan.tol_factor);
-          }  // implicit barrier
+          });  // trailing team barrier (the "implicit barrier" of omp single)
           // Reduce per-thread Cr references, then scan for mismatches in
           // parallel (rows over the M-partition, columns over N).
           for (index_t j = js_red; j < js_red + jlen_red; ++j) {
@@ -477,14 +495,13 @@ FtReport execute(const GemmPlan<T>& plan, T alpha, const T* a, index_t lda,
             find_mismatches(ctx.cc() + ms, ctx.ccref() + ms, mlen, tol.cc_tau,
                             ms, row_mm[std::size_t(tid)]);
           }
-#pragma omp barrier
+          tm.barrier();
           if (jlen_red > 0) {
             find_mismatches(ctx.cr() + js_red, ctx.crref() + js_red, jlen_red,
                             tol.cr_tau, js_red, col_mm[std::size_t(tid)]);
           }
-#pragma omp barrier
-#pragma omp single
-          {
+          tm.barrier();
+          tm.single([&] {
             std::vector<Mismatch> rows, cols;
             for (int t = 0; t < nt; ++t) {
               rows.insert(rows.end(), row_mm[std::size_t(t)].begin(),
@@ -496,11 +513,12 @@ FtReport execute(const GemmPlan<T>& plan, T alpha, const T* a, index_t lda,
                                     panel, correction_log, detected,
                                     corrected, uncorrectable);
             ++panels_run;
-          }  // implicit barrier
+          });  // trailing team barrier
         }
       }
     }
-  }  // omp parallel
+  };
+  runtime::run_team(plan.runtime, nt, team_body);
 
   report.panels = FT ? panels_run : int(degenerate ? 0 : plan.num_panels);
   report.errors_detected = detected;

@@ -11,32 +11,40 @@ namespace ftgemm {
 
 namespace {
 
-/// Resolve the row-major case onto the column-major core (a row-major
-/// matrix viewed column-major with the same ld is its transpose, so
-///   C_rm = op(A)·op(B)   ⇔   C_cmᵀ = op(B)·op(A) with operands swapped),
-/// then plan via the context's PlanCache and hand the frozen plan to the
-/// pure executor.
+using detail::normalize_layout;
+
+/// Free-function dispatch: plan via the process-wide shared PlanCache,
+/// lease a private workspace for the duration of the call, and hand the
+/// frozen plan to the pure executor.  Any number of application threads may
+/// be in here concurrently — leases never share workspaces, and a recurring
+/// shape is planned once process-wide, not once per calling thread.
 template <typename T, bool FT>
 FtReport dispatch(Layout layout, Trans ta, Trans tb, index_t m, index_t n,
                   index_t k, T alpha, const T* a, index_t lda, const T* b,
-                  index_t ldb, T beta, T* c, index_t ldc, const Options& opts,
-                  GemmContext<T>& ctx) {
-  if (layout == Layout::kRowMajor) {
-    std::swap(ta, tb);
-    std::swap(m, n);
-    std::swap(a, b);
-    std::swap(lda, ldb);
-  }
+                  index_t ldb, T beta, T* c, index_t ldc,
+                  const Options& opts) {
+  normalize_layout(layout, ta, tb, m, n, a, lda, b, ldb);
+  ContextCache<T>& cache = process_context_cache<T>();
+  const std::shared_ptr<const GemmPlan<T>> plan =
+      cache.plan(ta, tb, m, n, k, opts, FT);
+  const typename ContextCache<T>::Lease lease = cache.lease();
+  return detail::execute<T, FT>(*plan, alpha, a, lda, b, ldb, beta, c, ldc,
+                                opts.injector, opts.correction_log, *lease);
+}
+
+/// Engine dispatch: same pipeline, but planning and workspace come from the
+/// engine's private single-owner context.
+template <typename T, bool FT>
+FtReport dispatch_engine(Layout layout, Trans ta, Trans tb, index_t m,
+                         index_t n, index_t k, T alpha, const T* a,
+                         index_t lda, const T* b, index_t ldb, T beta, T* c,
+                         index_t ldc, const Options& opts,
+                         GemmContext<T>& ctx) {
+  normalize_layout(layout, ta, tb, m, n, a, lda, b, ldb);
   const std::shared_ptr<const GemmPlan<T>> plan =
       ctx.plans().get_or_build(ta, tb, m, n, k, opts, FT);
   return detail::execute<T, FT>(*plan, alpha, a, lda, b, ldb, beta, c, ldc,
                                 opts.injector, opts.correction_log, ctx);
-}
-
-template <typename T>
-GemmContext<T>& tls_context() {
-  thread_local GemmContext<T> ctx;
-  return ctx;
 }
 
 template <typename T>
@@ -57,8 +65,7 @@ FtReport reliable_impl(Layout layout, Trans ta, Trans tb, index_t m,
   FtReport total;
   for (int attempt = 0;; ++attempt) {
     const FtReport rep = dispatch<T, true>(layout, ta, tb, m, n, k, alpha, a,
-                                           lda, b, ldb, beta, c, ldc, opts,
-                                           tls_context<T>());
+                                           lda, b, ldb, beta, c, ldc, opts);
     total.panels = rep.panels;
     total.errors_detected += rep.errors_detected;
     total.errors_corrected += rep.errors_corrected;
@@ -79,8 +86,8 @@ FtReport reliable_impl(Layout layout, Trans ta, Trans tb, index_t m,
 }  // namespace
 
 void clear_thread_plan_cache() {
-  tls_context<double>().plans().clear();
-  tls_context<float>().plans().clear();
+  process_context_cache<double>().clear_plans();
+  process_context_cache<float>().clear_plans();
 }
 
 void dgemm(Layout layout, Trans ta, Trans tb, index_t m, index_t n, index_t k,
@@ -88,7 +95,7 @@ void dgemm(Layout layout, Trans ta, Trans tb, index_t m, index_t n, index_t k,
            index_t ldb, double beta, double* c, index_t ldc,
            const Options& opts) {
   dispatch<double, false>(layout, ta, tb, m, n, k, alpha, a, lda, b, ldb,
-                          beta, c, ldc, opts, tls_context<double>());
+                          beta, c, ldc, opts);
 }
 
 void sgemm(Layout layout, Trans ta, Trans tb, index_t m, index_t n, index_t k,
@@ -96,7 +103,7 @@ void sgemm(Layout layout, Trans ta, Trans tb, index_t m, index_t n, index_t k,
            index_t ldb, float beta, float* c, index_t ldc,
            const Options& opts) {
   dispatch<float, false>(layout, ta, tb, m, n, k, alpha, a, lda, b, ldb, beta,
-                         c, ldc, opts, tls_context<float>());
+                         c, ldc, opts);
 }
 
 FtReport ft_dgemm(Layout layout, Trans ta, Trans tb, index_t m, index_t n,
@@ -104,8 +111,7 @@ FtReport ft_dgemm(Layout layout, Trans ta, Trans tb, index_t m, index_t n,
                   const double* b, index_t ldb, double beta, double* c,
                   index_t ldc, const Options& opts) {
   return dispatch<double, true>(layout, ta, tb, m, n, k, alpha, a, lda, b,
-                                ldb, beta, c, ldc, opts,
-                                tls_context<double>());
+                                ldb, beta, c, ldc, opts);
 }
 
 FtReport ft_sgemm(Layout layout, Trans ta, Trans tb, index_t m, index_t n,
@@ -113,7 +119,7 @@ FtReport ft_sgemm(Layout layout, Trans ta, Trans tb, index_t m, index_t n,
                   const float* b, index_t ldb, float beta, float* c,
                   index_t ldc, const Options& opts) {
   return dispatch<float, true>(layout, ta, tb, m, n, k, alpha, a, lda, b, ldb,
-                               beta, c, ldc, opts, tls_context<float>());
+                               beta, c, ldc, opts);
 }
 
 FtReport ft_dgemm_reliable(Layout layout, Trans ta, Trans tb, index_t m,
@@ -139,8 +145,8 @@ void GemmEngine<T>::gemm(Layout layout, Trans ta, Trans tb, index_t m,
                          index_t n, index_t k, T alpha, const T* a,
                          index_t lda, const T* b, index_t ldb, T beta, T* c,
                          index_t ldc) {
-  dispatch<T, false>(layout, ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c,
-                     ldc, opts_, ctx_);
+  dispatch_engine<T, false>(layout, ta, tb, m, n, k, alpha, a, lda, b, ldb,
+                            beta, c, ldc, opts_, ctx_);
 }
 
 template <typename T>
@@ -148,8 +154,8 @@ FtReport GemmEngine<T>::ft_gemm(Layout layout, Trans ta, Trans tb, index_t m,
                                 index_t n, index_t k, T alpha, const T* a,
                                 index_t lda, const T* b, index_t ldb, T beta,
                                 T* c, index_t ldc) {
-  return dispatch<T, true>(layout, ta, tb, m, n, k, alpha, a, lda, b, ldb,
-                           beta, c, ldc, opts_, ctx_);
+  return dispatch_engine<T, true>(layout, ta, tb, m, n, k, alpha, a, lda, b,
+                                  ldb, beta, c, ldc, opts_, ctx_);
 }
 
 template class GemmEngine<double>;

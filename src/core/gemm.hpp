@@ -21,9 +21,12 @@
 // GemmEngine<T> offers the same operations with workspace *and plan* reuse
 // across calls (steady-state allocation-free, re-planning-free via the
 // PlanCache in its context — see core/plan.hpp), which is what the
-// benchmark harness and long-running applications should use.  The free
-// functions get the same treatment from a thread-local context, so repeated
-// one-off calls of a recurring shape are also cache hits.
+// benchmark harness and single-threaded long-running applications should
+// use.  The free functions get the same treatment from a process-wide
+// leased context pool (core/context.hpp): any number of application threads
+// may call them concurrently — each call leases a private workspace and all
+// callers share one plan cache, so repeated calls of a recurring shape are
+// cache hits no matter which thread issues them.
 #pragma once
 
 #include "core/context.hpp"
@@ -32,7 +35,8 @@
 namespace ftgemm {
 
 // ---------------------------------------------------------------------------
-// Free functions (thread-local workspace, convenient for one-off calls).
+// Free functions (leased process-wide workspace; safe to call from any
+// number of application threads concurrently).
 // ---------------------------------------------------------------------------
 
 /// C = alpha*op(A)*op(B) + beta*C, double precision, no fault tolerance.
@@ -77,12 +81,13 @@ FtReport ft_sgemm_reliable(Layout layout, Trans ta, Trans tb, index_t m,
                            float beta, float* c, index_t ldc,
                            const Options& opts = {}, int max_retries = 2);
 
-/// Drop the calling thread's cached plans (both precisions).  FTGEMM_*
-/// environment knobs (ISA, blocking, tolerance, fast-path bound) are read
-/// when a plan is *built*, so a warm free-function cache will not observe
-/// later changes to them — call this after mutating the environment
+/// Drop the free functions' process-wide cached plans (both precisions).
+/// FTGEMM_* environment knobs (ISA, blocking, tolerance, fast-path bound)
+/// are read when a plan is *built*, so a warm free-function cache will not
+/// observe later changes to them — call this after mutating the environment
 /// mid-process.  Engines are unaffected (their cache dies with them; use a
-/// fresh engine instead).
+/// fresh engine instead).  The historical name survives from when the cache
+/// was thread-local; it now clears the shared cache for every thread.
 void clear_thread_plan_cache();
 
 // ---------------------------------------------------------------------------

@@ -1,14 +1,15 @@
 #include "core/gemm_batched.hpp"
 
-#include <omp.h>
-
 #include <algorithm>
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <vector>
 
 #include "core/driver.hpp"
 #include "core/plan.hpp"
+#include "runtime/team.hpp"
+#include "runtime/topology.hpp"
 #include "util/env.hpp"
 #include "util/timer.hpp"
 
@@ -36,15 +37,6 @@ bool pick_inter_batch(const BatchOptions& opts, index_t m, index_t n,
   return flops <= env_double("FTGEMM_BATCH_INTER_FLOPS", kInterBatchFlopCutoff);
 }
 
-/// Per-calling-thread workspace pool, keyed on the element type only (the
-/// contexts themselves are FT-agnostic), so Ori and FT batched calls from
-/// one serving thread share a single grow-only set of workspaces.
-template <typename T>
-ContextCache<T>& batched_cache() {
-  thread_local ContextCache<T> cache;
-  return cache;
-}
-
 template <typename T, bool FT>
 BatchReport run_batched(Layout layout, Trans ta, Trans tb, index_t m,
                         index_t n, index_t k, T alpha, const T* const* a,
@@ -56,17 +48,9 @@ BatchReport run_batched(Layout layout, Trans ta, Trans tb, index_t m,
   if (batch <= 0) return report;
   report.problems = batch;
 
-  // Resolve the row-major case onto the column-major core, exactly as the
-  // single-problem dispatch does: swap the operand roles and (m, n).
-  if (layout == Layout::kRowMajor) {
-    std::swap(ta, tb);
-    std::swap(m, n);
-    std::swap(a, b);
-    std::swap(lda, ldb);
-  }
+  detail::normalize_layout(layout, ta, tb, m, n, a, lda, b, ldb);
 
-  int nt = opts.base.threads > 0 ? opts.base.threads : omp_get_max_threads();
-  nt = std::max(nt, 1);
+  const int nt = runtime::topology(opts.base.threads);
 
   // A shared injector must see its begin_call / plan_block protocol one
   // problem at a time, and a shared correction log may not be appended to
@@ -85,19 +69,21 @@ BatchReport run_batched(Layout layout, Trans ta, Trans tb, index_t m,
   report.inter_batch = inter;
   const int workers = inter ? int(std::min<index_t>(nt, batch)) : 1;
 
-  // One workspace per concurrent worker.  The cache is thread_local to the
-  // *calling* thread, so concurrent batched calls issued from different
-  // application threads never share slots.
-  ContextCache<T>& cache = batched_cache<T>();
-  cache.grow(workers);
+  // One leased workspace per concurrent worker, drawn from the process-wide
+  // pool — concurrent batched calls issued from different application
+  // threads lease disjoint contexts, and the leases return on scope exit.
+  ContextCache<T>& cache = process_context_cache<T>();
+  std::vector<typename ContextCache<T>::Lease> leases;
+  leases.reserve(std::size_t(workers));
+  for (int i = 0; i < workers; ++i) leases.push_back(cache.lease());
 
-  // Plan the batch's single shape once; every member executes the same
-  // frozen plan (inter-batch workers run the serial driver, so the plan is
-  // built for one thread per problem).
+  // Plan the batch's single shape once via the shared plan cache; every
+  // member executes the same frozen plan (inter-batch workers run the
+  // serial driver, so the plan is built for one thread per problem).
   Options plan_opts = opts.base;
   plan_opts.threads = inter ? 1 : nt;
   const std::shared_ptr<const GemmPlan<T>> plan =
-      cache.plans().get_or_build(ta, tb, m, n, k, plan_opts, FT);
+      cache.plan(ta, tb, m, n, k, plan_opts, FT);
 
   std::vector<FtReport> reports(static_cast<std::size_t>(batch));
 
@@ -123,16 +109,23 @@ BatchReport run_batched(Layout layout, Trans ta, Trans tb, index_t m,
                                ldc, injector, log, ctx);
   };
 
-  if (inter) {
-#pragma omp parallel num_threads(workers)
-    {
-      GemmContext<T>& ctx = cache.slot(omp_get_thread_num());
-#pragma omp for schedule(dynamic)
-      for (index_t p = 0; p < batch; ++p) run_one(p, ctx);
+  // Inter-batch dispatch: one team of `workers` members on the plan's
+  // runtime — with the pool backend, batch members run directly on parked
+  // pool workers instead of a nested OpenMP region.  Dynamic scheduling via
+  // a shared claim counter (the moral equivalent of omp for
+  // schedule(dynamic)); problem-to-worker assignment does not affect
+  // results, only load balance.  workers == 1 (the intra path, or a
+  // one-problem batch) runs inline on the calling thread and each problem's
+  // plan opens its own nt-member team.
+  std::atomic<index_t> next{0};
+  const auto member_body = [&](runtime::TeamMember& tm) {
+    GemmContext<T>& ctx = *leases[std::size_t(tm.tid())];
+    for (index_t p = next.fetch_add(1, std::memory_order_relaxed); p < batch;
+         p = next.fetch_add(1, std::memory_order_relaxed)) {
+      run_one(p, ctx);
     }
-  } else {
-    for (index_t p = 0; p < batch; ++p) run_one(p, cache.slot(0));
-  }
+  };
+  runtime::run_team(plan->runtime, workers, member_body);
 
   if constexpr (FT) {
     for (const FtReport& r : reports) {

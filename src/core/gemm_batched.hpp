@@ -16,10 +16,12 @@
 // BatchReport with batch-level fault statistics.
 //
 // Scheduling (see docs/DESIGN.md): the dispatcher picks between
-//   - inter-batch parallelism: one worker thread per problem, each running
-//     the serial driver on a private GemmContext drawn from a ContextCache —
-//     wins when problems are small (per-problem threading would be all
-//     barrier, no work);
+//   - inter-batch parallelism: one team member per problem dispatched onto
+//     the plan's thread-team runtime (parked pool workers or an OpenMP
+//     region, runtime/team.hpp), each running the serial driver on a
+//     private GemmContext leased from the process-wide ContextCache — wins
+//     when problems are small (per-problem threading would be all barrier,
+//     no work);
 //   - intra-batch parallelism: problems run one after another, each using
 //     the full multi-threaded driver — wins when a single problem is big
 //     enough to feed every core.
@@ -54,8 +56,10 @@ enum class BatchSchedule {
 /// Options for the batched entry points.
 struct BatchOptions {
   /// Per-problem options.  `threads` caps the worker count of the whole
-  /// batch (0 = omp_get_max_threads()); `injector` / `correction_log` attach
-  /// to the problem selected by `inject_problem`.
+  /// batch (0 defers to FTGEMM_THREADS, then hardware concurrency — see
+  /// runtime/topology.hpp); `runtime` picks the thread-team backend the
+  /// batch dispatches onto; `injector` / `correction_log` attach to the
+  /// problem selected by `inject_problem`.
   Options base;
   /// Scheduling policy (see header comment).
   BatchSchedule schedule = BatchSchedule::kAuto;

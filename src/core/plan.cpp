@@ -1,10 +1,9 @@
 #include "core/plan.hpp"
 
-#include <omp.h>
-
 #include <algorithm>
 
 #include "abft/tolerance.hpp"
+#include "runtime/topology.hpp"
 #include "util/env.hpp"
 
 namespace ftgemm {
@@ -19,8 +18,8 @@ PlanKey make_plan_key(Trans ta, Trans tb, index_t m, index_t n, index_t k,
   key.tb = tb;
   key.ft = ft;
   key.fast_path_allowed = opts.small_fast_path;
-  key.threads =
-      std::max(opts.threads > 0 ? opts.threads : omp_get_max_threads(), 1);
+  key.threads = runtime::topology(opts.threads);
+  key.runtime = int(runtime::resolve_backend(opts.runtime));
   key.isa_override = opts.isa ? int(*opts.isa) : -1;
   key.tolerance_factor = opts.tolerance_factor;
   return key;
@@ -55,6 +54,7 @@ GemmPlan<T> build_plan(const PlanKey& key) {
                    flops <= env_double("FTGEMM_FAST_PATH_FLOPS",
                                        kFastPathFlopCutoff);
   plan.threads = plan.fast_path ? 1 : key.threads;
+  plan.runtime = RuntimeBackend(key.runtime);
 
   // Workspace footprint (diagnostics; GemmContext::ensure is the allocation
   // authority and pads per-thread strides on top of these).

@@ -1,0 +1,29 @@
+#include "runtime/topology.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+
+#include "util/env.hpp"
+
+namespace ftgemm::runtime {
+
+int hardware_concurrency() { return std::max(omp_get_max_threads(), 1); }
+
+int topology(int requested_threads) {
+  if (requested_threads > 0) return requested_threads;
+  const long env = env_long("FTGEMM_THREADS", 0);
+  if (env > 0) return int(env);
+  return hardware_concurrency();
+}
+
+RuntimeBackend resolve_backend(RuntimeBackend requested) {
+  if (requested != RuntimeBackend::kAuto) return requested;
+  if (const auto env = env_string("FTGEMM_RUNTIME")) {
+    if (*env == "pool") return RuntimeBackend::kPool;
+    if (*env == "omp" || *env == "openmp") return RuntimeBackend::kOpenMP;
+  }
+  return RuntimeBackend::kOpenMP;
+}
+
+}  // namespace ftgemm::runtime
