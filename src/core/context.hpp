@@ -175,7 +175,13 @@ class ContextCache {
       Trans ta, Trans tb, index_t m, index_t n, index_t k,
       const Options& opts, bool ft) {
     // The key resolves env/topology reads *outside* the lock.
-    const PlanKey key = make_plan_key(ta, tb, m, n, k, opts, ft);
+    return plan(make_plan_key(ta, tb, m, n, k, opts, ft));
+  }
+
+  /// Same lookup for a pre-built key (callers that already resolved the
+  /// fingerprint — the serving layer's admission path — skip the second
+  /// env/topology resolution).
+  [[nodiscard]] std::shared_ptr<const GemmPlan<T>> plan(const PlanKey& key) {
     std::lock_guard<std::mutex> lk(plan_m_);
     return plans_.get_or_build(key);
   }

@@ -24,6 +24,11 @@ FtReport dispatch(Layout layout, Trans ta, Trans tb, index_t m, index_t n,
                   index_t ldb, T beta, T* c, index_t ldc,
                   const Options& opts) {
   normalize_layout(layout, ta, tb, m, n, a, lda, b, ldb);
+  if (!valid_gemm_args(ta, tb, m, n, k, lda, ldb, ldc)) {
+    FtReport rejected;
+    rejected.invalid_args = true;
+    return rejected;
+  }
   ContextCache<T>& cache = process_context_cache<T>();
   const std::shared_ptr<const GemmPlan<T>> plan =
       cache.plan(ta, tb, m, n, k, opts, FT);
@@ -41,6 +46,11 @@ FtReport dispatch_engine(Layout layout, Trans ta, Trans tb, index_t m,
                          index_t ldc, const Options& opts,
                          GemmContext<T>& ctx) {
   normalize_layout(layout, ta, tb, m, n, a, lda, b, ldb);
+  if (!valid_gemm_args(ta, tb, m, n, k, lda, ldb, ldc)) {
+    FtReport rejected;
+    rejected.invalid_args = true;
+    return rejected;
+  }
   const std::shared_ptr<const GemmPlan<T>> plan =
       ctx.plans().get_or_build(ta, tb, m, n, k, opts, FT);
   return detail::execute<T, FT>(*plan, alpha, a, lda, b, ldb, beta, c, ldc,
@@ -52,6 +62,21 @@ FtReport reliable_impl(Layout layout, Trans ta, Trans tb, index_t m,
                        index_t n, index_t k, T alpha, const T* a, index_t lda,
                        const T* b, index_t ldb, T beta, T* c, index_t ldc,
                        const Options& opts, int max_retries) {
+  // Reject invalid arguments before the snapshot below sizes itself from
+  // them (a negative dimension would turn the reserve into a huge
+  // allocation; dispatch would reject the call anyway).
+  {
+    Trans nta = ta, ntb = tb;
+    index_t nm = m, nn = n, nlda = lda, nldb = ldb;
+    const T* na = a;
+    const T* nb = b;
+    normalize_layout(layout, nta, ntb, nm, nn, na, nlda, nb, nldb);
+    if (!valid_gemm_args(nta, ntb, nm, nn, k, nlda, nldb, ldc)) {
+      FtReport rejected;
+      rejected.invalid_args = true;
+      return rejected;
+    }
+  }
   // Snapshot C so an uncorrectable panel can be rolled back.  The copy
   // respects the caller's layout: for row-major, "columns" below are the
   // caller's rows, but the (ldc, minor=n/m) traversal is the same.

@@ -45,10 +45,18 @@ BatchReport run_batched(Layout layout, Trans ta, Trans tb, index_t m,
                         const BatchOptions& opts) {
   BatchReport report;
   const WallTimer timer;
-  if (batch <= 0) return report;
-  report.problems = batch;
+  if (batch < 0) {
+    report.invalid_args = true;
+    return report;
+  }
+  if (batch == 0) return report;
 
   detail::normalize_layout(layout, ta, tb, m, n, a, lda, b, ldb);
+  if (!valid_gemm_args(ta, tb, m, n, k, lda, ldb, ldc)) {
+    report.invalid_args = true;
+    return report;
+  }
+  report.problems = batch;
 
   const int nt = runtime::topology(opts.base.threads);
 
@@ -148,7 +156,12 @@ BatchReport run_strided_batched(Layout layout, Trans ta, Trans tb, index_t m,
                                 index_t ldb, index_t stride_b, T beta, T* c,
                                 index_t ldc, index_t stride_c, index_t batch,
                                 const BatchOptions& opts) {
-  if (batch <= 0) return {};
+  if (batch < 0) {
+    BatchReport report;
+    report.invalid_args = true;
+    return report;
+  }
+  if (batch == 0) return {};
   std::vector<const T*> ap(static_cast<std::size_t>(batch));
   std::vector<const T*> bp(static_cast<std::size_t>(batch));
   std::vector<T*> cp(static_cast<std::size_t>(batch));

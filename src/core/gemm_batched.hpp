@@ -79,6 +79,9 @@ struct BatchReport {
   index_t faulty_problems = 0;   ///< members with >= 1 detection
   index_t dirty_problems = 0;    ///< members whose report was not clean
   bool inter_batch = false;      ///< scheduler decision taken for this call
+  /// Rejected before execution (negative dimension/batch or undersized
+  /// leading dimension, see valid_gemm_args): no member ran, C untouched.
+  bool invalid_args = false;
   double elapsed_seconds = 0.0;  ///< wall time of the whole batch
   /// One report per batch member, index-aligned with the operands (empty
   /// for the non-FT entry points).

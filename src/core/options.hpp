@@ -67,9 +67,43 @@ struct FtReport {
   int uncorrectable_panels = 0;      ///< panels with unresolvable mismatches
   int retries = 0;                   ///< re-executions (ft_*_reliable only)
   double elapsed_seconds = 0.0;      ///< wall time of the whole call
+  /// The call was rejected before touching any operand: a negative
+  /// dimension or an undersized leading dimension (see valid_gemm_args).
+  /// C is untouched; no panels ran.  clean() stays true — nothing was
+  /// computed, so nothing can be silently wrong.
+  bool invalid_args = false;
 
   /// True when the result is trustworthy (all mismatches corrected).
   [[nodiscard]] bool clean() const { return uncorrectable_panels == 0; }
 };
+
+/// BLAS-style argument validation, shared by every entry point (free
+/// functions, engine, batched, serving).  Arguments are *column-major*
+/// post-layout-normalization values.  Rules (xGEMM, relaxed exactly where
+/// the degenerate paths make an operand unreadable):
+///   - m, n, k must be non-negative;
+///   - ldc >= max(1, m) whenever the call could write C (m > 0 and n > 0);
+///   - lda/ldb are validated only when A/B can be read (k > 0 and the
+///     problem is non-empty): lda >= max(1, rows of op(A)), ldb >= max(1,
+///     rows of op(B)).  BLAS also requires this for k == 0, but the
+///     documented degenerate contract (nullptr operands legal when k == 0)
+///     predates this check and is kept.
+/// Violations make the entry points a silent no-op (C untouched) with
+/// FtReport::invalid_args / BatchReport::invalid_args set — the library
+/// never xerbla-aborts a serving process.
+[[nodiscard]] inline bool valid_gemm_args(Trans ta, Trans tb, index_t m,
+                                          index_t n, index_t k, index_t lda,
+                                          index_t ldb, index_t ldc) {
+  if (m < 0 || n < 0 || k < 0) return false;
+  if (m > 0 && n > 0) {
+    if (ldc < m) return false;
+    if (k > 0) {
+      const index_t a_rows = ta == Trans::kNoTrans ? m : k;
+      const index_t b_rows = tb == Trans::kNoTrans ? k : n;
+      if (lda < a_rows || ldb < b_rows) return false;
+    }
+  }
+  return true;
+}
 
 }  // namespace ftgemm

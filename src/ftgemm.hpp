@@ -27,6 +27,7 @@
 #include "ftblas/level1.hpp"       // IWYU pragma: export
 #include "ftblas/level2.hpp"       // IWYU pragma: export
 #include "inject/injectors.hpp"    // IWYU pragma: export
+#include "serve/service.hpp"       // IWYU pragma: export
 #include "util/matrix.hpp"         // IWYU pragma: export
 #include "util/stats.hpp"          // IWYU pragma: export
 #include "util/timer.hpp"          // IWYU pragma: export

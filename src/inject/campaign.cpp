@@ -1,7 +1,11 @@
 #include "inject/campaign.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <vector>
 
+#include "baseline/naive_gemm.hpp"
+#include "serve/service.hpp"
 #include "util/timer.hpp"
 
 namespace ftgemm {
@@ -136,6 +140,86 @@ BatchedCampaignResult run_batched_injection_campaign(
   }
   result.injected = injector.injected_count();
   result.mean_gflops = gflops_sum / double(std::max(config.runs, 1));
+  return result;
+}
+
+ServiceCampaignResult run_service_injection_campaign(
+    const ServiceCampaignConfig& config) {
+  ServiceCampaignResult result;
+  const index_t n = config.size;
+  const int requests = std::max(config.requests, 0);
+
+  // Private operands, reference, and (for targeted requests) injector per
+  // request: in-flight requests execute concurrently, and the injector
+  // protocol is per-call stateful.
+  std::vector<Matrix<double>> a, b, c, ref;
+  std::vector<std::unique_ptr<CountInjector>> injectors(
+      static_cast<std::size_t>(requests));
+  a.reserve(std::size_t(requests));
+  b.reserve(std::size_t(requests));
+  c.reserve(std::size_t(requests));
+  ref.reserve(std::size_t(requests));
+  for (int r = 0; r < requests; ++r) {
+    const std::uint64_t seed = config.seed + std::uint64_t(r) * 5;
+    a.emplace_back(n, n);
+    b.emplace_back(n, n);
+    c.emplace_back(n, n);
+    ref.emplace_back(n, n);
+    a.back().fill_random(seed);
+    b.back().fill_random(seed + 1);
+    c.back().fill(0.0);
+    ref.back().fill(0.0);
+    baseline::naive_dgemm(Trans::kNoTrans, Trans::kNoTrans, n, n, n, 1.0,
+                          a.back().data(), n, b.back().data(), n, 0.0,
+                          ref.back().data(), n);
+  }
+
+  // Stage the whole burst while paused, then release it: the campaign's
+  // routing mix (direct injected requests amid coalesced clean traffic)
+  // becomes a property of the workload, not of submission timing.
+  serve::ServiceConfig scfg;
+  scfg.max_inflight = config.max_inflight;
+  scfg.queue_capacity =
+      std::max<std::size_t>(config.queue_capacity, std::size_t(requests));
+  scfg.start_paused = true;
+  serve::GemmService service(scfg);
+
+  std::vector<serve::GemmFuture> futures;
+  futures.reserve(std::size_t(requests));
+  for (int r = 0; r < requests; ++r) {
+    Options opts;
+    opts.threads = config.threads;
+    const bool targeted =
+        config.inject_every > 0 && r % config.inject_every == 0;
+    if (targeted) {
+      injectors[std::size_t(r)] = std::make_unique<CountInjector>(
+          config.errors_per_target, config.seed + 7 + std::uint64_t(r),
+          config.magnitude);
+      opts.injector = injectors[std::size_t(r)].get();
+      ++result.targeted_requests;
+    }
+    futures.push_back(service.submit(serve::make_gemm_request<double>(
+        /*ft=*/true, Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, n,
+        n, n, 1.0, a[std::size_t(r)].data(), n, b[std::size_t(r)].data(), n,
+        0.0, c[std::size_t(r)].data(), n, opts)));
+  }
+  service.resume();
+
+  for (int r = 0; r < requests; ++r) {
+    const serve::GemmResult& res = futures[std::size_t(r)].wait();
+    result.detected += res.report.errors_detected;
+    result.corrected += res.report.errors_corrected;
+    if (res.coalesced) ++result.coalesced_requests;
+    if (!res.report.clean()) ++result.dirty_requests;
+    const double err = max_rel_diff(c[std::size_t(r)], ref[std::size_t(r)]);
+    result.max_rel_error = std::max(result.max_rel_error, err);
+    // Same silent-corruption contract as the other campaigns: only a wrong
+    // result under a clean report counts against reliability.
+    if (err > 1e-9 && res.report.clean()) ++result.wrong_result_requests;
+  }
+  for (const auto& inj : injectors) {
+    if (inj) result.injected += inj->injected_count();
+  }
   return result;
 }
 

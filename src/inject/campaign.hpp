@@ -84,4 +84,50 @@ struct BatchedCampaignResult {
 BatchedCampaignResult run_batched_injection_campaign(
     const BatchedCampaignConfig& config);
 
+// ---------------------------------------------------------------------------
+// Service campaign: faults striking requests in flight in the async
+// serving layer (serve/service.hpp).
+// ---------------------------------------------------------------------------
+
+/// Configuration for a campaign over a live GemmService.  `requests`
+/// same-shape FT requests are submitted asynchronously; every
+/// `inject_every`-th request carries its *own* CountInjector in its
+/// request-scoped Options (the injector protocol is per-call stateful, so
+/// targeted in-flight requests each get a private instance — the
+/// request-scoped Options seam exists for exactly this).  Untargeted
+/// requests are left eligible for coalesced-into-batched routing, so the
+/// campaign exercises injected traffic flowing *around* merged batches.
+struct ServiceCampaignConfig {
+  index_t size = 96;         ///< square per-request problem size
+  int requests = 12;         ///< requests submitted to the service
+  int inject_every = 3;      ///< target every N-th request (0 = none)
+  int errors_per_target = 4; ///< faults injected into each targeted request
+  double magnitude = 2.0;    ///< injected delta scale
+  std::uint64_t seed = 1234;
+  int threads = 1;           ///< per-request worker cap
+  int max_inflight = 2;      ///< service concurrency
+  std::size_t queue_capacity = 64;
+};
+
+struct ServiceCampaignResult {
+  std::size_t injected = 0;        ///< ground-truth corruptions applied
+  std::int64_t detected = 0;
+  std::int64_t corrected = 0;
+  int targeted_requests = 0;       ///< requests carrying an injector
+  int coalesced_requests = 0;      ///< requests routed via merged batches
+  int dirty_requests = 0;          ///< requests whose report was not clean
+  int wrong_result_requests = 0;   ///< silent corruption (the failure mode)
+  double max_rel_error = 0.0;      ///< worst request error vs reference
+
+  /// Every fault either corrected or flagged; no silent corruption.
+  [[nodiscard]] bool reliable() const { return wrong_result_requests == 0; }
+};
+
+/// Execute the service campaign.  Deterministic under config.seed: request
+/// contents, injection schedules, and verification do not depend on the
+/// dispatcher's interleaving (each request owns private operands and
+/// injector).
+ServiceCampaignResult run_service_injection_campaign(
+    const ServiceCampaignConfig& config);
+
 }  // namespace ftgemm

@@ -1,0 +1,700 @@
+// GemmService implementation: bounded priority admission queue, dispatcher
+// thread, coalesced-into-batched routing, async pool leases (see
+// serve/service.hpp for the contracts).
+//
+// Lock order (never taken in reverse, never nested beyond one level plus
+// the stats leaf):
+//   RequestState::m  — per-request settle/claim/cancel transitions;
+//   qm_              — admission queue;
+//   sm_              — in-flight slots;
+//   stats_m_         — counters (leaf; taken under qm_ for queue peaks).
+//
+// Lifetime protocol of one dispatch: the dispatcher moves a claimed group
+// into a free InflightSlot and leases a pool worker via the runtime's async
+// API (try-lease first — admission control without spawning — then the
+// growing lease).  The worker runs execute_slot (the GEMM(s) + settling
+// every future + counters); the runtime then invokes the completion hook,
+// whose ONLY job is release_slot: push the slot back and wake the
+// dispatcher/shutdown.  Futures are settled before the slot is released, so
+// a client observing its future done and immediately destroying the service
+// still blocks in ~GemmService until the completion has finished touching
+// service memory.
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <utility>
+
+#include "core/context.hpp"
+#include "core/driver.hpp"
+#include "core/gemm.hpp"
+#include "runtime/team.hpp"
+
+namespace ftgemm::serve {
+
+namespace detail {
+
+/// Shared state behind one GemmFuture.  `status` is the request's state
+/// machine, kept in an atomic so the serving hot path stays lock-light:
+/// the dispatcher's claim is a bare CAS, and a wait() on an
+/// already-settled future is a single acquire load (the common case for a
+/// client draining a pipelined window).  `result` is written exclusively
+/// by the settling thread *before* the status release-store, so readers
+/// gated on the acquire load see it complete.  The mutex guards the
+/// condition variable handshake and the continuation slot.
+struct RequestState {
+  std::atomic<RequestStatus> status{RequestStatus::kQueued};
+  std::mutex m;
+  std::condition_variable cv;
+  GemmResult result;
+  std::function<void(const GemmResult&)> continuation;
+};
+
+namespace {
+
+[[nodiscard]] bool is_settled(RequestStatus s) {
+  return s == RequestStatus::kDone || s == RequestStatus::kCancelled ||
+         s == RequestStatus::kRejected;
+}
+
+/// Settle a request with its final result and fire the continuation (once,
+/// outside the state lock — settled results are immutable, so the unlocked
+/// read is safe).
+void settle(RequestState& st, GemmResult&& res) {
+  std::function<void(const GemmResult&)> cont;
+  const RequestStatus final_status = res.status;
+  st.result = std::move(res);
+  {
+    std::lock_guard<std::mutex> lk(st.m);
+    st.status.store(final_status, std::memory_order_release);
+    cont = std::move(st.continuation);
+    st.continuation = nullptr;
+  }
+  st.cv.notify_all();
+  if (cont) cont(st.result);
+}
+
+/// kQueued -> kCancelled; false when the request was already claimed or
+/// settled.
+bool try_cancel(RequestState& st) {
+  std::function<void(const GemmResult&)> cont;
+  {
+    std::lock_guard<std::mutex> lk(st.m);
+    RequestStatus expect = RequestStatus::kQueued;
+    if (!st.status.compare_exchange_strong(expect, RequestStatus::kCancelled,
+                                           std::memory_order_acq_rel)) {
+      return false;
+    }
+    st.result.status = RequestStatus::kCancelled;
+    cont = std::move(st.continuation);
+    st.continuation = nullptr;
+  }
+  st.cv.notify_all();
+  if (cont) cont(st.result);
+  return true;
+}
+
+/// kQueued -> kRunning (the dispatcher's claim); false when a racing
+/// cancel won.  Lock-free: the CAS is the arbiter against try_cancel.
+bool try_claim(RequestState& st) {
+  RequestStatus expect = RequestStatus::kQueued;
+  return st.status.compare_exchange_strong(expect, RequestStatus::kRunning,
+                                           std::memory_order_acq_rel);
+}
+
+[[nodiscard]] RequestStatus status_of(RequestState& st) {
+  return st.status.load(std::memory_order_acquire);
+}
+
+}  // namespace
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// GemmFuture
+// ---------------------------------------------------------------------------
+
+GemmResult GemmFuture::wait() const {
+  if (!st_) return GemmResult{RequestStatus::kRejected, {}, {}, false};
+  // Fast path: a settled future costs one acquire load, no lock — the
+  // common case for a client draining a pipelined window newest-first.
+  if (detail::is_settled(st_->status.load(std::memory_order_acquire))) {
+    return st_->result;
+  }
+  std::unique_lock<std::mutex> lk(st_->m);
+  st_->cv.wait(lk, [&] {
+    return detail::is_settled(
+        st_->status.load(std::memory_order_acquire));
+  });
+  return st_->result;
+}
+
+bool GemmFuture::wait_for(double seconds) const {
+  if (!st_) return true;
+  if (detail::is_settled(st_->status.load(std::memory_order_acquire))) {
+    return true;
+  }
+  std::unique_lock<std::mutex> lk(st_->m);
+  return st_->cv.wait_for(lk, std::chrono::duration<double>(seconds), [&] {
+    return detail::is_settled(
+        st_->status.load(std::memory_order_acquire));
+  });
+}
+
+bool GemmFuture::settled() const {
+  return st_ == nullptr || detail::is_settled(detail::status_of(*st_));
+}
+
+RequestStatus GemmFuture::status() const {
+  return st_ ? detail::status_of(*st_) : RequestStatus::kRejected;
+}
+
+bool GemmFuture::cancel() {
+  return st_ != nullptr && detail::try_cancel(*st_);
+}
+
+void GemmFuture::then(std::function<void(const GemmResult&)> fn) {
+  if (!st_ || !fn) return;
+  bool now = false;
+  {
+    std::lock_guard<std::mutex> lk(st_->m);
+    if (detail::is_settled(st_->status.load(std::memory_order_acquire))) {
+      now = true;
+    } else {
+      st_->continuation = std::move(fn);
+    }
+  }
+  if (now) fn(st_->result);
+}
+
+// ---------------------------------------------------------------------------
+// Request validation / routing helpers
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Everything the entry points would reject plus the null-pointer
+/// dereferences only the service can see (it knows alpha up front).
+bool request_valid(const GemmRequest& r) {
+  if (r.batch < 1) return false;
+  Trans ta = r.ta, tb = r.tb;
+  index_t m = r.m, n = r.n, lda = r.lda, ldb = r.ldb;
+  const void* a = r.a;
+  const void* b = r.b;
+  ftgemm::detail::normalize_layout(r.layout, ta, tb, m, n, a, lda, b, ldb);
+  if (!valid_gemm_args(ta, tb, m, n, r.k, lda, ldb, r.ldc)) return false;
+  if (m > 0 && n > 0) {
+    if (r.c == nullptr) return false;
+    if (r.k > 0 && r.alpha != 0.0 && (r.a == nullptr || r.b == nullptr))
+      return false;
+  }
+  return true;
+}
+
+template <typename T>
+bool plan_takes_fast_path(Trans ta, Trans tb, index_t m, index_t n, index_t k,
+                          const Options& opts, bool ft, PlanKey& key) {
+  key = make_plan_key(ta, tb, m, n, k, opts, ft);
+  // The shared process-wide cache: this is the very plan a synchronous call
+  // of the same fingerprint resolves, so the lookup doubles as a warm-up.
+  return process_context_cache<T>().plan(key)->fast_path;
+}
+
+/// A request may join a coalesced batch only when its resolved plan is
+/// planner-pinned to one thread (the small-GEMM fast path) — the condition
+/// under which batched-member execution is bit-identical to the synchronous
+/// call (see the header's bit-identity contract).
+bool resolve_coalescible(const GemmRequest& r, PlanKey& key) {
+  Trans ta = r.ta, tb = r.tb;
+  index_t m = r.m, n = r.n, lda = r.lda, ldb = r.ldb;
+  const void* a = r.a;
+  const void* b = r.b;
+  ftgemm::detail::normalize_layout(r.layout, ta, tb, m, n, a, lda, b, ldb);
+  return r.precision == Precision::kF64
+             ? plan_takes_fast_path<double>(ta, tb, m, n, r.k, r.opts, r.ft,
+                                            key)
+             : plan_takes_fast_path<float>(ta, tb, m, n, r.k, r.opts, r.ft,
+                                           key);
+}
+
+/// Synchronous execution of one request through the public entry points —
+/// the direct route is the synchronous API, running on a pool worker.
+template <typename T>
+GemmResult run_direct(const GemmRequest& r) {
+  GemmResult res;
+  const T alpha = T(r.alpha);
+  const T beta = T(r.beta);
+  const T* a = static_cast<const T*>(r.a);
+  const T* b = static_cast<const T*>(r.b);
+  T* c = static_cast<T*>(r.c);
+  if (r.batch > 1) {
+    BatchOptions bopts;
+    bopts.base = r.opts;
+    res.batch =
+        r.ft ? ft_gemm_strided_batched<T>(r.layout, r.ta, r.tb, r.m, r.n, r.k,
+                                          alpha, a, r.lda, r.stride_a, b,
+                                          r.ldb, r.stride_b, beta, c, r.ldc,
+                                          r.stride_c, r.batch, bopts)
+             : gemm_strided_batched<T>(r.layout, r.ta, r.tb, r.m, r.n, r.k,
+                                       alpha, a, r.lda, r.stride_a, b, r.ldb,
+                                       r.stride_b, beta, c, r.ldc, r.stride_c,
+                                       r.batch, bopts);
+  } else if (r.ft) {
+    if constexpr (sizeof(T) == 8) {
+      res.report = ft_dgemm(r.layout, r.ta, r.tb, r.m, r.n, r.k, alpha, a,
+                            r.lda, b, r.ldb, beta, c, r.ldc, r.opts);
+    } else {
+      res.report = ft_sgemm(r.layout, r.ta, r.tb, r.m, r.n, r.k, alpha, a,
+                            r.lda, b, r.ldb, beta, c, r.ldc, r.opts);
+    }
+  } else {
+    if constexpr (sizeof(T) == 8) {
+      dgemm(r.layout, r.ta, r.tb, r.m, r.n, r.k, alpha, a, r.lda, b, r.ldb,
+            beta, c, r.ldc, r.opts);
+    } else {
+      sgemm(r.layout, r.ta, r.tb, r.m, r.n, r.k, alpha, a, r.lda, b, r.ldb,
+            beta, c, r.ldc, r.opts);
+    }
+  }
+  res.status = RequestStatus::kDone;
+  return res;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// GemmService
+// ---------------------------------------------------------------------------
+
+struct GemmService::InflightSlot {
+  explicit InflightSlot(GemmService* s) : owner(s) {}
+
+  GemmService* owner;
+  std::vector<Pending> group;
+
+  // Stable callable objects the runtime's non-owning TeamFnRef /
+  // CompletionRef can reference for the whole dispatch.
+  struct BodyFn {
+    InflightSlot* slot;
+    void operator()(runtime::TeamMember&) const {
+      slot->owner->execute_slot(*slot);
+    }
+  };
+  struct DoneFn {
+    InflightSlot* slot;
+    void operator()() const { slot->owner->release_slot(*slot); }
+  };
+  BodyFn body{this};
+  DoneFn done{this};
+};
+
+GemmService::GemmService(ServiceConfig config) : cfg_(config) {
+  cfg_.queue_capacity = std::max<std::size_t>(cfg_.queue_capacity, 1);
+  cfg_.max_inflight = std::max(cfg_.max_inflight, 1);
+  cfg_.max_coalesce = std::max<index_t>(cfg_.max_coalesce, 1);
+  paused_ = cfg_.start_paused;
+  slots_.reserve(std::size_t(cfg_.max_inflight));
+  free_slots_.reserve(std::size_t(cfg_.max_inflight));
+  for (int i = 0; i < cfg_.max_inflight; ++i) {
+    slots_.push_back(std::make_unique<InflightSlot>(this));
+    free_slots_.push_back(slots_.back().get());
+  }
+  dispatcher_ = std::thread([this] { dispatcher_main(); });
+}
+
+GemmService::~GemmService() { shutdown(true); }
+
+GemmFuture GemmService::submit(const GemmRequest& req) {
+  return enqueue(req, /*blocking=*/true);
+}
+
+GemmFuture GemmService::try_submit(const GemmRequest& req) {
+  return enqueue(req, /*blocking=*/false);
+}
+
+namespace {
+
+/// Pre-publication rejection: no other thread can see the state yet, so
+/// both status stores need no lock.
+void reject_unpublished(detail::RequestState& st) {
+  st.result.status = RequestStatus::kRejected;
+  st.status.store(RequestStatus::kRejected, std::memory_order_release);
+}
+
+}  // namespace
+
+/// Build the queue entry for one validated request (state, plan
+/// fingerprint, coalescing eligibility).
+GemmService::Pending GemmService::make_pending(
+    const GemmRequest& req, std::shared_ptr<detail::RequestState> st) {
+  Pending p;
+  p.req = req;
+  p.state = std::move(st);
+  if (cfg_.coalesce && req.batch == 1 && req.opts.injector == nullptr &&
+      req.opts.correction_log == nullptr) {
+    p.coalescible = resolve_coalescible(req, p.key);
+  }
+  return p;
+}
+
+GemmFuture GemmService::enqueue(const GemmRequest& req, bool blocking) {
+  auto st = std::make_shared<detail::RequestState>();
+  GemmFuture fut(st);
+  if (!request_valid(req)) {
+    reject_unpublished(*st);
+    std::lock_guard<std::mutex> slk(stats_m_);
+    ++stats_.rejected;
+    return fut;
+  }
+  Pending p = make_pending(req, st);
+  {
+    std::unique_lock<std::mutex> lk(qm_);
+    if (blocking) {
+      space_cv_.wait(lk, [&] {
+        return stopping_ || queued_ < cfg_.queue_capacity;
+      });
+    }
+    if (stopping_ || queued_ >= cfg_.queue_capacity) {
+      lk.unlock();
+      reject_unpublished(*st);
+      std::lock_guard<std::mutex> slk(stats_m_);
+      ++stats_.rejected;
+      return fut;
+    }
+    const int lane = std::clamp(int(req.priority), 0, kPriorityLanes - 1);
+    lanes_[lane].push_back(std::move(p));
+    ++queued_;
+    ++submitted_;
+    peak_queue_depth_ = std::max<std::uint64_t>(peak_queue_depth_, queued_);
+    // A running dispatcher re-checks the queue before parking; only an
+    // actually-parked one needs the wake.
+    if (dispatcher_waiting_) qcv_.notify_one();
+  }
+  return fut;
+}
+
+std::vector<GemmFuture> GemmService::submit_all(
+    const std::vector<GemmRequest>& reqs) {
+  std::vector<GemmFuture> futures;
+  futures.reserve(reqs.size());
+  std::vector<Pending> ready;
+  ready.reserve(reqs.size());
+  std::uint64_t rejected = 0;
+  for (const GemmRequest& r : reqs) {
+    auto st = std::make_shared<detail::RequestState>();
+    futures.push_back(GemmFuture(st));
+    if (!request_valid(r)) {
+      reject_unpublished(*st);
+      ++rejected;
+      continue;
+    }
+    ready.push_back(make_pending(r, std::move(st)));
+  }
+  {
+    std::unique_lock<std::mutex> lk(qm_);
+    for (Pending& p : ready) {
+      space_cv_.wait(lk, [&] {
+        return stopping_ || queued_ < cfg_.queue_capacity;
+      });
+      if (stopping_) {
+        reject_unpublished(*p.state);
+        ++rejected;
+        continue;
+      }
+      const int lane =
+          std::clamp(int(p.req.priority), 0, kPriorityLanes - 1);
+      lanes_[lane].push_back(std::move(p));
+      ++queued_;
+      ++submitted_;
+    }
+    peak_queue_depth_ = std::max<std::uint64_t>(peak_queue_depth_, queued_);
+    if (dispatcher_waiting_) qcv_.notify_one();
+  }
+  if (rejected > 0) {
+    std::lock_guard<std::mutex> slk(stats_m_);
+    stats_.rejected += rejected;
+  }
+  return futures;
+}
+
+void GemmService::pause() {
+  std::lock_guard<std::mutex> lk(qm_);
+  paused_ = true;
+}
+
+void GemmService::resume() {
+  {
+    std::lock_guard<std::mutex> lk(qm_);
+    paused_ = false;
+  }
+  qcv_.notify_all();
+}
+
+void GemmService::shutdown(bool drain) {
+  {
+    std::lock_guard<std::mutex> lk(qm_);
+    stopping_ = true;
+    paused_ = false;
+    if (!drain) {
+      std::uint64_t cancelled = 0;
+      for (auto& lane : lanes_) {
+        for (Pending& p : lane) {
+          if (detail::try_cancel(*p.state) ||
+              detail::status_of(*p.state) == RequestStatus::kCancelled) {
+            ++cancelled;
+          }
+        }
+        lane.clear();
+      }
+      queued_ = 0;
+      std::lock_guard<std::mutex> slk(stats_m_);
+      stats_.cancelled += cancelled;
+    }
+    qcv_.notify_all();
+    space_cv_.notify_all();
+  }
+  if (dispatcher_.joinable()) dispatcher_.join();
+  std::unique_lock<std::mutex> lk(sm_);
+  scv_.wait(lk, [&] { return inflight_ == 0; });
+}
+
+ServiceStats GemmService::stats() const {
+  std::uint64_t submitted, peak_queue;
+  {
+    std::lock_guard<std::mutex> lk(qm_);
+    submitted = submitted_;
+    peak_queue = peak_queue_depth_;
+  }
+  std::lock_guard<std::mutex> lk(stats_m_);
+  ServiceStats out = stats_;
+  out.submitted = submitted;
+  out.peak_queue_depth = peak_queue;
+  return out;
+}
+
+std::size_t GemmService::queue_depth() const {
+  std::lock_guard<std::mutex> lk(qm_);
+  return queued_;
+}
+
+int GemmService::inflight() const {
+  std::lock_guard<std::mutex> lk(sm_);
+  return inflight_;
+}
+
+// ---------------------------------------------------------------------------
+// Dispatcher
+// ---------------------------------------------------------------------------
+
+void GemmService::dispatcher_main() {
+  for (;;) {
+    std::vector<Pending> group;
+    {
+      std::unique_lock<std::mutex> lk(qm_);
+      dispatcher_waiting_ = true;
+      qcv_.wait(lk, [&] { return stopping_ || (!paused_ && queued_ > 0); });
+      dispatcher_waiting_ = false;
+      if (queued_ == 0) {
+        if (stopping_) return;
+        continue;
+      }
+      if (paused_ && !stopping_) continue;
+
+      // Pop the first claimable entry, highest priority lane first;
+      // cancelled entries drain here (and are counted) on the way.
+      std::uint64_t cancelled = 0;
+      for (int lane = kPriorityLanes - 1; lane >= 0 && group.empty();
+           --lane) {
+        auto& q = lanes_[lane];
+        while (!q.empty() && group.empty()) {
+          Pending p = std::move(q.front());
+          q.pop_front();
+          --queued_;
+          if (detail::try_claim(*p.state)) {
+            group.push_back(std::move(p));
+          } else {
+            ++cancelled;
+          }
+        }
+      }
+
+      // Coalesce: sweep every lane (priority order, FIFO within) for
+      // requests in the same group, up to max_coalesce members.
+      if (!group.empty() && group.front().coalescible &&
+          index_t(group.size()) < cfg_.max_coalesce) {
+        // Copies, not references: push_back below reallocates the group.
+        const GemmRequest x = group.front().req;
+        const PlanKey head_key = group.front().key;
+        for (int lane = kPriorityLanes - 1; lane >= 0; --lane) {
+          auto& q = lanes_[lane];
+          for (auto it = q.begin();
+               it != q.end() && index_t(group.size()) < cfg_.max_coalesce;) {
+            const GemmRequest& y = it->req;
+            const bool match = it->coalescible &&
+                               x.precision == y.precision &&
+                               x.layout == y.layout && x.alpha == y.alpha &&
+                               x.beta == y.beta && x.lda == y.lda &&
+                               x.ldb == y.ldb && x.ldc == y.ldc &&
+                               head_key == it->key;
+            if (!match) {
+              ++it;
+              continue;
+            }
+            if (detail::try_claim(*it->state)) {
+              group.push_back(std::move(*it));
+            } else {
+              ++cancelled;
+            }
+            it = q.erase(it);
+            --queued_;
+          }
+          if (index_t(group.size()) >= cfg_.max_coalesce) break;
+        }
+      }
+      if (cancelled > 0) {
+        std::lock_guard<std::mutex> slk(stats_m_);
+        stats_.cancelled += cancelled;
+      }
+      space_cv_.notify_all();
+      if (group.empty()) continue;
+    }
+
+    // Lease an in-flight slot (bounded concurrency); completions free them.
+    InflightSlot* slot = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(sm_);
+      scv_.wait(lk, [&] { return !free_slots_.empty(); });
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+      ++inflight_;
+      std::lock_guard<std::mutex> slk(stats_m_);
+      stats_.peak_inflight =
+          std::max<std::uint64_t>(stats_.peak_inflight,
+                                  std::uint64_t(inflight_));
+    }
+    slot->group = std::move(group);
+
+    if (cfg_.max_inflight == 1) {
+      // One group at a time either way: execute inline on the dispatcher
+      // thread and skip the per-group pool handoff (a parked-worker wake +
+      // completion round trip — two context switches a 1-wide service
+      // would pay for nothing).
+      execute_slot(*slot);
+      release_slot(*slot);
+      continue;
+    }
+    // Lease execution from the pool: the non-blocking try-lease first (a
+    // parked worker picks the job up with no spawn), the growing lease as
+    // the fallback so progress is never gated on pool capacity.
+    if (!runtime::try_run_team_async(1, slot->body, slot->done)) {
+      runtime::run_team_async(1, slot->body, slot->done);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Execution on pool workers
+// ---------------------------------------------------------------------------
+
+void GemmService::execute_slot(InflightSlot& slot) {
+  if (slot.group.size() == 1) {
+    execute_direct(slot.group.front());
+  } else {
+    execute_coalesced(slot);
+  }
+}
+
+void GemmService::release_slot(InflightSlot& slot) {
+  slot.group.clear();
+  std::lock_guard<std::mutex> lk(sm_);
+  free_slots_.push_back(&slot);
+  --inflight_;
+  scv_.notify_all();
+}
+
+void GemmService::execute_direct(const Pending& p) {
+  GemmResult res = p.req.precision == Precision::kF64
+                       ? run_direct<double>(p.req)
+                       : run_direct<float>(p.req);
+  {
+    std::lock_guard<std::mutex> lk(stats_m_);
+    ++stats_.completed;
+    if (p.req.batch > 1) {
+      ++stats_.batched_calls;
+      stats_.errors_detected += res.batch.errors_detected;
+      stats_.errors_corrected += res.batch.errors_corrected;
+      if (!res.batch.clean() || res.batch.invalid_args) ++stats_.dirty_results;
+    } else {
+      ++stats_.direct_calls;
+      stats_.errors_detected += res.report.errors_detected;
+      stats_.errors_corrected += res.report.errors_corrected;
+      if (!res.report.clean() || res.report.invalid_args)
+        ++stats_.dirty_results;
+    }
+  }
+  detail::settle(*p.state, std::move(res));
+}
+
+void GemmService::execute_coalesced(InflightSlot& slot) {
+  if (slot.group.front().req.precision == Precision::kF64) {
+    execute_coalesced_typed<double>(slot);
+  } else {
+    execute_coalesced_typed<float>(slot);
+  }
+}
+
+template <typename T>
+void GemmService::execute_coalesced_typed(InflightSlot& slot) {
+  const GemmRequest& head = slot.group.front().req;
+  const index_t members = index_t(slot.group.size());
+  std::vector<const T*> ap(static_cast<std::size_t>(members));
+  std::vector<const T*> bp(static_cast<std::size_t>(members));
+  std::vector<T*> cp(static_cast<std::size_t>(members));
+  for (index_t i = 0; i < members; ++i) {
+    const GemmRequest& r = slot.group[std::size_t(i)].req;
+    ap[std::size_t(i)] = static_cast<const T*>(r.a);
+    bp[std::size_t(i)] = static_cast<const T*>(r.b);
+    cp[std::size_t(i)] = static_cast<T*>(r.c);
+  }
+  // Inter-batch by construction: every member's plan is fast-path (one
+  // thread), so per-member execution inside the batched call is the same
+  // execute_small a synchronous call runs — the bit-identity contract.
+  BatchOptions bopts;
+  bopts.base = head.opts;
+  bopts.schedule = BatchSchedule::kInter;
+  const BatchReport rep =
+      head.ft ? ft_gemm_batched<T>(head.layout, head.ta, head.tb, head.m,
+                                   head.n, head.k, T(head.alpha), ap.data(),
+                                   head.lda, bp.data(), head.ldb,
+                                   T(head.beta), cp.data(), head.ldc, members,
+                                   bopts)
+              : gemm_batched<T>(head.layout, head.ta, head.tb, head.m, head.n,
+                                head.k, T(head.alpha), ap.data(), head.lda,
+                                bp.data(), head.ldb, T(head.beta), cp.data(),
+                                head.ldc, members, bopts);
+  {
+    std::lock_guard<std::mutex> lk(stats_m_);
+    stats_.completed += std::uint64_t(members);
+    ++stats_.coalesced_batches;
+    stats_.coalesced_members += std::uint64_t(members);
+    stats_.errors_detected += rep.errors_detected;
+    stats_.errors_corrected += rep.errors_corrected;
+    stats_.dirty_results += std::uint64_t(rep.dirty_problems);
+    if (rep.invalid_args) stats_.dirty_results += std::uint64_t(members);
+  }
+  for (index_t i = 0; i < members; ++i) {
+    GemmResult res;
+    res.status = RequestStatus::kDone;
+    res.coalesced = true;
+    if (head.ft && std::size_t(i) < rep.per_problem.size()) {
+      res.report = rep.per_problem[std::size_t(i)];
+    }
+    res.report.invalid_args = rep.invalid_args;
+    detail::settle(*slot.group[std::size_t(i)].state, std::move(res));
+  }
+}
+
+template void GemmService::execute_coalesced_typed<float>(InflightSlot&);
+template void GemmService::execute_coalesced_typed<double>(InflightSlot&);
+
+}  // namespace ftgemm::serve

@@ -1,0 +1,347 @@
+// Asynchronous GEMM serving front-end on the persistent team runtime.
+//
+// Every entry point below PR 4 is synchronous: a caller blocks for the whole
+// GEMM, so admission control, queueing, prioritization, and cross-request
+// batching — the things serving-scale traffic is made of — all have to be
+// reinvented by every application.  GemmService is that layer, built
+// directly on the pieces the lower layers already provide:
+//
+//   submit(GemmRequest) -> GemmFuture
+//
+//   - A *bounded MPMC admission queue* (three FIFO lanes, one per
+//     Priority).  submit() applies backpressure (blocks while the queue is
+//     full); try_submit() sheds load instead (an immediately-settled
+//     kRejected future).  Invalid requests (valid_gemm_args, null operand
+//     pointers the call would dereference) are rejected at the door — a
+//     serving process is never xerbla-aborted.
+//
+//   - A single *dispatcher thread* drains the queue highest-priority-first
+//     and leases execution capacity from the PR 4 worker pool through the
+//     runtime's asynchronous lease API (runtime::try_run_team_async — the
+//     non-blocking try-lease — falling back to the pool-growing
+//     run_team_async), bounded by ServiceConfig::max_inflight concurrent
+//     requests.  Request bodies run *on pool workers*; the GEMM inside
+//     opens its own thread team exactly as a synchronous call would.
+//
+//   - *Coalescing*: queued single-problem requests whose resolved plan
+//     takes the small-GEMM fast path (planner-pinned to one thread) and
+//     whose full plan fingerprint + scalars + leading dimensions match are
+//     merged into one batched call on the inter-batch scheduler — one plan
+//     fetch, one workspace-lease round-trip, and one dispatch for up to
+//     max_coalesce requests.  See the bit-identity note below.
+//
+//   - *Cancellation* (GemmFuture::cancel — queued requests only),
+//     *completion callbacks* (GemmFuture::then), and per-service counters
+//     (ServiceStats) aggregating FtReport/BatchReport outcomes across every
+//     request the service executed.
+//
+// Bit-identity contract: for every routing decision the dispatcher can make
+// the delivered C (and FT detection behavior) is bit-identical to the
+// synchronous entry point called with the same arguments and Options.
+// Direct routes *are* the synchronous entry points, executed on a pool
+// worker.  The coalesced route holds because coalescing is restricted to
+// fast-path plans: the planner pins those to one thread regardless of the
+// requested topology, and the batched inter-scheduler runs each member
+// through the identical one-thread plan (same blocking, same kernels, same
+// summation order) — execute_small either way.  tests/test_service.cpp
+// asserts this differentially across shapes x backends x priorities.
+//
+// Threading contract: GemmFuture is a value handle, safe to wait/cancel
+// from any thread.  then() continuations and completion run on service
+// threads (a pool worker) — keep them light, and do not block them on other
+// futures of the same service.  Requests racing on overlapping C regions
+// are the caller's data race, exactly as with concurrent synchronous calls.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/gemm_batched.hpp"
+#include "core/options.hpp"
+#include "core/plan.hpp"
+
+namespace ftgemm::serve {
+
+/// Element type of a type-erased request.
+enum class Precision { kF32, kF64 };
+
+/// Admission-queue lane.  Higher lanes are always drained first; FIFO
+/// within a lane.
+enum class Priority { kLow = 0, kNormal = 1, kHigh = 2 };
+inline constexpr int kPriorityLanes = 3;
+
+/// One unit of work, covering every synchronous entry-point shape:
+/// fp32/fp64, FT or Ori, single (batch == 1) or strided-batched
+/// (batch > 1, with element strides between consecutive problems; stride 0
+/// broadcasts A/B).  Operand pointers are type-erased so one queue serves
+/// both precisions; build requests with the typed make_* helpers below.
+/// `opts` is request-scoped: threads, runtime backend, ISA, tolerance,
+/// injector and correction log all apply to this request alone.
+struct GemmRequest {
+  Precision precision = Precision::kF64;
+  bool ft = true;
+  Layout layout = Layout::kColMajor;
+  Trans ta = Trans::kNoTrans;
+  Trans tb = Trans::kNoTrans;
+  index_t m = 0, n = 0, k = 0;
+  double alpha = 1.0, beta = 0.0;  ///< cast to float for kF32 requests
+  const void* a = nullptr;
+  index_t lda = 0, stride_a = 0;
+  const void* b = nullptr;
+  index_t ldb = 0, stride_b = 0;
+  void* c = nullptr;
+  index_t ldc = 0, stride_c = 0;
+  index_t batch = 1;
+  Options opts;
+  Priority priority = Priority::kNormal;
+};
+
+/// Typed builder for a single-problem request.
+template <typename T>
+GemmRequest make_gemm_request(bool ft, Layout layout, Trans ta, Trans tb,
+                              index_t m, index_t n, index_t k, T alpha,
+                              const T* a, index_t lda, const T* b, index_t ldb,
+                              T beta, T* c, index_t ldc,
+                              const Options& opts = {},
+                              Priority priority = Priority::kNormal) {
+  GemmRequest r;
+  r.precision = sizeof(T) == 8 ? Precision::kF64 : Precision::kF32;
+  r.ft = ft;
+  r.layout = layout;
+  r.ta = ta;
+  r.tb = tb;
+  r.m = m;
+  r.n = n;
+  r.k = k;
+  r.alpha = double(alpha);
+  r.beta = double(beta);
+  r.a = a;
+  r.lda = lda;
+  r.b = b;
+  r.ldb = ldb;
+  r.c = c;
+  r.ldc = ldc;
+  r.opts = opts;
+  r.priority = priority;
+  return r;
+}
+
+/// Typed builder for a strided-batched request (stride 0 broadcasts A/B).
+template <typename T>
+GemmRequest make_strided_batched_request(
+    bool ft, Layout layout, Trans ta, Trans tb, index_t m, index_t n,
+    index_t k, T alpha, const T* a, index_t lda, index_t stride_a, const T* b,
+    index_t ldb, index_t stride_b, T beta, T* c, index_t ldc,
+    index_t stride_c, index_t batch, const Options& opts = {},
+    Priority priority = Priority::kNormal) {
+  GemmRequest r = make_gemm_request<T>(ft, layout, ta, tb, m, n, k, alpha, a,
+                                       lda, b, ldb, beta, c, ldc, opts,
+                                       priority);
+  r.stride_a = stride_a;
+  r.stride_b = stride_b;
+  r.stride_c = stride_c;
+  r.batch = batch;
+  return r;
+}
+
+/// Lifecycle of one submitted request.
+enum class RequestStatus {
+  kQueued,     ///< admitted, awaiting dispatch
+  kRunning,    ///< claimed by the dispatcher (no longer cancellable)
+  kDone,       ///< executed; result fields are valid
+  kCancelled,  ///< cancelled while queued; never executed, C untouched
+  kRejected,   ///< refused at submit (invalid args, queue full, shut down)
+};
+
+/// Outcome of one request.
+struct GemmResult {
+  RequestStatus status = RequestStatus::kQueued;
+  /// Single-problem outcome: the FtReport of the call (default-initialized
+  /// for Ori requests, which report nothing).  For a coalesced request this
+  /// is the member's own report out of the batched call.
+  FtReport report;
+  /// Strided-batched (batch > 1) outcome, per_problem included.
+  BatchReport batch;
+  /// The request was executed via coalesced-into-batched routing.
+  bool coalesced = false;
+
+  /// Executed and trustworthy: done, accepted, and every panel clean.
+  [[nodiscard]] bool ok() const {
+    return status == RequestStatus::kDone && !report.invalid_args &&
+           !batch.invalid_args && report.clean() && batch.clean();
+  }
+};
+
+namespace detail {
+struct RequestState;
+}
+
+/// Completion handle for one submitted request.  Value semantics (shared
+/// state); safe to wait/cancel/then from any thread.
+class GemmFuture {
+ public:
+  GemmFuture() = default;
+
+  /// True when this future refers to a submitted request.
+  [[nodiscard]] bool valid() const { return st_ != nullptr; }
+
+  /// Block until the request settles (done/cancelled/rejected); returns the
+  /// result.  Returns immediately once settled.  By value on purpose: the
+  /// idiomatic `service.submit(req).wait()` destroys the temporary future
+  /// (and possibly the last reference to the shared state) as the full
+  /// expression ends, so a reference would dangle.
+  GemmResult wait() const;
+
+  /// Bounded wait; true when the request settled within the timeout.
+  [[nodiscard]] bool wait_for(double seconds) const;
+
+  /// True when the request has settled.
+  [[nodiscard]] bool settled() const;
+
+  /// Snapshot of the current status (kQueued/kRunning are transient).
+  [[nodiscard]] RequestStatus status() const;
+
+  /// Cancel a still-queued request: it will never execute and its C is
+  /// untouched.  Returns true when this call performed the cancellation;
+  /// false when the request already ran, settled, or was claimed by the
+  /// dispatcher.
+  bool cancel();
+
+  /// Attach a completion continuation, invoked exactly once with the final
+  /// result — immediately (on the calling thread) if already settled,
+  /// otherwise on the service thread that settles the request.  One
+  /// continuation per future chain; a second call replaces an un-fired one.
+  void then(std::function<void(const GemmResult&)> fn);
+
+ private:
+  friend class GemmService;
+  explicit GemmFuture(std::shared_ptr<detail::RequestState> st)
+      : st_(std::move(st)) {}
+  std::shared_ptr<detail::RequestState> st_;
+};
+
+/// Service tuning knobs.
+struct ServiceConfig {
+  /// Bounded admission queue: total requests queued across all priority
+  /// lanes before submit() blocks / try_submit() rejects.
+  std::size_t queue_capacity = 256;
+  /// Concurrent requests in flight on the runtime pool (each in-flight
+  /// request leases one pool worker for its body; the GEMM inside opens its
+  /// own team per its plan).
+  int max_inflight = 2;
+  /// Largest coalesced batch (members per merged batched call).
+  index_t max_coalesce = 16;
+  /// Merge same-fingerprint fast-path requests into batched calls.
+  bool coalesce = true;
+  /// Start with the dispatcher paused (tests: lets a caller stage a queue
+  /// deterministically, then resume()).
+  bool start_paused = false;
+};
+
+/// Monotonic per-service counters (see stats()).
+struct ServiceStats {
+  std::uint64_t submitted = 0;   ///< requests admitted to the queue
+  std::uint64_t completed = 0;   ///< requests executed to kDone
+  std::uint64_t cancelled = 0;   ///< requests cancelled while queued
+  std::uint64_t rejected = 0;    ///< refused at submit
+  std::uint64_t direct_calls = 0;     ///< single requests routed directly
+  std::uint64_t batched_calls = 0;    ///< batch > 1 requests executed
+  std::uint64_t coalesced_batches = 0;  ///< merged batched calls issued
+  std::uint64_t coalesced_members = 0;  ///< requests folded into them
+  std::int64_t errors_detected = 0;   ///< summed over all FT reports
+  std::int64_t errors_corrected = 0;  ///< summed over all FT reports
+  std::uint64_t dirty_results = 0;    ///< requests whose result was not clean
+  std::uint64_t peak_queue_depth = 0;
+  std::uint64_t peak_inflight = 0;
+};
+
+class GemmService {
+ public:
+  explicit GemmService(ServiceConfig config = {});
+  ~GemmService();  ///< shutdown(true)
+
+  GemmService(const GemmService&) = delete;
+  GemmService& operator=(const GemmService&) = delete;
+
+  /// Admit a request.  Blocks while the queue is full (backpressure);
+  /// returns an immediately-settled kRejected future for invalid requests
+  /// or after shutdown.
+  GemmFuture submit(const GemmRequest& req);
+
+  /// Non-blocking admit: like submit(), but a full queue yields an
+  /// immediately-settled kRejected future instead of blocking.
+  GemmFuture try_submit(const GemmRequest& req);
+
+  /// Bulk admission: admit a window of requests under one queue lock and a
+  /// single dispatcher wake (per-request futures, index-aligned with the
+  /// input).  Blocks for space like submit(); invalid members reject
+  /// individually without poisoning the rest.  This is the natural client
+  /// shape for pipelined serving traffic — submit a window, drain it.
+  std::vector<GemmFuture> submit_all(const std::vector<GemmRequest>& reqs);
+
+  /// Suspend / resume dispatch (admission stays open while paused).
+  void pause();
+  void resume();
+
+  /// Stop the service.  drain == true executes everything still queued;
+  /// drain == false cancels it.  Either way every in-flight request
+  /// completes and every future settles before shutdown returns.  Further
+  /// submits are rejected.  Idempotent.
+  void shutdown(bool drain = true);
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] std::size_t queue_depth() const;
+  [[nodiscard]] int inflight() const;
+
+ private:
+  struct Pending {
+    GemmRequest req;
+    std::shared_ptr<detail::RequestState> state;
+    PlanKey key;             ///< resolved fingerprint (normalized dims)
+    bool coalescible = false;
+  };
+  struct InflightSlot;
+
+  GemmFuture enqueue(const GemmRequest& req, bool blocking);
+  Pending make_pending(const GemmRequest& req,
+                       std::shared_ptr<detail::RequestState> st);
+  void dispatcher_main();
+  void execute_slot(InflightSlot& slot);
+  void release_slot(InflightSlot& slot);
+  void execute_direct(const Pending& p);
+  void execute_coalesced(InflightSlot& slot);
+  template <typename T>
+  void execute_coalesced_typed(InflightSlot& slot);
+
+  ServiceConfig cfg_;
+
+  mutable std::mutex qm_;
+  std::condition_variable qcv_;       ///< wakes the dispatcher
+  std::condition_variable space_cv_;  ///< wakes submitters awaiting space
+  std::deque<Pending> lanes_[kPriorityLanes];
+  std::size_t queued_ = 0;  ///< entries across lanes (incl. cancelled-not-yet-popped)
+  bool paused_ = false;
+  bool stopping_ = false;
+  bool dispatcher_waiting_ = false;  ///< dispatcher parked on qcv_ (under qm_)
+  std::uint64_t submitted_ = 0;         ///< admission counters live under
+  std::uint64_t peak_queue_depth_ = 0;  ///< qm_; stats() merges them in
+
+  mutable std::mutex sm_;
+  std::condition_variable scv_;  ///< slot freed / all in-flight done
+  std::vector<std::unique_ptr<InflightSlot>> slots_;
+  std::vector<InflightSlot*> free_slots_;
+  int inflight_ = 0;
+
+  mutable std::mutex stats_m_;
+  ServiceStats stats_;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace ftgemm::serve

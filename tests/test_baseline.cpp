@@ -10,6 +10,7 @@ namespace {
 
 using testing::GemmCase;
 using testing::Problem;
+using testing::expect_matrix_near;
 using testing::gemm_tolerance;
 using testing::reference_result;
 
@@ -23,7 +24,7 @@ TEST_P(BlockedSweep, BlockedMatchesNaive) {
   baseline::blocked_dgemm(cs.ta, cs.tb, cs.m, cs.n, cs.k, cs.alpha,
                           p.a.data(), p.a.ld(), p.b.data(), p.b.ld(), cs.beta,
                           c.data(), c.ld());
-  EXPECT_LE(max_rel_diff(c, ref), gemm_tolerance<double>(cs.k)) << cs;
+  expect_matrix_near(c, ref, gemm_tolerance<double>(cs.k), cs.name());
 }
 
 TEST_P(BlockedSweep, BlockedFloatMatchesNaive) {
@@ -34,7 +35,7 @@ TEST_P(BlockedSweep, BlockedFloatMatchesNaive) {
   baseline::blocked_sgemm(cs.ta, cs.tb, cs.m, cs.n, cs.k, float(cs.alpha),
                           p.a.data(), p.a.ld(), p.b.data(), p.b.ld(),
                           float(cs.beta), c.data(), c.ld());
-  EXPECT_LE(max_rel_diff(c, ref), gemm_tolerance<float>(cs.k)) << cs;
+  expect_matrix_near(c, ref, gemm_tolerance<float>(cs.k), cs.name());
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -58,7 +59,7 @@ TEST(UnfusedAbft, CleanRunMatchesOracle) {
   EXPECT_TRUE(rep.clean());
   EXPECT_EQ(rep.errors_detected, 0);
   EXPECT_EQ(rep.panels, 1) << "classic ABFT verifies once per call";
-  EXPECT_LE(max_rel_diff(c, ref), gemm_tolerance<double>(cs.k));
+  expect_matrix_near(c, ref, gemm_tolerance<double>(cs.k), cs.name());
 }
 
 TEST(UnfusedAbft, SingleInjectedErrorCorrected) {
@@ -74,7 +75,7 @@ TEST(UnfusedAbft, SingleInjectedErrorCorrected) {
       p.b.data(), p.b.ld(), cs.beta, c.data(), c.ld(), opts);
   EXPECT_EQ(rep.errors_corrected, 1);
   EXPECT_TRUE(rep.clean());
-  EXPECT_LE(max_rel_diff(c, ref), gemm_tolerance<double>(cs.k));
+  expect_matrix_near(c, ref, gemm_tolerance<double>(cs.k), cs.name());
 }
 
 TEST(UnfusedAbft, FloatVariantWorks) {
@@ -86,7 +87,7 @@ TEST(UnfusedAbft, FloatVariantWorks) {
       cs.ta, cs.tb, cs.m, cs.n, cs.k, float(cs.alpha), p.a.data(), p.a.ld(),
       p.b.data(), p.b.ld(), float(cs.beta), c.data(), c.ld());
   EXPECT_TRUE(rep.clean());
-  EXPECT_LE(max_rel_diff(c, ref), gemm_tolerance<float>(cs.k));
+  expect_matrix_near(c, ref, gemm_tolerance<float>(cs.k), cs.name());
 }
 
 TEST(UnfusedAbft, WholeCallIsOneDetectionInterval) {
@@ -107,7 +108,7 @@ TEST(UnfusedAbft, WholeCallIsOneDetectionInterval) {
       p.b.data(), p.b.ld(), cs.beta, c.data(), c.ld(), opts);
   EXPECT_EQ(rep.panels, 1);
   EXPECT_EQ(rep.errors_corrected, 2);
-  EXPECT_LE(max_rel_diff(c, ref), gemm_tolerance<double>(cs.k));
+  expect_matrix_near(c, ref, gemm_tolerance<double>(cs.k), cs.name());
 }
 
 }  // namespace

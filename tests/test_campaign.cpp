@@ -1,21 +1,30 @@
-// Tests for the injection-campaign driver (the §3.2 methodology harness).
+// Tests for the injection-campaign drivers (the §3.2 methodology harness):
+// single-call, batched, and the async-service campaign.  Deterministic by
+// default: every campaign seed derives from FTGEMM_TEST_SEED (unset = the
+// historical fixed defaults), and failures print the seed to replay with.
+// The binary stays under the `slow` ctest label.
 #include <gtest/gtest.h>
 
 #include "inject/campaign.hpp"
+#include "test_common.hpp"
 
 namespace ftgemm {
 namespace {
+
+using testing::seed_note;
+using testing::test_seed;
 
 TEST(Campaign, TwentyErrorRegimeIsReliable) {
   CampaignConfig config;
   config.size = 192;
   config.runs = 5;
   config.errors_per_run = 20;
-  config.seed = 77;
+  config.seed = test_seed(77);
   const CampaignResult r = run_injection_campaign(config);
-  EXPECT_EQ(r.injected, 100u);
-  EXPECT_TRUE(r.reliable()) << "no silently wrong results, ever";
-  EXPECT_GT(r.corrected, 0);
+  EXPECT_EQ(r.injected, 100u) << seed_note(config.seed);
+  EXPECT_TRUE(r.reliable())
+      << "no silently wrong results, ever" << seed_note(config.seed);
+  EXPECT_GT(r.corrected, 0) << seed_note(config.seed);
   EXPECT_GT(r.mean_gflops, 0.0);
 }
 
@@ -24,13 +33,14 @@ TEST(Campaign, DeterministicUnderSeed) {
   config.size = 96;
   config.runs = 3;
   config.errors_per_run = 5;
-  config.seed = 99;
+  config.seed = test_seed(99);
   const CampaignResult a = run_injection_campaign(config);
   const CampaignResult b = run_injection_campaign(config);
-  EXPECT_EQ(a.injected, b.injected);
-  EXPECT_EQ(a.detected, b.detected);
-  EXPECT_EQ(a.corrected, b.corrected);
-  EXPECT_EQ(a.uncorrectable_runs, b.uncorrectable_runs);
+  EXPECT_EQ(a.injected, b.injected) << seed_note(config.seed);
+  EXPECT_EQ(a.detected, b.detected) << seed_note(config.seed);
+  EXPECT_EQ(a.corrected, b.corrected) << seed_note(config.seed);
+  EXPECT_EQ(a.uncorrectable_runs, b.uncorrectable_runs)
+      << seed_note(config.seed);
 }
 
 TEST(Campaign, ReliableModeRetriesDirtyRuns) {
@@ -42,13 +52,14 @@ TEST(Campaign, ReliableModeRetriesDirtyRuns) {
   config.runs = 8;
   config.errors_per_run = 30;
   config.magnitude = 4.0;
-  config.seed = 1;
+  config.seed = test_seed(1);
   config.use_reliable = true;
   const CampaignResult r = run_injection_campaign(config);
-  EXPECT_TRUE(r.reliable());
+  EXPECT_TRUE(r.reliable()) << seed_note(config.seed);
   // Every retry re-runs under a fresh 30-error schedule, so the injected
   // total is 240 plus 30 per retry.
-  EXPECT_EQ(r.injected, 240u + 30u * std::size_t(r.retries));
+  EXPECT_EQ(r.injected, 240u + 30u * std::size_t(r.retries))
+      << seed_note(config.seed);
 }
 
 TEST(Campaign, ZeroErrorsMeansCleanBaseline) {
@@ -56,11 +67,12 @@ TEST(Campaign, ZeroErrorsMeansCleanBaseline) {
   config.size = 64;
   config.runs = 2;
   config.errors_per_run = 0;
+  config.seed = test_seed(config.seed);
   const CampaignResult r = run_injection_campaign(config);
-  EXPECT_EQ(r.injected, 0u);
-  EXPECT_EQ(r.detected, 0);
-  EXPECT_EQ(r.uncorrectable_runs, 0);
-  EXPECT_LT(r.max_rel_error, 1e-12);
+  EXPECT_EQ(r.injected, 0u) << seed_note(config.seed);
+  EXPECT_EQ(r.detected, 0) << seed_note(config.seed);
+  EXPECT_EQ(r.uncorrectable_runs, 0) << seed_note(config.seed);
+  EXPECT_LT(r.max_rel_error, 1e-12) << seed_note(config.seed);
 }
 
 TEST(Campaign, ParallelThreadsSupported) {
@@ -69,10 +81,50 @@ TEST(Campaign, ParallelThreadsSupported) {
   config.runs = 3;
   config.errors_per_run = 10;
   config.threads = 4;
-  config.seed = 5;
+  config.seed = test_seed(5);
   const CampaignResult r = run_injection_campaign(config);
-  EXPECT_TRUE(r.reliable());
-  EXPECT_EQ(r.injected, 30u);
+  EXPECT_TRUE(r.reliable()) << seed_note(config.seed);
+  EXPECT_EQ(r.injected, 30u) << seed_note(config.seed);
+}
+
+TEST(ServiceCampaign, TargetsInflightRequestsReliably) {
+  // Faults striking requests in flight in the async serving layer: every
+  // third request carries its own injector (request-scoped Options), the
+  // rest stay eligible for coalesced routing around them.  The reliability
+  // claim is unchanged one layer up: every fault corrected or flagged,
+  // never silent.
+  ServiceCampaignConfig config;
+  config.size = 96;
+  config.requests = 12;
+  config.inject_every = 3;
+  config.errors_per_target = 4;
+  config.seed = test_seed(config.seed);
+  config.max_inflight = 2;
+  const ServiceCampaignResult r = run_service_injection_campaign(config);
+  EXPECT_EQ(r.targeted_requests, 4) << seed_note(config.seed);
+  EXPECT_GT(r.injected, 0u) << seed_note(config.seed);
+  EXPECT_GT(r.detected, 0) << seed_note(config.seed);
+  EXPECT_TRUE(r.reliable())
+      << "a served request returned silently wrong data"
+      << seed_note(config.seed);
+}
+
+TEST(ServiceCampaign, CleanTrafficStaysCleanAndCoalesces) {
+  ServiceCampaignConfig config;
+  config.size = 64;
+  config.requests = 10;
+  config.inject_every = 0;  // no faults anywhere
+  config.seed = test_seed(config.seed);
+  config.max_inflight = 1;  // queue builds up => merged batches form
+  const ServiceCampaignResult r = run_service_injection_campaign(config);
+  EXPECT_EQ(r.injected, 0u) << seed_note(config.seed);
+  EXPECT_EQ(r.detected, 0) << seed_note(config.seed);
+  EXPECT_EQ(r.dirty_requests, 0) << seed_note(config.seed);
+  EXPECT_TRUE(r.reliable()) << seed_note(config.seed);
+  EXPECT_LT(r.max_rel_error, 1e-9) << seed_note(config.seed);
+  EXPECT_GT(r.coalesced_requests, 0)
+      << "uninjected same-shape traffic should ride merged batches"
+      << seed_note(config.seed);
 }
 
 }  // namespace

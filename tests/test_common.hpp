@@ -1,16 +1,36 @@
-// Shared helpers for the FT-GEMM test suite.
+// Shared helpers for the FT-GEMM test suite: the one reference GEMM
+// (naive_ref_gemm / reference_result), the one matrix comparison
+// (expect_matrix_near), the shared rounding budget (gemm_tolerance), and
+// the deterministic-by-default seed policy (test_seed) — consolidated here
+// so no test file re-implements its own oracle or tolerance.
 #pragma once
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
 #include <tuple>
 
 #include "baseline/naive_gemm.hpp"
 #include "core/gemm.hpp"
+#include "util/env.hpp"
 #include "util/matrix.hpp"
 
 namespace ftgemm::testing {
+
+/// Base seed for every randomized sweep: FTGEMM_TEST_SEED (env) when set,
+/// the suite's fixed default otherwise — so runs are deterministic by
+/// default and any CI failure reproduces with one env var.  Failure
+/// messages must carry the seed (see seed_note).
+inline std::uint64_t test_seed(std::uint64_t fallback) {
+  return std::uint64_t(env_long("FTGEMM_TEST_SEED", long(fallback)));
+}
+
+/// Attach to failing expectations so the reproduction command is in the
+/// log: `EXPECT_...(...) << seed_note(seed);`
+inline std::string seed_note(std::uint64_t seed) {
+  return "  [reproduce with FTGEMM_TEST_SEED=" + std::to_string(seed) + "]";
+}
 
 /// A GEMM problem shape with operand transposes and scalars.
 struct GemmCase {
@@ -68,19 +88,29 @@ struct Problem {
   }
 };
 
-/// Reference result via the naive oracle (column-major).
+/// The one reference GEMM of the suite: C = alpha*op(A)*op(B) + beta*C via
+/// the naive column-major oracle, both precisions (the per-file
+/// naive_dgemm/naive_sgemm wrappers collapsed here).
+template <typename T>
+void naive_ref_gemm(Trans ta, Trans tb, index_t m, index_t n, index_t k,
+                    T alpha, const T* a, index_t lda, const T* b, index_t ldb,
+                    T beta, T* c, index_t ldc) {
+  if constexpr (sizeof(T) == 8) {
+    baseline::naive_dgemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c,
+                          ldc);
+  } else {
+    baseline::naive_sgemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c,
+                          ldc);
+  }
+}
+
+/// Reference result of a case via naive_ref_gemm (column-major).
 template <typename T>
 Matrix<T> reference_result(const GemmCase& cs, const Problem<T>& p) {
   Matrix<T> ref = p.c.clone();
-  if constexpr (sizeof(T) == 8) {
-    baseline::naive_dgemm(cs.ta, cs.tb, cs.m, cs.n, cs.k, T(cs.alpha),
-                          p.a.data(), p.a.ld(), p.b.data(), p.b.ld(),
-                          T(cs.beta), ref.data(), ref.ld());
-  } else {
-    baseline::naive_sgemm(cs.ta, cs.tb, cs.m, cs.n, cs.k, T(cs.alpha),
-                          p.a.data(), p.a.ld(), p.b.data(), p.b.ld(),
-                          T(cs.beta), ref.data(), ref.ld());
-  }
+  naive_ref_gemm<T>(cs.ta, cs.tb, cs.m, cs.n, cs.k, T(cs.alpha), p.a.data(),
+                    p.a.ld(), p.b.data(), p.b.ld(), T(cs.beta), ref.data(),
+                    ref.ld());
   return ref;
 }
 
@@ -90,6 +120,47 @@ template <typename T>
 double gemm_tolerance(index_t k) {
   const double eps = std::numeric_limits<T>::epsilon();
   return 64.0 * eps * std::sqrt(double(std::max<index_t>(k, 1)));
+}
+
+/// The one matrix comparison of the suite.  tol > 0 compares the
+/// denominator-guarded relative difference (max_rel_diff) against tol;
+/// tol == 0 demands bit-identity (max_abs_diff exactly zero — the FT-vs-Ori
+/// and cross-backend contracts).  On failure, names the worst element.
+template <typename T>
+void expect_matrix_near(const Matrix<T>& got, const Matrix<T>& want,
+                        double tol, const std::string& label = "") {
+  ASSERT_EQ(got.rows(), want.rows()) << label;
+  ASSERT_EQ(got.cols(), want.cols()) << label;
+  double worst = 0.0;
+  index_t wi = 0, wj = 0;
+  for (index_t j = 0; j < got.cols(); ++j) {
+    for (index_t i = 0; i < got.rows(); ++i) {
+      const double x = double(got(i, j)), y = double(want(i, j));
+      // A NaN pair is "equal" only when both sides are NaN (bit-identity
+      // of a NaN-producing case); any other NaN involvement is an
+      // unconditional mismatch — |NaN - y| must not vanish into the max.
+      if (std::isnan(x) || std::isnan(y)) {
+        if (std::isnan(x) && std::isnan(y)) continue;
+        worst = std::numeric_limits<double>::infinity();
+        wi = i;
+        wj = j;
+        continue;
+      }
+      const double denom =
+          tol == 0.0 ? 1.0 : std::max({std::abs(x), std::abs(y), 1.0});
+      const double diff = std::abs(x - y) / denom;
+      if (diff > worst) {
+        worst = diff;
+        wi = i;
+        wj = j;
+      }
+    }
+  }
+  EXPECT_LE(worst, tol) << label << (label.empty() ? "" : ": ")
+                        << "worst element (" << wi << ", " << wj << "): got "
+                        << double(got(wi, wj)) << ", want "
+                        << double(want(wi, wj))
+                        << (tol == 0.0 ? " (bit-identity required)" : "");
 }
 
 }  // namespace ftgemm::testing

@@ -1,8 +1,12 @@
-// Degenerate-input behavior: k == 0, alpha == 0, m/n == 0, and beta-only
-// scaling must be well-defined, BLAS-conforming no-op/scale semantics for
-// every entry point — dgemm/sgemm, ft_* (including *_reliable), and the
-// batched forms.  The executor's `degenerate` branch (skip the panel loop,
-// still apply C = beta*C) was previously untested.
+// Degenerate- and invalid-input behavior: k == 0, alpha == 0, m/n == 0,
+// and beta-only scaling must be well-defined, BLAS-conforming no-op/scale
+// semantics for every entry point — dgemm/sgemm, ft_* (including
+// *_reliable), and the batched forms.  The executor's `degenerate` branch
+// (skip the panel loop, still apply C = beta*C) was previously untested.
+// Invalid arguments (negative dimensions, undersized leading dimensions,
+// negative batch counts) must make every entry point a silent no-op with
+// the report's invalid_args flag set — C untouched, no crash, no abort
+// (see valid_gemm_args in core/options.hpp).
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -223,6 +227,172 @@ TEST(Degenerate, BatchedDegenerateMembers) {
       a.data(), m, m * m, b.data(), m, m * n, 0.5, c2.data(), m, sc, batch);
   EXPECT_EQ(rep2.problems, batch);
   expect_all_eq(c2, 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Invalid arguments: silent no-op + invalid_args, through every entry point.
+// ---------------------------------------------------------------------------
+
+TYPED_TEST(DegenerateTyped, NegativeDimensionsRejectedEverywhere) {
+  using T = TypeParam;
+  const index_t bad_dims[][3] = {{-1, 4, 4}, {4, -2, 4}, {4, 4, -3}};
+  Matrix<T> a(8, 8), b(8, 8);
+  a.fill(T(1));
+  b.fill(T(1));
+  for (const auto& d : bad_dims) {
+    const index_t m = d[0], n = d[1], k = d[2];
+    Matrix<T> c = sentinel_c<T>(8, 8, T(5));
+    FtReport rep;
+    if constexpr (sizeof(T) == 8) {
+      dgemm(Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, m, n, k,
+            1.0, a.data(), a.ld(), b.data(), b.ld(), 0.5, c.data(), c.ld());
+      rep = ft_dgemm(Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, m,
+                     n, k, 1.0, a.data(), a.ld(), b.data(), b.ld(), 0.5,
+                     c.data(), c.ld());
+    } else {
+      sgemm(Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, m, n, k,
+            T(1), a.data(), a.ld(), b.data(), b.ld(), T(0.5), c.data(),
+            c.ld());
+      rep = ft_sgemm(Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, m,
+                     n, k, T(1), a.data(), a.ld(), b.data(), b.ld(), T(0.5),
+                     c.data(), c.ld());
+    }
+    EXPECT_TRUE(rep.invalid_args)
+        << "m=" << m << " n=" << n << " k=" << k;
+    EXPECT_EQ(rep.panels, 0);
+    // Invalid calls are a no-op: not even the beta scaling may run.
+    expect_all_eq(c, T(5));
+  }
+}
+
+TYPED_TEST(DegenerateTyped, UndersizedLeadingDimensionsRejected) {
+  using T = TypeParam;
+  // op(A) is m x k, op(B) is k x n: each case undershoots exactly one ld.
+  const index_t m = 16, n = 12, k = 20;
+  Matrix<T> a(m, k), at(k, m), b(k, n);
+  a.fill(T(1));
+  at.fill(T(1));
+  b.fill(T(1));
+
+  struct Case {
+    Trans ta;
+    index_t lda, ldb, ldc;
+  };
+  const Case cases[] = {
+      {Trans::kNoTrans, m - 1, k, m},  // lda < m (NoTrans)
+      {Trans::kTrans, k - 1, k, m},    // lda < k (Trans)
+      {Trans::kNoTrans, m, k - 1, m},  // ldb < k
+      {Trans::kNoTrans, m, k, m - 1},  // ldc < m
+  };
+  for (const Case& cs : cases) {
+    Matrix<T> c = sentinel_c<T>(m, n, T(9));
+    const T* ap = cs.ta == Trans::kTrans ? at.data() : a.data();
+    FtReport rep;
+    if constexpr (sizeof(T) == 8) {
+      rep = ft_dgemm(Layout::kColMajor, cs.ta, Trans::kNoTrans, m, n, k, 1.0,
+                     ap, cs.lda, b.data(), cs.ldb, 0.0, c.data(), cs.ldc);
+    } else {
+      rep = ft_sgemm(Layout::kColMajor, cs.ta, Trans::kNoTrans, m, n, k,
+                     T(1), ap, cs.lda, b.data(), cs.ldb, T(0), c.data(),
+                     cs.ldc);
+    }
+    EXPECT_TRUE(rep.invalid_args)
+        << "lda=" << cs.lda << " ldb=" << cs.ldb << " ldc=" << cs.ldc;
+    expect_all_eq(c, T(9));
+  }
+}
+
+TEST(InvalidArgs, EngineAndReliableRejectLikeTheFreeFunctions) {
+  Matrix<double> a(8, 8), b(8, 8);
+  a.fill(1.0);
+  b.fill(1.0);
+  Matrix<double> c = sentinel_c<double>(8, 8, 3.0);
+
+  GemmEngine<double> engine;
+  const FtReport eng = engine.ft_gemm(Layout::kColMajor, Trans::kNoTrans,
+                                      Trans::kNoTrans, -4, 8, 8, 1.0,
+                                      a.data(), a.ld(), b.data(), b.ld(),
+                                      0.0, c.data(), c.ld());
+  EXPECT_TRUE(eng.invalid_args);
+  expect_all_eq(c, 3.0);
+
+  // The reliable wrapper must reject *before* sizing its snapshot from the
+  // negative geometry.
+  const FtReport rel = ft_dgemm_reliable(
+      Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, 8, -8, 8, 1.0,
+      a.data(), a.ld(), b.data(), b.ld(), 0.0, c.data(), c.ld());
+  EXPECT_TRUE(rel.invalid_args);
+  EXPECT_EQ(rel.retries, 0);
+  expect_all_eq(c, 3.0);
+
+  // Row-major validation applies the swapped (normalized) rules: for a
+  // row-major NoTrans/NoTrans call, lda must cover k, not m.
+  const FtReport rm = ft_dgemm(Layout::kRowMajor, Trans::kNoTrans,
+                               Trans::kNoTrans, 8, 8, 8, 1.0, a.data(), 4,
+                               b.data(), 8, 0.0, c.data(), 8);
+  EXPECT_TRUE(rm.invalid_args);
+  expect_all_eq(c, 3.0);
+}
+
+TEST(InvalidArgs, BatchedFormsRejectNegativeGeometry) {
+  const index_t m = 6, n = 5;
+  Matrix<double> c = sentinel_c<double>(m, n, 2.0);
+  Matrix<double> a(m, m), b(m, n);
+  a.fill(1.0);
+  b.fill(1.0);
+
+  // Negative batch count (strided form).
+  const BatchReport neg_batch = ft_gemm_strided_batched<double>(
+      Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, m, n, m, 1.0,
+      a.data(), m, 0, b.data(), m, 0, 0.0, c.data(), m, 0, -2);
+  EXPECT_TRUE(neg_batch.invalid_args);
+  EXPECT_EQ(neg_batch.problems, 0);
+  expect_all_eq(c, 2.0);
+
+  // Negative member dimension (array-of-pointers form).
+  const double* ap[] = {a.data()};
+  const double* bp[] = {b.data()};
+  double* cp[] = {c.data()};
+  const BatchReport neg_dim = ft_gemm_batched<double>(
+      Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, m, -n, m, 1.0, ap,
+      m, bp, m, 0.0, cp, m, 1);
+  EXPECT_TRUE(neg_dim.invalid_args);
+  EXPECT_EQ(neg_dim.problems, 0);
+  expect_all_eq(c, 2.0);
+
+  // Undersized ldc (non-FT strided form): same contract, no report fields
+  // beyond the flag.
+  const BatchReport bad_ld = gemm_strided_batched<double>(
+      Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, m, n, m, 1.0,
+      a.data(), m, 0, b.data(), m, 0, 0.0, c.data(), m - 1, 0, 2);
+  EXPECT_TRUE(bad_ld.invalid_args);
+  expect_all_eq(c, 2.0);
+}
+
+TEST(InvalidArgs, InvalidOptionCombinationsAreClampedNotFatal) {
+  // Options fields outside their domains must resolve to defaults, not
+  // crash or poison the plan cache: negative threads behave like "unset"
+  // (auto topology), a negative tolerance factor falls back to the library
+  // default, and both produce correct, clean results.
+  const testing::GemmCase cs{48, 40, 64};
+  testing::Problem<double> p(cs);
+  const Matrix<double> ref = testing::reference_result(cs, p);
+
+  Options opts;
+  opts.threads = -3;
+  opts.tolerance_factor = -1e6;
+  Matrix<double> c = p.c.clone();
+  const FtReport rep = ft_dgemm(Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n,
+                                cs.k, cs.alpha, p.a.data(), p.a.ld(),
+                                p.b.data(), p.b.ld(), cs.beta, c.data(),
+                                c.ld(), opts);
+  EXPECT_FALSE(rep.invalid_args);
+  EXPECT_TRUE(rep.clean());
+  EXPECT_EQ(rep.errors_detected, 0)
+      << "a negative tolerance factor must fall back to the default, not "
+         "flag rounding noise";
+  testing::expect_matrix_near(c, ref, testing::gemm_tolerance<double>(cs.k),
+                              "clamped-options result");
 }
 
 }  // namespace

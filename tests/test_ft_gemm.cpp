@@ -13,7 +13,9 @@ namespace {
 
 using testing::GemmCase;
 using testing::Problem;
+using testing::expect_matrix_near;
 using testing::gemm_tolerance;
+using testing::naive_ref_gemm;
 using testing::reference_result;
 
 class FtDgemmSweep : public ::testing::TestWithParam<GemmCase> {};
@@ -33,7 +35,7 @@ TEST_P(FtDgemmSweep, BitwiseEqualToOriAndClean) {
                                 p.b.data(), p.b.ld(), cs.beta, c_ft.data(),
                                 c_ft.ld());
 
-  EXPECT_DOUBLE_EQ(max_abs_diff(c_ft, c_ori), 0.0) << cs;
+  expect_matrix_near(c_ft, c_ori, 0.0, "FT vs Ori " + cs.name());
   EXPECT_TRUE(rep.clean()) << cs;
   EXPECT_EQ(rep.errors_detected, 0) << cs;
   EXPECT_EQ(rep.errors_corrected, 0) << cs;
@@ -128,10 +130,10 @@ TEST(FtDgemm, RowMajorLayoutSupported) {
   EXPECT_TRUE(rep.clean());
 
   Matrix<double> ref = c_rm.clone();
-  baseline::naive_dgemm(Trans::kNoTrans, Trans::kNoTrans, n, m, k, 1.0,
-                        b_rm.data(), b_rm.ld(), a_rm.data(), a_rm.ld(), 0.0,
-                        ref.data(), ref.ld());
-  EXPECT_LE(max_rel_diff(c_ft, ref), gemm_tolerance<double>(k));
+  naive_ref_gemm<double>(Trans::kNoTrans, Trans::kNoTrans, n, m, k, 1.0,
+                         b_rm.data(), b_rm.ld(), a_rm.data(), a_rm.ld(), 0.0,
+                         ref.data(), ref.ld());
+  expect_matrix_near(c_ft, ref, gemm_tolerance<double>(k), "row-major FT");
 }
 
 TEST(FtDgemm, EngineReusesWorkspaceAcrossCalls) {
@@ -149,9 +151,10 @@ TEST(FtDgemm, EngineReusesWorkspaceAcrossCalls) {
 
     Matrix<double> ref(sz, sz);
     ref.fill(0.0);
-    baseline::naive_dgemm(Trans::kNoTrans, Trans::kNoTrans, sz, sz, sz, 1.0,
-                          a.data(), sz, b.data(), sz, 0.0, ref.data(), sz);
-    EXPECT_LE(max_rel_diff(c, ref), gemm_tolerance<double>(sz));
+    naive_ref_gemm<double>(Trans::kNoTrans, Trans::kNoTrans, sz, sz, sz, 1.0,
+                           a.data(), sz, b.data(), sz, 0.0, ref.data(), sz);
+    expect_matrix_near(c, ref, gemm_tolerance<double>(sz),
+                       "engine size " + std::to_string(sz));
   }
 }
 

@@ -10,7 +10,9 @@ namespace {
 
 using testing::GemmCase;
 using testing::Problem;
+using testing::expect_matrix_near;
 using testing::gemm_tolerance;
+using testing::naive_ref_gemm;
 using testing::reference_result;
 
 class DgemmSweep : public ::testing::TestWithParam<GemmCase> {};
@@ -24,7 +26,7 @@ TEST_P(DgemmSweep, MatchesNaiveOracle) {
   dgemm(Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n, cs.k, cs.alpha,
         p.a.data(), p.a.ld(), p.b.data(), p.b.ld(), cs.beta, c.data(),
         c.ld());
-  EXPECT_LE(max_rel_diff(c, ref), gemm_tolerance<double>(cs.k)) << cs;
+  expect_matrix_near(c, ref, gemm_tolerance<double>(cs.k), cs.name());
 }
 
 // Shapes chosen to stress every edge path: micro-tile remainders in M and N,
@@ -80,10 +82,10 @@ TEST(Dgemm, RowMajorMatchesColMajorTransposition) {
   // Oracle: the row-major matrices reinterpreted as column-major are the
   // transposes, so C_cmᵀ = Bᵀ·Aᵀ i.e. naive(n, m, k) on swapped operands.
   Matrix<double> ref = c_rm.clone();
-  baseline::naive_dgemm(Trans::kNoTrans, Trans::kNoTrans, n, m, k, 1.0,
-                        b_rm.data(), b_rm.ld(), a_rm.data(), a_rm.ld(), 0.5,
-                        ref.data(), ref.ld());
-  EXPECT_LE(max_rel_diff(c_test, ref), gemm_tolerance<double>(k));
+  naive_ref_gemm<double>(Trans::kNoTrans, Trans::kNoTrans, n, m, k, 1.0,
+                         b_rm.data(), b_rm.ld(), a_rm.data(), a_rm.ld(), 0.5,
+                         ref.data(), ref.ld());
+  expect_matrix_near(c_test, ref, gemm_tolerance<double>(k), "row-major");
 }
 
 TEST(Dgemm, NonTightLeadingDimensions) {
@@ -94,7 +96,7 @@ TEST(Dgemm, NonTightLeadingDimensions) {
   dgemm(Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n, cs.k, cs.alpha,
         p.a.data(), p.a.ld(), p.b.data(), p.b.ld(), cs.beta, c.data(),
         c.ld());
-  EXPECT_LE(max_rel_diff(c, ref), gemm_tolerance<double>(cs.k));
+  expect_matrix_near(c, ref, gemm_tolerance<double>(cs.k), "ld slack");
 }
 
 TEST(Dgemm, ZeroSizedProblemsAreNoOps) {
@@ -107,7 +109,7 @@ TEST(Dgemm, ZeroSizedProblemsAreNoOps) {
         a.data(), 4, b.data(), 4, 1.0, c.data(), 4);
   dgemm(Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, 4, 0, 4, 1.0,
         a.data(), 4, b.data(), 4, 1.0, c.data(), 4);
-  EXPECT_DOUBLE_EQ(max_abs_diff(c, before), 0.0);
+  expect_matrix_near(c, before, 0.0, "zero-sized no-op");
 }
 
 TEST(Dgemm, KZeroScalesOnly) {
@@ -137,7 +139,8 @@ TEST_P(DgemmIsaSweep, EveryIsaMatchesOracle) {
   dgemm(Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n, cs.k, cs.alpha,
         p.a.data(), p.a.ld(), p.b.data(), p.b.ld(), cs.beta, c.data(), c.ld(),
         opts);
-  EXPECT_LE(max_rel_diff(c, ref), gemm_tolerance<double>(cs.k));
+  expect_matrix_near(c, ref, gemm_tolerance<double>(cs.k),
+                     std::string(isa_name(isa)));
 }
 
 INSTANTIATE_TEST_SUITE_P(AllIsas, DgemmIsaSweep,

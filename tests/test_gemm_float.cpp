@@ -9,7 +9,9 @@ namespace {
 
 using testing::GemmCase;
 using testing::Problem;
+using testing::expect_matrix_near;
 using testing::gemm_tolerance;
+using testing::naive_ref_gemm;
 using testing::reference_result;
 
 class SgemmSweep : public ::testing::TestWithParam<GemmCase> {};
@@ -22,7 +24,7 @@ TEST_P(SgemmSweep, MatchesNaiveOracle) {
   sgemm(Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n, cs.k, float(cs.alpha),
         p.a.data(), p.a.ld(), p.b.data(), p.b.ld(), float(cs.beta), c.data(),
         c.ld());
-  EXPECT_LE(max_rel_diff(c, ref), gemm_tolerance<float>(cs.k)) << cs;
+  expect_matrix_near(c, ref, gemm_tolerance<float>(cs.k), cs.name());
 }
 
 TEST_P(SgemmSweep, FtMatchesOriBitwiseAndReportsClean) {
@@ -39,7 +41,7 @@ TEST_P(SgemmSweep, FtMatchesOriBitwiseAndReportsClean) {
                                 c_ft.data(), c_ft.ld());
   // The FT kernels perform the identical FMA sequence, so results agree
   // bitwise with the unprotected path.
-  EXPECT_DOUBLE_EQ(max_abs_diff(c_ft, c_ori), 0.0) << cs;
+  expect_matrix_near(c_ft, c_ori, 0.0, "FT vs Ori " + cs.name());
   EXPECT_TRUE(rep.clean()) << cs;
   EXPECT_EQ(rep.errors_detected, 0) << "no injection -> no detections";
 }
@@ -63,7 +65,7 @@ TEST(Sgemm, FtCorrectsInjectedErrors) {
   b.fill_random(82);
   c.fill_random(83);
   Matrix<float> ref = c.clone();
-  baseline::naive_sgemm(Trans::kNoTrans, Trans::kNoTrans, sz, sz, sz, 1.0f,
+  naive_ref_gemm<float>(Trans::kNoTrans, Trans::kNoTrans, sz, sz, sz, 1.0f,
                         a.data(), sz, b.data(), sz, 1.0f, ref.data(), sz);
 
   CountInjector inj(5, 99, 2.0);
@@ -74,7 +76,7 @@ TEST(Sgemm, FtCorrectsInjectedErrors) {
                                 sz, b.data(), sz, 1.0f, c.data(), sz, opts);
   EXPECT_EQ(static_cast<std::size_t>(rep.errors_corrected), inj.injected_count());
   EXPECT_TRUE(rep.clean());
-  EXPECT_LE(max_rel_diff(c, ref), testing::gemm_tolerance<float>(sz));
+  expect_matrix_near(c, ref, gemm_tolerance<float>(sz), "corrected C");
 }
 
 }  // namespace

@@ -12,6 +12,7 @@ namespace {
 
 using testing::GemmCase;
 using testing::Problem;
+using testing::expect_matrix_near;
 using testing::gemm_tolerance;
 using testing::reference_result;
 
@@ -28,8 +29,8 @@ TEST_P(ParallelSweep, OriMatchesOracle) {
   dgemm(Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n, cs.k, cs.alpha,
         p.a.data(), p.a.ld(), p.b.data(), p.b.ld(), cs.beta, c.data(), c.ld(),
         opts);
-  EXPECT_LE(max_rel_diff(c, ref), gemm_tolerance<double>(cs.k))
-      << "threads=" << threads << " " << cs;
+  expect_matrix_near(c, ref, gemm_tolerance<double>(cs.k),
+                     "threads=" + std::to_string(threads) + " " + cs.name());
 }
 
 TEST_P(ParallelSweep, FtCleanAndMatchesOracle) {
@@ -45,7 +46,8 @@ TEST_P(ParallelSweep, FtCleanAndMatchesOracle) {
                                 c.ld(), opts);
   EXPECT_TRUE(rep.clean()) << "threads=" << threads << " " << cs;
   EXPECT_EQ(rep.errors_detected, 0);
-  EXPECT_LE(max_rel_diff(c, ref), gemm_tolerance<double>(cs.k));
+  expect_matrix_near(c, ref, gemm_tolerance<double>(cs.k),
+                     "threads=" + std::to_string(threads) + " " + cs.name());
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -85,7 +87,7 @@ TEST(ParallelFt, InjectionCorrectedAcrossThreadBoundaries) {
                                 c.ld(), opts);
   EXPECT_EQ(static_cast<std::size_t>(rep.errors_corrected), inj.injected_count());
   EXPECT_TRUE(rep.clean());
-  EXPECT_LE(max_rel_diff(c, ref), gemm_tolerance<double>(cs.k));
+  expect_matrix_near(c, ref, gemm_tolerance<double>(cs.k), "corrected C");
 }
 
 TEST(ParallelFt, TwentyRandomErrorsWithFourThreads) {
@@ -103,7 +105,7 @@ TEST(ParallelFt, TwentyRandomErrorsWithFourThreads) {
                                 c.ld(), opts);
   EXPECT_EQ(inj.injected_count(), 20u);
   EXPECT_TRUE(rep.clean());
-  EXPECT_LE(max_rel_diff(c, ref), gemm_tolerance<double>(cs.k));
+  expect_matrix_near(c, ref, gemm_tolerance<double>(cs.k), "corrected C");
 }
 
 TEST(ParallelFt, ResultsIdenticalAcrossThreadCounts) {
@@ -122,7 +124,7 @@ TEST(ParallelFt, ResultsIdenticalAcrossThreadCounts) {
   ft_dgemm(Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n, cs.k, cs.alpha,
            p.a.data(), p.a.ld(), p.b.data(), p.b.ld(), cs.beta, c4.data(),
            c4.ld(), o4);
-  EXPECT_DOUBLE_EQ(max_abs_diff(c1, c4), 0.0);
+  expect_matrix_near(c1, c4, 0.0, "1 vs 4 threads");
 }
 
 TEST(ParallelFt, MoreThreadsThanRowTiles) {
@@ -139,7 +141,7 @@ TEST(ParallelFt, MoreThreadsThanRowTiles) {
                                 p.b.data(), p.b.ld(), cs.beta, c.data(),
                                 c.ld(), opts);
   EXPECT_TRUE(rep.clean());
-  EXPECT_LE(max_rel_diff(c, ref), gemm_tolerance<double>(cs.k));
+  expect_matrix_near(c, ref, gemm_tolerance<double>(cs.k), "idle threads");
 }
 
 }  // namespace

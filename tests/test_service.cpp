@@ -1,0 +1,594 @@
+// GemmService differential suite: the async front-end must deliver
+// *bit-identical* results to the synchronous entry points for every routing
+// decision its dispatcher can make — direct dispatch, coalesced-into-
+// batched, any priority, either team backend, both precisions — plus the
+// lifecycle surface: cancellation, pause/resume, queue-full backpressure,
+// shutdown with in-flight requests, and an 8-client soak with lease/plan
+// accounting (mirroring test_concurrent.cpp one layer up the stack).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/context.hpp"
+#include "serve/service.hpp"
+#include "test_common.hpp"
+
+namespace ftgemm {
+namespace {
+
+using serve::GemmFuture;
+using serve::GemmResult;
+using serve::GemmService;
+using serve::Priority;
+using serve::RequestStatus;
+using serve::ServiceConfig;
+using serve::make_gemm_request;
+using serve::make_strided_batched_request;
+using testing::GemmCase;
+using testing::Problem;
+using testing::expect_matrix_near;
+using testing::gemm_tolerance;
+using testing::reference_result;
+
+/// Synchronous oracle: the very entry point the service claims to match.
+template <typename T>
+FtReport run_sync(const GemmCase& cs, bool ft, const Problem<T>& p,
+                  Matrix<T>& c, const Options& opts) {
+  if (ft) {
+    if constexpr (sizeof(T) == 8) {
+      return ft_dgemm(Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n, cs.k,
+                      cs.alpha, p.a.data(), p.a.ld(), p.b.data(), p.b.ld(),
+                      cs.beta, c.data(), c.ld(), opts);
+    } else {
+      return ft_sgemm(Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n, cs.k,
+                      T(cs.alpha), p.a.data(), p.a.ld(), p.b.data(),
+                      p.b.ld(), T(cs.beta), c.data(), c.ld(), opts);
+    }
+  }
+  if constexpr (sizeof(T) == 8) {
+    dgemm(Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n, cs.k, cs.alpha,
+          p.a.data(), p.a.ld(), p.b.data(), p.b.ld(), cs.beta, c.data(),
+          c.ld(), opts);
+  } else {
+    sgemm(Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n, cs.k, T(cs.alpha),
+          p.a.data(), p.a.ld(), p.b.data(), p.b.ld(), T(cs.beta), c.data(),
+          c.ld(), opts);
+  }
+  return {};
+}
+
+template <typename T>
+void differential_case(GemmService& service, const GemmCase& cs, bool ft,
+                       const Options& opts, Priority priority,
+                       std::uint64_t seed) {
+  Problem<T> p(cs, seed);
+  Matrix<T> c_sync = p.c.clone();
+  const FtReport sync_rep = run_sync<T>(cs, ft, p, c_sync, opts);
+
+  Matrix<T> c_async = p.c.clone();
+  GemmFuture fut = service.submit(make_gemm_request<T>(
+      ft, Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n, cs.k, T(cs.alpha),
+      p.a.data(), p.a.ld(), p.b.data(), p.b.ld(), T(cs.beta), c_async.data(),
+      c_async.ld(), opts, priority));
+  const GemmResult& res = fut.wait();
+
+  ASSERT_EQ(res.status, RequestStatus::kDone) << cs;
+  EXPECT_TRUE(res.ok()) << cs;
+  expect_matrix_near(c_async, c_sync, 0.0, "async vs sync " + cs.name());
+  if (ft) {
+    EXPECT_EQ(res.report.panels, sync_rep.panels) << cs;
+    EXPECT_EQ(res.report.errors_detected, sync_rep.errors_detected) << cs;
+    EXPECT_EQ(res.report.uncorrectable_panels, sync_rep.uncorrectable_panels)
+        << cs;
+  }
+}
+
+TEST(ServiceDifferential, BitIdenticalToSyncAcrossShapesBackendsPriorities) {
+  GemmService service;
+  const GemmCase shapes[] = {
+      {48, 40, 64},                                        // fast path
+      {96, 80, 260},                                       // multi-panel
+      {65, 43, 87, Trans::kTrans, Trans::kNoTrans},        // Ta
+      {64, 300, 320, Trans::kNoTrans, Trans::kTrans},      // Tb, wide
+      {60, 60, 60, Trans::kNoTrans, Trans::kNoTrans, -1.5, 0.5},
+  };
+  const RuntimeBackend backends[] = {RuntimeBackend::kOpenMP,
+                                     RuntimeBackend::kPool};
+  const Priority priorities[] = {Priority::kLow, Priority::kNormal,
+                                 Priority::kHigh};
+  int i = 0;
+  for (const GemmCase& cs : shapes) {
+    for (const RuntimeBackend backend : backends) {
+      for (const bool ft : {false, true}) {
+        Options opts;
+        opts.runtime = backend;
+        opts.threads = 1 + i % 3;
+        const Priority pri = priorities[i % 3];
+        differential_case<double>(service, cs, ft, opts, pri,
+                                  std::uint64_t(100 + i));
+        differential_case<float>(service, cs, ft, opts, pri,
+                                 std::uint64_t(200 + i));
+        ++i;
+      }
+    }
+  }
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.completed, stats.submitted);
+  EXPECT_EQ(stats.cancelled + stats.rejected, 0u);
+}
+
+TEST(ServiceDifferential, CoalescedRoutingIsBitIdenticalToSync) {
+  // Stage the queue while paused so the dispatcher's first sweep merges the
+  // whole set: all requests share one fast-path fingerprint, so the service
+  // must route them through a single batched inter-scheduler call — and
+  // every member must still equal its own synchronous twin bit-for-bit.
+  ServiceConfig cfg;
+  cfg.start_paused = true;
+  cfg.max_inflight = 1;
+  cfg.max_coalesce = 16;
+  GemmService service(cfg);
+
+  const GemmCase cs{48, 40, 64, Trans::kNoTrans, Trans::kTrans, 1.25, -0.5};
+  Options opts;
+  opts.threads = 3;  // fast path pins to 1 thread either route
+  const int kRequests = 10;
+
+  std::vector<Problem<double>> problems;
+  std::vector<Matrix<double>> c_sync, c_async;
+  problems.reserve(kRequests);
+  for (int r = 0; r < kRequests; ++r) {
+    problems.emplace_back(cs, std::uint64_t(40 + r));
+    c_sync.push_back(problems.back().c.clone());
+    c_async.push_back(problems.back().c.clone());
+  }
+  std::vector<FtReport> sync_reps;
+  for (int r = 0; r < kRequests; ++r) {
+    sync_reps.push_back(
+        run_sync<double>(cs, true, problems[std::size_t(r)],
+                         c_sync[std::size_t(r)], opts));
+  }
+
+  std::vector<GemmFuture> futures;
+  for (int r = 0; r < kRequests; ++r) {
+    const Problem<double>& p = problems[std::size_t(r)];
+    futures.push_back(service.submit(make_gemm_request<double>(
+        true, Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n, cs.k, cs.alpha,
+        p.a.data(), p.a.ld(), p.b.data(), p.b.ld(), cs.beta,
+        c_async[std::size_t(r)].data(), c_async[std::size_t(r)].ld(), opts)));
+  }
+  EXPECT_EQ(service.queue_depth(), std::size_t(kRequests));
+  service.resume();
+
+  for (int r = 0; r < kRequests; ++r) {
+    const GemmResult& res = futures[std::size_t(r)].wait();
+    ASSERT_EQ(res.status, RequestStatus::kDone) << "request " << r;
+    EXPECT_TRUE(res.coalesced) << "request " << r
+                               << " should ride the merged batch";
+    EXPECT_TRUE(res.ok()) << "request " << r;
+    expect_matrix_near(c_async[std::size_t(r)], c_sync[std::size_t(r)], 0.0,
+                       "coalesced member " + std::to_string(r));
+    EXPECT_EQ(res.report.panels, sync_reps[std::size_t(r)].panels);
+  }
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.coalesced_batches, 1u);
+  EXPECT_EQ(stats.coalesced_members, std::uint64_t(kRequests));
+  EXPECT_EQ(stats.completed, std::uint64_t(kRequests));
+}
+
+TEST(ServiceDifferential, StridedBatchedRequestMatchesSyncBatched) {
+  const index_t n = 32, batch = 5;
+  const GemmCase whole{n, n * batch, n};
+  Problem<double> p(whole, 77);
+  Options base;
+  base.threads = 2;
+
+  Matrix<double> c_sync = p.c.clone();
+  BatchOptions bopts;
+  bopts.base = base;
+  const BatchReport sync_rep = ft_gemm_strided_batched<double>(
+      Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, n, n, n, 1.0,
+      p.a.data(), p.a.ld(), 0, p.b.data(), p.b.ld(), n * p.b.ld(), 0.0,
+      c_sync.data(), c_sync.ld(), n * c_sync.ld(), batch, bopts);
+
+  GemmService service;
+  Matrix<double> c_async = p.c.clone();
+  GemmFuture fut = service.submit(make_strided_batched_request<double>(
+      true, Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, n, n, n,
+      1.0, p.a.data(), p.a.ld(), 0, p.b.data(), p.b.ld(), n * p.b.ld(), 0.0,
+      c_async.data(), c_async.ld(), n * c_async.ld(), batch, base));
+  const GemmResult& res = fut.wait();
+
+  ASSERT_EQ(res.status, RequestStatus::kDone);
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(res.batch.problems, batch);
+  EXPECT_EQ(res.batch.dirty_problems, sync_rep.dirty_problems);
+  expect_matrix_near(c_async, c_sync, 0.0, "strided-batched async vs sync");
+  EXPECT_EQ(service.stats().batched_calls, 1u);
+}
+
+TEST(ServiceLifecycle, PriorityLanesDrainHighestFirst) {
+  ServiceConfig cfg;
+  cfg.start_paused = true;
+  cfg.max_inflight = 1;
+  cfg.coalesce = false;  // keep one completion per request, in lane order
+  GemmService service(cfg);
+
+  const GemmCase cs{32, 32, 32};
+  std::vector<Problem<double>> problems;
+  std::vector<Matrix<double>> cs_out;
+  std::mutex order_m;
+  std::vector<int> order;
+  std::vector<GemmFuture> futures;
+
+  const Priority plan[] = {Priority::kLow,    Priority::kLow,
+                           Priority::kNormal, Priority::kNormal,
+                           Priority::kHigh,   Priority::kHigh};
+  for (int r = 0; r < 6; ++r) {
+    problems.emplace_back(cs, std::uint64_t(60 + r));
+    cs_out.push_back(problems.back().c.clone());
+  }
+  for (int r = 0; r < 6; ++r) {
+    const Problem<double>& p = problems[std::size_t(r)];
+    GemmFuture fut = service.submit(make_gemm_request<double>(
+        true, Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n, cs.k, cs.alpha,
+        p.a.data(), p.a.ld(), p.b.data(), p.b.ld(), cs.beta,
+        cs_out[std::size_t(r)].data(), cs_out[std::size_t(r)].ld(), {},
+        plan[r]));
+    fut.then([r, &order_m, &order](const GemmResult&) {
+      std::lock_guard<std::mutex> lk(order_m);
+      order.push_back(r);
+    });
+    futures.push_back(std::move(fut));
+  }
+  service.resume();
+  service.shutdown(true);
+
+  ASSERT_EQ(order.size(), 6u);
+  // Highs (4, 5) first, lows (0, 1) last; FIFO within a lane.
+  EXPECT_EQ(order[0], 4);
+  EXPECT_EQ(order[1], 5);
+  EXPECT_EQ(order[2], 2);
+  EXPECT_EQ(order[3], 3);
+  EXPECT_EQ(order[4], 0);
+  EXPECT_EQ(order[5], 1);
+}
+
+TEST(ServiceLifecycle, CancelQueuedRequestLeavesCUntouched) {
+  ServiceConfig cfg;
+  cfg.start_paused = true;
+  GemmService service(cfg);
+
+  const GemmCase cs{40, 40, 40};
+  Problem<double> p0(cs, 1), p1(cs, 2), p2(cs, 3);
+  Matrix<double> c0 = p0.c.clone(), c2 = p2.c.clone();
+  Matrix<double> c1(cs.m, cs.n);
+  c1.fill(42.0);  // sentinel: a cancelled request must never write C
+  const Matrix<double> c1_before = c1.clone();
+
+  auto req = [&](const Problem<double>& p, Matrix<double>& c) {
+    return make_gemm_request<double>(true, Layout::kColMajor, cs.ta, cs.tb,
+                                     cs.m, cs.n, cs.k, cs.alpha, p.a.data(),
+                                     p.a.ld(), p.b.data(), p.b.ld(), cs.beta,
+                                     c.data(), c.ld());
+  };
+  GemmFuture f0 = service.submit(req(p0, c0));
+  GemmFuture f1 = service.submit(req(p1, c1));
+  GemmFuture f2 = service.submit(req(p2, c2));
+
+  EXPECT_TRUE(f1.cancel());
+  EXPECT_FALSE(f1.cancel()) << "second cancel must report failure";
+  EXPECT_EQ(f1.wait().status, RequestStatus::kCancelled);
+
+  service.resume();
+  EXPECT_EQ(f0.wait().status, RequestStatus::kDone);
+  EXPECT_EQ(f2.wait().status, RequestStatus::kDone);
+  EXPECT_FALSE(f0.cancel()) << "cancel after completion must fail";
+  expect_matrix_near(c1, c1_before, 0.0, "cancelled C");
+
+  service.shutdown(true);
+  EXPECT_EQ(service.stats().cancelled, 1u);
+  EXPECT_EQ(service.stats().completed, 2u);
+}
+
+TEST(ServiceLifecycle, ShutdownDrainCompletesInflightAndQueued) {
+  ServiceConfig cfg;
+  cfg.max_inflight = 2;
+  GemmService service(cfg);
+
+  const GemmCase cs{128, 96, 200};
+  const int kRequests = 5;
+  std::vector<Problem<double>> problems;
+  std::vector<Matrix<double>> out;
+  std::vector<GemmFuture> futures;
+  for (int r = 0; r < kRequests; ++r) {
+    problems.emplace_back(cs, std::uint64_t(80 + r));
+    out.push_back(problems.back().c.clone());
+  }
+  for (int r = 0; r < kRequests; ++r) {
+    const Problem<double>& p = problems[std::size_t(r)];
+    futures.push_back(service.submit(make_gemm_request<double>(
+        true, Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n, cs.k, cs.alpha,
+        p.a.data(), p.a.ld(), p.b.data(), p.b.ld(), cs.beta,
+        out[std::size_t(r)].data(), out[std::size_t(r)].ld())));
+  }
+  service.shutdown(true);  // must execute everything already admitted
+
+  for (int r = 0; r < kRequests; ++r) {
+    const GemmResult& res = futures[std::size_t(r)].wait();
+    ASSERT_EQ(res.status, RequestStatus::kDone) << "request " << r;
+    EXPECT_TRUE(res.ok());
+    const Matrix<double> ref =
+        reference_result(cs, problems[std::size_t(r)]);
+    expect_matrix_near(out[std::size_t(r)], ref,
+                       gemm_tolerance<double>(cs.k),
+                       "drained request " + std::to_string(r));
+  }
+  EXPECT_EQ(service.inflight(), 0);
+  EXPECT_EQ(service.queue_depth(), 0u);
+
+  // Post-shutdown submissions are rejected, not queued.
+  Problem<double> p(cs, 99);
+  Matrix<double> c = p.c.clone();
+  GemmFuture rejected = service.submit(make_gemm_request<double>(
+      true, Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n, cs.k, cs.alpha,
+      p.a.data(), p.a.ld(), p.b.data(), p.b.ld(), cs.beta, c.data(),
+      c.ld()));
+  EXPECT_EQ(rejected.wait().status, RequestStatus::kRejected);
+}
+
+TEST(ServiceLifecycle, ShutdownNoDrainCancelsQueued) {
+  ServiceConfig cfg;
+  cfg.start_paused = true;
+  GemmService service(cfg);
+
+  const GemmCase cs{32, 32, 32};
+  std::vector<Problem<double>> problems;
+  std::vector<Matrix<double>> out;
+  std::vector<GemmFuture> futures;
+  for (int r = 0; r < 4; ++r) {
+    problems.emplace_back(cs, std::uint64_t(10 + r));
+    out.emplace_back(cs.m, cs.n);
+    out.back().fill(7.0);
+  }
+  for (int r = 0; r < 4; ++r) {
+    const Problem<double>& p = problems[std::size_t(r)];
+    futures.push_back(service.submit(make_gemm_request<double>(
+        true, Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n, cs.k, cs.alpha,
+        p.a.data(), p.a.ld(), p.b.data(), p.b.ld(), cs.beta,
+        out[std::size_t(r)].data(), out[std::size_t(r)].ld())));
+  }
+  service.shutdown(false);
+
+  Matrix<double> sentinel(cs.m, cs.n);
+  sentinel.fill(7.0);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(futures[std::size_t(r)].wait().status,
+              RequestStatus::kCancelled)
+        << "request " << r;
+    expect_matrix_near(out[std::size_t(r)], sentinel, 0.0,
+                       "cancelled C " + std::to_string(r));
+  }
+  EXPECT_EQ(service.stats().cancelled, 4u);
+  EXPECT_EQ(service.stats().completed, 0u);
+}
+
+TEST(ServiceLifecycle, QueueFullBackpressure) {
+  ServiceConfig cfg;
+  cfg.start_paused = true;
+  cfg.queue_capacity = 2;
+  GemmService service(cfg);
+
+  const GemmCase cs{32, 32, 32};
+  std::vector<Problem<double>> problems;
+  std::vector<Matrix<double>> out;
+  for (int r = 0; r < 4; ++r) {
+    problems.emplace_back(cs, std::uint64_t(20 + r));
+    out.push_back(problems.back().c.clone());
+  }
+  auto req = [&](int r) {
+    const Problem<double>& p = problems[std::size_t(r)];
+    return make_gemm_request<double>(true, Layout::kColMajor, cs.ta, cs.tb,
+                                     cs.m, cs.n, cs.k, cs.alpha, p.a.data(),
+                                     p.a.ld(), p.b.data(), p.b.ld(), cs.beta,
+                                     out[std::size_t(r)].data(),
+                                     out[std::size_t(r)].ld());
+  };
+
+  GemmFuture f0 = service.submit(req(0));
+  GemmFuture f1 = service.submit(req(1));
+  EXPECT_EQ(service.queue_depth(), 2u);
+
+  // Non-blocking admission sheds load when the queue is full...
+  GemmFuture shed = service.try_submit(req(2));
+  EXPECT_EQ(shed.wait().status, RequestStatus::kRejected);
+  EXPECT_GE(service.stats().rejected, 1u);
+
+  // ...while blocking admission applies backpressure until space opens.
+  std::atomic<bool> admitted{false};
+  GemmFuture f3;
+  std::thread submitter([&] {
+    f3 = service.submit(req(3));
+    admitted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(admitted.load()) << "submit must block on a full queue";
+
+  service.resume();
+  submitter.join();
+  EXPECT_TRUE(admitted.load());
+  EXPECT_EQ(f0.wait().status, RequestStatus::kDone);
+  EXPECT_EQ(f1.wait().status, RequestStatus::kDone);
+  EXPECT_EQ(f3.wait().status, RequestStatus::kDone);
+}
+
+TEST(ServiceErrors, InvalidRequestsAreRejectedAtTheDoor) {
+  GemmService service;
+  Matrix<double> a(8, 8), b(8, 8), c(8, 8);
+  a.fill_random(1);
+  b.fill_random(2);
+  c.fill(0.0);
+
+  auto base = [&] {
+    return make_gemm_request<double>(true, Layout::kColMajor,
+                                     Trans::kNoTrans, Trans::kNoTrans, 8, 8,
+                                     8, 1.0, a.data(), 8, b.data(), 8, 0.0,
+                                     c.data(), 8);
+  };
+
+  {  // negative dimension
+    auto r = base();
+    r.m = -3;
+    EXPECT_EQ(service.submit(r).wait().status, RequestStatus::kRejected);
+  }
+  {  // undersized lda with a readable A
+    auto r = base();
+    r.lda = 4;
+    EXPECT_EQ(service.submit(r).wait().status, RequestStatus::kRejected);
+  }
+  {  // null C on a writing call
+    auto r = base();
+    r.c = nullptr;
+    EXPECT_EQ(service.submit(r).wait().status, RequestStatus::kRejected);
+  }
+  {  // null A with alpha != 0 and k > 0
+    auto r = base();
+    r.a = nullptr;
+    EXPECT_EQ(service.submit(r).wait().status, RequestStatus::kRejected);
+  }
+  {  // non-positive batch
+    auto r = base();
+    r.batch = 0;
+    EXPECT_EQ(service.submit(r).wait().status, RequestStatus::kRejected);
+  }
+  EXPECT_EQ(service.stats().rejected, 5u);
+  EXPECT_EQ(service.stats().submitted, 0u);
+
+  // A valid request still flows after the rejections.
+  EXPECT_EQ(service.submit(base()).wait().status, RequestStatus::kDone);
+}
+
+/// 8 concurrent clients hammering one service with mixed entry-point
+/// shapes, every result verified — the serving regime end to end, with the
+/// same accounting checks test_concurrent.cpp applies to the synchronous
+/// layer: leases balance, plans are shared, nothing leaks.
+TEST(ServiceSoak, EightClientsMixedTrafficAllVerified) {
+  ServiceConfig cfg;
+  cfg.max_inflight = 3;
+  GemmService service(cfg);
+
+  const int kClients = 8;
+  const int kIters = 5;
+  std::atomic<int> failures{0};
+  const auto note = [&](bool ok) {
+    if (!ok) failures.fetch_add(1);
+  };
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int id = 0; id < kClients; ++id) {
+    clients.emplace_back([&, id] {
+      for (int it = 0; it < kIters; ++it) {
+        const std::uint64_t seed = std::uint64_t(1000 * id + it);
+        const Priority pri = Priority((id + it) % 3);
+        Options opts;
+        opts.threads = 1 + (id + it) % 2;
+        switch ((id + it) % 4) {
+          case 0: {  // small FT dgemm — the coalescible regime
+            const GemmCase cs{48, 40, 64};
+            Problem<double> p(cs, seed);
+            const Matrix<double> ref = reference_result(cs, p);
+            Matrix<double> c = p.c.clone();
+            const GemmResult& res =
+                service.submit(make_gemm_request<double>(
+                                   true, Layout::kColMajor, cs.ta, cs.tb,
+                                   cs.m, cs.n, cs.k, cs.alpha, p.a.data(),
+                                   p.a.ld(), p.b.data(), p.b.ld(), cs.beta,
+                                   c.data(), c.ld(), opts, pri))
+                    .wait();
+            note(res.status == RequestStatus::kDone && res.ok());
+            note(max_rel_diff(c, ref) <= gemm_tolerance<double>(cs.k));
+            break;
+          }
+          case 1: {  // FT sgemm with transposes
+            const GemmCase cs{56, 48, 72, Trans::kTrans, Trans::kNoTrans,
+                              1.25, -0.5};
+            Problem<float> p(cs, seed);
+            const Matrix<float> ref = reference_result(cs, p);
+            Matrix<float> c = p.c.clone();
+            const GemmResult& res =
+                service.submit(make_gemm_request<float>(
+                                   true, Layout::kColMajor, cs.ta, cs.tb,
+                                   cs.m, cs.n, cs.k, float(cs.alpha),
+                                   p.a.data(), p.a.ld(), p.b.data(),
+                                   p.b.ld(), float(cs.beta), c.data(),
+                                   c.ld(), opts, pri))
+                    .wait();
+            note(res.status == RequestStatus::kDone && res.ok());
+            note(max_rel_diff(c, ref) <= gemm_tolerance<float>(cs.k));
+            break;
+          }
+          case 2: {  // Ori dgemm, multi-panel
+            const GemmCase cs{96, 80, 180};
+            Problem<double> p(cs, seed);
+            const Matrix<double> ref = reference_result(cs, p);
+            Matrix<double> c = p.c.clone();
+            const GemmResult& res =
+                service.submit(make_gemm_request<double>(
+                                   false, Layout::kColMajor, cs.ta, cs.tb,
+                                   cs.m, cs.n, cs.k, cs.alpha, p.a.data(),
+                                   p.a.ld(), p.b.data(), p.b.ld(), cs.beta,
+                                   c.data(), c.ld(), opts, pri))
+                    .wait();
+            note(res.status == RequestStatus::kDone);
+            note(max_rel_diff(c, ref) <= gemm_tolerance<double>(cs.k));
+            break;
+          }
+          default: {  // strided-batched FT
+            const index_t nn = 32, batch = 4;
+            const GemmCase whole{nn, nn * batch, nn};
+            Problem<double> p(whole, seed);
+            const Matrix<double> ref = reference_result(whole, p);
+            Matrix<double> c = p.c.clone();
+            const GemmResult& res =
+                service
+                    .submit(make_strided_batched_request<double>(
+                        true, Layout::kColMajor, Trans::kNoTrans,
+                        Trans::kNoTrans, nn, nn, nn, 1.0, p.a.data(),
+                        p.a.ld(), 0, p.b.data(), p.b.ld(), nn * p.b.ld(),
+                        0.0, c.data(), c.ld(), nn * c.ld(), batch, opts,
+                        pri))
+                    .wait();
+            note(res.status == RequestStatus::kDone && res.ok());
+            note(res.batch.problems == batch);
+            note(max_rel_diff(c, ref) <= gemm_tolerance<double>(nn));
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0)
+      << failures.load() << " verification failures across "
+      << kClients * kIters << " served requests";
+
+  service.shutdown(true);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.submitted, std::uint64_t(kClients * kIters));
+  EXPECT_EQ(stats.completed, stats.submitted);
+  EXPECT_EQ(stats.rejected + stats.cancelled, 0u);
+  EXPECT_LE(stats.peak_inflight, std::uint64_t(cfg.max_inflight));
+
+  // Lease/plan accounting one layer down: every workspace lease returned,
+  // and workspace growth stayed bounded by the service's concurrency (the
+  // in-flight cap, one leased context per member of a running group, plus
+  // the clients' own reference computations), not by request volume.
+  EXPECT_EQ(process_context_cache<double>().outstanding(), 0);
+  EXPECT_EQ(process_context_cache<float>().outstanding(), 0);
+}
+
+}  // namespace
+}  // namespace ftgemm
