@@ -1,0 +1,120 @@
+// Resident-operand cache benchmark: the repeated-weight serving regime the
+// cache was built for (one weight matrix, fresh activations per request).
+//
+// Three interleaved series of repeated calls over one resident-shaped
+// weight:
+//   ori      — unprotected dgemm, per-call packing: the no-FT ceiling.
+//   ft_cold  — fused-FT ft_dgemm, per-call pack + checksum encode: the
+//              pre-cache protected cost.
+//   ft_res   — fused-FT ft_dgemm with Options::resident_a: cache hits
+//              re-using the packed + encoded panels (CHECK_BEFORE
+//              re-verification included).
+//   ft_resnv — same hits with resident_verify = false: the price of the
+//              per-hit CHECK_BEFORE sweep, isolated.
+//
+// Columns are burst GFLOPS (median of FTGEMM_BENCH_REPS bursts) plus the
+// two ratios the acceptance criterion reads: ft_res/ori (protected serving
+// vs the unprotected ceiling — the "within a few %" claim) and
+// ft_res/ft_cold (what the resident panels buy over cold FT).
+// FTGEMM_BENCH_CALLS overrides the burst length.
+#include "bench_common.hpp"
+#include "core/gemm.hpp"
+
+using namespace ftgemm;
+using namespace ftgemm::bench;
+
+namespace {
+
+/// One series of burst samples (the three series' bursts run interleaved
+/// so machine drift biases none of them).
+struct Series {
+  std::vector<double> samples;
+  [[nodiscard]] double median() const { return compute_stats(samples).median; }
+};
+
+}  // namespace
+
+int main() {
+  const int reps = bench_reps();
+  const index_t calls = env_long("FTGEMM_BENCH_CALLS", 100);
+  std::printf("# resident-operand cache, repeated-weight serving\n");
+  std::printf("# ori = unprotected dgemm; ft_cold = fused-FT per-call "
+              "encode; ft_res = fused-FT resident-A hits (verified); "
+              "ft_resnv = hits without CHECK_BEFORE\n");
+  std::printf("# calls=%lld reps=%d threads=1\n", (long long)calls, reps);
+  std::printf("%-8s%12s%12s%12s%12s%14s%14s\n", "size", "ori_GF",
+              "ftcold_GF", "ftres_GF", "ftresnv_GF", "ftres/ori",
+              "ftres/ftcold");
+
+  for (const index_t n : {index_t(64), index_t(96), index_t(128),
+                          index_t(192), index_t(256)}) {
+    SquareWorkload<double> w(n);
+    Options ori_opts;
+    ori_opts.threads = 1;
+    Options ft_opts = ori_opts;
+    Options res_opts = ori_opts;
+    res_opts.resident_a = true;
+    Options resnv_opts = res_opts;
+    resnv_opts.resident_verify = false;
+
+    const auto ori = [&] {
+      dgemm(Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, n, n, n,
+            1.0, w.a.data(), n, w.b.data(), n, 0.0, w.c.data(), n, ori_opts);
+    };
+    const auto ft_cold = [&] {
+      ft_dgemm(Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, n, n, n,
+               1.0, w.a.data(), n, w.b.data(), n, 0.0, w.c.data(), n,
+               ft_opts);
+    };
+    const auto ft_res = [&] {
+      ft_dgemm(Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, n, n, n,
+               1.0, w.a.data(), n, w.b.data(), n, 0.0, w.c.data(), n,
+               res_opts);
+    };
+    const auto ft_resnv = [&] {
+      ft_dgemm(Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, n, n, n,
+               1.0, w.a.data(), n, w.b.data(), n, 0.0, w.c.data(), n,
+               resnv_opts);
+    };
+
+    // Warm-up: workspaces, plans, and the resident entry (first res call
+    // encodes; every measured one must be a verified hit).
+    ori();
+    ft_cold();
+    ft_res();
+    ft_res();
+    ft_resnv();
+
+    Series s_ori, s_cold, s_res, s_resnv;
+    const double flops = double(n) * double(calls);
+    for (int r = 0; r < reps; ++r) {
+      WallTimer t0;
+      for (index_t i = 0; i < calls; ++i) ori();
+      s_ori.samples.push_back(
+          gemm_gflops(flops, double(n), double(n), t0.seconds()));
+      WallTimer t1;
+      for (index_t i = 0; i < calls; ++i) ft_cold();
+      s_cold.samples.push_back(
+          gemm_gflops(flops, double(n), double(n), t1.seconds()));
+      WallTimer t2;
+      for (index_t i = 0; i < calls; ++i) ft_res();
+      s_res.samples.push_back(
+          gemm_gflops(flops, double(n), double(n), t2.seconds()));
+      WallTimer t3;
+      for (index_t i = 0; i < calls; ++i) ft_resnv();
+      s_resnv.samples.push_back(
+          gemm_gflops(flops, double(n), double(n), t3.seconds()));
+    }
+
+    const double g_ori = s_ori.median();
+    const double g_cold = s_cold.median();
+    const double g_res = s_res.median();
+    const double g_resnv = s_resnv.median();
+    std::printf("%-8lld%12.2f%12.2f%12.2f%12.2f%13.3fx%13.3fx\n",
+                (long long)n, g_ori, g_cold, g_res, g_resnv,
+                g_ori > 0 ? g_res / g_ori : 0.0,
+                g_cold > 0 ? g_res / g_cold : 0.0);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "blocking/plan.hpp"
+#include "core/operand_cache.hpp"
 #include "core/plan.hpp"
 #include "util/aligned_buffer.hpp"
 #include "util/matrix.hpp"
@@ -186,11 +187,20 @@ class ContextCache {
     return plans_.get_or_build(key);
   }
 
-  /// Drop every cached plan (thread-safe; see clear_thread_plan_cache).
+  /// Drop every cached plan (thread-safe; see clear_process_caches).
   void clear_plans() {
     std::lock_guard<std::mutex> lk(plan_m_);
     plans_.clear();
   }
+
+  /// The shared resident-operand cache living beside the plan cache: every
+  /// submitter of a recurring weight matrix gets the same encoded panels.
+  /// Thread-safe (internally locked).
+  [[nodiscard]] OperandCache<T>& operands() { return operands_; }
+
+  /// Drop every resident operand payload (in-flight calls holding a
+  /// shared_ptr stay valid; see clear_process_caches).
+  void clear_operands() { operands_.clear(); }
 
   [[nodiscard]] std::uint64_t plan_hits() {
     std::lock_guard<std::mutex> lk(plan_m_);
@@ -224,6 +234,7 @@ class ContextCache {
   int outstanding_ = 0;
   std::mutex plan_m_;
   PlanCache<T> plans_;
+  OperandCache<T> operands_;
 };
 
 /// The process-wide context pool + shared plan cache backing the free

@@ -53,6 +53,7 @@
 #include "arch/isa.hpp"
 #include "blocking/plan.hpp"
 #include "core/context.hpp"
+#include "core/operand_cache.hpp"
 #include "core/options.hpp"
 #include "core/plan.hpp"
 #include "kernels/macro_kernel.hpp"
@@ -192,12 +193,19 @@ inline void apply_planned_injections(FaultInjector* injector,
 /// Single-macro-tile direct path (plan.fast_path): serial, packed-once, no
 /// parallel region, no partition/barrier machinery, no per-call reduction
 /// scratch.  Bit-identical to the general path (FT checksums still fused).
+///
+/// `ra` (may be null) is a resident pre-packed pre-encoded A payload for
+/// this exact (operand, plan): the pack_a/encode_ar work is skipped and the
+/// fused Cc update is replayed from the resident panel with the packer's own
+/// accumulation structure (PackSet::encode_cc), so the result stays
+/// bit-identical to the cold path.
 template <typename T, bool FT>
 FtReport execute_small(const GemmPlan<T>& plan, T alpha, const T* a,
                        index_t lda, const T* b, index_t ldb, T beta, T* c,
                        index_t ldc, FaultInjector* injector,
                        std::vector<CorrectionRecord>* correction_log,
-                       GemmContext<T>& ctx) {
+                       GemmContext<T>& ctx,
+                       const ResidentAPayload<T>* ra = nullptr) {
   FtReport report;
   const WallTimer timer;
   const PlanKey& key = plan.key;
@@ -217,13 +225,20 @@ FtReport execute_small(const GemmPlan<T>& plan, T alpha, const T* a,
   if constexpr (FT) {
     std::fill(ctx.cc(), ctx.cc() + m, T(0));
     std::fill(ctx.crref_part(0), ctx.crref_part(0) + n, T(0));
-    std::fill(ctx.ar_part(0), ctx.ar_part(0) + k, T(0));
     amax_c = ks.pack.scale_encode_c(c, ldc, index_t(0), m, n, beta, ctx.cc(),
                                     ctx.crref_part(0));
-    amax_a = ks.pack.encode_ar(av, index_t(0), m, k, alpha, ctx.ar_part(0));
-    // The general path's cross-thread reductions collapse to copies at one
-    // thread (a sum of a single term), keeping results bit-identical.
-    std::copy(ctx.ar_part(0), ctx.ar_part(0) + k, ctx.ar());
+    if (ra != nullptr) {
+      // Resident hit: Ar and amax(A) were encoded when the payload was
+      // filled, in this exact reduction order.
+      std::copy(ra->ar.data(), ra->ar.data() + k, ctx.ar());
+      amax_a = ra->amax_a;
+    } else {
+      std::fill(ctx.ar_part(0), ctx.ar_part(0) + k, T(0));
+      amax_a = ks.pack.encode_ar(av, index_t(0), m, k, alpha, ctx.ar_part(0));
+      // The general path's cross-thread reductions collapse to copies at one
+      // thread (a sum of a single term), keeping results bit-identical.
+      std::copy(ctx.ar_part(0), ctx.ar_part(0) + k, ctx.ar());
+    }
     std::copy(ctx.crref_part(0), ctx.crref_part(0) + n, ctx.cr());
   } else {
     scale_c(c, ldc, index_t(0), m, n, beta);
@@ -236,6 +251,9 @@ FtReport execute_small(const GemmPlan<T>& plan, T alpha, const T* a,
   if (!degenerate) {
     // ---- The single rank-K panel: pack B~ once, pack A~ once, one macro
     // block, verify.
+    // A fast-path plan always has kc >= k, so a resident payload is a
+    // single panel starting at k-offset 0.
+    const T* apanel = ra != nullptr ? ra->panel_at(0) : ctx.atilde(0);
     if constexpr (FT) {
       std::fill(ctx.ccref(), ctx.ccref() + m, T(0));
       std::fill(ctx.crref_part(0), ctx.crref_part(0) + n * lanes, T(0));
@@ -243,14 +261,22 @@ FtReport execute_small(const GemmPlan<T>& plan, T alpha, const T* a,
                         ctx.ar(), ctx.cr());
       amax_b = ks.pack.reduce_bc(ctx.btilde(), k, n, plan.blocking.nr,
                                  index_t(0), k, ctx.bc(), 0.0);
-      ks.pack.pack_a_ft(av, 0, 0, m, k, plan.blocking.mr, alpha,
-                        ctx.atilde(0), ctx.bc(), ctx.cc());
+      if (ra != nullptr) {
+        ks.pack.encode_cc(apanel, av.trans, m, k, plan.blocking.mr, ctx.bc(),
+                          ctx.cc());
+      } else {
+        ks.pack.pack_a_ft(av, 0, 0, m, k, plan.blocking.mr, alpha,
+                          ctx.atilde(0), ctx.bc(), ctx.cc());
+      }
     } else {
       ks.pack.pack_b(bv, 0, 0, k, n, plan.blocking.nr, ctx.btilde());
-      ks.pack.pack_a(av, 0, 0, m, k, plan.blocking.mr, alpha, ctx.atilde(0));
+      if (ra == nullptr) {
+        ks.pack.pack_a(av, 0, 0, m, k, plan.blocking.mr, alpha,
+                       ctx.atilde(0));
+      }
     }
 
-    run_macro_block<T, FT>(ks, m, n, k, ctx.atilde(0), ctx.btilde(), c, ldc,
+    run_macro_block<T, FT>(ks, m, n, k, apanel, ctx.btilde(), c, ldc,
                            FT ? ctx.crref_part(0) : nullptr,
                            FT ? ctx.ccref() : nullptr);
 
@@ -292,13 +318,16 @@ FtReport execute_small(const GemmPlan<T>& plan, T alpha, const T* a,
 
 /// Execute a planned (FT-)GEMM.  Shape, transposes, kernels, blocking,
 /// topology and tolerance all come from `plan`; `injector`/`correction_log`
-/// are per-call instrumentation sinks (may be null).
+/// are per-call instrumentation sinks (may be null).  `ra` (may be null) is
+/// a resident pre-packed pre-encoded A payload for this exact
+/// (operand, plan) — see execute_small.
 template <typename T, bool FT>
 FtReport execute(const GemmPlan<T>& plan, T alpha, const T* a, index_t lda,
                  const T* b, index_t ldb, T beta, T* c, index_t ldc,
                  FaultInjector* injector,
                  std::vector<CorrectionRecord>* correction_log,
-                 GemmContext<T>& ctx) {
+                 GemmContext<T>& ctx,
+                 const ResidentAPayload<T>* ra = nullptr) {
   FtReport report;
   const PlanKey& key = plan.key;
   const index_t m = key.m, n = key.n, k = key.k;
@@ -306,7 +335,7 @@ FtReport execute(const GemmPlan<T>& plan, T alpha, const T* a, index_t lda,
 
   if (plan.fast_path) {
     return execute_small<T, FT>(plan, alpha, a, lda, b, ldb, beta, c, ldc,
-                                injector, correction_log, ctx);
+                                injector, correction_log, ctx, ra);
   }
 
   const WallTimer timer;
@@ -354,13 +383,21 @@ FtReport execute(const GemmPlan<T>& plan, T alpha, const T* a, index_t lda,
     if constexpr (FT) {
       if (mlen > 0) std::fill(ctx.cc() + ms, ctx.cc() + ms + mlen, T(0));
       std::fill(ctx.crref_part(tid), ctx.crref_part(tid) + n, T(0));
-      std::fill(ctx.ar_part(tid), ctx.ar_part(tid) + k, T(0));
       double amax_c = 0.0, amax_a = 0.0;
+      if (ra == nullptr) {
+        std::fill(ctx.ar_part(tid), ctx.ar_part(tid) + k, T(0));
+      }
       if (mlen > 0) {
         amax_c = ks.pack.scale_encode_c(c, ldc, ms, mlen, n, beta, ctx.cc(),
                                         ctx.crref_part(tid));
-        amax_a = ks.pack.encode_ar(av, ms, mlen, k, alpha, ctx.ar_part(tid));
+        if (ra == nullptr) {
+          amax_a =
+              ks.pack.encode_ar(av, ms, mlen, k, alpha, ctx.ar_part(tid));
+        }
       }
+      // Resident hit: the payload carries amax(A) and the fully reduced Ar
+      // (encoded at fill in this plan's per-thread partial order).
+      if (ra != nullptr) amax_a = tid == 0 ? ra->amax_a : 0.0;
       amax_parts[std::size_t(tid) * 3 + 0] = amax_a;
       // amax(B) is folded into the per-panel Bc reduction sweep; slot 1
       // accumulates monotonically as panels stream through.
@@ -370,6 +407,10 @@ FtReport execute(const GemmPlan<T>& plan, T alpha, const T* a, index_t lda,
       // Reduce the per-thread partials: Ar over a K-partition, Cr over an
       // N-partition (the encode pass stored Cr partials in crref_part).
       for (index_t p = ks_red; p < ks_red + klen_red; ++p) {
+        if (ra != nullptr) {
+          ctx.ar()[p] = ra->ar.data()[p];
+          continue;
+        }
         T sum = T(0);
         for (int t = 0; t < nt; ++t) sum += ctx.ar_part(t)[p];
         ctx.ar()[p] = sum;
@@ -436,17 +477,34 @@ FtReport execute(const GemmPlan<T>& plan, T alpha, const T* a, index_t lda,
           // Macro loop over this thread's rows.
           for (index_t ic = 0; ic < mlen; ic += bp.mc) {
             const index_t ilen = std::min(bp.mc, mlen - ic);
+            // Resident hit: slice this thread's (ic) slab out of the
+            // payload's whole-M panel — ms and ic are both MR-aligned, so
+            // the slab starts on a tile boundary at the exact bytes a cold
+            // pack_a would have written into atilde.
+            const T* apanel =
+                ra != nullptr
+                    ? ra->panel_at(p) + ((ms + ic) / bp.mr) * (bp.mr * pinc)
+                    : ctx.atilde(tid);
             if constexpr (FT) {
-              ks.pack.pack_a_ft(av, ms + ic, p, ilen, pinc, bp.mr, alpha,
-                                ctx.atilde(tid), ctx.bc(),
-                                ctx.cc() + ms + ic);
+              if (ra != nullptr) {
+                // Replay the fused Cc update the skipped pack_a_ft would
+                // have accumulated for this (jc, ic) block.
+                ks.pack.encode_cc(apanel, av.trans, ilen, pinc, bp.mr,
+                                  ctx.bc(), ctx.cc() + ms + ic);
+              } else {
+                ks.pack.pack_a_ft(av, ms + ic, p, ilen, pinc, bp.mr, alpha,
+                                  ctx.atilde(tid), ctx.bc(),
+                                  ctx.cc() + ms + ic);
+              }
             } else {
-              ks.pack.pack_a(av, ms + ic, p, ilen, pinc, bp.mr, alpha,
-                             ctx.atilde(tid));
+              if (ra == nullptr) {
+                ks.pack.pack_a(av, ms + ic, p, ilen, pinc, bp.mr, alpha,
+                               ctx.atilde(tid));
+              }
             }
 
             run_macro_block<T, FT>(
-                ks, ilen, jinc, pinc, ctx.atilde(tid), ctx.btilde(),
+                ks, ilen, jinc, pinc, apanel, ctx.btilde(),
                 c + (ms + ic) + jc * ldc, ldc,
                 FT ? ctx.crref_part(tid) + jc * lanes : nullptr,
                 FT ? ctx.ccref() + ms + ic : nullptr);

@@ -18,6 +18,28 @@ using detail::normalize_layout;
 /// frozen plan to the pure executor.  Any number of application threads may
 /// be in here concurrently — leases never share workspaces, and a recurring
 /// shape is planned once process-wide, not once per calling thread.
+/// Resolve Options::resident_a against the process-wide operand cache
+/// (shared by free functions, engines and the serving layer: the payload
+/// key covers everything the packed layout depends on, so one resident
+/// encoding serves every submitter of the operand).  Post-normalization
+/// column-major arguments; returns an empty acquisition when the call
+/// cannot consume a payload (degenerate problem, resident_a off).
+template <typename T>
+ResidentAcquisition<T> acquire_resident(const Options& opts, Trans ta,
+                                        index_t m, index_t n, index_t k,
+                                        T alpha, const T* a, index_t lda,
+                                        const GemmPlan<T>& plan) {
+  ResidentAcquisition<T> acq;
+  if (!opts.resident_a || m <= 0 || n <= 0 || k <= 0 || alpha == T(0) ||
+      a == nullptr) {
+    return acq;
+  }
+  acq = process_context_cache<T>().operands().acquire(
+      a, lda, ta == Trans::kTrans, alpha, plan, opts.memory_injector,
+      opts.resident_verify);
+  return acq;
+}
+
 template <typename T, bool FT>
 FtReport dispatch(Layout layout, Trans ta, Trans tb, index_t m, index_t n,
                   index_t k, T alpha, const T* a, index_t lda, const T* b,
@@ -32,9 +54,16 @@ FtReport dispatch(Layout layout, Trans ta, Trans tb, index_t m, index_t n,
   ContextCache<T>& cache = process_context_cache<T>();
   const std::shared_ptr<const GemmPlan<T>> plan =
       cache.plan(ta, tb, m, n, k, opts, FT);
+  const ResidentAcquisition<T> acq =
+      acquire_resident(opts, ta, m, n, k, alpha, a, lda, *plan);
   const typename ContextCache<T>::Lease lease = cache.lease();
-  return detail::execute<T, FT>(*plan, alpha, a, lda, b, ldb, beta, c, ldc,
-                                opts.injector, opts.correction_log, *lease);
+  FtReport rep = detail::execute<T, FT>(*plan, alpha, a, lda, b, ldb, beta, c,
+                                        ldc, opts.injector,
+                                        opts.correction_log, *lease,
+                                        acq.payload.get());
+  rep.resident_hit = acq.hit;
+  rep.resident_heals = acq.heals;
+  return rep;
 }
 
 /// Engine dispatch: same pipeline, but planning and workspace come from the
@@ -53,8 +82,18 @@ FtReport dispatch_engine(Layout layout, Trans ta, Trans tb, index_t m,
   }
   const std::shared_ptr<const GemmPlan<T>> plan =
       ctx.plans().get_or_build(ta, tb, m, n, k, opts, FT);
-  return detail::execute<T, FT>(*plan, alpha, a, lda, b, ldb, beta, c, ldc,
-                                opts.injector, opts.correction_log, ctx);
+  // Engines plan privately but share the process-wide operand cache: the
+  // payload key covers everything the resident encoding depends on, so an
+  // engine hit is exactly as safe as a free-function hit.
+  const ResidentAcquisition<T> acq =
+      acquire_resident(opts, ta, m, n, k, alpha, a, lda, *plan);
+  FtReport rep = detail::execute<T, FT>(*plan, alpha, a, lda, b, ldb, beta, c,
+                                        ldc, opts.injector,
+                                        opts.correction_log, ctx,
+                                        acq.payload.get());
+  rep.resident_hit = acq.hit;
+  rep.resident_heals = acq.heals;
+  return rep;
 }
 
 template <typename T>
@@ -110,10 +149,14 @@ FtReport reliable_impl(Layout layout, Trans ta, Trans tb, index_t m,
 
 }  // namespace
 
-void clear_thread_plan_cache() {
+void clear_process_caches() {
   process_context_cache<double>().clear_plans();
   process_context_cache<float>().clear_plans();
+  process_context_cache<double>().clear_operands();
+  process_context_cache<float>().clear_operands();
 }
+
+void clear_thread_plan_cache() { clear_process_caches(); }
 
 void dgemm(Layout layout, Trans ta, Trans tb, index_t m, index_t n, index_t k,
            double alpha, const double* a, index_t lda, const double* b,

@@ -81,14 +81,19 @@ FtReport ft_sgemm_reliable(Layout layout, Trans ta, Trans tb, index_t m,
                            float beta, float* c, index_t ldc,
                            const Options& opts = {}, int max_retries = 2);
 
-/// Drop the free functions' process-wide cached plans (both precisions).
-/// FTGEMM_* environment knobs (ISA, blocking, tolerance, fast-path bound)
-/// are read when a plan is *built*, so a warm free-function cache will not
-/// observe later changes to them — call this after mutating the environment
-/// mid-process.  Engines are unaffected (their cache dies with them; use a
-/// fresh engine instead).  The historical name survives from when the cache
-/// was thread-local; it now clears the shared cache for every thread.
-void clear_thread_plan_cache();
+/// Drop the process-wide cached plans AND resident operand payloads (both
+/// precisions).  FTGEMM_* environment knobs (ISA, blocking, tolerance,
+/// fast-path bound, operand-cache caps) are read when a plan / payload is
+/// *built*, so a warm cache will not observe later changes to them — call
+/// this after mutating the environment mid-process.  Calls already holding
+/// a resident payload stay valid (shared ownership); engines' private plan
+/// caches are unaffected (they die with the engine; use a fresh engine
+/// instead).
+void clear_process_caches();
+
+/// Deprecated historical name for clear_process_caches() (from when the
+/// plan cache was thread-local and the only process cache).  Same effect.
+[[deprecated("use clear_process_caches()")]] void clear_thread_plan_cache();
 
 // ---------------------------------------------------------------------------
 // Engine with workspace reuse.

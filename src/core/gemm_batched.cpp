@@ -112,9 +112,23 @@ BatchReport run_batched(Layout layout, Trans ta, Trans tb, index_t m,
     std::unique_lock<std::mutex> gate;
     if (gate_sinks && (injector != nullptr || log != nullptr))
       gate = std::unique_lock<std::mutex>(sink_gate);
-    reports[std::size_t(p)] =
+    // Resident A (acquire is thread-safe; concurrent inter-batch workers
+    // over a stride-0 broadcast A race benignly — first fill wins, the rest
+    // hit).  The memory injector / verification run per-member, like the
+    // compute-domain injector.
+    ResidentAcquisition<T> acq;
+    if (opts.base.resident_a && m > 0 && n > 0 && k > 0 && alpha != T(0) &&
+        a[p] != nullptr) {
+      acq = cache.operands().acquire(a[p], lda, ta == Trans::kTrans, alpha,
+                                     *plan, opts.base.memory_injector,
+                                     opts.base.resident_verify);
+    }
+    FtReport rep =
         detail::execute<T, FT>(*plan, alpha, a[p], lda, b[p], ldb, beta, c[p],
-                               ldc, injector, log, ctx);
+                               ldc, injector, log, ctx, acq.payload.get());
+    rep.resident_hit = acq.hit;
+    rep.resident_heals = acq.heals;
+    reports[std::size_t(p)] = rep;
   };
 
   // Inter-batch dispatch: one team of `workers` members on the plan's
@@ -135,6 +149,10 @@ BatchReport run_batched(Layout layout, Trans ta, Trans tb, index_t m,
   };
   runtime::run_team(plan->runtime, workers, member_body);
 
+  for (const FtReport& r : reports) {
+    if (r.resident_hit) ++report.resident_hits;
+    report.resident_heals += r.resident_heals;
+  }
   if constexpr (FT) {
     for (const FtReport& r : reports) {
       report.errors_detected += r.errors_detected;

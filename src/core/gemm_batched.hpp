@@ -79,6 +79,11 @@ struct BatchReport {
   index_t faulty_problems = 0;   ///< members with >= 1 detection
   index_t dirty_problems = 0;    ///< members whose report was not clean
   bool inter_batch = false;      ///< scheduler decision taken for this call
+  /// With Options::resident_a: members whose A came from the resident
+  /// operand cache (a stride-0 broadcast A is one entry serving the whole
+  /// batch) and integrity heals performed on hits.
+  index_t resident_hits = 0;
+  std::int64_t resident_heals = 0;
   /// Rejected before execution (negative dimension/batch or undersized
   /// leading dimension, see valid_gemm_args): no member ran, C untouched.
   bool invalid_args = false;

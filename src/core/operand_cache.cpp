@@ -1,0 +1,380 @@
+#include "core/operand_cache.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <type_traits>
+
+#include "core/context.hpp"
+#include "core/driver.hpp"
+#include "inject/injector.hpp"
+#include "util/env.hpp"
+
+namespace ftgemm {
+
+namespace {
+
+/// FNV-1a over a bounded grid of sampled element bit patterns (corners
+/// included by construction).  A cheap identity check, not a cryptographic
+/// digest: mutations between grid points are invisible — the documented
+/// reason resident_a is opt-in for operands the caller keeps stable.
+template <typename T>
+std::uint64_t fingerprint_operand(const T* a, index_t lda, bool trans,
+                                  index_t m, index_t k) {
+  using Bits = std::conditional_t<sizeof(T) == 8, std::uint64_t,
+                                  std::uint32_t>;
+  constexpr index_t kGrid = 8;
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  const index_t gi = std::min(kGrid, m);
+  const index_t gp = std::min(kGrid, k);
+  for (index_t si = 0; si < gi; ++si) {
+    const index_t i = gi == 1 ? 0 : (m - 1) * si / (gi - 1);
+    for (index_t sp = 0; sp < gp; ++sp) {
+      const index_t p = gp == 1 ? 0 : (k - 1) * sp / (gp - 1);
+      const T v = trans ? a[p + i * lda] : a[i + p * lda];
+      Bits bits;
+      std::memcpy(&bits, &v, sizeof(bits));
+      mix(std::uint64_t(bits));
+    }
+  }
+  return h;
+}
+
+template <typename T>
+OperandKey make_operand_key(const T* a, index_t lda, bool trans, T alpha,
+                            const GemmPlan<T>& plan) {
+  using Bits = std::conditional_t<sizeof(T) == 8, std::uint64_t,
+                                  std::uint32_t>;
+  OperandKey key;
+  key.ptr = reinterpret_cast<std::uintptr_t>(a);
+  key.fingerprint = fingerprint_operand(a, lda, trans, plan.key.m,
+                                        plan.key.k);
+  key.m = plan.key.m;
+  key.k = plan.key.k;
+  key.lda = lda;
+  key.trans = trans;
+  Bits abits;
+  std::memcpy(&abits, &alpha, sizeof(abits));
+  key.alpha_bits = std::uint64_t(abits);
+  key.isa = int(plan.isa);
+  key.mr = plan.blocking.mr;
+  key.kc = plan.blocking.kc;
+  key.threads = plan.threads;
+  return key;
+}
+
+/// Integrity sums over the packed bytes in one FIXED scalar order (panels in
+/// k order, tiles inner) — recomputing them is deterministic, so the
+/// CHECK_BEFORE comparison below is a bit-exact memcmp, no tolerance model.
+/// The zero padding of the ragged edge tile participates: a flip landing in
+/// padding is caught too (it would feed the micro-kernels just the same).
+template <typename T>
+void integrity_sums(const ResidentAPayload<T>& pl, T* rowchk, T* colchk) {
+  std::fill(rowchk, rowchk + pl.tiles * pl.mr, T(0));
+  std::fill(colchk, colchk + pl.k, T(0));
+  for (index_t p = 0; p < pl.k; p += pl.kc) {
+    const index_t pinc = std::min(pl.kc, pl.k - p);
+    const T* base = pl.panel_at(p);
+    for (index_t q = 0; q < pl.tiles; ++q) {
+      const T* tile = base + q * (pl.mr * pinc);
+      T* rc = rowchk + q * pl.mr;
+      // One pass per tile (this runs on every verified cache hit — the
+      // payload is read exactly once): unit-stride row accumulation the
+      // compiler can vectorize, and column sums in a fixed 4-lane-partial
+      // order.  Any deterministic order works — fill and verify share this
+      // one function, so the bit-exact comparison only needs
+      // self-consistency — and the lane split breaks the serial FP
+      // dependence chain a naive reduction would pin the loop on.
+      for (index_t kk = 0; kk < pinc; ++kk) {
+        const T* col = tile + kk * pl.mr;
+        T s0 = T(0), s1 = T(0), s2 = T(0), s3 = T(0);
+        index_t ii = 0;
+        for (; ii + 4 <= pl.mr; ii += 4) {
+          rc[ii] += col[ii];
+          rc[ii + 1] += col[ii + 1];
+          rc[ii + 2] += col[ii + 2];
+          rc[ii + 3] += col[ii + 3];
+          s0 += col[ii];
+          s1 += col[ii + 1];
+          s2 += col[ii + 2];
+          s3 += col[ii + 3];
+        }
+        T s = (s0 + s1) + (s2 + s3);
+        for (; ii < pl.mr; ++ii) {
+          rc[ii] += col[ii];
+          s += col[ii];
+        }
+        colchk[p + kk] += s;
+      }
+    }
+  }
+}
+
+/// Recompute the integrity sums and compare bit-exactly against the stored
+/// ones.  True = resident bytes are exactly what the fill wrote.  Scratch
+/// is thread-local: this runs on every verified hit, and the serving hot
+/// loop must not pay a heap allocation per call.
+template <typename T>
+bool verify_payload(const ResidentAPayload<T>& pl) {
+  thread_local std::vector<T> scratch;
+  const std::size_t rlen = std::size_t(pl.tiles * pl.mr);
+  const std::size_t clen = std::size_t(pl.k);
+  if (scratch.size() < rlen + clen) scratch.resize(rlen + clen);
+  T* rowchk = scratch.data();
+  T* colchk = scratch.data() + rlen;
+  integrity_sums(pl, rowchk, colchk);
+  return std::memcmp(rowchk, pl.rowchk.data(), rlen * sizeof(T)) == 0 &&
+         std::memcmp(colchk, pl.colchk.data(), clen * sizeof(T)) == 0;
+}
+
+/// Encode one payload from the source operand: pack every rank-KC panel
+/// (bit-identical bytes to what the executor's cold pack_a_ft stores),
+/// reduce Ar in the cold path's per-thread partial order, and fill the
+/// integrity sums.
+template <typename T>
+void fill_payload(ResidentAPayload<T>& pl, const T* a, index_t lda,
+                  bool trans, T alpha, const GemmPlan<T>& plan) {
+  const index_t m = plan.key.m, k = plan.key.k;
+  pl.m = m;
+  pl.k = k;
+  pl.mr = plan.blocking.mr;
+  pl.kc = plan.blocking.kc;
+  pl.trans = trans;
+  pl.alpha = alpha;
+  pl.tiles = (m + pl.mr - 1) / pl.mr;
+  pl.panels.reset(pl.elems());
+  pl.ar.reset(std::size_t(k));
+  pl.rowchk.reset(std::size_t(pl.tiles * pl.mr));
+  pl.colchk.reset(std::size_t(k));
+
+  const OperandView<T> av{a, lda, trans};
+  const PackSet<T>& pk = plan.kernels.pack;
+
+  // Packed values are pure per-element (alpha * element, zero padding), so
+  // one whole-M pack per panel lays down the exact bytes any (thread, ic)
+  // slab of the cold path would have packed into its private atilde.
+  for (index_t p = 0; p < k; p += pl.kc) {
+    const index_t pinc = std::min(pl.kc, k - p);
+    T* dst = pl.panels.data() + std::size_t(pl.tiles * pl.mr) * std::size_t(p);
+    pk.pack_a(av, 0, p, m, pinc, pl.mr, alpha, dst);
+  }
+
+  // Ar: emulate the executor's reduction exactly — per-thread encode over
+  // the MR-aligned M-partition, summed in ascending thread order — so a hit
+  // under `plan.threads` workers reads the same bits a cold call computes.
+  const int nt = plan.threads;
+  std::vector<T> partials(std::size_t(nt) * std::size_t(k), T(0));
+  double amax = 0.0;
+  for (int t = 0; t < nt; ++t) {
+    index_t ms = 0, mlen = 0;
+    detail::partition_units(m, pl.mr, nt, t, ms, mlen);
+    if (mlen > 0) {
+      amax = std::max(amax, pk.encode_ar(av, ms, mlen, k, alpha,
+                                         partials.data() +
+                                             std::size_t(t) * std::size_t(k)));
+    }
+  }
+  for (index_t p = 0; p < k; ++p) {
+    T sum = T(0);
+    for (int t = 0; t < nt; ++t)
+      sum += partials[std::size_t(t) * std::size_t(k) + std::size_t(p)];
+    pl.ar[std::size_t(p)] = sum;
+  }
+  pl.amax_a = amax;
+
+  integrity_sums(pl, pl.rowchk.data(), pl.colchk.data());
+}
+
+/// Flip one bit of a resident element in place (memory-fault emulation).
+template <typename T>
+void flip_payload_bit(T& v, int bit) {
+  using Bits = std::conditional_t<sizeof(T) == 8, std::uint64_t,
+                                  std::uint32_t>;
+  Bits bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  bits ^= Bits(1) << (unsigned(bit) % (8 * sizeof(T)));
+  std::memcpy(&v, &bits, sizeof(bits));
+}
+
+}  // namespace
+
+template <typename T>
+OperandCache<T>::OperandCache()
+    : OperandCache(
+          std::size_t(std::max<long>(
+              env_long("FTGEMM_OPERAND_CACHE_ENTRIES", long(kDefaultCapacity)),
+              1)),
+          std::size_t(std::max<long>(
+              env_long("FTGEMM_OPERAND_CACHE_BYTES",
+                       long(kDefaultByteCapacity)),
+              1))) {}
+
+template <typename T>
+OperandCache<T>::OperandCache(std::size_t capacity, std::size_t byte_capacity)
+    : capacity_(capacity > 0 ? capacity : 1),
+      byte_capacity_(byte_capacity > 0 ? byte_capacity : 1) {}
+
+template <typename T>
+void OperandCache<T>::evict_to_caps_locked() {
+  // Keep at least the most recent entry: a single payload above the byte
+  // cap must still serve the call that just encoded it.  Slot::bytes is
+  // immutable, so no slot mutex is taken here (hit processing holds the
+  // slot mutex and then the cache mutex for counters — never the reverse).
+  while (lru_.size() > 1 &&
+         (lru_.size() > capacity_ || bytes_ > byte_capacity_)) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.second->bytes;
+    index_.erase(victim.first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+template <typename T>
+ResidentAcquisition<T> OperandCache<T>::acquire(
+    const T* a, index_t lda, bool trans, T alpha, const GemmPlan<T>& plan,
+    MemoryFaultInjector* mem_injector, bool verify) {
+  ResidentAcquisition<T> out;
+  const OperandKey key = make_operand_key(a, lda, trans, alpha, plan);
+
+  std::shared_ptr<Slot> slot;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      slot = it->second->second;
+      out.hit = true;
+    } else {
+      ++misses_;
+    }
+  }
+
+  if (!slot) {
+    // Miss: encode OUTSIDE the cache lock (O(m*k) work must not serialize
+    // unrelated submitters), then publish — first inserter wins a race.
+    auto payload = std::make_shared<ResidentAPayload<T>>();
+    fill_payload(*payload, a, lda, trans, alpha, plan);
+    slot = std::make_shared<Slot>();
+    slot->payload = payload;
+    slot->bytes = payload->bytes();
+    std::shared_ptr<Slot> adopted;
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      const auto it = index_.find(key);
+      if (it != index_.end()) {
+        // A concurrent submitter published the same operand first; adopt
+        // its slot (both encodes are deterministic and equal), drop ours.
+        lru_.splice(lru_.begin(), lru_, it->second);
+        adopted = it->second->second;
+      } else {
+        lru_.emplace_front(key, slot);
+        index_[key] = lru_.begin();
+        bytes_ += slot->bytes;
+        evict_to_caps_locked();
+      }
+    }
+    if (adopted) {
+      std::lock_guard<std::mutex> slot_lk(adopted->m);
+      out.payload = adopted->payload;
+    } else {
+      out.payload = std::move(payload);
+    }
+    return out;
+  }
+
+  // Hit: inject planned memory faults, then CHECK_BEFORE-verify and heal.
+  // Serialized per entry so an injected flip and a concurrent verification
+  // sweep never race on the payload bytes.
+  std::lock_guard<std::mutex> slot_lk(slot->m);
+  std::shared_ptr<const ResidentAPayload<T>> payload = slot->payload;
+  if (mem_injector != nullptr && payload) {
+    std::vector<PanelFlip> flips;
+    mem_injector->plan_flips(payload->elems(), flips);
+    if (!flips.empty()) {
+      // Test-only corruption of the (logically immutable) resident bytes —
+      // the very event the re-verification below exists to catch.
+      T* data = const_cast<T*>(payload->panels.data());
+      for (const PanelFlip& f : flips)
+        flip_payload_bit(data[f.elem % payload->elems()], f.bit);
+      mem_injector->record_applied(flips.size());
+    }
+  }
+  if (verify && payload) {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      ++verifies_;
+    }
+    if (!verify_payload(*payload)) {
+      // Memory fault detected: re-encode from the source and swap the
+      // healed payload into the slot (self-healing).
+      auto fresh = std::make_shared<ResidentAPayload<T>>();
+      fill_payload(*fresh, a, lda, trans, alpha, plan);
+      slot->payload = fresh;
+      payload = std::move(fresh);
+      out.heals = 1;
+      std::lock_guard<std::mutex> lk(m_);
+      ++heals_;
+    }
+  }
+  out.payload = std::move(payload);
+  return out;
+}
+
+template <typename T>
+void OperandCache<T>::clear() {
+  std::lock_guard<std::mutex> lk(m_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+template <typename T>
+OperandCacheStats OperandCache<T>::stats() {
+  std::lock_guard<std::mutex> lk(m_);
+  OperandCacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.verifies = verifies_;
+  s.heals = heals_;
+  s.evictions = evictions_;
+  s.entries = lru_.size();
+  s.bytes = bytes_;
+  return s;
+}
+
+template class OperandCache<float>;
+template class OperandCache<double>;
+
+template <typename T>
+ResidentOperand make_resident_a(Trans ta, Trans tb, index_t m, index_t n,
+                                index_t k, T alpha, const T* a, index_t lda,
+                                const Options& opts, bool ft) {
+  ResidentOperand handle;
+  if (m <= 0 || n <= 0 || k <= 0 || alpha == T(0) || a == nullptr)
+    return handle;
+  ContextCache<T>& cache = process_context_cache<T>();
+  const std::shared_ptr<const GemmPlan<T>> plan =
+      cache.plan(ta, tb, m, n, k, opts, ft);
+  ResidentAcquisition<T> acq = cache.operands().acquire(
+      a, lda, ta == Trans::kTrans, alpha, *plan, nullptr, false);
+  handle.bytes_ = acq.payload ? acq.payload->bytes() : 0;
+  handle.hit_ = acq.hit;
+  handle.hold_ = std::move(acq.payload);
+  return handle;
+}
+
+template ResidentOperand make_resident_a<float>(Trans, Trans, index_t,
+                                                index_t, index_t, float,
+                                                const float*, index_t,
+                                                const Options&, bool);
+template ResidentOperand make_resident_a<double>(Trans, Trans, index_t,
+                                                 index_t, index_t, double,
+                                                 const double*, index_t,
+                                                 const Options&, bool);
+
+}  // namespace ftgemm

@@ -57,6 +57,19 @@ struct Options {
   /// Accessed only from the verification critical section, so a single log
   /// may be shared across calls but not across concurrent GEMMs.
   std::vector<CorrectionRecord>* correction_log = nullptr;
+  /// Serve A from the process-wide resident-operand cache
+  /// (core/operand_cache.hpp): pack + checksum-encode A once, reuse the
+  /// resident panels on every later call with the same operand and shape.
+  /// Strictly opt-in — the caller promises A is stable between calls
+  /// (weights); results are bit-identical to the cold path.
+  bool resident_a = false;
+  /// Re-verify the resident panels' integrity sums on every cache hit
+  /// (CHECK_BEFORE) and heal a mismatch by re-encoding from the source.
+  /// Only meaningful with resident_a.
+  bool resident_verify = true;
+  /// Optional memory-fault injector corrupting the resident panels on cache
+  /// hits, before re-verification (tests).  Non-owning; may be null.
+  MemoryFaultInjector* memory_injector = nullptr;
 };
 
 /// Outcome of one fault-tolerant GEMM call.
@@ -72,6 +85,11 @@ struct FtReport {
   /// C is untouched; no panels ran.  clean() stays true — nothing was
   /// computed, so nothing can be silently wrong.
   bool invalid_args = false;
+  /// With Options::resident_a: A was served from the resident-operand cache
+  /// (false on the encoding miss and when resident_a was off).
+  bool resident_hit = false;
+  /// Resident-panel integrity mismatches healed by re-encoding this call.
+  int resident_heals = 0;
 
   /// True when the result is trustworthy (all mismatches corrected).
   [[nodiscard]] bool clean() const { return uncorrectable_panels == 0; }

@@ -22,6 +22,7 @@
 #include "blocking/plan.hpp"       // IWYU pragma: export
 #include "core/gemm.hpp"           // IWYU pragma: export
 #include "core/gemm_batched.hpp"   // IWYU pragma: export
+#include "core/operand_cache.hpp"  // IWYU pragma: export
 #include "core/options.hpp"        // IWYU pragma: export
 #include "core/plan.hpp"           // IWYU pragma: export
 #include "ftblas/level1.hpp"       // IWYU pragma: export

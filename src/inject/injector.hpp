@@ -98,4 +98,45 @@ class FaultInjector {
 template <typename T>
 double apply_corruption(T& value, const InjectionRecord& rec);
 
+// ---------------------------------------------------------------------------
+// Memory-domain faults: corruption of *resident* data between calls, as
+// opposed to the compute-domain faults FaultInjector models inside a call.
+// The resident-operand cache (core/operand_cache.hpp) gives each cache hit
+// to the injector before its CHECK_BEFORE re-verification, emulating a bit
+// flip that struck the cached packed panels while they sat in memory.
+// ---------------------------------------------------------------------------
+
+/// One planned flip inside a resident packed-panel payload.
+struct PanelFlip {
+  std::size_t elem = 0;  ///< flat element index into the packed panels
+  int bit = 0;           ///< which of the element's 64/32 bits to flip
+};
+
+/// Abstract memory-fault injector.  Implementations decide when and where;
+/// the operand cache applies the flips and counts ground truth.  Called from
+/// whatever thread takes the cache hit; implementations must be thread-safe.
+class MemoryFaultInjector {
+ public:
+  virtual ~MemoryFaultInjector() = default;
+
+  /// Called on each resident-operand cache hit with the payload's packed
+  /// element count; append the flips to apply before re-verification.
+  virtual void plan_flips(std::size_t elems, std::vector<PanelFlip>& out) = 0;
+
+  /// Ground truth: flips actually applied by the cache.
+  void record_applied(std::size_t count) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    applied_ += count;
+  }
+
+  [[nodiscard]] std::size_t applied_count() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return applied_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t applied_ = 0;
+};
+
 }  // namespace ftgemm

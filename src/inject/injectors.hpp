@@ -151,4 +151,36 @@ class RateInjector final : public FaultInjector {
   bool started_ = false;
 };
 
+/// Memory-domain injector for the resident-operand cache: flips `flips`
+/// deterministically-placed bits in the cached packed panels on every
+/// `every`-th hit (every = 1 corrupts each hit).  High exponent bits are the
+/// default target — a low mantissa flip in an fp payload can be absorbed by
+/// checksum rounding, whereas the re-verification sweep is bit-exact and the
+/// tests assert detection *and* healing, so the flip must also be large
+/// enough to poison the GEMM result if it were silently consumed.
+class PanelBitFlipInjector final : public MemoryFaultInjector {
+ public:
+  explicit PanelBitFlipInjector(int flips, std::uint64_t seed, int bit,
+                                int every = 1)
+      : flips_(flips), rng_(seed), bit_(bit), every_(every > 0 ? every : 1) {}
+
+  void plan_flips(std::size_t elems,
+                  std::vector<PanelFlip>& out) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const int hit = hit_index_++;
+    if (elems == 0 || hit % every_ != 0) return;
+    for (int f = 0; f < flips_; ++f) {
+      out.push_back({std::size_t(rng_.bounded(std::uint64_t(elems))), bit_});
+    }
+  }
+
+ private:
+  std::mutex mutex_;
+  int flips_;
+  Xoshiro256 rng_;
+  int bit_;
+  int every_;
+  int hit_index_ = 0;
+};
+
 }  // namespace ftgemm

@@ -113,6 +113,17 @@ template <typename T>
 using EncodeArFn = double (*)(const OperandView<T>& a, index_t i0,
                               index_t ilen, index_t k, T alpha, T* ar_part);
 
+/// Replay of pack_a_ft's fused Cc update from an already-packed panel:
+///   cc[ii] += sum_kk packed(ii, kk) * bc[kk]
+/// with the SAME accumulation structure (per-ISA, per-trans) pack_a_ft would
+/// have used while packing — so a cache-hit on a resident pre-packed A panel
+/// reproduces the cold path's Cc bit-for-bit.  `trans` is the original
+/// operand's transpose flag (the packed bytes are layout-free, but the
+/// Trans/NoTrans packers carry different accumulator shapes).
+template <typename T>
+using EncodeCcFn = void (*)(const T* packed, bool trans, index_t mlen,
+                            index_t klen, index_t mr, const T* bc, T* cc);
+
 /// The ISA-dispatched pack/reduce/encode family.  Obtained via
 /// get_pack_set(); a KernelSet returned by get_kernel_set() carries the
 /// matching PackSet, so executors reach both through one dispatch point.
@@ -125,6 +136,7 @@ struct PackSet {
   ReduceBcFn<T> reduce_bc = nullptr;
   ScaleEncodeCFn<T> scale_encode_c = nullptr;
   EncodeArFn<T> encode_ar = nullptr;
+  EncodeCcFn<T> encode_cc = nullptr;
   Isa isa = Isa::kScalar;
 };
 

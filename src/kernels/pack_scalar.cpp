@@ -25,6 +25,7 @@ PackSet<T> make_scalar_pack() {
   p.reduce_bc = &reduce_bc_from_panel<T>;
   p.scale_encode_c = &scale_encode_c<T>;
   p.encode_ar = &encode_ar_partial<T>;
+  p.encode_cc = &encode_cc_from_panel<T>;
   p.isa = Isa::kScalar;
   return p;
 }

@@ -365,6 +365,93 @@ constexpr index_t trans_tile() {
 }
 
 // ---------------------------------------------------------------------------
+// Cc replay from an already-packed panel (resident-operand cache hits).
+// Each routine repeats EXACTLY the accumulator structure of its pack_a
+// counterpart above — same fmadd operand order, same aligned-prefix /
+// scalar-tail split, same deferred vector-accumulator add — with the packed
+// value standing in for the just-scaled element, so the accumulated Cc is
+// bit-identical to a cold pack_a_ft over the same slab.
+// ---------------------------------------------------------------------------
+
+/// Replay of pack_a_panel_trans<FT=true> (double).  Full tile: rows == mr.
+inline void encode_cc_panel_trans(const double* __restrict__ packed,
+                                  index_t klen, index_t mr,
+                                  const double* __restrict__ bc,
+                                  double* __restrict__ cc) {
+  const index_t groups = mr / 4;
+  __m256d acc[kMaxGroups];
+  for (index_t g = 0; g < groups; ++g) acc[g] = _mm256_setzero_pd();
+  index_t kk = 0;
+  for (; kk + 4 <= klen; kk += 4) {
+    for (index_t g = 0; g < groups; ++g) {
+      for (int q = 0; q < 4; ++q) {
+        const __m256d v = _mm256_loadu_pd(packed + (kk + q) * mr + 4 * g);
+        acc[g] = _mm256_fmadd_pd(v, _mm256_set1_pd(bc[kk + q]), acc[g]);
+      }
+    }
+  }
+  for (; kk < klen; ++kk) {
+    const double* col = packed + kk * mr;
+    const double bcv = bc[kk];
+    for (index_t ii = 0; ii < mr; ++ii) cc[ii] += col[ii] * bcv;
+  }
+  for (index_t g = 0; g < groups; ++g) {
+    _mm256_storeu_pd(cc + 4 * g,
+                     _mm256_add_pd(_mm256_loadu_pd(cc + 4 * g), acc[g]));
+  }
+}
+
+/// Replay of pack_a_panel_trans<FT=true> (float).  Full tile: rows == mr.
+inline void encode_cc_panel_trans(const float* __restrict__ packed,
+                                  index_t klen, index_t mr,
+                                  const float* __restrict__ bc,
+                                  float* __restrict__ cc) {
+  const index_t groups = mr / 8;
+  __m256 acc[kMaxGroups];
+  for (index_t g = 0; g < groups; ++g) acc[g] = _mm256_setzero_ps();
+  index_t kk = 0;
+  for (; kk + 8 <= klen; kk += 8) {
+    for (index_t g = 0; g < groups; ++g) {
+      for (int q = 0; q < 8; ++q) {
+        const __m256 v = _mm256_loadu_ps(packed + (kk + q) * mr + 8 * g);
+        acc[g] = _mm256_fmadd_ps(v, _mm256_set1_ps(bc[kk + q]), acc[g]);
+      }
+    }
+  }
+  for (; kk < klen; ++kk) {
+    const float* col = packed + kk * mr;
+    const float bcv = bc[kk];
+    for (index_t ii = 0; ii < mr; ++ii) cc[ii] += col[ii] * bcv;
+  }
+  for (index_t g = 0; g < groups; ++g) {
+    _mm256_storeu_ps(cc + 8 * g,
+                     _mm256_add_ps(_mm256_loadu_ps(cc + 8 * g), acc[g]));
+  }
+}
+
+/// Replay of pack_a_panel_notrans<TR, FT=true>.  Full tile: rows == mr.
+template <class TR>
+void encode_cc_panel_notrans(const typename TR::T* __restrict__ packed,
+                             index_t klen, index_t mr,
+                             const typename TR::T* __restrict__ bc,
+                             typename TR::T* __restrict__ cc) {
+  using Vec = typename TR::Vec;
+  constexpr index_t W = TR::W;
+  const index_t groups = mr / W;
+  Vec acc[kMaxGroups];
+  for (index_t g = 0; g < groups; ++g) acc[g] = TR::zero();
+  for (index_t kk = 0; kk < klen; ++kk) {
+    const typename TR::T* __restrict__ col = packed + kk * mr;
+    const Vec bcv = TR::set1(bc[kk]);
+    for (index_t g = 0; g < groups; ++g) {
+      acc[g] = TR::fmadd(TR::loadu(col + g * W), bcv, acc[g]);
+    }
+  }
+  for (index_t g = 0; g < groups; ++g)
+    TR::storeu(cc + g * W, TR::add(TR::loadu(cc + g * W), acc[g]));
+}
+
+// ---------------------------------------------------------------------------
 // Traits-parameterized full-width streaming paths.  A Traits class TR
 // provides: T, Vec, W, zero/set1/loadu/storeu, maskload/maskstore (first n
 // lanes; masked-out lanes read as zero), add/mul/fmadd/max/abs, hsum/hmax.
@@ -754,6 +841,35 @@ void pack_b_ft_disp(const OperandView<typename TR::T>& b, index_t k0,
   pack_b_generic<TR, true>(b, k0, j0, klen, nlen, nr, dst, ar, cr);
 }
 
+/// Dispatch for the Cc replay: the SAME full-tile/ragged-tail split and
+/// tile-geometry gate as pack_a_generic, so every tile's Cc contribution is
+/// accumulated by the replay twin of the packer that produced it.
+template <class TR>
+void encode_cc_disp(const typename TR::T* packed, bool trans, index_t mlen,
+                    index_t klen, index_t mr, const typename TR::T* bc,
+                    typename TR::T* cc) {
+  using T = typename TR::T;
+  const bool simd_ok =
+      trans ? (mr % trans_tile<T>() == 0 &&
+               mr / trans_tile<T>() <= kMaxGroups)
+            : (mr % TR::W == 0 && mr / TR::W <= kMaxGroups);
+  index_t ip = 0;
+  if (simd_ok) {
+    for (; ip + mr <= mlen; ip += mr) {
+      if (trans) {
+        encode_cc_panel_trans(packed, klen, mr, bc, cc + ip);
+      } else {
+        encode_cc_panel_notrans<TR>(packed, klen, mr, bc, cc + ip);
+      }
+      packed += mr * klen;
+    }
+  }
+  if (ip < mlen) {  // ragged tail tile (or whole call): scalar oracle path
+    scalar_pack<T>().encode_cc(packed, trans, mlen - ip, klen, mr, bc,
+                               cc + ip);
+  }
+}
+
 template <class TR>
 double reduce_bc_disp(const typename TR::T* b_packed, index_t klen,
                       index_t nlen, index_t nr, index_t kk0, index_t kklen,
@@ -779,6 +895,7 @@ PackSet<typename TR::T> make_simd_pack(Isa isa) {
   p.reduce_bc = &reduce_bc_disp<TR>;
   p.scale_encode_c = &scale_encode_c_simd<TR>;
   p.encode_ar = &encode_ar_simd<TR>;
+  p.encode_cc = &encode_cc_disp<TR>;
   p.isa = isa;
   return p;
 }

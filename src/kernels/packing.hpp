@@ -163,6 +163,30 @@ void pack_b_ft(const OperandView<T>& b, index_t k0, index_t j0, index_t klen,
   }
 }
 
+/// Replay pack_a_ft's fused Cc update from an already-packed panel (the
+/// resident-operand cache hit path, see core/operand_cache.hpp):
+///   cc[ip + ii] += sum_kk panel_q(ii, kk) * bc[kk]
+/// Same loop nest and summation order as pack_a_ft — the packed value IS the
+/// alpha-scaled element pack_a_ft stored, so the accumulated Cc is
+/// bit-identical to what a cold pack_a_ft over the same (mlen, klen) slab
+/// would have produced.  The zero padding of a ragged tile contributes
+/// nothing and is skipped exactly like pack_a_ft skips it.
+template <typename T>
+void encode_cc_from_panel(const T* __restrict__ packed, bool /*trans*/,
+                          index_t mlen, index_t klen, index_t mr,
+                          const T* __restrict__ bc, T* __restrict__ cc) {
+  for (index_t ip = 0; ip < mlen; ip += mr) {
+    const index_t rows = std::min(mr, mlen - ip);
+    for (index_t kk = 0; kk < klen; ++kk) {
+      const T* __restrict__ col = packed + kk * mr;
+      const T bcv = bc[kk];
+      T* __restrict__ cc_rows = cc + ip;
+      for (index_t ii = 0; ii < rows; ++ii) cc_rows[ii] += col[ii] * bcv;
+    }
+    packed += mr * klen;
+  }
+}
+
 /// Derive the panel column checksum Bc[kk] = sum_j B_p(kk, j) for
 /// kk in [kk0, kk0+kklen) from the packed (zero-padded) panel itself, and
 /// fold the running amax of |B| (needed by the tolerance model) into the

@@ -330,8 +330,11 @@ GemmService::Pending GemmService::make_pending(
   Pending p;
   p.req = req;
   p.state = std::move(st);
+  // resident_a requests route direct: the synchronous entry point resolves
+  // the operand cache (and its per-hit verify/heal accounting) per request,
+  // which coalesced members would not surface individually.
   if (cfg_.coalesce && req.batch == 1 && req.opts.injector == nullptr &&
-      req.opts.correction_log == nullptr) {
+      req.opts.correction_log == nullptr && !req.opts.resident_a) {
     p.coalescible = resolve_coalescible(req, p.key);
   }
   return p;
@@ -624,12 +627,23 @@ void GemmService::execute_direct(const Pending& p) {
       stats_.errors_detected += res.batch.errors_detected;
       stats_.errors_corrected += res.batch.errors_corrected;
       if (!res.batch.clean() || res.batch.invalid_args) ++stats_.dirty_results;
+      if (p.req.opts.resident_a && !res.batch.invalid_args) {
+        stats_.resident_hits += std::uint64_t(res.batch.resident_hits);
+        stats_.resident_misses +=
+            std::uint64_t(res.batch.problems - res.batch.resident_hits);
+        stats_.resident_heals += res.batch.resident_heals;
+      }
     } else {
       ++stats_.direct_calls;
       stats_.errors_detected += res.report.errors_detected;
       stats_.errors_corrected += res.report.errors_corrected;
       if (!res.report.clean() || res.report.invalid_args)
         ++stats_.dirty_results;
+      if (p.req.opts.resident_a && !res.report.invalid_args) {
+        res.report.resident_hit ? ++stats_.resident_hits
+                                : ++stats_.resident_misses;
+        stats_.resident_heals += res.report.resident_heals;
+      }
     }
   }
   detail::settle(*p.state, std::move(res));

@@ -257,6 +257,13 @@ struct ServiceStats {
   std::int64_t errors_detected = 0;   ///< summed over all FT reports
   std::int64_t errors_corrected = 0;  ///< summed over all FT reports
   std::uint64_t dirty_results = 0;    ///< requests whose result was not clean
+  /// Resident-weight serving (Options::resident_a): problems whose A came
+  /// from the operand cache / had to be encoded there, and cached-panel
+  /// integrity mismatches healed by re-encoding (batched requests count
+  /// per member).
+  std::uint64_t resident_hits = 0;
+  std::uint64_t resident_misses = 0;
+  std::int64_t resident_heals = 0;
   std::uint64_t peak_queue_depth = 0;
   std::uint64_t peak_inflight = 0;
 };

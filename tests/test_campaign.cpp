@@ -5,7 +5,9 @@
 // The binary stays under the `slow` ctest label.
 #include <gtest/gtest.h>
 
+#include "core/gemm.hpp"
 #include "inject/campaign.hpp"
+#include "inject/injectors.hpp"
 #include "test_common.hpp"
 
 namespace ftgemm {
@@ -125,6 +127,68 @@ TEST(ServiceCampaign, CleanTrafficStaysCleanAndCoalesces) {
   EXPECT_GT(r.coalesced_requests, 0)
       << "uninjected same-shape traffic should ride merged batches"
       << seed_note(config.seed);
+}
+
+// Memory-domain campaign over the resident-operand cache: a serving loop
+// whose cached packed panels are struck by bit flips on every third hit.
+// The CHECK_BEFORE re-verification must detect each strike, heal it by
+// re-encoding from the source weight, and every round's result must match
+// the naive reference — never a silently wrong answer, exactly like the
+// compute-domain campaigns above.
+TEST(MemoryFaultCampaign, ResidentPanelFlipsAlwaysHealedNeverSilent) {
+  clear_process_caches();
+  const std::uint64_t seed = test_seed(2026);
+  const testing::GemmCase cs{96, 64, 160};
+  const testing::Problem<double> p(cs, seed);
+  const Matrix<double> ref = testing::reference_result(cs, p);
+
+  Options opts;
+  opts.threads = 2;
+  opts.resident_a = true;
+
+  Matrix<double> c_cold = p.c.clone();
+  {
+    Options cold = opts;
+    cold.resident_a = false;
+    ft_dgemm(Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n, cs.k, cs.alpha,
+             p.a.data(), p.a.ld(), p.b.data(), p.b.ld(), cs.beta,
+             c_cold.data(), c_cold.ld(), cold);
+  }
+
+  // Warm the entry (the miss encodes; the injector only sees hits).
+  Matrix<double> c = p.c.clone();
+  FtReport rep = ft_dgemm(Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n, cs.k,
+                          cs.alpha, p.a.data(), p.a.ld(), p.b.data(),
+                          p.b.ld(), cs.beta, c.data(), c.ld(), opts);
+  ASSERT_FALSE(rep.resident_hit) << seed_note(seed);
+
+  constexpr int kRounds = 30;
+  constexpr int kFlipsPerStrike = 2;
+  PanelBitFlipInjector injector(kFlipsPerStrike, seed, /*bit=*/61,
+                                /*every=*/3);
+  opts.memory_injector = &injector;
+  std::int64_t heals = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    c = p.c.clone();
+    rep = ft_dgemm(Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n, cs.k,
+                   cs.alpha, p.a.data(), p.a.ld(), p.b.data(), p.b.ld(),
+                   cs.beta, c.data(), c.ld(), opts);
+    ASSERT_TRUE(rep.resident_hit) << "round " << round << seed_note(seed);
+    EXPECT_TRUE(rep.clean()) << "round " << round << seed_note(seed);
+    heals += rep.resident_heals;
+    // Healed-or-clean, the delivered result is the cold result, bit for
+    // bit — and therefore within the standard tolerance of the oracle.
+    testing::expect_matrix_near(c, c_cold, 0.0,
+                                "campaign round " + std::to_string(round));
+  }
+  testing::expect_matrix_near(c, ref, testing::gemm_tolerance<double>(cs.k),
+                              "final round vs naive_ref_gemm");
+
+  // Strikes land on hits 0, 3, ..., 27: ten corrupted rounds, each healed.
+  EXPECT_EQ(heals, kRounds / 3) << seed_note(seed);
+  EXPECT_EQ(injector.applied_count(),
+            std::size_t(kRounds / 3) * kFlipsPerStrike)
+      << seed_note(seed);
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include <cstring>
 #include <vector>
 
+#include "core/context.hpp"
 #include "core/plan.hpp"
 #include "inject/injectors.hpp"
 #include "test_common.hpp"
@@ -362,9 +363,9 @@ TYPED_TEST(PlanEquivalenceTyped, FastPathBitIdenticalToGeneralPath) {
   for (const GemmCase& cs : cases) expect_bit_identical<T>(cs);
 }
 
-TEST(PlanCacheTest, ClearThreadPlanCacheRereadsEnvironment) {
-  // The free functions' thread-local cache freezes env knobs at plan-build
-  // time; clear_thread_plan_cache() is the documented way to re-read them.
+TEST(PlanCacheTest, ClearProcessCachesRereadsEnvironment) {
+  // The free functions' shared plan cache freezes env knobs at plan-build
+  // time; clear_process_caches() is the documented way to re-read them.
   const index_t n = 32;
   Matrix<double> a(n, n), b(n, n), c(n, n);
   a.fill_random(1);
@@ -374,7 +375,7 @@ TEST(PlanCacheTest, ClearThreadPlanCacheRereadsEnvironment) {
     dgemm(Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, n, n, n, 1.0,
           a.data(), n, b.data(), n, 0.0, c.data(), n);
   };
-  call();  // warm the tls cache for this shape
+  call();  // warm the shared cache for this shape
 
   // With the fast path switched off via env, a *stale* plan would still run
   // it; after the clear, the rebuilt plan must observe the override.
@@ -384,10 +385,65 @@ TEST(PlanCacheTest, ClearThreadPlanCacheRereadsEnvironment) {
                          false);
   EXPECT_FALSE(stale_view.fast_path)
       << "a freshly built plan sees the env override";
-  clear_thread_plan_cache();
+  clear_process_caches();
   call();  // must not crash and must re-plan under the new env
   ::unsetenv("FTGEMM_FAST_PATH_FLOPS");
+  clear_process_caches();
+}
+
+TEST(PlanCacheTest, ClearProcessCachesAlsoDropsResidentOperands) {
+  // One clear covers both shared caches: the plans and the resident
+  // operand payloads encoded against them.
+  clear_process_caches();
+  const index_t n = 48;
+  Matrix<double> a(n, n), b(n, n), c(n, n);
+  a.fill_random(11);
+  b.fill_random(12);
+  c.fill(0.0);
+  Options opts;
+  opts.resident_a = true;
+  const auto call = [&] {
+    return ft_dgemm(Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, n,
+                    n, n, 1.0, a.data(), n, b.data(), n, 0.0, c.data(), n,
+                    opts);
+  };
+  EXPECT_FALSE(call().resident_hit);
+  EXPECT_TRUE(call().resident_hit);
+  EXPECT_GE(process_context_cache<double>().operands().stats().entries, 1u);
+
+  clear_process_caches();
+  EXPECT_EQ(process_context_cache<double>().operands().stats().entries, 0u);
+  const std::uint64_t misses_before =
+      process_context_cache<double>().plan_misses();
+  EXPECT_FALSE(call().resident_hit) << "cleared entry must re-encode";
+  EXPECT_GT(process_context_cache<double>().plan_misses(), misses_before)
+      << "cleared plan must rebuild too";
+}
+
+TEST(PlanCacheTest, DeprecatedClearAliasStillClears) {
+  // clear_thread_plan_cache() survives one release as an alias; it must
+  // keep the historical behavior (now routed to clear_process_caches).
+  const index_t n = 32;
+  Matrix<double> a(n, n), b(n, n), c(n, n);
+  a.fill_random(21);
+  b.fill_random(22);
+  c.fill(0.0);
+  Options opts;
+  opts.resident_a = true;
+  ft_dgemm(Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, n, n, n, 1.0,
+           a.data(), n, b.data(), n, 0.0, c.data(), n, opts);
+  EXPECT_GE(process_context_cache<double>().operands().stats().entries, 1u);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   clear_thread_plan_cache();
+#pragma GCC diagnostic pop
+  EXPECT_EQ(process_context_cache<double>().operands().stats().entries, 0u);
+  const std::uint64_t misses_before =
+      process_context_cache<double>().plan_misses();
+  dgemm(Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, n, n, n, 1.0,
+        a.data(), n, b.data(), n, 0.0, c.data(), n);
+  EXPECT_GT(process_context_cache<double>().plan_misses(), misses_before)
+      << "the alias must drop cached plans exactly like the new name";
 }
 
 TEST(PlanFastPath, InjectedFaultsStillDetectedAndCorrected) {

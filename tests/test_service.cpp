@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/context.hpp"
+#include "core/gemm.hpp"
 #include "serve/service.hpp"
 #include "test_common.hpp"
 
@@ -468,6 +469,199 @@ TEST(ServiceErrors, InvalidRequestsAreRejectedAtTheDoor) {
 
   // A valid request still flows after the rejections.
   EXPECT_EQ(service.submit(base()).wait().status, RequestStatus::kDone);
+}
+
+/// The serving pattern the resident-operand cache exists for: one weight
+/// matrix per layer, fresh activations per request.  Repeated-A traffic
+/// with Options::resident_a must hit the cache after the first encode, be
+/// bit-identical to the per-call synchronous path, and show up in the
+/// service's resident_{hits,misses,heals} counters — for both precisions.
+TEST(ServiceResident, RepeatedWeightTrafficHitsCacheBitIdenticalToSync) {
+  clear_process_caches();
+  ServiceConfig cfg;
+  cfg.max_inflight = 2;
+  GemmService service(cfg);
+
+  const GemmCase cs{64, 48, 96};
+  const int kRounds = 6;
+  Options opts;
+  opts.threads = 2;
+  Options ropts = opts;
+  ropts.resident_a = true;
+
+  Matrix<double> wd(cs.m, cs.k);
+  wd.fill_random(31);
+  Matrix<float> wf(cs.m, cs.k);
+  wf.fill_random(32);
+
+  struct RoundD {
+    Matrix<double> b, c_sync, c_async;
+  };
+  struct RoundF {
+    Matrix<float> b, c_sync, c_async;
+  };
+  std::vector<RoundD> rd(kRounds);
+  std::vector<RoundF> rf(kRounds);
+  for (int r = 0; r < kRounds; ++r) {
+    rd[std::size_t(r)].b = Matrix<double>(cs.k, cs.n);
+    rd[std::size_t(r)].b.fill_random(std::uint64_t(300 + r));
+    rd[std::size_t(r)].c_sync = Matrix<double>(cs.m, cs.n);
+    rd[std::size_t(r)].c_sync.fill(0.0);
+    rd[std::size_t(r)].c_async = rd[std::size_t(r)].c_sync.clone();
+    ft_dgemm(Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n, cs.k, 1.0,
+             wd.data(), wd.ld(), rd[std::size_t(r)].b.data(),
+             rd[std::size_t(r)].b.ld(), 0.0, rd[std::size_t(r)].c_sync.data(),
+             rd[std::size_t(r)].c_sync.ld(), opts);
+    rf[std::size_t(r)].b = Matrix<float>(cs.k, cs.n);
+    rf[std::size_t(r)].b.fill_random(std::uint64_t(400 + r));
+    rf[std::size_t(r)].c_sync = Matrix<float>(cs.m, cs.n);
+    rf[std::size_t(r)].c_sync.fill(0.0f);
+    rf[std::size_t(r)].c_async = rf[std::size_t(r)].c_sync.clone();
+    ft_sgemm(Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n, cs.k, 1.0f,
+             wf.data(), wf.ld(), rf[std::size_t(r)].b.data(),
+             rf[std::size_t(r)].b.ld(), 0.0f,
+             rf[std::size_t(r)].c_sync.data(),
+             rf[std::size_t(r)].c_sync.ld(), opts);
+  }
+
+  const auto submit_d = [&](int r) {
+    return service.submit(make_gemm_request<double>(
+        true, Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n, cs.k, 1.0,
+        wd.data(), wd.ld(), rd[std::size_t(r)].b.data(),
+        rd[std::size_t(r)].b.ld(), 0.0, rd[std::size_t(r)].c_async.data(),
+        rd[std::size_t(r)].c_async.ld(), ropts));
+  };
+  const auto submit_f = [&](int r) {
+    return service.submit(make_gemm_request<float>(
+        true, Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n, cs.k, 1.0f,
+        wf.data(), wf.ld(), rf[std::size_t(r)].b.data(),
+        rf[std::size_t(r)].b.ld(), 0.0f, rf[std::size_t(r)].c_async.data(),
+        rf[std::size_t(r)].c_async.ld(), ropts));
+  };
+
+  // Round 0 warms each weight's entry (serialized so the miss count is
+  // deterministic); the remaining rounds fly concurrently and must all hit.
+  {
+    const GemmResult& res = submit_d(0).wait();
+    ASSERT_EQ(res.status, RequestStatus::kDone);
+    EXPECT_FALSE(res.report.resident_hit);
+  }
+  {
+    const GemmResult& res = submit_f(0).wait();
+    ASSERT_EQ(res.status, RequestStatus::kDone);
+    EXPECT_FALSE(res.report.resident_hit);
+  }
+  std::vector<GemmFuture> futures;
+  for (int r = 1; r < kRounds; ++r) {
+    futures.push_back(submit_d(r));
+    futures.push_back(submit_f(r));
+  }
+  for (GemmFuture& fut : futures) {
+    const GemmResult& res = fut.wait();
+    ASSERT_EQ(res.status, RequestStatus::kDone);
+    EXPECT_TRUE(res.ok());
+    EXPECT_TRUE(res.report.resident_hit) << "warm weight must hit";
+    EXPECT_FALSE(res.coalesced) << "resident requests route direct";
+  }
+  for (int r = 0; r < kRounds; ++r) {
+    expect_matrix_near(rd[std::size_t(r)].c_async, rd[std::size_t(r)].c_sync,
+                       0.0, "resident f64 round " + std::to_string(r));
+    expect_matrix_near(rf[std::size_t(r)].c_async, rf[std::size_t(r)].c_sync,
+                       0.0, "resident f32 round " + std::to_string(r));
+  }
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.resident_misses, 2u);  // one encode per weight
+  EXPECT_EQ(stats.resident_hits, std::uint64_t(2 * (kRounds - 1)));
+  EXPECT_EQ(stats.resident_heals, 0);
+}
+
+/// Resident requests must opt out of coalescing without breaking it for
+/// everyone else: a mixed queue staged while paused still merges the
+/// non-resident members into one batched call, while the resident members
+/// ride the direct route with per-request cache accounting intact.
+TEST(ServiceResident, CoexistsWithCoalescedNonResidentTraffic) {
+  clear_process_caches();
+  ServiceConfig cfg;
+  cfg.start_paused = true;
+  cfg.max_inflight = 1;
+  cfg.max_coalesce = 16;
+  GemmService service(cfg);
+
+  const GemmCase cs{48, 40, 64, Trans::kNoTrans, Trans::kTrans, 1.25, -0.5};
+  Options opts;
+  opts.threads = 1;
+  Options ropts = opts;
+  ropts.resident_a = true;
+  const int kCoal = 6, kResident = 4;
+
+  // Coalescible crowd: distinct problems sharing the fast-path fingerprint.
+  std::vector<Problem<double>> crowd;
+  std::vector<Matrix<double>> crowd_sync, crowd_async;
+  for (int r = 0; r < kCoal; ++r) {
+    crowd.emplace_back(cs, std::uint64_t(500 + r));
+    crowd_sync.push_back(crowd.back().c.clone());
+    crowd_async.push_back(crowd.back().c.clone());
+    run_sync<double>(cs, true, crowd.back(), crowd_sync[std::size_t(r)],
+                     opts);
+  }
+  // Resident traffic: one weight, per-request activations.
+  Problem<double> wp(cs, 777);
+  std::vector<Matrix<double>> res_b, res_sync, res_async;
+  for (int r = 0; r < kResident; ++r) {
+    res_b.push_back(wp.b.clone());  // same dims, fresh per-request contents
+    res_b.back().fill_random(std::uint64_t(600 + r));
+    res_sync.emplace_back(wp.c.clone());
+    res_async.emplace_back(wp.c.clone());
+    ft_dgemm(Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n, cs.k, cs.alpha,
+             wp.a.data(), wp.a.ld(), res_b[std::size_t(r)].data(),
+             res_b[std::size_t(r)].ld(), cs.beta,
+             res_sync[std::size_t(r)].data(), res_sync[std::size_t(r)].ld(),
+             opts);
+  }
+
+  std::vector<GemmFuture> coal_futs, res_futs;
+  for (int r = 0; r < kCoal; ++r) {
+    const Problem<double>& p = crowd[std::size_t(r)];
+    coal_futs.push_back(service.submit(make_gemm_request<double>(
+        true, Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n, cs.k, cs.alpha,
+        p.a.data(), p.a.ld(), p.b.data(), p.b.ld(), cs.beta,
+        crowd_async[std::size_t(r)].data(), crowd_async[std::size_t(r)].ld(),
+        opts)));
+  }
+  for (int r = 0; r < kResident; ++r) {
+    res_futs.push_back(service.submit(make_gemm_request<double>(
+        true, Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n, cs.k, cs.alpha,
+        wp.a.data(), wp.a.ld(), res_b[std::size_t(r)].data(),
+        res_b[std::size_t(r)].ld(), cs.beta,
+        res_async[std::size_t(r)].data(), res_async[std::size_t(r)].ld(),
+        ropts)));
+  }
+  service.resume();
+
+  for (int r = 0; r < kCoal; ++r) {
+    const GemmResult& res = coal_futs[std::size_t(r)].wait();
+    ASSERT_EQ(res.status, RequestStatus::kDone) << "coalesced " << r;
+    EXPECT_TRUE(res.coalesced) << "non-resident member " << r;
+    expect_matrix_near(crowd_async[std::size_t(r)],
+                       crowd_sync[std::size_t(r)], 0.0,
+                       "coalesced member " + std::to_string(r));
+  }
+  for (int r = 0; r < kResident; ++r) {
+    const GemmResult& res = res_futs[std::size_t(r)].wait();
+    ASSERT_EQ(res.status, RequestStatus::kDone) << "resident " << r;
+    EXPECT_FALSE(res.coalesced) << "resident member " << r;
+    expect_matrix_near(res_async[std::size_t(r)], res_sync[std::size_t(r)],
+                       0.0, "resident member " + std::to_string(r));
+  }
+
+  const auto stats = service.stats();
+  EXPECT_GE(stats.coalesced_batches, 1u);
+  EXPECT_EQ(stats.coalesced_members, std::uint64_t(kCoal));
+  // max_inflight = 1 serializes the resident lane: exactly one encode.
+  EXPECT_EQ(stats.resident_misses, 1u);
+  EXPECT_EQ(stats.resident_hits, std::uint64_t(kResident - 1));
+  EXPECT_EQ(stats.resident_heals, 0);
 }
 
 /// 8 concurrent clients hammering one service with mixed entry-point
