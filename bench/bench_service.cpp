@@ -21,6 +21,14 @@
 //           bounded concurrency.  async/sync >= 1 at >= 4 clients, and the
 //           margin grows with the client count.
 //
+//   sharded_* — the same two profiles against services with an explicit
+//           shard count (FTGEMM_SERVICE_SHARDS equivalent swept {1,2,4})
+//           at loaded client counts, isolating what sharded admission +
+//           work stealing buy once the submit side is no longer the
+//           bottleneck.  The serial story additionally rides the inline
+//           fast lane: idle-service fast-path requests execute on the
+//           submitting thread with no queue round-trip at all.
+//
 // Clients submit in pipelined windows (FTGEMM_BENCH_WINDOW requests via
 // submit_all, drained newest-first) — the shape of real serving traffic.
 // Per-client operands are private; each client spot-verifies its last
@@ -84,12 +92,17 @@ double run_sync(std::vector<ClientWorkload>& clients, index_t calls,
 }
 
 double run_async(std::vector<ClientWorkload>& clients, index_t calls,
-                 index_t window, int nt, std::atomic<int>& failures) {
+                 index_t window, int nt, int shards,
+                 std::atomic<int>& failures) {
   const int nclients = int(clients.size());
   serve::ServiceConfig cfg;
   cfg.max_inflight = 1;  // bounded concurrency: the admission-control lever
   cfg.max_coalesce = 32;
   cfg.queue_capacity = std::size_t(nclients) * std::size_t(window) * 2;
+  cfg.shards = shards;  // 0 = auto (env / hardware concurrency)
+  // Every client may ride the inline fast lane concurrently; the
+  // max_inflight bound still applies to queued (dispatcher) traffic.
+  cfg.inline_inflight_limit = nclients;
   serve::GemmService service(cfg);
 
   WallTimer t;
@@ -127,26 +140,56 @@ double run_async(std::vector<ClientWorkload>& clients, index_t calls,
   return rps;
 }
 
-void run_series(const char* label, index_t size, index_t calls,
-                index_t window, int nt, int reps,
+/// Symmetric plan-cache warm-up.  The sync loop only ever exercises the
+/// direct-path plan, while the service routes windows through the batched
+/// coalescer (and the inline lane) — so without an explicit pre-warm the
+/// async side pays the batched plan build + workspace growth inside its
+/// first timed window and the serial ratio under-reports steady state.
+/// Warm every route the timed loops can take before either side runs.
+void prewarm(ClientWorkload& w, index_t window, int nt, int shards) {
+  Options opts;
+  opts.threads = nt;
+  opts.runtime = RuntimeBackend::kPool;
+  ft_dgemm(Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, w.n, w.n,
+           w.n, 1.0, w.a.data(), w.n, w.b.data(), w.n, 0.0, w.c[0].data(),
+           w.n, opts);  // direct-path plan (sync loop, direct dispatch)
+  serve::ServiceConfig cfg;
+  cfg.shards = shards;
+  serve::GemmService service(cfg);
+  std::vector<serve::GemmRequest> wnd;
+  const index_t k = std::min<index_t>(window, 2);
+  for (index_t i = 0; i < k; ++i) {
+    wnd.push_back(serve::make_gemm_request<double>(
+        true, Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans, w.n, w.n,
+        w.n, 1.0, w.a.data(), w.n, w.b.data(), w.n, 0.0,
+        w.c[std::size_t(i)].data(), w.n, opts));
+  }
+  for (auto& f : service.submit_all(wnd)) f.wait();  // batched-path plan
+  service.shutdown(true);
+}
+
+void run_series(const std::string& label, index_t size, index_t calls,
+                index_t window, int nt, int reps, int shards,
+                std::initializer_list<int> client_counts,
                 std::atomic<int>& failures) {
-  for (const int nclients : {1, 2, 4, 8}) {
+  for (const int nclients : client_counts) {
     std::vector<ClientWorkload> cw;
     cw.reserve(std::size_t(nclients));
     for (int id = 0; id < nclients; ++id) {
       cw.emplace_back(size, window, std::uint64_t(7 + id));
     }
-    run_async(cw, calls, window, nt, failures);  // warm-up both sides
+    prewarm(cw[0], window, nt, shards);
+    run_async(cw, calls, window, nt, shards, failures);  // warm-up both sides
     run_sync(cw, calls, window, nt, failures);
     std::vector<double> sync_s, async_s;
     for (int r = 0; r < reps; ++r) {
-      async_s.push_back(run_async(cw, calls, window, nt, failures));
+      async_s.push_back(run_async(cw, calls, window, nt, shards, failures));
       sync_s.push_back(run_sync(cw, calls, window, nt, failures));
     }
     const double s = compute_stats(sync_s).median;
     const double a = compute_stats(async_s).median;
-    std::printf("%-12s%8d%14.1f%14.1f%12.2fx\n", label, nclients, s, a,
-                s > 0 ? a / s : 0.0);
+    std::printf("%-16s%8d%14.1f%14.1f%12.2fx\n", label.c_str(), nclients, s,
+                a, s > 0 ? a / s : 0.0);
     std::fflush(stdout);
   }
 }
@@ -171,14 +214,27 @@ int main() {
   std::printf("# window=%lld reps=%d hw_threads=%d — ratio = async/sync; "
               "team ratio >= 1 at >= 4 clients is the claim\n",
               (long long)window, reps, runtime::hardware_concurrency());
-  std::printf("%-12s%8s%14s%14s%13s\n", "series", "clients", "sync_rps",
+  std::printf("# sharded_* series: explicit shard counts (inline lane on), "
+              "loaded client counts only\n");
+  std::printf("%-16s%8s%14s%14s%13s\n", "series", "clients", "sync_rps",
               "async_rps", "ratio");
 
   std::atomic<int> failures{0};
-  run_series("serial_nt1", small, small_calls, window, 1, reps, failures);
-  run_series((std::string("team_nt") + std::to_string(team)).c_str(), big,
-             big_calls, std::max(window / 2, index_t(4)), team, reps,
-             failures);
+  const index_t team_window = std::max(window / 2, index_t(4));
+  run_series("serial_nt1", small, small_calls, window, 1, reps, 0,
+             {1, 2, 4, 8}, failures);
+  run_series("team_nt" + std::to_string(team), big, big_calls, team_window,
+             team, reps, 0, {1, 2, 4, 8}, failures);
+  // Shard-scaling sweep at loaded client counts: the sync baseline is the
+  // same, so comparing async_rps across _s1/_s2/_s4 rows isolates sharding.
+  for (const int s : {1, 2, 4}) {
+    run_series("sharded_nt1_s" + std::to_string(s), small, small_calls,
+               window, 1, reps, s, {4, 8}, failures);
+  }
+  for (const int s : {1, 2, 4}) {
+    run_series("sharded_team_s" + std::to_string(s), big, big_calls,
+               team_window, team, reps, s, {4, 8}, failures);
+  }
   if (failures.load() != 0) {
     std::printf("# VERIFICATION FAILURES: %d\n", failures.load());
     return 1;

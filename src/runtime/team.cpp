@@ -195,13 +195,15 @@ class WorkerPool {
   /// Asynchronous lease: dispatch an nt-member team entirely onto pool
   /// workers (tids 0..nt-1) and return immediately; the job's completion
   /// hook fires on the last member out.  With may_spawn == false this is
-  /// the non-blocking try-lease — it succeeds only if nt workers are parked
-  /// right now, and fails without side effects otherwise.
-  bool run_async(int nt, TeamFnRef fn, CompletionRef done, bool may_spawn) {
+  /// the non-blocking try-lease — it succeeds only if nt + reserve workers
+  /// are parked right now (the `reserve` surplus stays parked for other
+  /// lessees; see team.hpp), and fails without side effects otherwise.
+  bool run_async(int nt, TeamFnRef fn, CompletionRef done, bool may_spawn,
+                 int reserve) {
     TeamJob* job = new TeamJob(nt, fn, done);
     {
       std::lock_guard<std::mutex> lk(m_);
-      if (!may_spawn && int(free_.size()) < nt) {
+      if (!may_spawn && int(free_.size()) < nt + std::max(reserve, 0)) {
         delete job;
         return false;
       }
@@ -383,11 +385,13 @@ void run_team(RuntimeBackend backend, int nt, TeamFnRef fn) {
 }
 
 void run_team_async(int nt, TeamFnRef fn, CompletionRef done) {
-  WorkerPool::instance().run_async(std::max(nt, 1), fn, done, true);
+  WorkerPool::instance().run_async(std::max(nt, 1), fn, done, true, 0);
 }
 
-bool try_run_team_async(int nt, TeamFnRef fn, CompletionRef done) {
-  return WorkerPool::instance().run_async(std::max(nt, 1), fn, done, false);
+bool try_run_team_async(int nt, TeamFnRef fn, CompletionRef done,
+                        int reserve) {
+  return WorkerPool::instance().run_async(std::max(nt, 1), fn, done, false,
+                                          reserve);
 }
 
 int pool_worker_count() { return WorkerPool::instance().worker_count(); }

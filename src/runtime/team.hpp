@@ -159,8 +159,18 @@ void run_team_async(int nt, TeamFnRef fn, CompletionRef done);
 /// waits.  Returns false without running anything when the lease cannot be
 /// satisfied; the caller decides whether to fall back to the growing
 /// variant, queue, or shed load.  This is the admission-control primitive
-/// the serving layer's dispatcher is built on.
-bool try_run_team_async(int nt, TeamFnRef fn, CompletionRef done);
+/// the serving layer's dispatchers are built on.
+///
+/// `reserve` is the fairness hook for concurrent lessees (the sharded
+/// serving layer): the try-lease succeeds only when nt + reserve workers
+/// are parked, i.e. it leaves at least `reserve` workers on the free list
+/// for *other* submitters.  Without it, one hot shard's try-leases can
+/// drain the pool every time and permanently push its siblings onto the
+/// slower growing path; with reserve = (shards - 1) every shard's
+/// try-lease leaves one worker per sibling parked.  reserve = 0 is the
+/// original greedy behavior.
+bool try_run_team_async(int nt, TeamFnRef fn, CompletionRef done,
+                        int reserve = 0);
 
 /// Workers currently alive in the process-wide pool (diagnostics/tests).
 int pool_worker_count();

@@ -1,121 +1,53 @@
-// GemmService implementation: bounded priority admission queue, dispatcher
-// thread, coalesced-into-batched routing, async pool leases (see
-// serve/service.hpp for the contracts).
+// GemmService implementation: the sharded front-end — validation, plan
+// resolution, the inline-execute fast lane, shard selection, admission,
+// shutdown, and group execution on behalf of the shard dispatchers (see
+// serve/service.hpp for the contracts, serve/shard.hpp for the per-shard
+// mechanics, serve/shard.cpp for the lock order).
 //
-// Lock order (never taken in reverse, never nested beyond one level plus
-// the stats leaf):
-//   RequestState::m  — per-request settle/claim/cancel transitions;
-//   qm_              — admission queue;
-//   sm_              — in-flight slots;
-//   stats_m_         — counters (leaf; taken under qm_ for queue peaks).
-//
-// Lifetime protocol of one dispatch: the dispatcher moves a claimed group
-// into a free InflightSlot and leases a pool worker via the runtime's async
-// API (try-lease first — admission control without spawning — then the
-// growing lease).  The worker runs execute_slot (the GEMM(s) + settling
-// every future + counters); the runtime then invokes the completion hook,
-// whose ONLY job is release_slot: push the slot back and wake the
-// dispatcher/shutdown.  Futures are settled before the slot is released, so
-// a client observing its future done and immediately destroying the service
+// Lifetime protocol of one request: enqueue() validates, resolves the plan
+// fingerprint, and either (a) executes inline on the calling thread when
+// the fast lane is open, or (b) reserves a slot in the home shard's
+// lock-free ring.  A dispatcher (the home shard's, or a stealing sibling)
+// claims it into a group and calls back into execute_group(), which runs
+// the synchronous entry points, updates counters, and settles every
+// future.  Futures are settled before the in-flight slot is released, so a
+// client observing its future done and immediately destroying the service
 // still blocks in ~GemmService until the completion has finished touching
 // service memory.
+//
+// Shutdown protocol (the subtle part of lock-free admission): stopping_
+// closes the door; every submitter passes through the active_submitters_
+// window, and shutdown() waits for that window to drain *before* arming
+// stop_mode_ — so by the time a dispatcher runs its final drain/cancel
+// sweep, no producer can be mid-push and no request can be admitted and
+// never settled.
 #include "serve/service.hpp"
 
 #include <algorithm>
-#include <atomic>
+#include <cassert>
 #include <chrono>
 #include <utility>
 
 #include "core/context.hpp"
 #include "core/driver.hpp"
 #include "core/gemm.hpp"
-#include "runtime/team.hpp"
+#include "runtime/topology.hpp"
+#include "serve/shard.hpp"
+#include "serve/state.hpp"
+#include "util/env.hpp"
 
 namespace ftgemm::serve {
-
-namespace detail {
-
-/// Shared state behind one GemmFuture.  `status` is the request's state
-/// machine, kept in an atomic so the serving hot path stays lock-light:
-/// the dispatcher's claim is a bare CAS, and a wait() on an
-/// already-settled future is a single acquire load (the common case for a
-/// client draining a pipelined window).  `result` is written exclusively
-/// by the settling thread *before* the status release-store, so readers
-/// gated on the acquire load see it complete.  The mutex guards the
-/// condition variable handshake and the continuation slot.
-struct RequestState {
-  std::atomic<RequestStatus> status{RequestStatus::kQueued};
-  std::mutex m;
-  std::condition_variable cv;
-  GemmResult result;
-  std::function<void(const GemmResult&)> continuation;
-};
-
-namespace {
-
-[[nodiscard]] bool is_settled(RequestStatus s) {
-  return s == RequestStatus::kDone || s == RequestStatus::kCancelled ||
-         s == RequestStatus::kRejected;
-}
-
-/// Settle a request with its final result and fire the continuation (once,
-/// outside the state lock — settled results are immutable, so the unlocked
-/// read is safe).
-void settle(RequestState& st, GemmResult&& res) {
-  std::function<void(const GemmResult&)> cont;
-  const RequestStatus final_status = res.status;
-  st.result = std::move(res);
-  {
-    std::lock_guard<std::mutex> lk(st.m);
-    st.status.store(final_status, std::memory_order_release);
-    cont = std::move(st.continuation);
-    st.continuation = nullptr;
-  }
-  st.cv.notify_all();
-  if (cont) cont(st.result);
-}
-
-/// kQueued -> kCancelled; false when the request was already claimed or
-/// settled.
-bool try_cancel(RequestState& st) {
-  std::function<void(const GemmResult&)> cont;
-  {
-    std::lock_guard<std::mutex> lk(st.m);
-    RequestStatus expect = RequestStatus::kQueued;
-    if (!st.status.compare_exchange_strong(expect, RequestStatus::kCancelled,
-                                           std::memory_order_acq_rel)) {
-      return false;
-    }
-    st.result.status = RequestStatus::kCancelled;
-    cont = std::move(st.continuation);
-    st.continuation = nullptr;
-  }
-  st.cv.notify_all();
-  if (cont) cont(st.result);
-  return true;
-}
-
-/// kQueued -> kRunning (the dispatcher's claim); false when a racing
-/// cancel won.  Lock-free: the CAS is the arbiter against try_cancel.
-bool try_claim(RequestState& st) {
-  RequestStatus expect = RequestStatus::kQueued;
-  return st.status.compare_exchange_strong(expect, RequestStatus::kRunning,
-                                           std::memory_order_acq_rel);
-}
-
-[[nodiscard]] RequestStatus status_of(RequestState& st) {
-  return st.status.load(std::memory_order_acquire);
-}
-
-}  // namespace
-}  // namespace detail
 
 // ---------------------------------------------------------------------------
 // GemmFuture
 // ---------------------------------------------------------------------------
 
 GemmResult GemmFuture::wait() const {
-  if (!st_) return GemmResult{RequestStatus::kRejected, {}, {}, false};
+  if (!st_) {
+    GemmResult res;
+    res.status = RequestStatus::kRejected;
+    return res;
+  }
   // Fast path: a settled future costs one acquire load, no lock — the
   // common case for a client draining a pipelined window newest-first.
   if (detail::is_settled(st_->status.load(std::memory_order_acquire))) {
@@ -200,11 +132,11 @@ bool plan_takes_fast_path(Trans ta, Trans tb, index_t m, index_t n, index_t k,
   return process_context_cache<T>().plan(key)->fast_path;
 }
 
-/// A request may join a coalesced batch only when its resolved plan is
-/// planner-pinned to one thread (the small-GEMM fast path) — the condition
-/// under which batched-member execution is bit-identical to the synchronous
-/// call (see the header's bit-identity contract).
-bool resolve_coalescible(const GemmRequest& r, PlanKey& key) {
+/// Whether the request's resolved plan is planner-pinned to one thread (the
+/// small-GEMM fast path) — the condition under which both the inline fast
+/// lane pays off and batched-member execution is bit-identical to the
+/// synchronous call (see the header's bit-identity contract).
+bool resolve_fast_path(const GemmRequest& r, PlanKey& key) {
   Trans ta = r.ta, tb = r.tb;
   index_t m = r.m, n = r.n, lda = r.lda, ldb = r.ldb;
   const void* a = r.a;
@@ -218,7 +150,8 @@ bool resolve_coalescible(const GemmRequest& r, PlanKey& key) {
 }
 
 /// Synchronous execution of one request through the public entry points —
-/// the direct route is the synchronous API, running on a pool worker.
+/// the direct and inline routes *are* the synchronous API (on a pool
+/// worker / the caller thread).
 template <typename T>
 GemmResult run_direct(const GemmRequest& r) {
   GemmResult res;
@@ -260,46 +193,72 @@ GemmResult run_direct(const GemmRequest& r) {
   return res;
 }
 
+/// RAII pass through the admission window: shutdown() waits for this count
+/// to drain before arming the dispatchers' stop mode, so a producer that
+/// passed the stopping_ check can always finish its reservation + push.
+struct SubmitterGate {
+  std::atomic<int>& count;
+  std::atomic<bool>& stopping;
+  std::mutex& m;
+  std::condition_variable& cv;
+
+  SubmitterGate(std::atomic<int>& c, std::atomic<bool>& st, std::mutex& mm,
+                std::condition_variable& ccv)
+      : count(c), stopping(st), m(mm), cv(ccv) {
+    count.fetch_add(1, std::memory_order_seq_cst);
+  }
+  ~SubmitterGate() {
+    if (count.fetch_sub(1, std::memory_order_seq_cst) == 1 &&
+        stopping.load(std::memory_order_acquire)) {
+      { std::lock_guard<std::mutex> lk(m); }
+      cv.notify_all();
+    }
+  }
+};
+
+/// Round-robin home-shard assignment: each submitting thread gets a stable
+/// index on first contact with any service, so one client's pipelined
+/// window lands on one shard (coalescing) while distinct clients spread
+/// across shards (parallel dispatch).
+std::atomic<unsigned> g_thread_seq{0};
+
+unsigned thread_home_index() {
+  thread_local const unsigned idx =
+      g_thread_seq.fetch_add(1, std::memory_order_relaxed);
+  return idx;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
-// GemmService
+// GemmService — construction / admission
 // ---------------------------------------------------------------------------
-
-struct GemmService::InflightSlot {
-  explicit InflightSlot(GemmService* s) : owner(s) {}
-
-  GemmService* owner;
-  std::vector<Pending> group;
-
-  // Stable callable objects the runtime's non-owning TeamFnRef /
-  // CompletionRef can reference for the whole dispatch.
-  struct BodyFn {
-    InflightSlot* slot;
-    void operator()(runtime::TeamMember&) const {
-      slot->owner->execute_slot(*slot);
-    }
-  };
-  struct DoneFn {
-    InflightSlot* slot;
-    void operator()() const { slot->owner->release_slot(*slot); }
-  };
-  BodyFn body{this};
-  DoneFn done{this};
-};
 
 GemmService::GemmService(ServiceConfig config) : cfg_(config) {
   cfg_.queue_capacity = std::max<std::size_t>(cfg_.queue_capacity, 1);
   cfg_.max_inflight = std::max(cfg_.max_inflight, 1);
   cfg_.max_coalesce = std::max<index_t>(cfg_.max_coalesce, 1);
-  paused_ = cfg_.start_paused;
-  slots_.reserve(std::size_t(cfg_.max_inflight));
-  free_slots_.reserve(std::size_t(cfg_.max_inflight));
-  for (int i = 0; i < cfg_.max_inflight; ++i) {
-    slots_.push_back(std::make_unique<InflightSlot>(this));
-    free_slots_.push_back(slots_.back().get());
+  int shards = cfg_.shards;
+  if (shards <= 0) {
+    const long env = env_long("FTGEMM_SERVICE_SHARDS", 0);
+    shards = env > 0 ? int(std::min<long>(env, 64))
+                     : runtime::hardware_concurrency();
   }
-  dispatcher_ = std::thread([this] { dispatcher_main(); });
+  nshards_ = std::clamp(shards, 1, 64);
+  cfg_.shards = nshards_;
+  lease_reserve_ = nshards_ - 1;
+  if (cfg_.inline_inflight_limit <= 0) {
+    cfg_.inline_inflight_limit = nshards_ * cfg_.max_inflight;
+  }
+  paused_.store(cfg_.start_paused, std::memory_order_seq_cst);
+  shards_.reserve(std::size_t(nshards_));
+  for (int i = 0; i < nshards_; ++i) {
+    shards_.push_back(
+        std::make_unique<ServiceShard>(this, i, cfg_.queue_capacity));
+  }
+  // Start after every shard exists: a dispatcher may immediately scan the
+  // whole vector for steal victims.
+  for (auto& s : shards_) s->start();
 }
 
 GemmService::~GemmService() { shutdown(true); }
@@ -312,66 +271,87 @@ GemmFuture GemmService::try_submit(const GemmRequest& req) {
   return enqueue(req, /*blocking=*/false);
 }
 
-namespace {
-
-/// Pre-publication rejection: no other thread can see the state yet, so
-/// both status stores need no lock.
-void reject_unpublished(detail::RequestState& st) {
-  st.result.status = RequestStatus::kRejected;
-  st.status.store(RequestStatus::kRejected, std::memory_order_release);
-}
-
-}  // namespace
-
 /// Build the queue entry for one validated request (state, plan
-/// fingerprint, coalescing eligibility).
-GemmService::Pending GemmService::make_pending(
+/// fingerprint, inline/coalescing eligibility).
+detail::Pending GemmService::make_pending(
     const GemmRequest& req, std::shared_ptr<detail::RequestState> st) {
-  Pending p;
+  detail::Pending p;
   p.req = req;
   p.state = std::move(st);
-  // resident_a requests route direct: the synchronous entry point resolves
-  // the operand cache (and its per-hit verify/heal accounting) per request,
-  // which coalesced members would not surface individually.
-  if (cfg_.coalesce && req.batch == 1 && req.opts.injector == nullptr &&
-      req.opts.correction_log == nullptr && !req.opts.resident_a) {
-    p.coalescible = resolve_coalescible(req, p.key);
+  if (req.batch == 1) {
+    p.inline_eligible = resolve_fast_path(req, p.key);
+    // resident_a / injector / correction_log requests route direct: the
+    // synchronous entry point resolves those per request (operand-cache
+    // verify/heal accounting, fault injection, logging), which coalesced
+    // members would not surface individually.  They may still run inline —
+    // the inline route *is* the synchronous entry point.
+    p.coalescible = p.inline_eligible && cfg_.coalesce &&
+                    req.opts.injector == nullptr &&
+                    req.opts.correction_log == nullptr && !req.opts.resident_a;
   }
   return p;
+}
+
+ServiceShard& GemmService::shard_for(const GemmRequest& req) {
+  if (req.shard_hint >= 0) {
+    return *shards_[std::size_t(req.shard_hint % nshards_)];
+  }
+  return *shards_[std::size_t(thread_home_index() % unsigned(nshards_))];
+}
+
+bool GemmService::inline_open(const ServiceShard& home) const {
+  // Closed while paused (order must be preserved for staged queues), while
+  // the home shard has a backlog (no queue-jumping past requests this
+  // thread already queued), and once dispatch capacity is saturated
+  // (queueing lets small requests coalesce behind the backlog instead).
+  return cfg_.inline_fast_lane &&
+         !paused_.load(std::memory_order_acquire) &&
+         !stopping_.load(std::memory_order_acquire) && home.queued() == 0 &&
+         inflight_.load(std::memory_order_acquire) <
+             cfg_.inline_inflight_limit;
 }
 
 GemmFuture GemmService::enqueue(const GemmRequest& req, bool blocking) {
   auto st = std::make_shared<detail::RequestState>();
   GemmFuture fut(st);
   if (!request_valid(req)) {
-    reject_unpublished(*st);
-    std::lock_guard<std::mutex> slk(stats_m_);
-    ++stats_.rejected;
+    detail::reject_unpublished(*st, RejectReason::kInvalidRequest);
+    count_rejected();
     return fut;
   }
-  Pending p = make_pending(req, st);
-  {
-    std::unique_lock<std::mutex> lk(qm_);
-    if (blocking) {
-      space_cv_.wait(lk, [&] {
-        return stopping_ || queued_ < cfg_.queue_capacity;
-      });
-    }
-    if (stopping_ || queued_ >= cfg_.queue_capacity) {
-      lk.unlock();
-      reject_unpublished(*st);
-      std::lock_guard<std::mutex> slk(stats_m_);
-      ++stats_.rejected;
-      return fut;
-    }
-    const int lane = std::clamp(int(req.priority), 0, kPriorityLanes - 1);
-    lanes_[lane].push_back(std::move(p));
-    ++queued_;
-    ++submitted_;
-    peak_queue_depth_ = std::max<std::uint64_t>(peak_queue_depth_, queued_);
-    // A running dispatcher re-checks the queue before parking; only an
-    // actually-parked one needs the wake.
-    if (dispatcher_waiting_) qcv_.notify_one();
+  SubmitterGate gate(active_submitters_, stopping_, im_, icv_);
+  if (stopping_.load(std::memory_order_acquire)) {
+    detail::reject_unpublished(*st, RejectReason::kShuttingDown);
+    count_rejected();
+    return fut;
+  }
+  detail::Pending p = make_pending(req, std::move(st));
+  ServiceShard& home = shard_for(req);
+  if (p.inline_eligible && inline_open(home)) {
+    // The future has not been returned yet, so the claim cannot race a
+    // cancel; the gate keeps shutdown from completing under our feet.
+    detail::try_claim(*p.state);
+    std::vector<detail::Pending> group;
+    group.push_back(std::move(p));
+    execute_group(group, /*shard_id=*/-1);
+    return fut;
+  }
+  const ServiceShard::Admit verdict =
+      blocking ? home.admit_blocking(p) : home.try_admit(p);
+  switch (verdict) {
+    case ServiceShard::Admit::kOk:
+      break;
+    case ServiceShard::Admit::kStopping:
+      detail::reject_unpublished(*p.state, RejectReason::kShuttingDown);
+      count_rejected();
+      break;
+    case ServiceShard::Admit::kFull:
+      detail::reject_unpublished(*p.state,
+                                 paused_.load(std::memory_order_acquire)
+                                     ? RejectReason::kPaused
+                                     : RejectReason::kQueueFull);
+      count_rejected();
+      break;
   }
   return fut;
 }
@@ -380,245 +360,224 @@ std::vector<GemmFuture> GemmService::submit_all(
     const std::vector<GemmRequest>& reqs) {
   std::vector<GemmFuture> futures;
   futures.reserve(reqs.size());
-  std::vector<Pending> ready;
+  std::vector<detail::Pending> ready;
   ready.reserve(reqs.size());
   std::uint64_t rejected = 0;
+  SubmitterGate gate(active_submitters_, stopping_, im_, icv_);
+  const bool stopping_now = stopping_.load(std::memory_order_acquire);
   for (const GemmRequest& r : reqs) {
     auto st = std::make_shared<detail::RequestState>();
     futures.push_back(GemmFuture(st));
+    if (stopping_now) {
+      detail::reject_unpublished(*st, RejectReason::kShuttingDown);
+      ++rejected;
+      continue;
+    }
     if (!request_valid(r)) {
-      reject_unpublished(*st);
+      detail::reject_unpublished(*st, RejectReason::kInvalidRequest);
       ++rejected;
       continue;
     }
     ready.push_back(make_pending(r, std::move(st)));
   }
-  {
-    std::unique_lock<std::mutex> lk(qm_);
-    for (Pending& p : ready) {
-      space_cv_.wait(lk, [&] {
-        return stopping_ || queued_ < cfg_.queue_capacity;
-      });
-      if (stopping_) {
-        reject_unpublished(*p.state);
-        ++rejected;
-        continue;
+  std::size_t i = 0;
+  while (i < ready.size()) {
+    ServiceShard& home = shard_for(ready[i].req);
+    if (ready[i].inline_eligible && inline_open(home)) {
+      // Inline window: a maximal run of same-fingerprint coalescible
+      // fast-path requests executes as ONE batched call on this thread —
+      // one plan fetch + workspace lease for the whole run, which is how
+      // pipelined small-GEMM windows beat a synchronous loop.
+      std::vector<detail::Pending> group;
+      group.push_back(std::move(ready[i]));
+      detail::try_claim(*group.front().state);
+      std::size_t j = i + 1;
+      if (group.front().coalescible) {
+        const GemmRequest head = group.front().req;
+        const PlanKey head_key = group.front().key;
+        while (j < ready.size() &&
+               index_t(group.size()) < cfg_.max_coalesce &&
+               detail::coalesce_match(head, head_key, ready[j])) {
+          detail::try_claim(*ready[j].state);
+          group.push_back(std::move(ready[j]));
+          ++j;
+        }
       }
-      const int lane =
-          std::clamp(int(p.req.priority), 0, kPriorityLanes - 1);
-      lanes_[lane].push_back(std::move(p));
-      ++queued_;
-      ++submitted_;
+      execute_group(group, /*shard_id=*/-1);
+      i = j;
+      continue;
     }
-    peak_queue_depth_ = std::max<std::uint64_t>(peak_queue_depth_, queued_);
-    if (dispatcher_waiting_) qcv_.notify_one();
+    if (home.admit_blocking(ready[i]) == ServiceShard::Admit::kStopping) {
+      detail::reject_unpublished(*ready[i].state,
+                                 RejectReason::kShuttingDown);
+      ++rejected;
+    }
+    ++i;
   }
-  if (rejected > 0) {
-    std::lock_guard<std::mutex> slk(stats_m_);
-    stats_.rejected += rejected;
-  }
+  if (rejected > 0) count_rejected(rejected);
   return futures;
 }
 
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
 void GemmService::pause() {
-  std::lock_guard<std::mutex> lk(qm_);
-  paused_ = true;
+  paused_.store(true, std::memory_order_seq_cst);
 }
 
 void GemmService::resume() {
-  {
-    std::lock_guard<std::mutex> lk(qm_);
-    paused_ = false;
-  }
-  qcv_.notify_all();
+  paused_.store(false, std::memory_order_seq_cst);
+  // Nudge, not just wake: a shard with an empty queue of its own should
+  // take a steal pass over the staged siblings before parking again.
+  for (auto& s : shards_) s->nudge();
 }
 
 void GemmService::shutdown(bool drain) {
+  std::lock_guard<std::mutex> slk(shutdown_m_);
+  if (shards_joined_) return;
+  stopping_.store(true, std::memory_order_seq_cst);
+  paused_.store(false, std::memory_order_seq_cst);
+  // First wake: unblock space-waiting producers (they observe stopping_
+  // and bow out through their gates).
+  for (auto& s : shards_) s->wake_all();
   {
-    std::lock_guard<std::mutex> lk(qm_);
-    stopping_ = true;
-    paused_ = false;
-    if (!drain) {
-      std::uint64_t cancelled = 0;
-      for (auto& lane : lanes_) {
-        for (Pending& p : lane) {
-          if (detail::try_cancel(*p.state) ||
-              detail::status_of(*p.state) == RequestStatus::kCancelled) {
-            ++cancelled;
-          }
-        }
-        lane.clear();
-      }
-      queued_ = 0;
-      std::lock_guard<std::mutex> slk(stats_m_);
-      stats_.cancelled += cancelled;
-    }
-    qcv_.notify_all();
-    space_cv_.notify_all();
+    std::unique_lock<std::mutex> lk(im_);
+    icv_.wait(lk, [&] {
+      return active_submitters_.load(std::memory_order_seq_cst) == 0;
+    });
   }
-  if (dispatcher_.joinable()) dispatcher_.join();
-  std::unique_lock<std::mutex> lk(sm_);
-  scv_.wait(lk, [&] { return inflight_ == 0; });
+  // The admission window is drained: every accepted request is in a ring.
+  // Arm the dispatchers' final sweep and collect them.
+  stop_mode_.store(int(drain ? StopMode::kDrain : StopMode::kCancel),
+                   std::memory_order_seq_cst);
+  for (auto& s : shards_) s->wake_all();
+  for (auto& s : shards_) s->join();
+  {
+    std::unique_lock<std::mutex> lk(im_);
+    icv_.wait(lk, [&] {
+      return inflight_.load(std::memory_order_seq_cst) == 0;
+    });
+  }
+  shards_joined_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// Counters / introspection
+// ---------------------------------------------------------------------------
+
+void GemmService::count_rejected(std::uint64_t n) {
+  std::lock_guard<std::mutex> lk(stats_m_);
+  stats_.rejected += n;
+}
+
+void GemmService::count_cancelled(std::uint64_t n) {
+  std::lock_guard<std::mutex> lk(stats_m_);
+  stats_.cancelled += n;
+}
+
+void GemmService::note_group_start() {
+  const int now = inflight_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  std::lock_guard<std::mutex> lk(stats_m_);
+  stats_.peak_inflight =
+      std::max<std::uint64_t>(stats_.peak_inflight, std::uint64_t(now));
+}
+
+void GemmService::note_group_end() {
+  if (inflight_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+    { std::lock_guard<std::mutex> lk(im_); }
+    icv_.notify_all();
+  }
+}
+
+void GemmService::nudge_stealers(int home) {
+  if (nshards_ <= 1 || !cfg_.steal) return;
+  for (int d = 1; d < nshards_; ++d) {
+    ServiceShard& s = *shards_[std::size_t((home + d) % nshards_)];
+    if (s.parked()) {
+      s.nudge();
+      return;
+    }
+  }
+}
+
+bool GemmService::steal_for(int thief, std::vector<detail::Pending>& group) {
+  if (nshards_ <= 1) return false;
+  for (int d = 1; d < nshards_; ++d) {
+    ServiceShard& victim = *shards_[std::size_t((thief + d) % nshards_)];
+    std::uint64_t cancelled = 0;
+    const bool got = victim.steal_group(group, cancelled);
+    if (cancelled > 0) count_cancelled(cancelled);
+    if (got) {
+      auto& c = shards_[std::size_t(thief)]->counters;
+      c.steals.fetch_add(1, std::memory_order_relaxed);
+      c.stolen_requests.fetch_add(group.size(), std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
 }
 
 ServiceStats GemmService::stats() const {
-  std::uint64_t submitted, peak_queue;
+  ServiceStats out;
   {
-    std::lock_guard<std::mutex> lk(qm_);
-    submitted = submitted_;
-    peak_queue = peak_queue_depth_;
+    std::lock_guard<std::mutex> lk(stats_m_);
+    out = stats_;
   }
-  std::lock_guard<std::mutex> lk(stats_m_);
-  ServiceStats out = stats_;
+  out.shard.reserve(shards_.size());
+  std::uint64_t submitted = out.inline_executed;
+  for (const auto& s : shards_) {
+    ShardStats ss = s->snapshot();
+    submitted += ss.submitted;
+    out.steals += ss.steals;
+    out.stolen_requests += ss.stolen_requests;
+    out.peak_queue_depth =
+        std::max(out.peak_queue_depth, ss.peak_queue_depth);
+    out.shard.push_back(ss);
+  }
   out.submitted = submitted;
-  out.peak_queue_depth = peak_queue;
   return out;
 }
 
 std::size_t GemmService::queue_depth() const {
-  std::lock_guard<std::mutex> lk(qm_);
-  return queued_;
+  std::size_t depth = 0;
+  for (const auto& s : shards_) depth += s->queued();
+  return depth;
 }
 
 int GemmService::inflight() const {
-  std::lock_guard<std::mutex> lk(sm_);
-  return inflight_;
+  return inflight_.load(std::memory_order_seq_cst);
 }
 
 // ---------------------------------------------------------------------------
-// Dispatcher
+// Group execution (called from shard dispatchers, pool workers, and the
+// inline fast lane)
 // ---------------------------------------------------------------------------
 
-void GemmService::dispatcher_main() {
-  for (;;) {
-    std::vector<Pending> group;
-    {
-      std::unique_lock<std::mutex> lk(qm_);
-      dispatcher_waiting_ = true;
-      qcv_.wait(lk, [&] { return stopping_ || (!paused_ && queued_ > 0); });
-      dispatcher_waiting_ = false;
-      if (queued_ == 0) {
-        if (stopping_) return;
-        continue;
-      }
-      if (paused_ && !stopping_) continue;
-
-      // Pop the first claimable entry, highest priority lane first;
-      // cancelled entries drain here (and are counted) on the way.
-      std::uint64_t cancelled = 0;
-      for (int lane = kPriorityLanes - 1; lane >= 0 && group.empty();
-           --lane) {
-        auto& q = lanes_[lane];
-        while (!q.empty() && group.empty()) {
-          Pending p = std::move(q.front());
-          q.pop_front();
-          --queued_;
-          if (detail::try_claim(*p.state)) {
-            group.push_back(std::move(p));
-          } else {
-            ++cancelled;
-          }
-        }
-      }
-
-      // Coalesce: sweep every lane (priority order, FIFO within) for
-      // requests in the same group, up to max_coalesce members.
-      if (!group.empty() && group.front().coalescible &&
-          index_t(group.size()) < cfg_.max_coalesce) {
-        // Copies, not references: push_back below reallocates the group.
-        const GemmRequest x = group.front().req;
-        const PlanKey head_key = group.front().key;
-        for (int lane = kPriorityLanes - 1; lane >= 0; --lane) {
-          auto& q = lanes_[lane];
-          for (auto it = q.begin();
-               it != q.end() && index_t(group.size()) < cfg_.max_coalesce;) {
-            const GemmRequest& y = it->req;
-            const bool match = it->coalescible &&
-                               x.precision == y.precision &&
-                               x.layout == y.layout && x.alpha == y.alpha &&
-                               x.beta == y.beta && x.lda == y.lda &&
-                               x.ldb == y.ldb && x.ldc == y.ldc &&
-                               head_key == it->key;
-            if (!match) {
-              ++it;
-              continue;
-            }
-            if (detail::try_claim(*it->state)) {
-              group.push_back(std::move(*it));
-            } else {
-              ++cancelled;
-            }
-            it = q.erase(it);
-            --queued_;
-          }
-          if (index_t(group.size()) >= cfg_.max_coalesce) break;
-        }
-      }
-      if (cancelled > 0) {
-        std::lock_guard<std::mutex> slk(stats_m_);
-        stats_.cancelled += cancelled;
-      }
-      space_cv_.notify_all();
-      if (group.empty()) continue;
-    }
-
-    // Lease an in-flight slot (bounded concurrency); completions free them.
-    InflightSlot* slot = nullptr;
-    {
-      std::unique_lock<std::mutex> lk(sm_);
-      scv_.wait(lk, [&] { return !free_slots_.empty(); });
-      slot = free_slots_.back();
-      free_slots_.pop_back();
-      ++inflight_;
-      std::lock_guard<std::mutex> slk(stats_m_);
-      stats_.peak_inflight =
-          std::max<std::uint64_t>(stats_.peak_inflight,
-                                  std::uint64_t(inflight_));
-    }
-    slot->group = std::move(group);
-
-    if (cfg_.max_inflight == 1) {
-      // One group at a time either way: execute inline on the dispatcher
-      // thread and skip the per-group pool handoff (a parked-worker wake +
-      // completion round trip — two context switches a 1-wide service
-      // would pay for nothing).
-      execute_slot(*slot);
-      release_slot(*slot);
-      continue;
-    }
-    // Lease execution from the pool: the non-blocking try-lease first (a
-    // parked worker picks the job up with no spawn), the growing lease as
-    // the fallback so progress is never gated on pool capacity.
-    if (!runtime::try_run_team_async(1, slot->body, slot->done)) {
-      runtime::run_team_async(1, slot->body, slot->done);
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Execution on pool workers
-// ---------------------------------------------------------------------------
-
-void GemmService::execute_slot(InflightSlot& slot) {
-  if (slot.group.size() == 1) {
-    execute_direct(slot.group.front());
+void GemmService::execute_group(std::vector<detail::Pending>& group,
+                                int shard_id) {
+  const bool inlined = shard_id < 0;
+  if (group.size() == 1) {
+    execute_direct(group.front(), inlined);
+  } else if (group.front().req.precision == Precision::kF64) {
+    execute_coalesced_typed<double>(group, shard_id);
   } else {
-    execute_coalesced(slot);
+    execute_coalesced_typed<float>(group, shard_id);
+  }
+  if (inlined) {
+    std::lock_guard<std::mutex> lk(stats_m_);
+    stats_.inline_executed += std::uint64_t(group.size());
+  } else {
+    shards_[std::size_t(shard_id)]->counters.executed.fetch_add(
+        group.size(), std::memory_order_relaxed);
   }
 }
 
-void GemmService::release_slot(InflightSlot& slot) {
-  slot.group.clear();
-  std::lock_guard<std::mutex> lk(sm_);
-  free_slots_.push_back(&slot);
-  --inflight_;
-  scv_.notify_all();
-}
-
-void GemmService::execute_direct(const Pending& p) {
+void GemmService::execute_direct(detail::Pending& p, bool inlined) {
   GemmResult res = p.req.precision == Precision::kF64
                        ? run_direct<double>(p.req)
                        : run_direct<float>(p.req);
+  res.inlined = inlined;
   {
     std::lock_guard<std::mutex> lk(stats_m_);
     ++stats_.completed;
@@ -649,23 +608,16 @@ void GemmService::execute_direct(const Pending& p) {
   detail::settle(*p.state, std::move(res));
 }
 
-void GemmService::execute_coalesced(InflightSlot& slot) {
-  if (slot.group.front().req.precision == Precision::kF64) {
-    execute_coalesced_typed<double>(slot);
-  } else {
-    execute_coalesced_typed<float>(slot);
-  }
-}
-
 template <typename T>
-void GemmService::execute_coalesced_typed(InflightSlot& slot) {
-  const GemmRequest& head = slot.group.front().req;
-  const index_t members = index_t(slot.group.size());
+void GemmService::execute_coalesced_typed(std::vector<detail::Pending>& group,
+                                          int shard_id) {
+  const GemmRequest& head = group.front().req;
+  const index_t members = index_t(group.size());
   std::vector<const T*> ap(static_cast<std::size_t>(members));
   std::vector<const T*> bp(static_cast<std::size_t>(members));
   std::vector<T*> cp(static_cast<std::size_t>(members));
   for (index_t i = 0; i < members; ++i) {
-    const GemmRequest& r = slot.group[std::size_t(i)].req;
+    const GemmRequest& r = group[std::size_t(i)].req;
     ap[std::size_t(i)] = static_cast<const T*>(r.a);
     bp[std::size_t(i)] = static_cast<const T*>(r.b);
     cp[std::size_t(i)] = static_cast<T*>(r.c);
@@ -696,19 +648,29 @@ void GemmService::execute_coalesced_typed(InflightSlot& slot) {
     stats_.dirty_results += std::uint64_t(rep.dirty_problems);
     if (rep.invalid_args) stats_.dirty_results += std::uint64_t(members);
   }
+  if (shard_id >= 0) {
+    auto& c = shards_[std::size_t(shard_id)]->counters;
+    c.coalesced_batches.fetch_add(1, std::memory_order_relaxed);
+    c.coalesced_members.fetch_add(std::uint64_t(members),
+                                  std::memory_order_relaxed);
+  }
+  const bool inlined = shard_id < 0;
   for (index_t i = 0; i < members; ++i) {
     GemmResult res;
     res.status = RequestStatus::kDone;
     res.coalesced = true;
+    res.inlined = inlined;
     if (head.ft && std::size_t(i) < rep.per_problem.size()) {
       res.report = rep.per_problem[std::size_t(i)];
     }
     res.report.invalid_args = rep.invalid_args;
-    detail::settle(*slot.group[std::size_t(i)].state, std::move(res));
+    detail::settle(*group[std::size_t(i)].state, std::move(res));
   }
 }
 
-template void GemmService::execute_coalesced_typed<float>(InflightSlot&);
-template void GemmService::execute_coalesced_typed<double>(InflightSlot&);
+template void GemmService::execute_coalesced_typed<float>(
+    std::vector<detail::Pending>&, int);
+template void GemmService::execute_coalesced_typed<double>(
+    std::vector<detail::Pending>&, int);
 
 }  // namespace ftgemm::serve

@@ -1,27 +1,42 @@
-// Asynchronous GEMM serving front-end on the persistent team runtime.
+// Asynchronous GEMM serving front-end on the persistent team runtime —
+// sharded admission with a lock-free submit fast lane.
 //
-// Every entry point below PR 4 is synchronous: a caller blocks for the whole
-// GEMM, so admission control, queueing, prioritization, and cross-request
-// batching — the things serving-scale traffic is made of — all have to be
-// reinvented by every application.  GemmService is that layer, built
-// directly on the pieces the lower layers already provide:
+// Every entry point below PR 4 is synchronous: a caller blocks for the
+// whole GEMM, so admission control, queueing, prioritization, and
+// cross-request batching — the things serving-scale traffic is made of —
+// all have to be reinvented by every application.  GemmService is that
+// layer, built directly on the pieces the lower layers already provide:
 //
 //   submit(GemmRequest) -> GemmFuture
 //
-//   - A *bounded MPMC admission queue* (three FIFO lanes, one per
-//     Priority).  submit() applies backpressure (blocks while the queue is
-//     full); try_submit() sheds load instead (an immediately-settled
-//     kRejected future).  Invalid requests (valid_gemm_args, null operand
-//     pointers the call would dereference) are rejected at the door — a
-//     serving process is never xerbla-aborted.
+//   - An *inline-execute fast lane*: when a request's resolved plan takes
+//     the small-GEMM fast path (execute_small — the regime where a queue
+//     round-trip costs more than the GEMM itself) and the service is idle
+//     enough (home-shard queue empty, in-flight groups below a threshold),
+//     submit() executes the request synchronously on the calling thread —
+//     the identical code path a direct call runs, bit-identical, zero
+//     hand-offs.  submit_all() additionally merges a window of same-
+//     fingerprint fast-path requests into ONE batched inter-scheduler call
+//     on the caller thread (one plan fetch + workspace lease for the whole
+//     window), which is how pipelined small-GEMM traffic beats a
+//     synchronous loop instead of paying a dispatcher tax.
 //
-//   - A single *dispatcher thread* drains the queue highest-priority-first
-//     and leases execution capacity from the PR 4 worker pool through the
-//     runtime's asynchronous lease API (runtime::try_run_team_async — the
-//     non-blocking try-lease — falling back to the pool-growing
-//     run_team_async), bounded by ServiceConfig::max_inflight concurrent
-//     requests.  Request bodies run *on pool workers*; the GEMM inside
-//     opens its own thread team exactly as a synchronous call would.
+//   - N *shards* (ServiceConfig::shards; default: FTGEMM_SERVICE_SHARDS,
+//     else hardware concurrency), each owning a bounded *lock-free MPSC
+//     submit ring* per priority lane (serve/queue.hpp) and its own
+//     dispatcher thread leasing execution from the PR 4 worker pool.
+//     Client threads are round-robin affine to a home shard (overridable
+//     per request via GemmRequest::shard_hint), so a client's pipelined
+//     window lands on one shard and keeps its coalescing opportunity.
+//     submit() applies per-shard backpressure (blocks while the shard is
+//     full); try_submit() sheds load instead, and its kRejected future now
+//     carries a RejectReason saying *which* resource was exhausted.
+//
+//   - *Work stealing*: an idle shard steals a whole coalescable group from
+//     a loaded sibling before parking, so skewed traffic neither idles
+//     shards nor loses cross-request batching to the sharding (stolen
+//     same-fingerprint runs still merge into one batched call, still
+//     bit-identical).  serve/shard.hpp documents the steal protocol.
 //
 //   - *Coalescing*: queued single-problem requests whose resolved plan
 //     takes the small-GEMM fast path (planner-pinned to one thread) and
@@ -32,34 +47,43 @@
 //
 //   - *Cancellation* (GemmFuture::cancel — queued requests only),
 //     *completion callbacks* (GemmFuture::then), and per-service counters
-//     (ServiceStats) aggregating FtReport/BatchReport outcomes across every
-//     request the service executed.
+//     (ServiceStats, now with per-shard + steal + inline breakdowns)
+//     aggregating FtReport/BatchReport outcomes across every request the
+//     service executed.
 //
-// Bit-identity contract: for every routing decision the dispatcher can make
-// the delivered C (and FT detection behavior) is bit-identical to the
-// synchronous entry point called with the same arguments and Options.
-// Direct routes *are* the synchronous entry points, executed on a pool
-// worker.  The coalesced route holds because coalescing is restricted to
-// fast-path plans: the planner pins those to one thread regardless of the
-// requested topology, and the batched inter-scheduler runs each member
-// through the identical one-thread plan (same blocking, same kernels, same
-// summation order) — execute_small either way.  tests/test_service.cpp
-// asserts this differentially across shapes x backends x priorities.
+// Bit-identity contract: for every routing decision the service can make —
+// inline fast lane, direct dispatch on any shard, coalesced on the owning
+// shard, coalesced after a steal — the delivered C (and FT detection
+// behavior) is bit-identical to the synchronous entry point called with
+// the same arguments and Options.  Inline and direct routes *are* the
+// synchronous entry points (on the caller thread / a pool worker).  The
+// coalesced route holds because coalescing is restricted to fast-path
+// plans: the planner pins those to one thread regardless of the requested
+// topology, and the batched inter-scheduler runs each member through the
+// identical one-thread plan (same blocking, same kernels, same summation
+// order) — execute_small either way.  tests/test_service.cpp asserts this
+// differentially across shapes x backends x priorities x shard counts.
+//
+// Ordering: priority lanes drain highest-first and FIFO within a lane *per
+// shard*; once more than one shard (or the inline lane) is in play,
+// cross-request completion order is concurrent by design — exactly like N
+// independent synchronous clients.  Requests racing on overlapping C
+// regions are the caller's data race, as with concurrent synchronous
+// calls.
 //
 // Threading contract: GemmFuture is a value handle, safe to wait/cancel
-// from any thread.  then() continuations and completion run on service
-// threads (a pool worker) — keep them light, and do not block them on other
-// futures of the same service.  Requests racing on overlapping C regions
-// are the caller's data race, exactly as with concurrent synchronous calls.
+// from any thread.  then() continuations run on whichever thread settles
+// the request (the caller itself for inline routes, a service thread
+// otherwise) — keep them light, and do not block them on other futures of
+// the same service (in particular, do not call shutdown() from one).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <thread>
 #include <vector>
 
 #include "core/gemm_batched.hpp"
@@ -72,9 +96,21 @@ namespace ftgemm::serve {
 enum class Precision { kF32, kF64 };
 
 /// Admission-queue lane.  Higher lanes are always drained first; FIFO
-/// within a lane.
+/// within a lane (per shard).
 enum class Priority { kLow = 0, kNormal = 1, kHigh = 2 };
 inline constexpr int kPriorityLanes = 3;
+
+/// Which resource a kRejected future ran out of (GemmResult::reject) —
+/// the signal a load-shedding client needs to pick its reaction: back off
+/// (kQueueFull), resume the service (kPaused), or stop retrying
+/// (kShuttingDown / kInvalidRequest).
+enum class RejectReason : std::uint8_t {
+  kNone = 0,         ///< not rejected
+  kInvalidRequest,   ///< failed validation at the door
+  kQueueFull,        ///< the home shard's admission queue was full
+  kPaused,           ///< queue full *and* dispatch is paused — resume() it
+  kShuttingDown,     ///< service is stopping; no further admissions
+};
 
 /// One unit of work, covering every synchronous entry-point shape:
 /// fp32/fp64, FT or Ori, single (batch == 1) or strided-batched
@@ -100,6 +136,11 @@ struct GemmRequest {
   index_t batch = 1;
   Options opts;
   Priority priority = Priority::kNormal;
+  /// Pin this request to shard `shard_hint % shards` instead of the
+  /// submitting thread's round-robin home shard.  < 0 (default) = auto.
+  /// Client-side partitioning knob; also what the steal tests use to
+  /// stage a deliberately loaded shard.
+  int shard_hint = -1;
 };
 
 /// Typed builder for a single-problem request.
@@ -153,10 +194,10 @@ GemmRequest make_strided_batched_request(
 /// Lifecycle of one submitted request.
 enum class RequestStatus {
   kQueued,     ///< admitted, awaiting dispatch
-  kRunning,    ///< claimed by the dispatcher (no longer cancellable)
+  kRunning,    ///< claimed by a dispatcher (no longer cancellable)
   kDone,       ///< executed; result fields are valid
   kCancelled,  ///< cancelled while queued; never executed, C untouched
-  kRejected,   ///< refused at submit (invalid args, queue full, shut down)
+  kRejected,   ///< refused at submit (see GemmResult::reject)
 };
 
 /// Outcome of one request.
@@ -170,6 +211,10 @@ struct GemmResult {
   BatchReport batch;
   /// The request was executed via coalesced-into-batched routing.
   bool coalesced = false;
+  /// The request was executed on the submitting thread (inline fast lane).
+  bool inlined = false;
+  /// For kRejected: which resource refused the request.
+  RejectReason reject = RejectReason::kNone;
 
   /// Executed and trustworthy: done, accepted, and every panel clean.
   [[nodiscard]] bool ok() const {
@@ -180,7 +225,10 @@ struct GemmResult {
 
 namespace detail {
 struct RequestState;
+struct Pending;
 }
+
+class ServiceShard;
 
 /// Completion handle for one submitted request.  Value semantics (shared
 /// state); safe to wait/cancel/then from any thread.
@@ -209,14 +257,14 @@ class GemmFuture {
 
   /// Cancel a still-queued request: it will never execute and its C is
   /// untouched.  Returns true when this call performed the cancellation;
-  /// false when the request already ran, settled, or was claimed by the
+  /// false when the request already ran, settled, or was claimed by a
   /// dispatcher.
   bool cancel();
 
   /// Attach a completion continuation, invoked exactly once with the final
   /// result — immediately (on the calling thread) if already settled,
-  /// otherwise on the service thread that settles the request.  One
-  /// continuation per future chain; a second call replaces an un-fired one.
+  /// otherwise on the thread that settles the request.  One continuation
+  /// per future chain; a second call replaces an un-fired one.
   void then(std::function<void(const GemmResult&)> fn);
 
  private:
@@ -226,27 +274,55 @@ class GemmFuture {
   std::shared_ptr<detail::RequestState> st_;
 };
 
-/// Service tuning knobs.
+/// Service tuning knobs.  queue_capacity and max_inflight are *per shard*:
+/// a shard is a self-contained admission unit, and total service capacity
+/// scales with the shard count.
 struct ServiceConfig {
-  /// Bounded admission queue: total requests queued across all priority
-  /// lanes before submit() blocks / try_submit() rejects.
+  /// Admission shards.  0 = auto: FTGEMM_SERVICE_SHARDS, else the
+  /// machine's hardware concurrency.  Explicit config beats the env var.
+  int shards = 0;
+  /// Bounded per-shard admission queue: requests queued across the shard's
+  /// priority lanes before submit() blocks / try_submit() rejects.
   std::size_t queue_capacity = 256;
-  /// Concurrent requests in flight on the runtime pool (each in-flight
-  /// request leases one pool worker for its body; the GEMM inside opens its
-  /// own team per its plan).
+  /// Concurrent request groups in flight per shard (each in-flight group
+  /// leases one pool worker for its body; the GEMM inside opens its own
+  /// team per its plan).
   int max_inflight = 2;
   /// Largest coalesced batch (members per merged batched call).
   index_t max_coalesce = 16;
   /// Merge same-fingerprint fast-path requests into batched calls.
   bool coalesce = true;
-  /// Start with the dispatcher paused (tests: lets a caller stage a queue
-  /// deterministically, then resume()).
+  /// Execute fast-path requests inline on the submitting thread when the
+  /// service is idle enough (see inline_inflight_limit).
+  bool inline_fast_lane = true;
+  /// Inline executes only while the number of dispatcher groups in flight
+  /// across all shards is below this.  0 = auto (shards * max_inflight):
+  /// inline until the service's dispatch capacity is saturated, then queue
+  /// so small requests coalesce behind the backlog instead of piling onto
+  /// a busy machine.
+  int inline_inflight_limit = 0;
+  /// Idle shards steal coalescable groups from loaded siblings.
+  bool steal = true;
+  /// Start with dispatch paused (tests: lets a caller stage queues
+  /// deterministically, then resume()).  Pausing also disables the inline
+  /// fast lane, so staged requests queue in submission order.
   bool start_paused = false;
+};
+
+/// Per-shard monotonic counters (ServiceStats::shard).
+struct ShardStats {
+  std::uint64_t submitted = 0;   ///< requests admitted to this shard's queue
+  std::uint64_t executed = 0;    ///< requests this shard's dispatcher ran
+  std::uint64_t coalesced_batches = 0;  ///< merged calls it issued
+  std::uint64_t coalesced_members = 0;  ///< requests folded into them
+  std::uint64_t steals = 0;             ///< groups it stole from siblings
+  std::uint64_t stolen_requests = 0;    ///< requests inside those groups
+  std::uint64_t peak_queue_depth = 0;   ///< this shard's admission peak
 };
 
 /// Monotonic per-service counters (see stats()).
 struct ServiceStats {
-  std::uint64_t submitted = 0;   ///< requests admitted to the queue
+  std::uint64_t submitted = 0;   ///< requests accepted (queued or inline)
   std::uint64_t completed = 0;   ///< requests executed to kDone
   std::uint64_t cancelled = 0;   ///< requests cancelled while queued
   std::uint64_t rejected = 0;    ///< refused at submit
@@ -254,6 +330,9 @@ struct ServiceStats {
   std::uint64_t batched_calls = 0;    ///< batch > 1 requests executed
   std::uint64_t coalesced_batches = 0;  ///< merged batched calls issued
   std::uint64_t coalesced_members = 0;  ///< requests folded into them
+  std::uint64_t inline_executed = 0;  ///< requests run on the caller thread
+  std::uint64_t steals = 0;           ///< groups stolen between shards
+  std::uint64_t stolen_requests = 0;  ///< requests inside stolen groups
   std::int64_t errors_detected = 0;   ///< summed over all FT reports
   std::int64_t errors_corrected = 0;  ///< summed over all FT reports
   std::uint64_t dirty_results = 0;    ///< requests whose result was not clean
@@ -264,8 +343,9 @@ struct ServiceStats {
   std::uint64_t resident_hits = 0;
   std::uint64_t resident_misses = 0;
   std::int64_t resident_heals = 0;
-  std::uint64_t peak_queue_depth = 0;
-  std::uint64_t peak_inflight = 0;
+  std::uint64_t peak_queue_depth = 0;  ///< max over shards
+  std::uint64_t peak_inflight = 0;     ///< dispatcher groups, all shards
+  std::vector<ShardStats> shard;       ///< per-shard breakdown
 };
 
 class GemmService {
@@ -276,23 +356,28 @@ class GemmService {
   GemmService(const GemmService&) = delete;
   GemmService& operator=(const GemmService&) = delete;
 
-  /// Admit a request.  Blocks while the queue is full (backpressure);
-  /// returns an immediately-settled kRejected future for invalid requests
-  /// or after shutdown.
+  /// Admit a request.  Fast-path requests may execute inline on this
+  /// thread (see the file comment); otherwise blocks while the home
+  /// shard's queue is full (backpressure).  Returns an immediately-settled
+  /// kRejected future for invalid requests or after shutdown.
   GemmFuture submit(const GemmRequest& req);
 
-  /// Non-blocking admit: like submit(), but a full queue yields an
-  /// immediately-settled kRejected future instead of blocking.
+  /// Non-blocking admit: like submit(), but a full shard yields an
+  /// immediately-settled kRejected future (GemmResult::reject says which
+  /// resource was exhausted) instead of blocking.
   GemmFuture try_submit(const GemmRequest& req);
 
-  /// Bulk admission: admit a window of requests under one queue lock and a
-  /// single dispatcher wake (per-request futures, index-aligned with the
-  /// input).  Blocks for space like submit(); invalid members reject
-  /// individually without poisoning the rest.  This is the natural client
-  /// shape for pipelined serving traffic — submit a window, drain it.
+  /// Bulk admission: admit a window of requests in one pass (per-request
+  /// futures, index-aligned with the input).  Blocks for space like
+  /// submit(); invalid members
+  /// reject individually without poisoning the rest.  Maximal runs of
+  /// same-fingerprint fast-path requests execute as ONE coalesced batched
+  /// call inline on the calling thread when the fast lane is open — the
+  /// natural client shape for pipelined serving traffic.
   std::vector<GemmFuture> submit_all(const std::vector<GemmRequest>& reqs);
 
-  /// Suspend / resume dispatch (admission stays open while paused).
+  /// Suspend / resume dispatch on every shard (admission stays open while
+  /// paused; the inline fast lane closes so order is preserved).
   void pause();
   void resume();
 
@@ -303,52 +388,59 @@ class GemmService {
   void shutdown(bool drain = true);
 
   [[nodiscard]] ServiceStats stats() const;
-  [[nodiscard]] std::size_t queue_depth() const;
-  [[nodiscard]] int inflight() const;
+  [[nodiscard]] std::size_t queue_depth() const;  ///< sum over shards
+  [[nodiscard]] int inflight() const;  ///< dispatcher groups, all shards
+  [[nodiscard]] int shards() const { return nshards_; }
 
  private:
-  struct Pending {
-    GemmRequest req;
-    std::shared_ptr<detail::RequestState> state;
-    PlanKey key;             ///< resolved fingerprint (normalized dims)
-    bool coalescible = false;
-  };
-  struct InflightSlot;
+  friend class ServiceShard;
+
+  enum class StopMode : int { kNone = 0, kDrain = 1, kCancel = 2 };
 
   GemmFuture enqueue(const GemmRequest& req, bool blocking);
-  Pending make_pending(const GemmRequest& req,
-                       std::shared_ptr<detail::RequestState> st);
-  void dispatcher_main();
-  void execute_slot(InflightSlot& slot);
-  void release_slot(InflightSlot& slot);
-  void execute_direct(const Pending& p);
-  void execute_coalesced(InflightSlot& slot);
+  detail::Pending make_pending(const GemmRequest& req,
+                               std::shared_ptr<detail::RequestState> st);
+  ServiceShard& shard_for(const GemmRequest& req);
+  bool inline_open(const ServiceShard& home) const;
+  /// Run a claimed group (direct or coalesced) and settle every member;
+  /// shard_id < 0 = inline lane (executed on the submitting thread).
+  void execute_group(std::vector<detail::Pending>& group, int shard_id);
+  void execute_direct(detail::Pending& p, bool inlined);
   template <typename T>
-  void execute_coalesced_typed(InflightSlot& slot);
+  void execute_coalesced_typed(std::vector<detail::Pending>& group,
+                               int shard_id);
+  void count_rejected(std::uint64_t n = 1);
+  void count_cancelled(std::uint64_t n);
+  void note_group_start();
+  void note_group_end();
+  /// Wake one parked sibling of `home` to go stealing (no-op when none is
+  /// parked).
+  void nudge_stealers(int home);
+  /// Called by an idle shard: scan siblings for a stealable group.
+  bool steal_for(int thief, std::vector<detail::Pending>& group);
 
   ServiceConfig cfg_;
+  int nshards_ = 1;
+  int lease_reserve_ = 0;  ///< runtime try-lease fairness (shards - 1)
+  std::vector<std::unique_ptr<ServiceShard>> shards_;
 
-  mutable std::mutex qm_;
-  std::condition_variable qcv_;       ///< wakes the dispatcher
-  std::condition_variable space_cv_;  ///< wakes submitters awaiting space
-  std::deque<Pending> lanes_[kPriorityLanes];
-  std::size_t queued_ = 0;  ///< entries across lanes (incl. cancelled-not-yet-popped)
-  bool paused_ = false;
-  bool stopping_ = false;
-  bool dispatcher_waiting_ = false;  ///< dispatcher parked on qcv_ (under qm_)
-  std::uint64_t submitted_ = 0;         ///< admission counters live under
-  std::uint64_t peak_queue_depth_ = 0;  ///< qm_; stats() merges them in
+  std::atomic<bool> stopping_{false};  ///< admission gate
+  std::atomic<int> stop_mode_{int(StopMode::kNone)};
+  std::atomic<bool> paused_{false};
+  /// Submitters (incl. inline executions) currently inside admission;
+  /// shutdown waits for this to drain before arming the dispatchers' stop
+  /// mode, so no request can slip in behind a final queue sweep.
+  std::atomic<int> active_submitters_{0};
+  std::atomic<int> inflight_{0};  ///< dispatcher groups across shards
 
-  mutable std::mutex sm_;
-  std::condition_variable scv_;  ///< slot freed / all in-flight done
-  std::vector<std::unique_ptr<InflightSlot>> slots_;
-  std::vector<InflightSlot*> free_slots_;
-  int inflight_ = 0;
+  mutable std::mutex im_;
+  std::condition_variable icv_;  ///< inflight_ == 0, for shutdown
+
+  std::mutex shutdown_m_;
+  bool shards_joined_ = false;
 
   mutable std::mutex stats_m_;
   ServiceStats stats_;
-
-  std::thread dispatcher_;
 };
 
 }  // namespace ftgemm::serve

@@ -1,0 +1,376 @@
+// ServiceShard implementation: lock-free admission, the per-shard
+// dispatcher, group building with the holdover slot, and stealing (see
+// serve/shard.hpp for the protocols and serve/service.hpp for the service
+// contracts).
+//
+// Lock order (never taken in reverse):
+//   pop_m_          — consumer-side group building (one shard's at a time:
+//                     a stealer takes a victim's pop_m_ while holding none
+//                     of its own);
+//   RequestState::m — per-request settle/claim/cancel transitions;
+//   m_              — park/space condition handshakes;
+//   sm_             — in-flight slot free list;
+//   stats_m_        — service counters (leaf).
+#include "serve/shard.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "runtime/team.hpp"
+
+namespace ftgemm::serve {
+
+namespace {
+
+int lane_of(Priority p) { return std::clamp(int(p), 0, kPriorityLanes - 1); }
+
+}  // namespace
+
+/// Stable callable objects the runtime's non-owning TeamFnRef /
+/// CompletionRef can reference for the whole async dispatch.
+struct ServiceShard::InflightSlot {
+  explicit InflightSlot(ServiceShard* s) : shard(s) {}
+
+  ServiceShard* shard;
+  std::vector<detail::Pending> group;
+
+  struct BodyFn {
+    InflightSlot* slot;
+    void operator()(runtime::TeamMember&) const {
+      slot->shard->execute_slot(*slot);
+    }
+  };
+  struct DoneFn {
+    InflightSlot* slot;
+    void operator()() const { slot->shard->release_slot(*slot); }
+  };
+  BodyFn body{this};
+  DoneFn done{this};
+};
+
+ServiceShard::ServiceShard(GemmService* owner, int id, std::size_t capacity)
+    : owner_(owner), id_(id), capacity_(std::max<std::size_t>(capacity, 1)) {
+  lanes_.reserve(kPriorityLanes);
+  for (int i = 0; i < kPriorityLanes; ++i) {
+    lanes_.push_back(
+        std::make_unique<detail::SubmitRing<detail::Pending>>(capacity_));
+  }
+  // max_inflight == 1 executes on the dispatcher thread (no slots, no pool
+  // round trip): a 1-wide shard would pay two context switches per group
+  // for nothing.
+  const int inflight = std::max(owner_->cfg_.max_inflight, 1);
+  if (inflight > 1) {
+    slots_.reserve(std::size_t(inflight));
+    free_slots_.reserve(std::size_t(inflight));
+    for (int i = 0; i < inflight; ++i) {
+      slots_.push_back(std::make_unique<InflightSlot>(this));
+      free_slots_.push_back(slots_.back().get());
+    }
+  }
+}
+
+ServiceShard::~ServiceShard() { join(); }
+
+void ServiceShard::start() {
+  dispatcher_ = std::thread([this] { dispatcher_main(); });
+}
+
+void ServiceShard::join() {
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+// ---------------------------------------------------------------------------
+// Admission (producer side — lock-free unless parked/full)
+// ---------------------------------------------------------------------------
+
+ServiceShard::Admit ServiceShard::try_admit(detail::Pending& p) {
+  // Reserve a slot against the shard capacity first; the rings are sized to
+  // the full capacity per lane, so a reserved push below can never fail.
+  std::size_t q = queued_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (q >= capacity_) return Admit::kFull;
+    if (queued_.compare_exchange_weak(q, q + 1, std::memory_order_seq_cst)) {
+      break;
+    }
+  }
+  const std::size_t depth = q + 1;
+  const bool pushed = lanes_[lane_of(p.req.priority)]->push(std::move(p));
+  assert(pushed);
+  (void)pushed;
+  counters.submitted.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t peak = counters.peak_queue_depth.load(std::memory_order_relaxed);
+  while (peak < depth &&
+         !counters.peak_queue_depth.compare_exchange_weak(
+             peak, depth, std::memory_order_relaxed)) {
+  }
+  // Dekker store-load: our queued_ bump (seq_cst) vs the dispatcher's
+  // parked_ raise + predicate re-check under m_.  Either the dispatcher's
+  // predicate sees the bump, or we see parked_ == true and deliver the
+  // wake through the mutex; the empty critical section orders the notify
+  // after the dispatcher has atomically blocked.
+  if (parked_.load(std::memory_order_seq_cst)) {
+    { std::lock_guard<std::mutex> lk(m_); }
+    cv_.notify_one();
+  } else if (owner_->cfg_.steal && depth > 1) {
+    // Dispatcher busy and a backlog is forming: invite a parked sibling to
+    // steal instead of letting the work queue behind one executor.
+    owner_->nudge_stealers(id_);
+  }
+  return Admit::kOk;
+}
+
+ServiceShard::Admit ServiceShard::admit_blocking(detail::Pending& p) {
+  for (;;) {
+    const Admit a = try_admit(p);
+    if (a != Admit::kFull) return a;
+    std::unique_lock<std::mutex> lk(m_);
+    space_waiters_.fetch_add(1, std::memory_order_seq_cst);
+    space_cv_.wait(lk, [&] {
+      return owner_->stopping_.load(std::memory_order_acquire) ||
+             queued_.load(std::memory_order_seq_cst) < capacity_;
+    });
+    space_waiters_.fetch_sub(1, std::memory_order_seq_cst);
+    if (owner_->stopping_.load(std::memory_order_acquire)) {
+      return Admit::kStopping;
+    }
+  }
+}
+
+void ServiceShard::nudge() {
+  nudged_.store(true, std::memory_order_seq_cst);
+  { std::lock_guard<std::mutex> lk(m_); }
+  cv_.notify_one();
+}
+
+void ServiceShard::wake_all() {
+  { std::lock_guard<std::mutex> lk(m_); }
+  cv_.notify_all();
+  space_cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Group building (consumer side — pop_m_ serializes owner vs stealers)
+// ---------------------------------------------------------------------------
+
+void ServiceShard::note_removed() {
+  queued_.fetch_sub(1, std::memory_order_seq_cst);
+  if (space_waiters_.load(std::memory_order_seq_cst) > 0) {
+    { std::lock_guard<std::mutex> lk(m_); }
+    space_cv_.notify_all();
+  }
+}
+
+void ServiceShard::put_holdover(detail::Pending&& p) {
+  holdover_ = std::move(p);
+  has_holdover_ = true;
+  queued_.fetch_add(1, std::memory_order_seq_cst);
+}
+
+bool ServiceShard::take_next(detail::Pending& out) {
+  // Higher lanes pre-empt the holdover; within the holdover's own lane it
+  // goes first (it was popped before the lane's current ring head, so
+  // re-offering it first is FIFO, not a reorder).
+  const int hold_lane = has_holdover_ ? lane_of(holdover_.req.priority) : -1;
+  for (int lane = kPriorityLanes - 1; lane > hold_lane; --lane) {
+    if (lanes_[lane]->pop(out)) {
+      note_removed();
+      return true;
+    }
+  }
+  if (has_holdover_) {
+    out = std::move(holdover_);
+    holdover_ = detail::Pending{};
+    has_holdover_ = false;
+    note_removed();
+    return true;
+  }
+  return false;
+}
+
+void ServiceShard::build_group_locked(std::vector<detail::Pending>& group,
+                                      std::uint64_t& cancelled) {
+  // Head: the first claimable entry in priority order; cancelled entries
+  // drain (and are counted) on the way.
+  for (;;) {
+    detail::Pending p;
+    if (!take_next(p)) return;
+    if (detail::try_claim(*p.state)) {
+      group.push_back(std::move(p));
+      break;
+    }
+    ++cancelled;
+  }
+  if (!group.front().coalescible) return;
+  // Copies, not references: push_back below reallocates the group.
+  const GemmRequest head = group.front().req;
+  const PlanKey head_key = group.front().key;
+  const index_t max_c = std::max<index_t>(owner_->cfg_.max_coalesce, 1);
+  while (index_t(group.size()) < max_c) {
+    detail::Pending p;
+    if (!take_next(p)) return;
+    if (!detail::coalesce_match(head, head_key, p)) {
+      // A ring cannot skip an entry in place; park the mismatch in the
+      // holdover slot and stop the run.
+      put_holdover(std::move(p));
+      return;
+    }
+    if (detail::try_claim(*p.state)) {
+      group.push_back(std::move(p));
+    } else {
+      ++cancelled;
+    }
+  }
+}
+
+bool ServiceShard::steal_group(std::vector<detail::Pending>& out,
+                               std::uint64_t& cancelled) {
+  if (queued_.load(std::memory_order_seq_cst) == 0) return false;
+  // Blocking lock on purpose: pop_m_ is only ever held for group building
+  // (popping, never executing), so the wait is short and a thief that saw
+  // a backlog reliably gets a group instead of spuriously failing and
+  // parking while the victim stays loaded.
+  std::lock_guard<std::mutex> lk(pop_m_);
+  build_group_locked(out, cancelled);
+  return !out.empty();
+}
+
+void ServiceShard::cancel_all() {
+  std::uint64_t cancelled = 0;
+  {
+    std::lock_guard<std::mutex> lk(pop_m_);
+    detail::Pending p;
+    while (take_next(p)) {
+      if (detail::try_cancel(*p.state) ||
+          detail::status_of(*p.state) == RequestStatus::kCancelled) {
+        ++cancelled;
+      }
+      p = detail::Pending{};
+    }
+  }
+  if (cancelled > 0) owner_->count_cancelled(cancelled);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatcher
+// ---------------------------------------------------------------------------
+
+void ServiceShard::dispatcher_main() {
+  std::vector<detail::Pending> group;
+  for (;;) {
+    group.clear();
+    const int mode = owner_->stop_mode_.load(std::memory_order_acquire);
+    if (mode == int(GemmService::StopMode::kCancel)) {
+      cancel_all();
+      return;
+    }
+    const bool draining = mode == int(GemmService::StopMode::kDrain);
+    const bool paused =
+        owner_->paused_.load(std::memory_order_acquire) && !draining;
+    std::uint64_t cancelled = 0;
+    if (!paused) {
+      std::lock_guard<std::mutex> lk(pop_m_);
+      build_group_locked(group, cancelled);
+    }
+    if (cancelled > 0) owner_->count_cancelled(cancelled);
+    if (group.empty()) {
+      if (draining) {
+        // Admission is closed (shutdown drained the submitter window
+        // before arming drain mode), so a nonzero count can only be a
+        // stealable holdover race or a last reserved push landing.
+        if (queued_.load(std::memory_order_seq_cst) == 0) return;
+        std::this_thread::yield();
+        continue;
+      }
+      if (!paused && owner_->cfg_.steal &&
+          owner_->steal_for(id_, group)) {
+        // fall through and execute the stolen group
+      } else if (!paused &&
+                 queued_.load(std::memory_order_seq_cst) > 0) {
+        // A producer holds a reservation but has not finished its push;
+        // it is wait-free, so spin-yield rather than park.
+        std::this_thread::yield();
+        continue;
+      } else {
+        std::unique_lock<std::mutex> lk(m_);
+        parked_.store(true, std::memory_order_seq_cst);
+        cv_.wait(lk, [&] {
+          return owner_->stop_mode_.load(std::memory_order_acquire) != 0 ||
+                 nudged_.load(std::memory_order_seq_cst) ||
+                 (!owner_->paused_.load(std::memory_order_acquire) &&
+                  queued_.load(std::memory_order_seq_cst) > 0);
+        });
+        parked_.store(false, std::memory_order_seq_cst);
+        nudged_.store(false, std::memory_order_seq_cst);
+        continue;
+      }
+    }
+    if (group.empty()) continue;
+    execute(std::move(group));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+void ServiceShard::execute(std::vector<detail::Pending>&& group) {
+  if (slots_.empty()) {
+    // max_inflight == 1: one group at a time either way, so run it right
+    // here on the dispatcher thread.
+    std::vector<detail::Pending> g = std::move(group);
+    owner_->note_group_start();
+    owner_->execute_group(g, id_);
+    owner_->note_group_end();
+    return;
+  }
+  InflightSlot* slot = nullptr;
+  {
+    std::unique_lock<std::mutex> lk(sm_);
+    scv_.wait(lk, [&] { return !free_slots_.empty(); });
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  }
+  owner_->note_group_start();
+  slot->group = std::move(group);
+  // Lease execution from the pool: the non-blocking try-lease first (a
+  // parked worker picks the job up with no spawn), leaving lease_reserve_
+  // workers parked for sibling shards; the growing lease as the fallback
+  // so progress is never gated on pool capacity.
+  if (!runtime::try_run_team_async(1, slot->body, slot->done,
+                                   owner_->lease_reserve_)) {
+    runtime::run_team_async(1, slot->body, slot->done);
+  }
+}
+
+void ServiceShard::execute_slot(InflightSlot& slot) {
+  owner_->execute_group(slot.group, id_);
+}
+
+void ServiceShard::release_slot(InflightSlot& slot) {
+  slot.group.clear();
+  {
+    std::lock_guard<std::mutex> lk(sm_);
+    free_slots_.push_back(&slot);
+  }
+  scv_.notify_all();
+  owner_->note_group_end();
+}
+
+ShardStats ServiceShard::snapshot() const {
+  ShardStats s;
+  s.submitted = counters.submitted.load(std::memory_order_relaxed);
+  s.executed = counters.executed.load(std::memory_order_relaxed);
+  s.coalesced_batches =
+      counters.coalesced_batches.load(std::memory_order_relaxed);
+  s.coalesced_members =
+      counters.coalesced_members.load(std::memory_order_relaxed);
+  s.steals = counters.steals.load(std::memory_order_relaxed);
+  s.stolen_requests =
+      counters.stolen_requests.load(std::memory_order_relaxed);
+  s.peak_queue_depth =
+      counters.peak_queue_depth.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace ftgemm::serve

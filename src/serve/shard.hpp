@@ -1,0 +1,202 @@
+// One admission shard of the GemmService: a bounded lock-free submit ring
+// per priority lane, plus the dispatcher thread that drains them.
+//
+// The serving layer splits into N of these so that (a) producers on
+// different client threads never contend on one queue lock — admission is
+// a CAS-reservation against the shard's `queued_` counter followed by a
+// lock-free ring push — and (b) dispatch parallelism scales with shards
+// instead of funneling through a single dispatcher.  Client threads are
+// round-robin affine to a home shard, so one client's pipelined window
+// lands contiguously in one shard's rings and keeps its coalescing
+// opportunity.
+//
+// Consumer side: the owning dispatcher and any *stealing* sibling
+// dispatcher serialize on `pop_m_` — a consumer-only mutex producers never
+// touch.  Serializing consumers buys two properties cheaply: a coalescable
+// same-fingerprint run is always popped atomically as ONE group (never
+// split between the owner and a thief, so stolen traffic coalesces exactly
+// like owned traffic), and the single `holdover_` slot is enough to hold
+// the one popped-but-mismatched entry a coalescing sweep can end on (a
+// ring, unlike the old deque, cannot skip an entry in place).  The
+// holdover is re-offered first within its own priority lane on the next
+// sweep, preserving per-lane FIFO; higher lanes still pre-empt it.
+//
+// Steal protocol: an idle dispatcher (own rings empty, not paused, service
+// not draining) scans siblings for `queued() > 0` and pops a whole group
+// off the first loaded victim, taking that victim's pop_m_ (held only for
+// popping, never across execution, so the wait is short and bounded).  The
+// victim's producers are unaffected (they never take pop_m_); the victim's
+// dispatcher is by definition busy executing, or it would be popping
+// itself.  Producers nudge one parked sibling when their home shard's
+// backlog grows while its dispatcher is busy, so steals happen on demand
+// rather than by polling.
+//
+// Park/wake: the dispatcher parks on `cv_` with `parked_` raised; a
+// producer that observes `parked_` (seq_cst, Dekker-style against the
+// dispatcher's predicate re-check under the mutex) takes the shard mutex
+// empty and notifies.  The common-case push — dispatcher running — stays
+// lock-free end to end.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "serve/queue.hpp"
+#include "serve/service.hpp"
+#include "serve/state.hpp"
+
+namespace ftgemm::serve {
+
+namespace detail {
+
+/// One admitted request in flight through the serving layer.
+struct Pending {
+  GemmRequest req;
+  std::shared_ptr<RequestState> state;
+  PlanKey key{};
+  /// Resolved plan takes the fast path AND the request is mergeable into a
+  /// batched call (single problem, no injector/correction log/resident
+  /// operand — see GemmService::make_pending).
+  bool coalescible = false;
+  /// Resolved plan takes the fast path (single problem): the inline
+  /// fast lane may execute it on the submitting thread.
+  bool inline_eligible = false;
+};
+
+/// Requests that may merge into one batched call: identical plan
+/// fingerprint, scalars, and leading dimensions (the batched entry point
+/// takes one set of each).  Shared by the dispatchers' group building and
+/// submit_all's inline window merging.
+inline bool coalesce_match(const GemmRequest& x, const PlanKey& xkey,
+                           const Pending& y) {
+  const GemmRequest& r = y.req;
+  return y.coalescible && x.precision == r.precision &&
+         x.layout == r.layout && x.alpha == r.alpha && x.beta == r.beta &&
+         x.lda == r.lda && x.ldb == r.ldb && x.ldc == r.ldc && xkey == y.key;
+}
+
+}  // namespace detail
+
+class ServiceShard {
+ public:
+  ServiceShard(GemmService* owner, int id, std::size_t capacity);
+  ~ServiceShard();
+
+  ServiceShard(const ServiceShard&) = delete;
+  ServiceShard& operator=(const ServiceShard&) = delete;
+
+  /// Spawn the dispatcher (separate from construction so every shard
+  /// exists before any dispatcher can go stealing across the vector).
+  void start();
+  void join();
+
+  enum class Admit { kOk, kFull, kStopping };
+
+  /// Lock-free admission: reserve a queue slot (CAS on queued_), push to
+  /// the request's priority ring, wake the dispatcher if parked.  kFull
+  /// when the shard is at capacity; `p` is consumed only on kOk.
+  Admit try_admit(detail::Pending& p);
+
+  /// Blocking admission: waits for queue space (backpressure); kStopping
+  /// when the service began shutdown while waiting.
+  Admit admit_blocking(detail::Pending& p);
+
+  /// Requests admitted and not yet claimed into a group (approximate
+  /// between quiescent points, like any concurrent counter).
+  [[nodiscard]] std::size_t queued() const {
+    return queued_.load(std::memory_order_seq_cst);
+  }
+
+  [[nodiscard]] bool parked() const {
+    return parked_.load(std::memory_order_seq_cst);
+  }
+
+  /// Wake the dispatcher to go stealing (sets the nudge latch so the park
+  /// predicate passes even with an empty own queue).
+  void nudge();
+
+  /// Wake dispatcher and any space-waiting producers (shutdown/resume).
+  void wake_all();
+
+  /// Pop one group from this shard's rings on behalf of a sibling
+  /// dispatcher; false when the shard is empty.  Cancelled entries drained
+  /// on the way are added to `cancelled`.
+  bool steal_group(std::vector<detail::Pending>& out, std::uint64_t& cancelled);
+
+  /// Per-shard counters (relaxed; snapshot via GemmService::stats).
+  struct Counters {
+    std::atomic<std::uint64_t> submitted{0};
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> coalesced_batches{0};
+    std::atomic<std::uint64_t> coalesced_members{0};
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> stolen_requests{0};
+    std::atomic<std::uint64_t> peak_queue_depth{0};
+  };
+  Counters counters;
+
+  [[nodiscard]] ShardStats snapshot() const;
+
+ private:
+  friend class GemmService;
+
+  struct InflightSlot;
+
+  void dispatcher_main();
+  /// Build one claimable group: holdover first (within its lane), then the
+  /// rings highest lane first; extends a coalescible head with the
+  /// contiguous same-fingerprint run up to max_coalesce.  pop_m_ held.
+  void build_group_locked(std::vector<detail::Pending>& group,
+                          std::uint64_t& cancelled);
+  /// Next unclaimed entry in priority order (holdover-aware); pop_m_ held.
+  bool take_next(detail::Pending& out);
+  void put_holdover(detail::Pending&& p);
+  /// An entry left the rings/holdover: drop the reservation and wake one
+  /// space-waiting producer.
+  void note_removed();
+  /// Cancel-drain everything still queued (shutdown(drain=false)).
+  void cancel_all();
+  /// Run a claimed group: bounded by max_inflight slots; max_inflight == 1
+  /// executes on the dispatcher thread itself (no pool round trip).
+  void execute(std::vector<detail::Pending>&& group);
+  void execute_slot(InflightSlot& slot);
+  void release_slot(InflightSlot& slot);
+
+  GemmService* owner_;
+  int id_;
+  std::size_t capacity_;
+
+  /// One ring per priority lane, each sized to the full shard capacity so
+  /// a reserved push can never fail.
+  std::vector<std::unique_ptr<detail::SubmitRing<detail::Pending>>> lanes_;
+
+  /// Admission reservations: entries in the rings plus the holdover slot.
+  std::atomic<std::size_t> queued_{0};
+  std::atomic<bool> parked_{false};
+  std::atomic<bool> nudged_{false};
+  std::atomic<int> space_waiters_{0};
+
+  std::mutex m_;  ///< park/space condition handshakes (producers take it
+                  ///< only when the dispatcher is parked or they must wait)
+  std::condition_variable cv_;        ///< dispatcher park
+  std::condition_variable space_cv_;  ///< blocked producers
+
+  std::mutex pop_m_;  ///< consumer-side: owner dispatcher vs stealers
+  detail::Pending holdover_;
+  bool has_holdover_ = false;
+
+  std::mutex sm_;  ///< in-flight slot free list
+  std::condition_variable scv_;
+  std::vector<std::unique_ptr<InflightSlot>> slots_;
+  std::vector<InflightSlot*> free_slots_;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace ftgemm::serve

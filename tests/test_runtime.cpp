@@ -278,6 +278,32 @@ TEST(PoolRuntime, TryLeaseFailsWithoutSideEffectsWhenWorkersAreBusy) {
   }
 }
 
+TEST(PoolRuntime, TryLeaseReserveKeepsHeadroomForSiblings) {
+  // The `reserve` overload refuses a lease that would leave fewer than
+  // `reserve` workers parked — the fairness hook the sharded service uses
+  // so one dispatcher cannot strip the pool bare under its siblings.
+  auto noop = [](runtime::TeamMember& tm) { tm.barrier(); };
+  runtime::run_team(RuntimeBackend::kPool, 3, noop);  // ensure >= 2 parked
+  const int idle = runtime::pool_idle_worker_count();
+  ASSERT_GE(idle, 2);
+
+  std::atomic<bool> ran{false};
+  auto body = [&](runtime::TeamMember&) { ran.store(true); };
+  std::atomic<bool> done{false};
+  auto completion = [&] { done.store(true); };
+
+  EXPECT_FALSE(runtime::try_run_team_async(idle, body, completion, 1))
+      << "a whole-pool lease with reserve=1 must refuse";
+  EXPECT_FALSE(ran.load());
+  EXPECT_EQ(runtime::pool_idle_worker_count(), idle)
+      << "a refused lease must not consume workers";
+
+  ASSERT_TRUE(runtime::try_run_team_async(idle, body, completion, 0));
+  while (!done.load()) {
+  }
+  EXPECT_TRUE(ran.load());
+}
+
 TEST(PoolRuntime, NestedOpenMPRegionFallsBackToPool) {
   // A nested `#pragma omp parallel` delivers a one-member team by default,
   // which would silently drop every tid > 0 partition.  run_team detects
