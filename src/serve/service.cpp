@@ -15,12 +15,14 @@
 // still blocks in ~GemmService until the completion has finished touching
 // service memory.
 //
-// Shutdown protocol (the subtle part of lock-free admission): stopping_
-// closes the door; every submitter passes through the active_submitters_
-// window, and shutdown() waits for that window to drain *before* arming
-// stop_mode_ — so by the time a dispatcher runs its final drain/cancel
-// sweep, no producer can be mid-push and no request can be admitted and
-// never settled.
+// Shutdown protocol (the subtle part of lock-free admission): the shared
+// stopping flag closes the door; every submitter passes through the
+// active_submitters_ window, and shutdown() waits for that window to drain
+// *before* arming stop_mode_ — so by the time a dispatcher runs its final
+// drain/cancel sweep, no producer can be mid-push and no request can be
+// admitted and never settled.  The flag and shutdown's mutex/cv live in a
+// shared detail::ShutdownSync block so a notifier that released one of
+// shutdown's waits can finish its notify after the service is destroyed.
 #include "serve/service.hpp"
 
 #include <algorithm>
@@ -195,23 +197,26 @@ GemmResult run_direct(const GemmRequest& r) {
 
 /// RAII pass through the admission window: shutdown() waits for this count
 /// to drain before arming the dispatchers' stop mode, so a producer that
-/// passed the stopping_ check can always finish its reservation + push.
+/// passed the stopping check can always finish its reservation + push.
 struct SubmitterGate {
   std::atomic<int>& count;
-  std::atomic<bool>& stopping;
-  std::mutex& m;
-  std::condition_variable& cv;
+  /// Owning copy: the decrement below may release shutdown()'s wait, after
+  /// which the service can be destroyed under us — everything this
+  /// destructor touches past that decrement must live in the shared block.
+  std::shared_ptr<detail::ShutdownSync> sync;
 
-  SubmitterGate(std::atomic<int>& c, std::atomic<bool>& st, std::mutex& mm,
-                std::condition_variable& ccv)
-      : count(c), stopping(st), m(mm), cv(ccv) {
+  SubmitterGate(std::atomic<int>& c, std::shared_ptr<detail::ShutdownSync> s)
+      : count(c), sync(std::move(s)) {
     count.fetch_add(1, std::memory_order_seq_cst);
   }
   ~SubmitterGate() {
+    // seq_cst load: if shutdown's predicate missed this decrement (slept
+    // on count == 1), its earlier stopping store is S-ordered before the
+    // decrement and must be visible here so the wake gets delivered.
     if (count.fetch_sub(1, std::memory_order_seq_cst) == 1 &&
-        stopping.load(std::memory_order_acquire)) {
-      { std::lock_guard<std::mutex> lk(m); }
-      cv.notify_all();
+        sync->stopping.load(std::memory_order_seq_cst)) {
+      { std::lock_guard<std::mutex> lk(sync->m); }
+      sync->cv.notify_all();
     }
   }
 };
@@ -306,7 +311,8 @@ bool GemmService::inline_open(const ServiceShard& home) const {
   // (queueing lets small requests coalesce behind the backlog instead).
   return cfg_.inline_fast_lane &&
          !paused_.load(std::memory_order_acquire) &&
-         !stopping_.load(std::memory_order_acquire) && home.queued() == 0 &&
+         !sync_->stopping.load(std::memory_order_acquire) &&
+         home.queued() == 0 &&
          inflight_.load(std::memory_order_acquire) <
              cfg_.inline_inflight_limit;
 }
@@ -319,8 +325,8 @@ GemmFuture GemmService::enqueue(const GemmRequest& req, bool blocking) {
     count_rejected();
     return fut;
   }
-  SubmitterGate gate(active_submitters_, stopping_, im_, icv_);
-  if (stopping_.load(std::memory_order_acquire)) {
+  SubmitterGate gate(active_submitters_, sync_);
+  if (sync_->stopping.load(std::memory_order_acquire)) {
     detail::reject_unpublished(*st, RejectReason::kShuttingDown);
     count_rejected();
     return fut;
@@ -363,8 +369,8 @@ std::vector<GemmFuture> GemmService::submit_all(
   std::vector<detail::Pending> ready;
   ready.reserve(reqs.size());
   std::uint64_t rejected = 0;
-  SubmitterGate gate(active_submitters_, stopping_, im_, icv_);
-  const bool stopping_now = stopping_.load(std::memory_order_acquire);
+  SubmitterGate gate(active_submitters_, sync_);
+  const bool stopping_now = sync_->stopping.load(std::memory_order_acquire);
   for (const GemmRequest& r : reqs) {
     auto st = std::make_shared<detail::RequestState>();
     futures.push_back(GemmFuture(st));
@@ -436,14 +442,20 @@ void GemmService::resume() {
 void GemmService::shutdown(bool drain) {
   std::lock_guard<std::mutex> slk(shutdown_m_);
   if (shards_joined_) return;
-  stopping_.store(true, std::memory_order_seq_cst);
-  paused_.store(false, std::memory_order_seq_cst);
-  // First wake: unblock space-waiting producers (they observe stopping_
+  sync_->stopping.store(true, std::memory_order_seq_cst);
+  // Unpause only when draining: drain must execute the backlog, but a
+  // cancel-mode shutdown of a paused service must keep the dispatchers
+  // parked, or they could build and execute staged groups in the window
+  // between here and the stop_mode_ store below.  Cancel mode needs no
+  // unpause — the dispatcher loop checks kCancel before it checks paused,
+  // and the park predicate wakes on any nonzero stop mode.
+  if (drain) paused_.store(false, std::memory_order_seq_cst);
+  // First wake: unblock space-waiting producers (they observe stopping
   // and bow out through their gates).
   for (auto& s : shards_) s->wake_all();
   {
-    std::unique_lock<std::mutex> lk(im_);
-    icv_.wait(lk, [&] {
+    std::unique_lock<std::mutex> lk(sync_->m);
+    sync_->cv.wait(lk, [&] {
       return active_submitters_.load(std::memory_order_seq_cst) == 0;
     });
   }
@@ -454,8 +466,8 @@ void GemmService::shutdown(bool drain) {
   for (auto& s : shards_) s->wake_all();
   for (auto& s : shards_) s->join();
   {
-    std::unique_lock<std::mutex> lk(im_);
-    icv_.wait(lk, [&] {
+    std::unique_lock<std::mutex> lk(sync_->m);
+    sync_->cv.wait(lk, [&] {
       return inflight_.load(std::memory_order_seq_cst) == 0;
     });
   }
@@ -484,9 +496,14 @@ void GemmService::note_group_start() {
 }
 
 void GemmService::note_group_end() {
+  // Copy the block before the decrement: reaching zero releases
+  // shutdown()'s final wait, after which ~GemmService can run — without
+  // the copy this thread's notify would broadcast on a destroyed cv (a
+  // pthread_cond_destroy race, TSan-visible on pool completions).
+  std::shared_ptr<detail::ShutdownSync> sync = sync_;
   if (inflight_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
-    { std::lock_guard<std::mutex> lk(im_); }
-    icv_.notify_all();
+    { std::lock_guard<std::mutex> lk(sync->m); }
+    sync->cv.notify_all();
   }
 }
 

@@ -194,7 +194,9 @@ GemmRequest make_strided_batched_request(
 /// Lifecycle of one submitted request.
 enum class RequestStatus {
   kQueued,     ///< admitted, awaiting dispatch
-  kRunning,    ///< claimed by a dispatcher (no longer cancellable)
+  kRunning,    ///< claimed — by a dispatcher for execution, or transiently
+               ///< by a winning cancel while it publishes (no longer
+               ///< cancellable either way)
   kDone,       ///< executed; result fields are valid
   kCancelled,  ///< cancelled while queued; never executed, C untouched
   kRejected,   ///< refused at submit (see GemmResult::reject)
@@ -226,6 +228,19 @@ struct GemmResult {
 namespace detail {
 struct RequestState;
 struct Pending;
+
+/// Shutdown handshake block, held by shared_ptr: a late notifier — a pool
+/// completion in note_group_end, or a submitter gate bowing out — can
+/// still be between its releasing decrement (the one shutdown()'s wait is
+/// blocked on) and its notify when the waiter observes zero, returns, and
+/// the service is destroyed.  Each notifier copies the block before that
+/// decrement so the mutex/cv (and the stopping flag the gate re-reads
+/// afterwards) outlive the service for exactly that tail.
+struct ShutdownSync {
+  std::atomic<bool> stopping{false};  ///< admission gate
+  std::mutex m;
+  std::condition_variable cv;  ///< submitter window / inflight drained
+};
 }
 
 class ServiceShard;
@@ -424,7 +439,10 @@ class GemmService {
   int lease_reserve_ = 0;  ///< runtime try-lease fairness (shards - 1)
   std::vector<std::unique_ptr<ServiceShard>> shards_;
 
-  std::atomic<bool> stopping_{false};  ///< admission gate
+  /// stopping flag + the mutex/cv shutdown's waits and their notifiers
+  /// share; see detail::ShutdownSync for why it is shared, not a member.
+  std::shared_ptr<detail::ShutdownSync> sync_ =
+      std::make_shared<detail::ShutdownSync>();
   std::atomic<int> stop_mode_{int(StopMode::kNone)};
   std::atomic<bool> paused_{false};
   /// Submitters (incl. inline executions) currently inside admission;
@@ -432,9 +450,6 @@ class GemmService {
   /// mode, so no request can slip in behind a final queue sweep.
   std::atomic<int> active_submitters_{0};
   std::atomic<int> inflight_{0};  ///< dispatcher groups across shards
-
-  mutable std::mutex im_;
-  std::condition_variable icv_;  ///< inflight_ == 0, for shutdown
 
   std::mutex shutdown_m_;
   bool shards_joined_ = false;

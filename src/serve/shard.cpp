@@ -1,5 +1,5 @@
 // ServiceShard implementation: lock-free admission, the per-shard
-// dispatcher, group building with the holdover slot, and stealing (see
+// dispatcher, group building with the per-lane holdover slots, and stealing (see
 // serve/shard.hpp for the protocols and serve/service.hpp for the service
 // contracts).
 //
@@ -127,11 +127,11 @@ ServiceShard::Admit ServiceShard::admit_blocking(detail::Pending& p) {
     std::unique_lock<std::mutex> lk(m_);
     space_waiters_.fetch_add(1, std::memory_order_seq_cst);
     space_cv_.wait(lk, [&] {
-      return owner_->stopping_.load(std::memory_order_acquire) ||
+      return owner_->sync_->stopping.load(std::memory_order_acquire) ||
              queued_.load(std::memory_order_seq_cst) < capacity_;
     });
     space_waiters_.fetch_sub(1, std::memory_order_seq_cst);
-    if (owner_->stopping_.load(std::memory_order_acquire)) {
+    if (owner_->sync_->stopping.load(std::memory_order_acquire)) {
       return Admit::kStopping;
     }
   }
@@ -162,28 +162,31 @@ void ServiceShard::note_removed() {
 }
 
 void ServiceShard::put_holdover(detail::Pending&& p) {
-  holdover_ = std::move(p);
-  has_holdover_ = true;
+  const int lane = lane_of(p.req.priority);
+  // take_next offers a lane's holdover before that lane's ring, so an
+  // entry we just popped (from ring `lane`, or the slot itself) can only
+  // be parked into an empty slot; a full one here would lose a request.
+  assert(!has_holdover_[lane]);
+  holdover_[lane] = std::move(p);
+  has_holdover_[lane] = true;
   queued_.fetch_add(1, std::memory_order_seq_cst);
 }
 
 bool ServiceShard::take_next(detail::Pending& out) {
-  // Higher lanes pre-empt the holdover; within the holdover's own lane it
-  // goes first (it was popped before the lane's current ring head, so
-  // re-offering it first is FIFO, not a reorder).
-  const int hold_lane = has_holdover_ ? lane_of(holdover_.req.priority) : -1;
-  for (int lane = kPriorityLanes - 1; lane > hold_lane; --lane) {
+  for (int lane = kPriorityLanes - 1; lane >= 0; --lane) {
+    // The lane's holdover goes first: it was popped before the ring's
+    // current head, so re-offering it first is FIFO, not a reorder.
+    if (has_holdover_[lane]) {
+      out = std::move(holdover_[lane]);
+      holdover_[lane] = detail::Pending{};
+      has_holdover_[lane] = false;
+      note_removed();
+      return true;
+    }
     if (lanes_[lane]->pop(out)) {
       note_removed();
       return true;
     }
-  }
-  if (has_holdover_) {
-    out = std::move(holdover_);
-    holdover_ = detail::Pending{};
-    has_holdover_ = false;
-    note_removed();
-    return true;
   }
   return false;
 }
@@ -210,8 +213,8 @@ void ServiceShard::build_group_locked(std::vector<detail::Pending>& group,
     detail::Pending p;
     if (!take_next(p)) return;
     if (!detail::coalesce_match(head, head_key, p)) {
-      // A ring cannot skip an entry in place; park the mismatch in the
-      // holdover slot and stop the run.
+      // A ring cannot skip an entry in place; park the mismatch in its
+      // lane's holdover slot and stop the run.
       put_holdover(std::move(p));
       return;
     }
@@ -241,10 +244,12 @@ void ServiceShard::cancel_all() {
     std::lock_guard<std::mutex> lk(pop_m_);
     detail::Pending p;
     while (take_next(p)) {
-      if (detail::try_cancel(*p.state) ||
-          detail::status_of(*p.state) == RequestStatus::kCancelled) {
-        ++cancelled;
-      }
+      // An entry we popped was never claimable by a dispatcher, so a
+      // failed cancel here can only mean a client's cancel won the claim
+      // CAS (its status may transiently read kRunning while it publishes);
+      // either way the request ends cancelled — count them all.
+      detail::try_cancel(*p.state);
+      ++cancelled;
       p = detail::Pending{};
     }
   }

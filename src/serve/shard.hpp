@@ -15,11 +15,16 @@
 // touch.  Serializing consumers buys two properties cheaply: a coalescable
 // same-fingerprint run is always popped atomically as ONE group (never
 // split between the owner and a thief, so stolen traffic coalesces exactly
-// like owned traffic), and the single `holdover_` slot is enough to hold
-// the one popped-but-mismatched entry a coalescing sweep can end on (a
-// ring, unlike the old deque, cannot skip an entry in place).  The
-// holdover is re-offered first within its own priority lane on the next
-// sweep, preserving per-lane FIFO; higher lanes still pre-empt it.
+// like owned traffic), and one `holdover_` slot *per priority lane* is
+// enough to hold the popped-but-mismatched entry a coalescing sweep can
+// end on (a ring, unlike the old deque, cannot skip an entry in place).
+// The slot must be per lane, not per shard: a sweep can park a mismatch
+// from a higher lane while a lower lane's holdover is still waiting, and a
+// single slot would overwrite — and thereby lose — the parked request.
+// Because take_next re-offers a lane's holdover before that lane's ring, a
+// popped ring entry's own slot is provably empty, so a park can never
+// clobber (asserted in put_holdover).  Re-offering the holdover first
+// within its lane preserves per-lane FIFO; higher lanes still pre-empt it.
 //
 // Steal protocol: an idle dispatcher (own rings empty, not paused, service
 // not draining) scans siblings for `queued() > 0` and pops a whole group
@@ -38,6 +43,7 @@
 // lock-free end to end.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -188,8 +194,11 @@ class ServiceShard {
   std::condition_variable space_cv_;  ///< blocked producers
 
   std::mutex pop_m_;  ///< consumer-side: owner dispatcher vs stealers
-  detail::Pending holdover_;
-  bool has_holdover_ = false;
+  /// One parked popped-but-mismatched entry per priority lane (see the
+  /// file comment for why a single shared slot would lose requests);
+  /// guarded by pop_m_ like the pops that fill and drain it.
+  std::array<detail::Pending, kPriorityLanes> holdover_;
+  std::array<bool, kPriorityLanes> has_holdover_{};
 
   std::mutex sm_;  ///< in-flight slot free list
   std::condition_variable scv_;

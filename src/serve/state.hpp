@@ -53,17 +53,25 @@ inline void settle(RequestState& st, GemmResult&& res) {
 }
 
 /// kQueued -> kCancelled; false when the request was already claimed or
-/// settled.
+/// settled.  Claims through an intermediate kRunning first so `result` is
+/// fully written before any settled status is publishable: wait()'s
+/// lock-free fast path copies `result` after one acquire load of `status`,
+/// so storing kCancelled directly in the CAS would race that copy against
+/// the result write.  This mirrors settle(): result first, settled status
+/// as the release-store last.
 inline bool try_cancel(RequestState& st) {
+  RequestStatus expect = RequestStatus::kQueued;
+  if (!st.status.compare_exchange_strong(expect, RequestStatus::kRunning,
+                                         std::memory_order_acq_rel)) {
+    return false;
+  }
+  // The CAS is the arbiter against try_claim and racing cancellers: we own
+  // the state now, and no dispatcher will execute or settle it.
   std::function<void(const GemmResult&)> cont;
   {
     std::lock_guard<std::mutex> lk(st.m);
-    RequestStatus expect = RequestStatus::kQueued;
-    if (!st.status.compare_exchange_strong(expect, RequestStatus::kCancelled,
-                                           std::memory_order_acq_rel)) {
-      return false;
-    }
     st.result.status = RequestStatus::kCancelled;
+    st.status.store(RequestStatus::kCancelled, std::memory_order_release);
     cont = std::move(st.continuation);
     st.continuation = nullptr;
   }

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -261,6 +262,105 @@ TEST(ServiceLifecycle, PriorityLanesDrainHighestFirst) {
   EXPECT_EQ(order[3], 3);
   EXPECT_EQ(order[4], 0);
   EXPECT_EQ(order[5], 1);
+}
+
+TEST(ServiceLifecycle, HoldoverSurvivesHigherLaneMismatchSweep) {
+  // Regression: a coalescing sweep parks its one popped-but-mismatched
+  // entry in a holdover slot.  With a single per-shard slot, a later sweep
+  // whose head came from a HIGHER lane could park its own mismatch on top
+  // of a still-waiting lower-lane holdover — destroying that request
+  // without ever settling it (the client's wait() hung forever and the
+  // leaked queue reservation wedged shutdown(drain)).  The slots are per
+  // lane now; this test stages the exact overwrite interleaving and
+  // requires every future to settle.
+  ServiceConfig cfg;
+  cfg.start_paused = true;
+  cfg.shards = 1;
+  cfg.steal = false;
+  cfg.max_inflight = 1;  // groups run on the dispatcher thread itself, so
+                         // a blocking continuation holds the sweep open
+  cfg.inline_fast_lane = false;  // the high-lane pair below must queue
+  GemmService service(cfg);
+
+  // Four fast-path (coalescible) shapes with four distinct plan
+  // fingerprints: every sweep that pops a second entry mismatches and
+  // must park it.
+  const GemmCase shapes[] = {
+      {48, 40, 64},  // [0] low-lane head of sweep 1
+      {40, 48, 64},  // [1] low-lane mismatch -> parked holdover
+      {32, 48, 64},  // [2] high-lane head of sweep 2
+      {64, 40, 32},  // [3] high-lane mismatch -> the overwriting park
+  };
+  const Priority lanes[] = {Priority::kLow, Priority::kLow, Priority::kHigh,
+                            Priority::kHigh};
+  std::vector<Problem<double>> problems;
+  std::vector<Matrix<double>> c_sync, c_async;
+  for (int r = 0; r < 4; ++r) {
+    problems.emplace_back(shapes[r], std::uint64_t(500 + r));
+    c_sync.push_back(problems.back().c.clone());
+    c_async.push_back(problems.back().c.clone());
+    run_sync<double>(shapes[r], true, problems.back(),
+                     c_sync[std::size_t(r)], {});
+  }
+  auto submit = [&](int r) {
+    const Problem<double>& p = problems[std::size_t(r)];
+    const GemmCase& cs = shapes[r];
+    return service.submit(make_gemm_request<double>(
+        true, Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n, cs.k, cs.alpha,
+        p.a.data(), p.a.ld(), p.b.data(), p.b.ld(), cs.beta,
+        c_async[std::size_t(r)].data(), c_async[std::size_t(r)].ld(), {},
+        lanes[r]));
+  };
+
+  std::vector<GemmFuture> futures;
+  futures.push_back(submit(0));
+  futures.push_back(submit(1));
+  // Hold the dispatcher inside sweep 1's execution (after it parked
+  // request 1 in the low lane's holdover slot) until the high-lane pair
+  // is staged behind it.
+  std::atomic<bool> sweep1_executing{false};
+  std::atomic<bool> release{false};
+  futures[0].then([&](const GemmResult&) {
+    sweep1_executing.store(true);
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  service.resume();
+  while (!sweep1_executing.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  futures.push_back(submit(2));
+  futures.push_back(submit(3));
+  // The parked holdover plus the two high-lane arrivals.
+  EXPECT_EQ(service.queue_depth(), 3u);
+  release.store(true);
+
+  // Sweep 2 pops request 2 as its head, mismatches on request 3, and must
+  // park it WITHOUT clobbering the still-parked request 1.
+  bool all_settled = true;
+  for (int r = 0; r < 4; ++r) {
+    const bool settled = futures[std::size_t(r)].wait_for(30.0);
+    EXPECT_TRUE(settled) << "request " << r
+                         << " was lost from a holdover slot";
+    all_settled = all_settled && settled;
+  }
+  // A lost request leaks its queue reservation and drain would spin
+  // forever; fall back to cancel-mode shutdown so a regression fails
+  // instead of hanging.
+  service.shutdown(all_settled);
+  if (!all_settled) return;
+  for (int r = 0; r < 4; ++r) {
+    const GemmResult& res = futures[std::size_t(r)].wait();
+    ASSERT_EQ(res.status, RequestStatus::kDone) << "request " << r;
+    EXPECT_TRUE(res.ok()) << "request " << r;
+    expect_matrix_near(c_async[std::size_t(r)], c_sync[std::size_t(r)], 0.0,
+                       "holdover request " + std::to_string(r));
+  }
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.completed, 4u);
+  EXPECT_EQ(stats.cancelled, 0u);
+  EXPECT_EQ(stats.inline_executed, 0u);
 }
 
 TEST(ServiceLifecycle, CancelQueuedRequestLeavesCUntouched) {
