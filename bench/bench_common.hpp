@@ -22,6 +22,7 @@
 #include "baseline/unfused_abft.hpp"
 #include "core/gemm.hpp"
 #include "inject/injectors.hpp"
+#include "runtime/topology.hpp"
 #include "util/env.hpp"
 #include "util/matrix.hpp"
 #include "util/stats.hpp"
@@ -82,6 +83,15 @@ inline void print_header(const char* title, const char* figure,
   std::printf("# reproduces: %s\n", figure);
   std::printf("# threads=%d reps=%d (paper: 20 reps, Xeon W-2255)\n",
               bench_threads(), bench_reps());
+  // Machine context, so a record from a 1-hardware-thread CI container is
+  // self-describing next to one from real multi-core hardware (record.sh
+  // lifts this line into the JSON env block).
+  std::printf("# hardware_concurrency=%d team_backend=%s\n",
+              runtime::hardware_concurrency(),
+              runtime::resolve_backend(RuntimeBackend::kAuto) ==
+                      RuntimeBackend::kPool
+                  ? "pool"
+                  : "openmp");
   std::printf("%-8s", "size");
   for (const std::string& c : columns) std::printf("%14s", c.c_str());
   std::printf("\n");

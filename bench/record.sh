@@ -17,21 +17,21 @@ out="BENCH_${name}.json"
     printf "{\n  \"bench\": \"%s\",\n", name
     "date -u +%Y-%m-%dT%H:%M:%SZ" | getline d
     printf "  \"date\": \"%s\",\n", d
-    printf "  \"env\": {"
-    sep = ""
-    split("FTGEMM_BENCH_MAX FTGEMM_BENCH_REPS FTGEMM_BENCH_THREADS " \
-          "FTGEMM_BENCH_BATCH FTGEMM_BENCH_SIZE FTGEMM_BENCH_CALLS " \
-          "FTGEMM_BENCH_BIG FTGEMM_BENCH_WINDOW " \
-          "FTGEMM_BENCH_SERVICE_THREADS FTGEMM_SERVICE_SHARDS " \
-          "FTGEMM_ISA FTGEMM_MC FTGEMM_NC FTGEMM_KC", knobs, " ")
-    for (i in knobs) if (knobs[i] in ENVIRON) {
-      printf "%s\"%s\": \"%s\"", sep, knobs[i], ENVIRON[knobs[i]]
-      sep = ", "
-    }
-    printf "},\n"
     ncomments = 0; have_cols = 0; nrows = 0
+    hwc = ""; backend = ""
   }
-  /^#/ { sub(/^# ?/, ""); comments[ncomments++] = $0; next }
+  # bench_common print_header stamps "# hardware_concurrency=N
+  # team_backend=..." so every record says what machine/runtime produced
+  # it; lift that into the env block (emitted in END, once comments are
+  # parsed).
+  /^#/ {
+    sub(/^# ?/, "")
+    if (match($0, /hardware_concurrency=[0-9]+/))
+      hwc = substr($0, RSTART + 21, RLENGTH - 21)
+    if (match($0, /team_backend=[a-z]+/))
+      backend = substr($0, RSTART + 13, RLENGTH - 13)
+    comments[ncomments++] = $0; next
+  }
   NF == 0 { next }
   !have_cols {
     for (i = 1; i <= NF; i++) cols[i] = $i
@@ -39,6 +39,30 @@ out="BENCH_${name}.json"
   }
   { for (i = 1; i <= NF; i++) rows[nrows, i] = $i; rowlen[nrows] = NF; nrows++ }
   END {
+    printf "  \"env\": {"
+    sep = ""
+    split("FTGEMM_BENCH_MAX FTGEMM_BENCH_REPS FTGEMM_BENCH_THREADS " \
+          "FTGEMM_BENCH_BATCH FTGEMM_BENCH_SIZE FTGEMM_BENCH_CALLS " \
+          "FTGEMM_BENCH_BIG FTGEMM_BENCH_WINDOW " \
+          "FTGEMM_BENCH_SERVICE_THREADS FTGEMM_SERVICE_SHARDS " \
+          "FTGEMM_ISA FTGEMM_MC FTGEMM_NC FTGEMM_KC FTGEMM_RUNTIME " \
+          "FTGEMM_THREADS OMP_NUM_THREADS", knobs, " ")
+    for (i in knobs) if (knobs[i] in ENVIRON) {
+      printf "%s\"%s\": \"%s\"", sep, knobs[i], ENVIRON[knobs[i]]
+      sep = ", "
+    }
+    if (hwc == "") {
+      "getconf _NPROCESSORS_ONLN 2>/dev/null" | getline hwc
+    }
+    if (hwc != "") {
+      printf "%s\"hardware_concurrency\": %s", sep, hwc
+      sep = ", "
+    }
+    if (backend != "") {
+      printf "%s\"team_backend\": \"%s\"", sep, backend
+      sep = ", "
+    }
+    printf "},\n"
     printf "  \"comments\": ["
     for (i = 0; i < ncomments; i++) {
       gsub(/"/, "\\\"", comments[i])

@@ -117,30 +117,32 @@ void scale_c(T* c, index_t ldc, index_t i0, index_t ilen, index_t n, T beta) {
 
 /// Partial row-checksum of A over rows [i0, i0+ilen):
 ///   ar_part[p] += alpha * sum_i A_eff(i, p),  p in [0, K).
-/// Also returns amax of the slice of A (unscaled).
-template <typename T>
-double encode_ar_partial(const OperandView<T>& a, index_t i0, index_t ilen,
-                         index_t k, T alpha, T* __restrict__ ar_part) {
-  T amax_lane[kEncodeLanes] = {};
+/// Also returns amax of the slice of A (unscaled).  Generalized over
+/// (StorageT, ComputeT): elements are widened via C(...) — identity for the
+/// classic S == C paths — and all sums/amax are carried in C.
+template <typename S, typename C = S>
+double encode_ar_partial(const OperandView<S>& a, index_t i0, index_t ilen,
+                         index_t k, C alpha, C* __restrict__ ar_part) {
+  C amax_lane[kEncodeLanes] = {};
   if (!a.trans) {
     // Column p of A is contiguous: lane-accumulate down it.
     for (index_t p = 0; p < k; ++p) {
-      const T* __restrict__ col = a.data + i0 + p * a.ld;
-      T sum_lane[kEncodeLanes] = {};
+      const S* __restrict__ col = a.data + i0 + p * a.ld;
+      C sum_lane[kEncodeLanes] = {};
       const index_t tail = ilen - ilen % kEncodeLanes;
       for (index_t i = 0; i < tail; i += kEncodeLanes) {
         for (index_t l = 0; l < kEncodeLanes; ++l) {
-          const T v = col[i + l];
-          const T x = std::abs(v);
+          const C v = C(col[i + l]);
+          const C x = std::abs(v);
           amax_lane[l] = amax_lane[l] > x ? amax_lane[l] : x;
           sum_lane[l] += v;
         }
       }
-      T sum = T(0);
+      C sum = C(0);
       for (index_t l = 0; l < kEncodeLanes; ++l) sum += sum_lane[l];
       for (index_t i = tail; i < ilen; ++i) {
-        const T v = col[i];
-        const T x = std::abs(v);
+        const C v = C(col[i]);
+        const C x = std::abs(v);
         amax_lane[0] = amax_lane[0] > x ? amax_lane[0] : x;
         sum += v;
       }
@@ -150,10 +152,10 @@ double encode_ar_partial(const OperandView<T>& a, index_t i0, index_t ilen,
     // Aᵀ: row i0+i of the storage is contiguous along p, so sweep rows and
     // scatter into ar_part (contiguous writes, vectorizable).
     for (index_t i = 0; i < ilen; ++i) {
-      const T* __restrict__ row = a.data + (i0 + i) * a.ld;
+      const S* __restrict__ row = a.data + (i0 + i) * a.ld;
       for (index_t p = 0; p < k; ++p) {
-        const T v = row[p];
-        const T x = std::abs(v);
+        const C v = C(row[p]);
+        const C x = std::abs(v);
         amax_lane[p % kEncodeLanes] =
             amax_lane[p % kEncodeLanes] > x ? amax_lane[p % kEncodeLanes] : x;
         ar_part[p] += alpha * v;
@@ -167,28 +169,28 @@ double encode_ar_partial(const OperandView<T>& a, index_t i0, index_t ilen,
 }
 
 /// amax over columns [j0, j0+jlen) of the effective B (K x N).
-template <typename T>
-double amax_b_slice(const OperandView<T>& b, index_t k, index_t j0,
+template <typename S, typename C = S>
+double amax_b_slice(const OperandView<S>& b, index_t k, index_t j0,
                     index_t jlen) {
-  T amax_lane[kEncodeLanes] = {};
+  C amax_lane[kEncodeLanes] = {};
   // The effective column is contiguous for NoTrans; for Trans the effective
   // row is.  Either way one direction is unit-stride — pick it.
   const bool cols_contiguous = !b.trans;
   const index_t outer = cols_contiguous ? jlen : k;
   const index_t inner = cols_contiguous ? k : jlen;
   for (index_t o = 0; o < outer; ++o) {
-    const T* __restrict__ line = cols_contiguous
+    const S* __restrict__ line = cols_contiguous
                                      ? b.data + (j0 + o) * b.ld
                                      : b.data + j0 + o * b.ld;
     const index_t tail = inner - inner % kEncodeLanes;
     for (index_t i = 0; i < tail; i += kEncodeLanes) {
       for (index_t l = 0; l < kEncodeLanes; ++l) {
-        const T x = std::abs(line[i + l]);
+        const C x = std::abs(C(line[i + l]));
         amax_lane[l] = amax_lane[l] > x ? amax_lane[l] : x;
       }
     }
     for (index_t i = tail; i < inner; ++i) {
-      const T x = std::abs(line[i]);
+      const C x = std::abs(C(line[i]));
       amax_lane[0] = amax_lane[0] > x ? amax_lane[0] : x;
     }
   }
@@ -225,33 +227,34 @@ void encode_cr_standalone(const T* c, index_t ldc, index_t m, index_t n,
   }
 }
 
-/// Bc = B_eff · e (row sums of effective B), separate pass.
-template <typename T>
-void encode_bc_standalone(const OperandView<T>& b, index_t k, index_t n,
-                          T* __restrict__ bc) {
-  std::fill(bc, bc + k, T(0));
+/// Bc = B_eff · e (row sums of effective B), separate pass.  (S, C)
+/// generalized like the fused encoders, so tests can build mixed oracles.
+template <typename S, typename C = S>
+void encode_bc_standalone(const OperandView<S>& b, index_t k, index_t n,
+                          C* __restrict__ bc) {
+  std::fill(bc, bc + k, C(0));
   for (index_t j = 0; j < n; ++j)
-    for (index_t p = 0; p < k; ++p) bc[p] += b.at(p, j);
+    for (index_t p = 0; p < k; ++p) bc[p] += C(b.at(p, j));
 }
 
 /// y += M_eff · x  for the effective operand (rows m, cols k) — used by the
 /// unfused baseline to push checksums through the multiplication.
-template <typename T>
-void checksum_gemv(const OperandView<T>& a, index_t m, index_t k, T alpha,
-                   const T* __restrict__ x, T* __restrict__ y) {
+template <typename S, typename C = S>
+void checksum_gemv(const OperandView<S>& a, index_t m, index_t k, C alpha,
+                   const C* __restrict__ x, C* __restrict__ y) {
   for (index_t p = 0; p < k; ++p) {
-    const T xv = x[p];
-    for (index_t i = 0; i < m; ++i) y[i] += alpha * a.at(i, p) * xv;
+    const C xv = x[p];
+    for (index_t i = 0; i < m; ++i) y[i] += alpha * C(a.at(i, p)) * xv;
   }
 }
 
 /// y += alpha * xᵀ · B_eff  (row vector times matrix), result length n.
-template <typename T>
-void checksum_gevm(const OperandView<T>& b, index_t k, index_t n, T alpha,
-                   const T* __restrict__ x, T* __restrict__ y) {
+template <typename S, typename C = S>
+void checksum_gevm(const OperandView<S>& b, index_t k, index_t n, C alpha,
+                   const C* __restrict__ x, C* __restrict__ y) {
   for (index_t j = 0; j < n; ++j) {
-    T sum = T(0);
-    for (index_t p = 0; p < k; ++p) sum += x[p] * b.at(p, j);
+    C sum = C(0);
+    for (index_t p = 0; p < k; ++p) sum += x[p] * C(b.at(p, j));
     y[j] += alpha * sum;
   }
 }

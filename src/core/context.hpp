@@ -25,9 +25,11 @@
 
 namespace ftgemm {
 
-template <typename T>
+template <typename StorageT, typename ComputeT = StorageT>
 class GemmContext {
  public:
+  using T = ComputeT;  ///< every workspace buffer is compute-precision
+
   /// Size all buffers for an (m, n, k) problem on `threads` threads.
   /// Grow-only: repeated calls with smaller problems reuse storage.
   void ensure(index_t m, index_t n, index_t k, const BlockingPlan& plan,
@@ -74,14 +76,14 @@ class GemmContext {
   [[nodiscard]] T* bc() { return bc_.data(); }
 
   /// Size all buffers for the problem a GemmPlan was built for.
-  void ensure(const GemmPlan<T>& plan) {
+  void ensure(const GemmPlan<StorageT, ComputeT>& plan) {
     ensure(plan.key.m, plan.key.n, std::max<index_t>(plan.key.k, 1),
            plan.blocking, plan.threads, plan.key.ft, plan.kernels.cr_lanes);
   }
 
   /// Plans this workspace's owner has built, so repeated calls of one shape
   /// skip re-planning entirely (LRU, see core/plan.hpp).
-  [[nodiscard]] PlanCache<T>& plans() { return plans_; }
+  [[nodiscard]] PlanCache<StorageT, ComputeT>& plans() { return plans_; }
 
  private:
   /// Pad a per-thread stride to a cache-line multiple to avoid false
@@ -98,7 +100,7 @@ class GemmContext {
   index_t atilde_stride_ = 0;
   index_t crref_stride_ = 0;
   index_t ar_stride_ = 0;
-  PlanCache<T> plans_;
+  PlanCache<StorageT, ComputeT> plans_;
 };
 
 /// Thread-safe pool of GemmContexts plus a shared plan cache: the substrate
@@ -117,15 +119,18 @@ class GemmContext {
 /// mutex; both are microseconds-scale costs next to any GEMM).  The leased
 /// GemmContext itself is single-owner for the lease's lifetime, exactly like
 /// the per-thread contexts it replaces.
-template <typename T>
+template <typename StorageT, typename ComputeT = StorageT>
 class ContextCache {
  public:
+  using Context = GemmContext<StorageT, ComputeT>;
+  using Plan = GemmPlan<StorageT, ComputeT>;
+
   /// RAII workspace lease; returns the context to the free list on
   /// destruction.  Move-only.
   class Lease {
    public:
     Lease() = default;
-    Lease(GemmContext<T>* ctx, ContextCache* owner)
+    Lease(Context* ctx, ContextCache* owner)
         : ctx_(ctx), owner_(owner) {}
     Lease(Lease&& o) noexcept
         : ctx_(std::exchange(o.ctx_, nullptr)),
@@ -142,8 +147,8 @@ class ContextCache {
     Lease& operator=(const Lease&) = delete;
     ~Lease() { release(); }
 
-    [[nodiscard]] GemmContext<T>& operator*() const { return *ctx_; }
-    [[nodiscard]] GemmContext<T>* operator->() const { return ctx_; }
+    [[nodiscard]] Context& operator*() const { return *ctx_; }
+    [[nodiscard]] Context* operator->() const { return ctx_; }
 
    private:
     void release() {
@@ -151,7 +156,7 @@ class ContextCache {
       ctx_ = nullptr;
       owner_ = nullptr;
     }
-    GemmContext<T>* ctx_ = nullptr;
+    Context* ctx_ = nullptr;
     ContextCache* owner_ = nullptr;
   };
 
@@ -160,10 +165,10 @@ class ContextCache {
   [[nodiscard]] Lease lease() {
     std::lock_guard<std::mutex> lk(m_);
     if (free_.empty()) {
-      contexts_.push_back(std::make_unique<GemmContext<T>>());
+      contexts_.push_back(std::make_unique<Context>());
       free_.push_back(contexts_.back().get());
     }
-    GemmContext<T>* ctx = free_.back();
+    Context* ctx = free_.back();
     free_.pop_back();
     ++outstanding_;
     return Lease(ctx, this);
@@ -172,7 +177,7 @@ class ContextCache {
   /// Look up (building on miss) the shared plan for (shape, opts).
   /// Thread-safe; every submitter of a recurring shape gets the same
   /// immutable plan.
-  [[nodiscard]] std::shared_ptr<const GemmPlan<T>> plan(
+  [[nodiscard]] std::shared_ptr<const Plan> plan(
       Trans ta, Trans tb, index_t m, index_t n, index_t k,
       const Options& opts, bool ft) {
     // The key resolves env/topology reads *outside* the lock.
@@ -182,9 +187,13 @@ class ContextCache {
   /// Same lookup for a pre-built key (callers that already resolved the
   /// fingerprint — the serving layer's admission path — skip the second
   /// env/topology resolution).
-  [[nodiscard]] std::shared_ptr<const GemmPlan<T>> plan(const PlanKey& key) {
+  [[nodiscard]] std::shared_ptr<const Plan> plan(const PlanKey& key) {
+    // Stamp the storage dtype (make_plan_key is dtype-blind) so every plan
+    // this typed cache hands out carries its discriminator.
+    PlanKey stamped = key;
+    stamped.sdtype = kStorageDtypeTag<StorageT>;
     std::lock_guard<std::mutex> lk(plan_m_);
-    return plans_.get_or_build(key);
+    return plans_.get_or_build(stamped);
   }
 
   /// Drop every cached plan (thread-safe; see clear_process_caches).
@@ -196,7 +205,7 @@ class ContextCache {
   /// The shared resident-operand cache living beside the plan cache: every
   /// submitter of a recurring weight matrix gets the same encoded panels.
   /// Thread-safe (internally locked).
-  [[nodiscard]] OperandCache<T>& operands() { return operands_; }
+  [[nodiscard]] OperandCache<StorageT, ComputeT>& operands() { return operands_; }
 
   /// Drop every resident operand payload (in-flight calls holding a
   /// shared_ptr stay valid; see clear_process_caches).
@@ -222,27 +231,27 @@ class ContextCache {
   }
 
  private:
-  void release(GemmContext<T>* ctx) {
+  void release(Context* ctx) {
     std::lock_guard<std::mutex> lk(m_);
     free_.push_back(ctx);
     --outstanding_;
   }
 
   std::mutex m_;
-  std::vector<std::unique_ptr<GemmContext<T>>> contexts_;
-  std::vector<GemmContext<T>*> free_;
+  std::vector<std::unique_ptr<Context>> contexts_;
+  std::vector<Context*> free_;
   int outstanding_ = 0;
   std::mutex plan_m_;
-  PlanCache<T> plans_;
-  OperandCache<T> operands_;
+  PlanCache<StorageT, ComputeT> plans_;
+  OperandCache<StorageT, ComputeT> operands_;
 };
 
 /// The process-wide context pool + shared plan cache backing the free
 /// functions and the batched entry points.  GemmEngine deliberately keeps
 /// its own private context instead (an engine is a single-owner object).
-template <typename T>
-inline ContextCache<T>& process_context_cache() {
-  static ContextCache<T> cache;
+template <typename StorageT, typename ComputeT = StorageT>
+inline ContextCache<StorageT, ComputeT>& process_context_cache() {
+  static ContextCache<StorageT, ComputeT> cache;
   return cache;
 }
 

@@ -45,6 +45,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <type_traits>
 #include <vector>
 
 #include "abft/checksum.hpp"
@@ -102,11 +103,11 @@ inline void partition_units(index_t total, index_t unit, int parts, int idx,
 /// flip dwarfing the entire row sum) converge in two.  Single-threaded:
 /// the general path calls it from an `omp single` section, the fast path
 /// directly.  `rows`/`cols` are consumed as scratch.
-template <typename T>
+template <typename T, typename S = T>
 inline void locate_correct_reverify(
     std::vector<Mismatch>& rows, std::vector<Mismatch>& cols,
     const ToleranceModel<T>& tol, index_t m, index_t n, T* c, index_t ldc,
-    GemmContext<T>& ctx, int panel,
+    GemmContext<S, T>& ctx, int panel,
     std::vector<CorrectionRecord>* correction_log, std::int64_t& detected,
     std::int64_t& corrected, int& uncorrectable) {
   if (rows.empty() && cols.empty()) return;
@@ -170,12 +171,13 @@ inline void locate_correct_reverify(
 /// an in-kernel fault: the register-level reference checksums would have
 /// seen the corrupted value too.  `crref_lane` is the executing thread's
 /// lane-strided Cr reference partial.
-template <typename T, bool FT>
+template <typename T, bool FT, typename S = T>
 inline void apply_planned_injections(FaultInjector* injector,
                                      const BlockContext& bctx,
                                      std::vector<InjectionRecord>& planned,
-                                     T* c, index_t ldc, GemmContext<T>& ctx,
-                                     T* crref_lane, index_t lanes) {
+                                     T* c, index_t ldc,
+                                     GemmContext<S, T>& ctx, T* crref_lane,
+                                     index_t lanes) {
   planned.clear();
   injector->plan_block(bctx, planned);
   for (InjectionRecord rec : planned) {
@@ -199,26 +201,27 @@ inline void apply_planned_injections(FaultInjector* injector,
 /// fused Cc update is replayed from the resident panel with the packer's own
 /// accumulation structure (PackSet::encode_cc), so the result stays
 /// bit-identical to the cold path.
-template <typename T, bool FT>
-FtReport execute_small(const GemmPlan<T>& plan, T alpha, const T* a,
-                       index_t lda, const T* b, index_t ldb, T beta, T* c,
+template <typename S, bool FT, typename C = S>
+FtReport execute_small(const GemmPlan<S, C>& plan, C alpha, const S* a,
+                       index_t lda, const S* b, index_t ldb, C beta, C* c,
                        index_t ldc, FaultInjector* injector,
                        std::vector<CorrectionRecord>* correction_log,
-                       GemmContext<T>& ctx,
-                       const ResidentAPayload<T>* ra = nullptr) {
+                       GemmContext<S, C>& ctx,
+                       const ResidentAPayload<S, C>* ra = nullptr) {
+  using T = C;  // every buffer/accumulator below is compute-precision
   FtReport report;
   const WallTimer timer;
   const PlanKey& key = plan.key;
   const index_t m = key.m, n = key.n, k = key.k;
-  const KernelSet<T>& ks = plan.kernels;
+  const KernelSet<S, C>& ks = plan.kernels;
   const index_t lanes = ks.cr_lanes;
   const bool degenerate = plan.k_zero || alpha == T(0);
 
   if (injector != nullptr) injector->begin_call(m, n, k, 1);
   ctx.ensure(plan);
 
-  const OperandView<T> av{a, lda, key.ta == Trans::kTrans};
-  const OperandView<T> bv{b, ldb, key.tb == Trans::kTrans};
+  const OperandView<S> av{a, lda, key.ta == Trans::kTrans};
+  const OperandView<S> bv{b, ldb, key.tb == Trans::kTrans};
 
   // ---- Encode phase (one pass over C fused with beta-scaling, one over A).
   double amax_a = 0.0, amax_b = 0.0, amax_c = 0.0;
@@ -252,8 +255,19 @@ FtReport execute_small(const GemmPlan<T>& plan, T alpha, const T* a,
     // ---- The single rank-K panel: pack B~ once, pack A~ once, one macro
     // block, verify.
     // A fast-path plan always has kc >= k, so a resident payload is a
-    // single panel starting at k-offset 0.
-    const T* apanel = ra != nullptr ? ra->panel_at(0) : ctx.atilde(0);
+    // single panel starting at k-offset 0.  Uniform payloads are consumed
+    // zero-copy; narrow-storage payloads hold raw storage bits and are
+    // widened (alpha applied, one fp32 rounding — bit-identical to the cold
+    // convert-on-pack) into this call's atilde.
+    const T* apanel = ctx.atilde(0);
+    if (ra != nullptr) {
+      if constexpr (std::is_same_v<S, C>) {
+        apanel = ra->panel_at(0);
+      } else {
+        ks.pack.widen_a(ra->panel_at(0), m, k, plan.blocking.mr, alpha,
+                        ctx.atilde(0));
+      }
+    }
     if constexpr (FT) {
       std::fill(ctx.ccref(), ctx.ccref() + m, T(0));
       std::fill(ctx.crref_part(0), ctx.crref_part(0) + n * lanes, T(0));
@@ -321,25 +335,26 @@ FtReport execute_small(const GemmPlan<T>& plan, T alpha, const T* a,
 /// are per-call instrumentation sinks (may be null).  `ra` (may be null) is
 /// a resident pre-packed pre-encoded A payload for this exact
 /// (operand, plan) — see execute_small.
-template <typename T, bool FT>
-FtReport execute(const GemmPlan<T>& plan, T alpha, const T* a, index_t lda,
-                 const T* b, index_t ldb, T beta, T* c, index_t ldc,
+template <typename S, bool FT, typename C = S>
+FtReport execute(const GemmPlan<S, C>& plan, C alpha, const S* a, index_t lda,
+                 const S* b, index_t ldb, C beta, C* c, index_t ldc,
                  FaultInjector* injector,
                  std::vector<CorrectionRecord>* correction_log,
-                 GemmContext<T>& ctx,
-                 const ResidentAPayload<T>* ra = nullptr) {
+                 GemmContext<S, C>& ctx,
+                 const ResidentAPayload<S, C>* ra = nullptr) {
+  using T = C;  // every buffer/accumulator below is compute-precision
   FtReport report;
   const PlanKey& key = plan.key;
   const index_t m = key.m, n = key.n, k = key.k;
   if (m <= 0 || n <= 0) return report;
 
   if (plan.fast_path) {
-    return execute_small<T, FT>(plan, alpha, a, lda, b, ldb, beta, c, ldc,
-                                injector, correction_log, ctx, ra);
+    return execute_small<S, FT, C>(plan, alpha, a, lda, b, ldb, beta, c, ldc,
+                                   injector, correction_log, ctx, ra);
   }
 
   const WallTimer timer;
-  const KernelSet<T>& ks = plan.kernels;
+  const KernelSet<S, C>& ks = plan.kernels;
   const BlockingPlan& bp = plan.blocking;
   const int nt = plan.threads;
   const bool degenerate = plan.k_zero || alpha == T(0);
@@ -351,8 +366,8 @@ FtReport execute(const GemmPlan<T>& plan, T alpha, const T* a, index_t lda,
   const index_t lanes = ks.cr_lanes;
   ctx.ensure(plan);
 
-  const OperandView<T> av{a, lda, key.ta == Trans::kTrans};
-  const OperandView<T> bv{b, ldb, key.tb == Trans::kTrans};
+  const OperandView<S> av{a, lda, key.ta == Trans::kTrans};
+  const OperandView<S> bv{b, ldb, key.tb == Trans::kTrans};
 
   // Shared across the parallel region.
   std::vector<double> amax_parts(std::size_t(nt) * 3, 0.0);
@@ -480,11 +495,21 @@ FtReport execute(const GemmPlan<T>& plan, T alpha, const T* a, index_t lda,
             // Resident hit: slice this thread's (ic) slab out of the
             // payload's whole-M panel — ms and ic are both MR-aligned, so
             // the slab starts on a tile boundary at the exact bytes a cold
-            // pack_a would have written into atilde.
-            const T* apanel =
-                ra != nullptr
-                    ? ra->panel_at(p) + ((ms + ic) / bp.mr) * (bp.mr * pinc)
-                    : ctx.atilde(tid);
+            // pack_a would have written into atilde.  Narrow-storage
+            // payloads hold raw storage bits: widen the slab (alpha
+            // applied, one fp32 rounding — bit-identical to the cold
+            // convert-on-pack) into this thread's private atilde instead.
+            const T* apanel = ctx.atilde(tid);
+            if (ra != nullptr) {
+              const S* slab =
+                  ra->panel_at(p) + ((ms + ic) / bp.mr) * (bp.mr * pinc);
+              if constexpr (std::is_same_v<S, C>) {
+                apanel = slab;
+              } else {
+                ks.pack.widen_a(slab, ilen, pinc, bp.mr, alpha,
+                                ctx.atilde(tid));
+              }
+            }
             if constexpr (FT) {
               if (ra != nullptr) {
                 // Replay the fused Cc update the skipped pack_a_ft would

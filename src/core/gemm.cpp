@@ -24,26 +24,26 @@ using detail::normalize_layout;
 /// encoding serves every submitter of the operand).  Post-normalization
 /// column-major arguments; returns an empty acquisition when the call
 /// cannot consume a payload (degenerate problem, resident_a off).
-template <typename T>
-ResidentAcquisition<T> acquire_resident(const Options& opts, Trans ta,
-                                        index_t m, index_t n, index_t k,
-                                        T alpha, const T* a, index_t lda,
-                                        const GemmPlan<T>& plan) {
-  ResidentAcquisition<T> acq;
-  if (!opts.resident_a || m <= 0 || n <= 0 || k <= 0 || alpha == T(0) ||
+template <typename S, typename C>
+ResidentAcquisition<S, C> acquire_resident(const Options& opts, Trans ta,
+                                           index_t m, index_t n, index_t k,
+                                           C alpha, const S* a, index_t lda,
+                                           const GemmPlan<S, C>& plan) {
+  ResidentAcquisition<S, C> acq;
+  if (!opts.resident_a || m <= 0 || n <= 0 || k <= 0 || alpha == C(0) ||
       a == nullptr) {
     return acq;
   }
-  acq = process_context_cache<T>().operands().acquire(
+  acq = process_context_cache<S, C>().operands().acquire(
       a, lda, ta == Trans::kTrans, alpha, plan, opts.memory_injector,
       opts.resident_verify);
   return acq;
 }
 
-template <typename T, bool FT>
+template <typename S, bool FT, typename C = S>
 FtReport dispatch(Layout layout, Trans ta, Trans tb, index_t m, index_t n,
-                  index_t k, T alpha, const T* a, index_t lda, const T* b,
-                  index_t ldb, T beta, T* c, index_t ldc,
+                  index_t k, C alpha, const S* a, index_t lda, const S* b,
+                  index_t ldb, C beta, C* c, index_t ldc,
                   const Options& opts) {
   normalize_layout(layout, ta, tb, m, n, a, lda, b, ldb);
   if (!valid_gemm_args(ta, tb, m, n, k, lda, ldb, ldc)) {
@@ -51,16 +51,16 @@ FtReport dispatch(Layout layout, Trans ta, Trans tb, index_t m, index_t n,
     rejected.invalid_args = true;
     return rejected;
   }
-  ContextCache<T>& cache = process_context_cache<T>();
-  const std::shared_ptr<const GemmPlan<T>> plan =
+  ContextCache<S, C>& cache = process_context_cache<S, C>();
+  const std::shared_ptr<const GemmPlan<S, C>> plan =
       cache.plan(ta, tb, m, n, k, opts, FT);
-  const ResidentAcquisition<T> acq =
+  const ResidentAcquisition<S, C> acq =
       acquire_resident(opts, ta, m, n, k, alpha, a, lda, *plan);
-  const typename ContextCache<T>::Lease lease = cache.lease();
-  FtReport rep = detail::execute<T, FT>(*plan, alpha, a, lda, b, ldb, beta, c,
-                                        ldc, opts.injector,
-                                        opts.correction_log, *lease,
-                                        acq.payload.get());
+  const typename ContextCache<S, C>::Lease lease = cache.lease();
+  FtReport rep = detail::execute<S, FT, C>(*plan, alpha, a, lda, b, ldb,
+                                           beta, c, ldc, opts.injector,
+                                           opts.correction_log, *lease,
+                                           acq.payload.get());
   rep.resident_hit = acq.hit;
   rep.resident_heals = acq.heals;
   return rep;
@@ -68,38 +68,38 @@ FtReport dispatch(Layout layout, Trans ta, Trans tb, index_t m, index_t n,
 
 /// Engine dispatch: same pipeline, but planning and workspace come from the
 /// engine's private single-owner context.
-template <typename T, bool FT>
+template <typename S, bool FT, typename C = S>
 FtReport dispatch_engine(Layout layout, Trans ta, Trans tb, index_t m,
-                         index_t n, index_t k, T alpha, const T* a,
-                         index_t lda, const T* b, index_t ldb, T beta, T* c,
+                         index_t n, index_t k, C alpha, const S* a,
+                         index_t lda, const S* b, index_t ldb, C beta, C* c,
                          index_t ldc, const Options& opts,
-                         GemmContext<T>& ctx) {
+                         GemmContext<S, C>& ctx) {
   normalize_layout(layout, ta, tb, m, n, a, lda, b, ldb);
   if (!valid_gemm_args(ta, tb, m, n, k, lda, ldb, ldc)) {
     FtReport rejected;
     rejected.invalid_args = true;
     return rejected;
   }
-  const std::shared_ptr<const GemmPlan<T>> plan =
+  const std::shared_ptr<const GemmPlan<S, C>> plan =
       ctx.plans().get_or_build(ta, tb, m, n, k, opts, FT);
   // Engines plan privately but share the process-wide operand cache: the
   // payload key covers everything the resident encoding depends on, so an
   // engine hit is exactly as safe as a free-function hit.
-  const ResidentAcquisition<T> acq =
+  const ResidentAcquisition<S, C> acq =
       acquire_resident(opts, ta, m, n, k, alpha, a, lda, *plan);
-  FtReport rep = detail::execute<T, FT>(*plan, alpha, a, lda, b, ldb, beta, c,
-                                        ldc, opts.injector,
-                                        opts.correction_log, ctx,
-                                        acq.payload.get());
+  FtReport rep = detail::execute<S, FT, C>(*plan, alpha, a, lda, b, ldb,
+                                           beta, c, ldc, opts.injector,
+                                           opts.correction_log, ctx,
+                                           acq.payload.get());
   rep.resident_hit = acq.hit;
   rep.resident_heals = acq.heals;
   return rep;
 }
 
-template <typename T>
+template <typename S, typename C = S>
 FtReport reliable_impl(Layout layout, Trans ta, Trans tb, index_t m,
-                       index_t n, index_t k, T alpha, const T* a, index_t lda,
-                       const T* b, index_t ldb, T beta, T* c, index_t ldc,
+                       index_t n, index_t k, C alpha, const S* a, index_t lda,
+                       const S* b, index_t ldb, C beta, C* c, index_t ldc,
                        const Options& opts, int max_retries) {
   // Reject invalid arguments before the snapshot below sizes itself from
   // them (a negative dimension would turn the reserve into a huge
@@ -107,8 +107,8 @@ FtReport reliable_impl(Layout layout, Trans ta, Trans tb, index_t m,
   {
     Trans nta = ta, ntb = tb;
     index_t nm = m, nn = n, nlda = lda, nldb = ldb;
-    const T* na = a;
-    const T* nb = b;
+    const S* na = a;
+    const S* nb = b;
     normalize_layout(layout, nta, ntb, nm, nn, na, nlda, nb, nldb);
     if (!valid_gemm_args(nta, ntb, nm, nn, k, nlda, nldb, ldc)) {
       FtReport rejected;
@@ -121,15 +121,16 @@ FtReport reliable_impl(Layout layout, Trans ta, Trans tb, index_t m,
   // caller's rows, but the (ldc, minor=n/m) traversal is the same.
   const index_t minor = layout == Layout::kColMajor ? m : n;
   const index_t major = layout == Layout::kColMajor ? n : m;
-  std::vector<T> snapshot;
+  std::vector<C> snapshot;
   snapshot.reserve(static_cast<std::size_t>(minor * major));
   for (index_t j = 0; j < major; ++j)
     snapshot.insert(snapshot.end(), c + j * ldc, c + j * ldc + minor);
 
   FtReport total;
   for (int attempt = 0;; ++attempt) {
-    const FtReport rep = dispatch<T, true>(layout, ta, tb, m, n, k, alpha, a,
-                                           lda, b, ldb, beta, c, ldc, opts);
+    const FtReport rep = dispatch<S, true, C>(layout, ta, tb, m, n, k,
+                                              alpha, a, lda, b, ldb, beta, c,
+                                              ldc, opts);
     total.panels = rep.panels;
     total.errors_detected += rep.errors_detected;
     total.errors_corrected += rep.errors_corrected;
@@ -141,7 +142,7 @@ FtReport reliable_impl(Layout layout, Trans ta, Trans tb, index_t m,
     }
     // Roll back and retry.
     for (index_t j = 0; j < major; ++j) {
-      const T* src = snapshot.data() + j * minor;
+      const C* src = snapshot.data() + j * minor;
       std::copy(src, src + minor, c + j * ldc);
     }
   }
@@ -152,8 +153,12 @@ FtReport reliable_impl(Layout layout, Trans ta, Trans tb, index_t m,
 void clear_process_caches() {
   process_context_cache<double>().clear_plans();
   process_context_cache<float>().clear_plans();
+  process_context_cache<bf16_t, float>().clear_plans();
+  process_context_cache<fp16_t, float>().clear_plans();
   process_context_cache<double>().clear_operands();
   process_context_cache<float>().clear_operands();
+  process_context_cache<bf16_t, float>().clear_operands();
+  process_context_cache<fp16_t, float>().clear_operands();
 }
 
 void clear_thread_plan_cache() { clear_process_caches(); }
@@ -208,25 +213,77 @@ FtReport ft_sgemm_reliable(Layout layout, Trans ta, Trans tb, index_t m,
                               beta, c, ldc, opts, max_retries);
 }
 
-template <typename T>
-void GemmEngine<T>::gemm(Layout layout, Trans ta, Trans tb, index_t m,
-                         index_t n, index_t k, T alpha, const T* a,
-                         index_t lda, const T* b, index_t ldb, T beta, T* c,
-                         index_t ldc) {
-  dispatch_engine<T, false>(layout, ta, tb, m, n, k, alpha, a, lda, b, ldb,
-                            beta, c, ldc, opts_, ctx_);
+void gemm_bf16(Layout layout, Trans ta, Trans tb, index_t m, index_t n,
+               index_t k, float alpha, const bf16_t* a, index_t lda,
+               const bf16_t* b, index_t ldb, float beta, float* c,
+               index_t ldc, const Options& opts) {
+  dispatch<bf16_t, false, float>(layout, ta, tb, m, n, k, alpha, a, lda, b,
+                                 ldb, beta, c, ldc, opts);
 }
 
-template <typename T>
-FtReport GemmEngine<T>::ft_gemm(Layout layout, Trans ta, Trans tb, index_t m,
-                                index_t n, index_t k, T alpha, const T* a,
-                                index_t lda, const T* b, index_t ldb, T beta,
-                                T* c, index_t ldc) {
-  return dispatch_engine<T, true>(layout, ta, tb, m, n, k, alpha, a, lda, b,
-                                  ldb, beta, c, ldc, opts_, ctx_);
+FtReport ft_gemm_bf16(Layout layout, Trans ta, Trans tb, index_t m, index_t n,
+                      index_t k, float alpha, const bf16_t* a, index_t lda,
+                      const bf16_t* b, index_t ldb, float beta, float* c,
+                      index_t ldc, const Options& opts) {
+  return dispatch<bf16_t, true, float>(layout, ta, tb, m, n, k, alpha, a,
+                                       lda, b, ldb, beta, c, ldc, opts);
+}
+
+FtReport ft_gemm_bf16_reliable(Layout layout, Trans ta, Trans tb, index_t m,
+                               index_t n, index_t k, float alpha,
+                               const bf16_t* a, index_t lda, const bf16_t* b,
+                               index_t ldb, float beta, float* c, index_t ldc,
+                               const Options& opts, int max_retries) {
+  return reliable_impl<bf16_t, float>(layout, ta, tb, m, n, k, alpha, a, lda,
+                                      b, ldb, beta, c, ldc, opts, max_retries);
+}
+
+void gemm_f16(Layout layout, Trans ta, Trans tb, index_t m, index_t n,
+              index_t k, float alpha, const fp16_t* a, index_t lda,
+              const fp16_t* b, index_t ldb, float beta, float* c, index_t ldc,
+              const Options& opts) {
+  dispatch<fp16_t, false, float>(layout, ta, tb, m, n, k, alpha, a, lda, b,
+                                 ldb, beta, c, ldc, opts);
+}
+
+FtReport ft_gemm_f16(Layout layout, Trans ta, Trans tb, index_t m, index_t n,
+                     index_t k, float alpha, const fp16_t* a, index_t lda,
+                     const fp16_t* b, index_t ldb, float beta, float* c,
+                     index_t ldc, const Options& opts) {
+  return dispatch<fp16_t, true, float>(layout, ta, tb, m, n, k, alpha, a,
+                                       lda, b, ldb, beta, c, ldc, opts);
+}
+
+FtReport ft_gemm_f16_reliable(Layout layout, Trans ta, Trans tb, index_t m,
+                              index_t n, index_t k, float alpha,
+                              const fp16_t* a, index_t lda, const fp16_t* b,
+                              index_t ldb, float beta, float* c, index_t ldc,
+                              const Options& opts, int max_retries) {
+  return reliable_impl<fp16_t, float>(layout, ta, tb, m, n, k, alpha, a, lda,
+                                      b, ldb, beta, c, ldc, opts, max_retries);
+}
+
+template <typename S, typename C>
+void GemmEngine<S, C>::gemm(Layout layout, Trans ta, Trans tb, index_t m,
+                            index_t n, index_t k, C alpha, const S* a,
+                            index_t lda, const S* b, index_t ldb, C beta,
+                            C* c, index_t ldc) {
+  dispatch_engine<S, false, C>(layout, ta, tb, m, n, k, alpha, a, lda, b,
+                               ldb, beta, c, ldc, opts_, ctx_);
+}
+
+template <typename S, typename C>
+FtReport GemmEngine<S, C>::ft_gemm(Layout layout, Trans ta, Trans tb,
+                                   index_t m, index_t n, index_t k, C alpha,
+                                   const S* a, index_t lda, const S* b,
+                                   index_t ldb, C beta, C* c, index_t ldc) {
+  return dispatch_engine<S, true, C>(layout, ta, tb, m, n, k, alpha, a, lda,
+                                     b, ldb, beta, c, ldc, opts_, ctx_);
 }
 
 template class GemmEngine<double>;
 template class GemmEngine<float>;
+template class GemmEngine<bf16_t, float>;
+template class GemmEngine<fp16_t, float>;
 
 }  // namespace ftgemm

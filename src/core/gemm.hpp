@@ -81,8 +81,54 @@ FtReport ft_sgemm_reliable(Layout layout, Trans ta, Trans tb, index_t m,
                            float beta, float* c, index_t ldc,
                            const Options& opts = {}, int max_retries = 2);
 
-/// Drop the process-wide cached plans AND resident operand payloads (both
-/// precisions).  FTGEMM_* environment knobs (ISA, blocking, tolerance,
+// ---------------------------------------------------------------------------
+// Mixed precision: narrow storage, fp32 accumulation.
+// ---------------------------------------------------------------------------
+//
+// A and B are stored bf16/fp16; every multiplier input is widened to fp32 on
+// pack (one conversion per element, fused into the packing pass), the
+// register tiles, C, and *all checksums* are fp32, so the fp32 tolerance
+// derivation applies unchanged (docs/DESIGN.md §10).  alpha/beta and C are
+// fp32.
+
+/// C = alpha*op(A)*op(B) + beta*C with bf16-stored operands, fp32 compute.
+void gemm_bf16(Layout layout, Trans ta, Trans tb, index_t m, index_t n,
+               index_t k, float alpha, const bf16_t* a, index_t lda,
+               const bf16_t* b, index_t ldb, float beta, float* c,
+               index_t ldc, const Options& opts = {});
+
+/// Fault-tolerant gemm_bf16 (checksums computed and carried in fp32).
+FtReport ft_gemm_bf16(Layout layout, Trans ta, Trans tb, index_t m, index_t n,
+                      index_t k, float alpha, const bf16_t* a, index_t lda,
+                      const bf16_t* b, index_t ldb, float beta, float* c,
+                      index_t ldc, const Options& opts = {});
+
+/// ft_gemm_bf16 with the snapshot/retry guarantee of ft_sgemm_reliable.
+FtReport ft_gemm_bf16_reliable(Layout layout, Trans ta, Trans tb, index_t m,
+                               index_t n, index_t k, float alpha,
+                               const bf16_t* a, index_t lda, const bf16_t* b,
+                               index_t ldb, float beta, float* c, index_t ldc,
+                               const Options& opts = {}, int max_retries = 2);
+
+/// fp16-storage variants of the bf16 entry points above.
+void gemm_f16(Layout layout, Trans ta, Trans tb, index_t m, index_t n,
+              index_t k, float alpha, const fp16_t* a, index_t lda,
+              const fp16_t* b, index_t ldb, float beta, float* c, index_t ldc,
+              const Options& opts = {});
+
+FtReport ft_gemm_f16(Layout layout, Trans ta, Trans tb, index_t m, index_t n,
+                     index_t k, float alpha, const fp16_t* a, index_t lda,
+                     const fp16_t* b, index_t ldb, float beta, float* c,
+                     index_t ldc, const Options& opts = {});
+
+FtReport ft_gemm_f16_reliable(Layout layout, Trans ta, Trans tb, index_t m,
+                              index_t n, index_t k, float alpha,
+                              const fp16_t* a, index_t lda, const fp16_t* b,
+                              index_t ldb, float beta, float* c, index_t ldc,
+                              const Options& opts = {}, int max_retries = 2);
+
+/// Drop the process-wide cached plans AND resident operand payloads (all
+/// precisions, mixed included).  FTGEMM_* environment knobs (ISA, blocking, tolerance,
 /// fast-path bound, operand-cache caps) are read when a plan / payload is
 /// *built*, so a warm cache will not observe later changes to them — call
 /// this after mutating the environment mid-process.  Calls already holding
@@ -101,31 +147,37 @@ void clear_process_caches();
 
 /// Reusable GEMM engine: owns the packing buffers, checksum vectors, and
 /// plan cache, so repeated calls of similar size perform no allocation and
-/// no re-planning.
-template <typename T>
+/// no re-planning.  (StorageT, ComputeT) generalized like the rest of the
+/// stack: GemmEngine<float> is plain fp32, GemmEngine<bf16_t, float> is
+/// bf16 storage with fp32 accumulation.
+template <typename StorageT, typename ComputeT = StorageT>
 class GemmEngine {
  public:
   explicit GemmEngine(Options opts = {}) : opts_(opts) {}
 
   /// Plain high-performance GEMM ("Ori").
   void gemm(Layout layout, Trans ta, Trans tb, index_t m, index_t n,
-            index_t k, T alpha, const T* a, index_t lda, const T* b,
-            index_t ldb, T beta, T* c, index_t ldc);
+            index_t k, ComputeT alpha, const StorageT* a, index_t lda,
+            const StorageT* b, index_t ldb, ComputeT beta, ComputeT* c,
+            index_t ldc);
 
   /// Fault-tolerant GEMM.
   FtReport ft_gemm(Layout layout, Trans ta, Trans tb, index_t m, index_t n,
-                   index_t k, T alpha, const T* a, index_t lda, const T* b,
-                   index_t ldb, T beta, T* c, index_t ldc);
+                   index_t k, ComputeT alpha, const StorageT* a, index_t lda,
+                   const StorageT* b, index_t ldb, ComputeT beta, ComputeT* c,
+                   index_t ldc);
 
   [[nodiscard]] Options& options() { return opts_; }
   [[nodiscard]] const Options& options() const { return opts_; }
 
  private:
   Options opts_;
-  GemmContext<T> ctx_;
+  GemmContext<StorageT, ComputeT> ctx_;
 };
 
 extern template class GemmEngine<double>;
 extern template class GemmEngine<float>;
+extern template class GemmEngine<bf16_t, float>;
+extern template class GemmEngine<fp16_t, float>;
 
 }  // namespace ftgemm

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <type_traits>
 #include <vector>
 
 #include "core/driver.hpp"
@@ -37,11 +38,11 @@ bool pick_inter_batch(const BatchOptions& opts, index_t m, index_t n,
   return flops <= env_double("FTGEMM_BATCH_INTER_FLOPS", kInterBatchFlopCutoff);
 }
 
-template <typename T, bool FT>
+template <typename S, bool FT, typename C = S>
 BatchReport run_batched(Layout layout, Trans ta, Trans tb, index_t m,
-                        index_t n, index_t k, T alpha, const T* const* a,
-                        index_t lda, const T* const* b, index_t ldb, T beta,
-                        T* const* c, index_t ldc, index_t batch,
+                        index_t n, index_t k, C alpha, const S* const* a,
+                        index_t lda, const S* const* b, index_t ldb, C beta,
+                        C* const* c, index_t ldc, index_t batch,
                         const BatchOptions& opts) {
   BatchReport report;
   const WallTimer timer;
@@ -80,8 +81,8 @@ BatchReport run_batched(Layout layout, Trans ta, Trans tb, index_t m,
   // One leased workspace per concurrent worker, drawn from the process-wide
   // pool — concurrent batched calls issued from different application
   // threads lease disjoint contexts, and the leases return on scope exit.
-  ContextCache<T>& cache = process_context_cache<T>();
-  std::vector<typename ContextCache<T>::Lease> leases;
+  ContextCache<S, C>& cache = process_context_cache<S, C>();
+  std::vector<typename ContextCache<S, C>::Lease> leases;
   leases.reserve(std::size_t(workers));
   for (int i = 0; i < workers; ++i) leases.push_back(cache.lease());
 
@@ -90,7 +91,7 @@ BatchReport run_batched(Layout layout, Trans ta, Trans tb, index_t m,
   // serial driver, so the plan is built for one thread per problem).
   Options plan_opts = opts.base;
   plan_opts.threads = inter ? 1 : nt;
-  const std::shared_ptr<const GemmPlan<T>> plan =
+  const std::shared_ptr<const GemmPlan<S, C>> plan =
       cache.plan(ta, tb, m, n, k, plan_opts, FT);
 
   std::vector<FtReport> reports(static_cast<std::size_t>(batch));
@@ -102,7 +103,7 @@ BatchReport run_batched(Layout layout, Trans ta, Trans tb, index_t m,
   std::mutex sink_gate;
   const bool gate_sinks = inter && shared_sink;
 
-  const auto run_one = [&](index_t p, GemmContext<T>& ctx) {
+  const auto run_one = [&](index_t p, GemmContext<S, C>& ctx) {
     FaultInjector* injector = opts.base.injector;
     std::vector<CorrectionRecord>* log = opts.base.correction_log;
     if (opts.inject_problem >= 0 && p != opts.inject_problem) {
@@ -116,16 +117,16 @@ BatchReport run_batched(Layout layout, Trans ta, Trans tb, index_t m,
     // over a stride-0 broadcast A race benignly — first fill wins, the rest
     // hit).  The memory injector / verification run per-member, like the
     // compute-domain injector.
-    ResidentAcquisition<T> acq;
-    if (opts.base.resident_a && m > 0 && n > 0 && k > 0 && alpha != T(0) &&
+    ResidentAcquisition<S, C> acq;
+    if (opts.base.resident_a && m > 0 && n > 0 && k > 0 && alpha != C(0) &&
         a[p] != nullptr) {
       acq = cache.operands().acquire(a[p], lda, ta == Trans::kTrans, alpha,
                                      *plan, opts.base.memory_injector,
                                      opts.base.resident_verify);
     }
-    FtReport rep =
-        detail::execute<T, FT>(*plan, alpha, a[p], lda, b[p], ldb, beta, c[p],
-                               ldc, injector, log, ctx, acq.payload.get());
+    FtReport rep = detail::execute<S, FT, C>(*plan, alpha, a[p], lda, b[p],
+                                             ldb, beta, c[p], ldc, injector,
+                                             log, ctx, acq.payload.get());
     rep.resident_hit = acq.hit;
     rep.resident_heals = acq.heals;
     reports[std::size_t(p)] = rep;
@@ -141,7 +142,7 @@ BatchReport run_batched(Layout layout, Trans ta, Trans tb, index_t m,
   // plan opens its own nt-member team.
   std::atomic<index_t> next{0};
   const auto member_body = [&](runtime::TeamMember& tm) {
-    GemmContext<T>& ctx = *leases[std::size_t(tm.tid())];
+    GemmContext<S, C>& ctx = *leases[std::size_t(tm.tid())];
     for (index_t p = next.fetch_add(1, std::memory_order_relaxed); p < batch;
          p = next.fetch_add(1, std::memory_order_relaxed)) {
       run_one(p, ctx);
@@ -167,11 +168,11 @@ BatchReport run_batched(Layout layout, Trans ta, Trans tb, index_t m,
   return report;
 }
 
-template <typename T, bool FT>
+template <typename S, bool FT, typename C = S>
 BatchReport run_strided_batched(Layout layout, Trans ta, Trans tb, index_t m,
-                                index_t n, index_t k, T alpha, const T* a,
-                                index_t lda, index_t stride_a, const T* b,
-                                index_t ldb, index_t stride_b, T beta, T* c,
+                                index_t n, index_t k, C alpha, const S* a,
+                                index_t lda, index_t stride_a, const S* b,
+                                index_t ldb, index_t stride_b, C beta, C* c,
                                 index_t ldc, index_t stride_c, index_t batch,
                                 const BatchOptions& opts) {
   if (batch < 0) {
@@ -180,63 +181,72 @@ BatchReport run_strided_batched(Layout layout, Trans ta, Trans tb, index_t m,
     return report;
   }
   if (batch == 0) return {};
-  std::vector<const T*> ap(static_cast<std::size_t>(batch));
-  std::vector<const T*> bp(static_cast<std::size_t>(batch));
-  std::vector<T*> cp(static_cast<std::size_t>(batch));
+  std::vector<const S*> ap(static_cast<std::size_t>(batch));
+  std::vector<const S*> bp(static_cast<std::size_t>(batch));
+  std::vector<C*> cp(static_cast<std::size_t>(batch));
   for (index_t p = 0; p < batch; ++p) {
     ap[std::size_t(p)] = a + p * stride_a;
     bp[std::size_t(p)] = b + p * stride_b;
     cp[std::size_t(p)] = c + p * stride_c;
   }
-  return run_batched<T, FT>(layout, ta, tb, m, n, k, alpha, ap.data(), lda,
-                            bp.data(), ldb, beta, cp.data(), ldc, batch, opts);
+  return run_batched<S, FT, C>(layout, ta, tb, m, n, k, alpha, ap.data(), lda,
+                               bp.data(), ldb, beta, cp.data(), ldc, batch,
+                               opts);
 }
 
 }  // namespace
 
-template <typename T>
+template <typename S, typename C>
 BatchReport gemm_batched(Layout layout, Trans ta, Trans tb, index_t m,
-                         index_t n, index_t k, T alpha, const T* const* a,
-                         index_t lda, const T* const* b, index_t ldb, T beta,
-                         T* const* c, index_t ldc, index_t batch,
-                         const BatchOptions& opts) {
-  return run_batched<T, false>(layout, ta, tb, m, n, k, alpha, a, lda, b, ldb,
-                               beta, c, ldc, batch, opts);
+                         index_t n, index_t k, identity_t<C> alpha,
+                         const S* const* a, index_t lda, const S* const* b,
+                         index_t ldb, identity_t<C> beta,
+                         identity_t<C>* const* c, index_t ldc,
+                         index_t batch, const BatchOptions& opts) {
+  return run_batched<S, false, C>(layout, ta, tb, m, n, k, alpha, a, lda, b,
+                                  ldb, beta, c, ldc, batch, opts);
 }
 
-template <typename T>
+template <typename S, typename C>
 BatchReport ft_gemm_batched(Layout layout, Trans ta, Trans tb, index_t m,
-                            index_t n, index_t k, T alpha, const T* const* a,
-                            index_t lda, const T* const* b, index_t ldb,
-                            T beta, T* const* c, index_t ldc, index_t batch,
-                            const BatchOptions& opts) {
-  return run_batched<T, true>(layout, ta, tb, m, n, k, alpha, a, lda, b, ldb,
-                              beta, c, ldc, batch, opts);
+                            index_t n, index_t k,
+                            identity_t<C> alpha, const S* const* a,
+                            index_t lda, const S* const* b, index_t ldb,
+                            identity_t<C> beta,
+                            identity_t<C>* const* c, index_t ldc,
+                            index_t batch, const BatchOptions& opts) {
+  return run_batched<S, true, C>(layout, ta, tb, m, n, k, alpha, a, lda, b,
+                                 ldb, beta, c, ldc, batch, opts);
 }
 
-template <typename T>
+template <typename S, typename C>
 BatchReport gemm_strided_batched(Layout layout, Trans ta, Trans tb, index_t m,
-                                 index_t n, index_t k, T alpha, const T* a,
-                                 index_t lda, index_t stride_a, const T* b,
-                                 index_t ldb, index_t stride_b, T beta, T* c,
-                                 index_t ldc, index_t stride_c, index_t batch,
+                                 index_t n, index_t k,
+                                 identity_t<C> alpha, const S* a,
+                                 index_t lda, index_t stride_a, const S* b,
+                                 index_t ldb, index_t stride_b,
+                                 identity_t<C> beta,
+                                 identity_t<C>* c, index_t ldc,
+                                 index_t stride_c, index_t batch,
                                  const BatchOptions& opts) {
-  return run_strided_batched<T, false>(layout, ta, tb, m, n, k, alpha, a, lda,
-                                       stride_a, b, ldb, stride_b, beta, c,
-                                       ldc, stride_c, batch, opts);
+  return run_strided_batched<S, false, C>(layout, ta, tb, m, n, k, alpha, a,
+                                          lda, stride_a, b, ldb, stride_b,
+                                          beta, c, ldc, stride_c, batch, opts);
 }
 
-template <typename T>
+template <typename S, typename C>
 BatchReport ft_gemm_strided_batched(Layout layout, Trans ta, Trans tb,
-                                    index_t m, index_t n, index_t k, T alpha,
-                                    const T* a, index_t lda, index_t stride_a,
-                                    const T* b, index_t ldb, index_t stride_b,
-                                    T beta, T* c, index_t ldc,
+                                    index_t m, index_t n, index_t k,
+                                    identity_t<C> alpha, const S* a,
+                                    index_t lda, index_t stride_a, const S* b,
+                                    index_t ldb, index_t stride_b,
+                                    identity_t<C> beta,
+                                    identity_t<C>* c, index_t ldc,
                                     index_t stride_c, index_t batch,
                                     const BatchOptions& opts) {
-  return run_strided_batched<T, true>(layout, ta, tb, m, n, k, alpha, a, lda,
-                                      stride_a, b, ldb, stride_b, beta, c,
-                                      ldc, stride_c, batch, opts);
+  return run_strided_batched<S, true, C>(layout, ta, tb, m, n, k, alpha, a,
+                                         lda, stride_a, b, ldb, stride_b,
+                                         beta, c, ldc, stride_c, batch, opts);
 }
 
 template BatchReport gemm_batched<float>(Layout, Trans, Trans, index_t,
@@ -282,5 +292,38 @@ template BatchReport ft_gemm_strided_batched<double>(
     Layout, Trans, Trans, index_t, index_t, index_t, double, const double*,
     index_t, index_t, const double*, index_t, index_t, double, double*,
     index_t, index_t, index_t, const BatchOptions&);
+
+template BatchReport gemm_batched<bf16_t, float>(
+    Layout, Trans, Trans, index_t, index_t, index_t, float,
+    const bf16_t* const*, index_t, const bf16_t* const*, index_t, float,
+    float* const*, index_t, index_t, const BatchOptions&);
+template BatchReport ft_gemm_batched<bf16_t, float>(
+    Layout, Trans, Trans, index_t, index_t, index_t, float,
+    const bf16_t* const*, index_t, const bf16_t* const*, index_t, float,
+    float* const*, index_t, index_t, const BatchOptions&);
+template BatchReport gemm_strided_batched<bf16_t, float>(
+    Layout, Trans, Trans, index_t, index_t, index_t, float, const bf16_t*,
+    index_t, index_t, const bf16_t*, index_t, index_t, float, float*, index_t,
+    index_t, index_t, const BatchOptions&);
+template BatchReport ft_gemm_strided_batched<bf16_t, float>(
+    Layout, Trans, Trans, index_t, index_t, index_t, float, const bf16_t*,
+    index_t, index_t, const bf16_t*, index_t, index_t, float, float*, index_t,
+    index_t, index_t, const BatchOptions&);
+template BatchReport gemm_batched<fp16_t, float>(
+    Layout, Trans, Trans, index_t, index_t, index_t, float,
+    const fp16_t* const*, index_t, const fp16_t* const*, index_t, float,
+    float* const*, index_t, index_t, const BatchOptions&);
+template BatchReport ft_gemm_batched<fp16_t, float>(
+    Layout, Trans, Trans, index_t, index_t, index_t, float,
+    const fp16_t* const*, index_t, const fp16_t* const*, index_t, float,
+    float* const*, index_t, index_t, const BatchOptions&);
+template BatchReport gemm_strided_batched<fp16_t, float>(
+    Layout, Trans, Trans, index_t, index_t, index_t, float, const fp16_t*,
+    index_t, index_t, const fp16_t*, index_t, index_t, float, float*, index_t,
+    index_t, index_t, const BatchOptions&);
+template BatchReport ft_gemm_strided_batched<fp16_t, float>(
+    Layout, Trans, Trans, index_t, index_t, index_t, float, const fp16_t*,
+    index_t, index_t, const fp16_t*, index_t, index_t, float, float*, index_t,
+    index_t, index_t, const BatchOptions&);
 
 }  // namespace ftgemm

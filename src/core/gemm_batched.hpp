@@ -11,9 +11,11 @@
 //       operand plus a constant element stride between consecutive problems
 //       (stride 0 broadcasts an operand, e.g. shared layer weights).
 //
-// All four are templates over the element type, instantiated for float and
-// double.  FT variants aggregate one FtReport per problem into a
-// BatchReport with batch-level fault statistics.
+// All four are templates over (StorageT, ComputeT) like the rest of the
+// stack, instantiated for float, double, and the narrow-storage mixed pairs
+// (bf16/fp16 operands, fp32 C and accumulation).  FT variants aggregate one
+// FtReport per problem into a BatchReport with batch-level fault
+// statistics.
 //
 // Scheduling (see docs/DESIGN.md): the dispatcher picks between
 //   - inter-batch parallelism: one team member per problem dispatched onto
@@ -39,6 +41,7 @@
 // under either schedule.
 #pragma once
 
+#include <type_traits>
 #include <vector>
 
 #include "core/gemm.hpp"
@@ -100,21 +103,38 @@ struct BatchReport {
 // Array-of-pointers form: operand i of problem p is a[p], b[p], c[p].
 // ---------------------------------------------------------------------------
 
-/// batch independent C[p] = alpha*op(A[p])*op(B[p]) + beta*C[p], no FT.
+// The compute type C is deliberately non-deduced (identity_t, C++17's
+// spelling of std::type_identity_t): it is always the explicit template
+// argument or its default `= S`.  This keeps classic call sites like
+// `ft_gemm_strided_batched<double>(..., nullptr, ...)` well-formed (a
+// deduced `C*` would choke on nullptr) and forces mixed-precision callers
+// to spell `<bf16_t, float>` rather than relying on scalar-argument
+// deduction.
 template <typename T>
+struct batched_identity {
+  using type = T;
+};
+template <typename T>
+using identity_t = typename batched_identity<T>::type;
+
+/// batch independent C[p] = alpha*op(A[p])*op(B[p]) + beta*C[p], no FT.
+template <typename S, typename C = S>
 BatchReport gemm_batched(Layout layout, Trans ta, Trans tb, index_t m,
-                         index_t n, index_t k, T alpha, const T* const* a,
-                         index_t lda, const T* const* b, index_t ldb, T beta,
-                         T* const* c, index_t ldc, index_t batch,
-                         const BatchOptions& opts = {});
+                         index_t n, index_t k, identity_t<C> alpha,
+                         const S* const* a, index_t lda, const S* const* b,
+                         index_t ldb, identity_t<C> beta,
+                         identity_t<C>* const* c, index_t ldc,
+                         index_t batch, const BatchOptions& opts = {});
 
 /// Fault-tolerant batched GEMM; one FtReport per problem in the result.
-template <typename T>
+template <typename S, typename C = S>
 BatchReport ft_gemm_batched(Layout layout, Trans ta, Trans tb, index_t m,
-                            index_t n, index_t k, T alpha, const T* const* a,
-                            index_t lda, const T* const* b, index_t ldb,
-                            T beta, T* const* c, index_t ldc, index_t batch,
-                            const BatchOptions& opts = {});
+                            index_t n, index_t k,
+                            identity_t<C> alpha, const S* const* a,
+                            index_t lda, const S* const* b, index_t ldb,
+                            identity_t<C> beta,
+                            identity_t<C>* const* c, index_t ldc,
+                            index_t batch, const BatchOptions& opts = {});
 
 // ---------------------------------------------------------------------------
 // Strided form: operand i of problem p starts at base + p * stride.
@@ -122,20 +142,25 @@ BatchReport ft_gemm_batched(Layout layout, Trans ta, Trans tb, index_t m,
 // read-only A and B operands; C strides must be non-overlapping).
 // ---------------------------------------------------------------------------
 
-template <typename T>
+template <typename S, typename C = S>
 BatchReport gemm_strided_batched(Layout layout, Trans ta, Trans tb, index_t m,
-                                 index_t n, index_t k, T alpha, const T* a,
-                                 index_t lda, index_t stride_a, const T* b,
-                                 index_t ldb, index_t stride_b, T beta, T* c,
-                                 index_t ldc, index_t stride_c, index_t batch,
+                                 index_t n, index_t k,
+                                 identity_t<C> alpha, const S* a,
+                                 index_t lda, index_t stride_a, const S* b,
+                                 index_t ldb, index_t stride_b,
+                                 identity_t<C> beta,
+                                 identity_t<C>* c, index_t ldc,
+                                 index_t stride_c, index_t batch,
                                  const BatchOptions& opts = {});
 
-template <typename T>
+template <typename S, typename C = S>
 BatchReport ft_gemm_strided_batched(Layout layout, Trans ta, Trans tb,
-                                    index_t m, index_t n, index_t k, T alpha,
-                                    const T* a, index_t lda, index_t stride_a,
-                                    const T* b, index_t ldb, index_t stride_b,
-                                    T beta, T* c, index_t ldc,
+                                    index_t m, index_t n, index_t k,
+                                    identity_t<C> alpha, const S* a,
+                                    index_t lda, index_t stride_a, const S* b,
+                                    index_t ldb, index_t stride_b,
+                                    identity_t<C> beta,
+                                    identity_t<C>* c, index_t ldc,
                                     index_t stride_c, index_t batch,
                                     const BatchOptions& opts = {});
 
@@ -171,5 +196,39 @@ extern template BatchReport ft_gemm_strided_batched<double>(
     Layout, Trans, Trans, index_t, index_t, index_t, double, const double*,
     index_t, index_t, const double*, index_t, index_t, double, double*,
     index_t, index_t, index_t, const BatchOptions&);
+
+// Mixed precision (narrow storage, fp32 C and accumulation).
+extern template BatchReport gemm_batched<bf16_t, float>(
+    Layout, Trans, Trans, index_t, index_t, index_t, float,
+    const bf16_t* const*, index_t, const bf16_t* const*, index_t, float,
+    float* const*, index_t, index_t, const BatchOptions&);
+extern template BatchReport ft_gemm_batched<bf16_t, float>(
+    Layout, Trans, Trans, index_t, index_t, index_t, float,
+    const bf16_t* const*, index_t, const bf16_t* const*, index_t, float,
+    float* const*, index_t, index_t, const BatchOptions&);
+extern template BatchReport gemm_strided_batched<bf16_t, float>(
+    Layout, Trans, Trans, index_t, index_t, index_t, float, const bf16_t*,
+    index_t, index_t, const bf16_t*, index_t, index_t, float, float*, index_t,
+    index_t, index_t, const BatchOptions&);
+extern template BatchReport ft_gemm_strided_batched<bf16_t, float>(
+    Layout, Trans, Trans, index_t, index_t, index_t, float, const bf16_t*,
+    index_t, index_t, const bf16_t*, index_t, index_t, float, float*, index_t,
+    index_t, index_t, const BatchOptions&);
+extern template BatchReport gemm_batched<fp16_t, float>(
+    Layout, Trans, Trans, index_t, index_t, index_t, float,
+    const fp16_t* const*, index_t, const fp16_t* const*, index_t, float,
+    float* const*, index_t, index_t, const BatchOptions&);
+extern template BatchReport ft_gemm_batched<fp16_t, float>(
+    Layout, Trans, Trans, index_t, index_t, index_t, float,
+    const fp16_t* const*, index_t, const fp16_t* const*, index_t, float,
+    float* const*, index_t, index_t, const BatchOptions&);
+extern template BatchReport gemm_strided_batched<fp16_t, float>(
+    Layout, Trans, Trans, index_t, index_t, index_t, float, const fp16_t*,
+    index_t, index_t, const fp16_t*, index_t, index_t, float, float*, index_t,
+    index_t, index_t, const BatchOptions&);
+extern template BatchReport ft_gemm_strided_batched<fp16_t, float>(
+    Layout, Trans, Trans, index_t, index_t, index_t, float, const fp16_t*,
+    index_t, index_t, const fp16_t*, index_t, index_t, float, float*, index_t,
+    index_t, index_t, const BatchOptions&);
 
 }  // namespace ftgemm

@@ -18,10 +18,15 @@ namespace {
 /// digest: mutations between grid points are invisible — the documented
 /// reason resident_a is opt-in for operands the caller keeps stable.
 template <typename T>
+using StorageBits =
+    std::conditional_t<sizeof(T) == 8, std::uint64_t,
+                       std::conditional_t<sizeof(T) == 4, std::uint32_t,
+                                          std::uint16_t>>;
+
+template <typename T>
 std::uint64_t fingerprint_operand(const T* a, index_t lda, bool trans,
                                   index_t m, index_t k) {
-  using Bits = std::conditional_t<sizeof(T) == 8, std::uint64_t,
-                                  std::uint32_t>;
+  using Bits = StorageBits<T>;
   constexpr index_t kGrid = 8;
   std::uint64_t h = 1469598103934665603ull;
   const auto mix = [&h](std::uint64_t v) {
@@ -43,11 +48,10 @@ std::uint64_t fingerprint_operand(const T* a, index_t lda, bool trans,
   return h;
 }
 
-template <typename T>
-OperandKey make_operand_key(const T* a, index_t lda, bool trans, T alpha,
-                            const GemmPlan<T>& plan) {
-  using Bits = std::conditional_t<sizeof(T) == 8, std::uint64_t,
-                                  std::uint32_t>;
+template <typename S, typename C>
+OperandKey make_operand_key(const S* a, index_t lda, bool trans, C alpha,
+                            const GemmPlan<S, C>& plan) {
+  using Bits = StorageBits<C>;
   OperandKey key;
   key.ptr = reinterpret_cast<std::uintptr_t>(a);
   key.fingerprint = fingerprint_operand(a, lda, trans, plan.key.m,
@@ -71,16 +75,16 @@ OperandKey make_operand_key(const T* a, index_t lda, bool trans, T alpha,
 /// CHECK_BEFORE comparison below is a bit-exact memcmp, no tolerance model.
 /// The zero padding of the ragged edge tile participates: a flip landing in
 /// padding is caught too (it would feed the micro-kernels just the same).
-template <typename T>
-void integrity_sums(const ResidentAPayload<T>& pl, T* rowchk, T* colchk) {
-  std::fill(rowchk, rowchk + pl.tiles * pl.mr, T(0));
-  std::fill(colchk, colchk + pl.k, T(0));
+template <typename S, typename C>
+void integrity_sums(const ResidentAPayload<S, C>& pl, C* rowchk, C* colchk) {
+  std::fill(rowchk, rowchk + pl.tiles * pl.mr, C(0));
+  std::fill(colchk, colchk + pl.k, C(0));
   for (index_t p = 0; p < pl.k; p += pl.kc) {
     const index_t pinc = std::min(pl.kc, pl.k - p);
-    const T* base = pl.panel_at(p);
+    const S* base = pl.panel_at(p);
     for (index_t q = 0; q < pl.tiles; ++q) {
-      const T* tile = base + q * (pl.mr * pinc);
-      T* rc = rowchk + q * pl.mr;
+      const S* tile = base + q * (pl.mr * pinc);
+      C* rc = rowchk + q * pl.mr;
       // One pass per tile (this runs on every verified cache hit — the
       // payload is read exactly once): unit-stride row accumulation the
       // compiler can vectorize, and column sums in a fixed 4-lane-partial
@@ -88,24 +92,26 @@ void integrity_sums(const ResidentAPayload<T>& pl, T* rowchk, T* colchk) {
       // one function, so the bit-exact comparison only needs
       // self-consistency — and the lane split breaks the serial FP
       // dependence chain a naive reduction would pin the loop on.
+      // Narrow storage widens each element once (C(col[ii])); for uniform
+      // payloads the conversion is the identity and the code is unchanged.
       for (index_t kk = 0; kk < pinc; ++kk) {
-        const T* col = tile + kk * pl.mr;
-        T s0 = T(0), s1 = T(0), s2 = T(0), s3 = T(0);
+        const S* col = tile + kk * pl.mr;
+        C s0 = C(0), s1 = C(0), s2 = C(0), s3 = C(0);
         index_t ii = 0;
         for (; ii + 4 <= pl.mr; ii += 4) {
-          rc[ii] += col[ii];
-          rc[ii + 1] += col[ii + 1];
-          rc[ii + 2] += col[ii + 2];
-          rc[ii + 3] += col[ii + 3];
-          s0 += col[ii];
-          s1 += col[ii + 1];
-          s2 += col[ii + 2];
-          s3 += col[ii + 3];
+          rc[ii] += C(col[ii]);
+          rc[ii + 1] += C(col[ii + 1]);
+          rc[ii + 2] += C(col[ii + 2]);
+          rc[ii + 3] += C(col[ii + 3]);
+          s0 += C(col[ii]);
+          s1 += C(col[ii + 1]);
+          s2 += C(col[ii + 2]);
+          s3 += C(col[ii + 3]);
         }
-        T s = (s0 + s1) + (s2 + s3);
+        C s = (s0 + s1) + (s2 + s3);
         for (; ii < pl.mr; ++ii) {
-          rc[ii] += col[ii];
-          s += col[ii];
+          rc[ii] += C(col[ii]);
+          s += C(col[ii]);
         }
         colchk[p + kk] += s;
       }
@@ -117,26 +123,26 @@ void integrity_sums(const ResidentAPayload<T>& pl, T* rowchk, T* colchk) {
 /// ones.  True = resident bytes are exactly what the fill wrote.  Scratch
 /// is thread-local: this runs on every verified hit, and the serving hot
 /// loop must not pay a heap allocation per call.
-template <typename T>
-bool verify_payload(const ResidentAPayload<T>& pl) {
-  thread_local std::vector<T> scratch;
+template <typename S, typename C>
+bool verify_payload(const ResidentAPayload<S, C>& pl) {
+  thread_local std::vector<C> scratch;
   const std::size_t rlen = std::size_t(pl.tiles * pl.mr);
   const std::size_t clen = std::size_t(pl.k);
   if (scratch.size() < rlen + clen) scratch.resize(rlen + clen);
-  T* rowchk = scratch.data();
-  T* colchk = scratch.data() + rlen;
+  C* rowchk = scratch.data();
+  C* colchk = scratch.data() + rlen;
   integrity_sums(pl, rowchk, colchk);
-  return std::memcmp(rowchk, pl.rowchk.data(), rlen * sizeof(T)) == 0 &&
-         std::memcmp(colchk, pl.colchk.data(), clen * sizeof(T)) == 0;
+  return std::memcmp(rowchk, pl.rowchk.data(), rlen * sizeof(C)) == 0 &&
+         std::memcmp(colchk, pl.colchk.data(), clen * sizeof(C)) == 0;
 }
 
 /// Encode one payload from the source operand: pack every rank-KC panel
 /// (bit-identical bytes to what the executor's cold pack_a_ft stores),
 /// reduce Ar in the cold path's per-thread partial order, and fill the
 /// integrity sums.
-template <typename T>
-void fill_payload(ResidentAPayload<T>& pl, const T* a, index_t lda,
-                  bool trans, T alpha, const GemmPlan<T>& plan) {
+template <typename S, typename C>
+void fill_payload(ResidentAPayload<S, C>& pl, const S* a, index_t lda,
+                  bool trans, C alpha, const GemmPlan<S, C>& plan) {
   const index_t m = plan.key.m, k = plan.key.k;
   pl.m = m;
   pl.k = k;
@@ -150,23 +156,31 @@ void fill_payload(ResidentAPayload<T>& pl, const T* a, index_t lda,
   pl.rowchk.reset(std::size_t(pl.tiles * pl.mr));
   pl.colchk.reset(std::size_t(k));
 
-  const OperandView<T> av{a, lda, trans};
-  const PackSet<T>& pk = plan.kernels.pack;
+  const OperandView<S> av{a, lda, trans};
+  const PackSet<S, C>& pk = plan.kernels.pack;
 
   // Packed values are pure per-element (alpha * element, zero padding), so
   // one whole-M pack per panel lays down the exact bytes any (thread, ic)
   // slab of the cold path would have packed into its private atilde.
+  // Narrow storage keeps the *raw permuted bits* instead (pack_a_raw, alpha
+  // not baked — half the resident footprint); the executor widens a slab
+  // with PackSet::widen_a on every hit, which multiplies by alpha in the
+  // same single fp32 rounding the cold convert-on-pack path performs.
   for (index_t p = 0; p < k; p += pl.kc) {
     const index_t pinc = std::min(pl.kc, k - p);
-    T* dst = pl.panels.data() + std::size_t(pl.tiles * pl.mr) * std::size_t(p);
-    pk.pack_a(av, 0, p, m, pinc, pl.mr, alpha, dst);
+    S* dst = pl.panels.data() + std::size_t(pl.tiles * pl.mr) * std::size_t(p);
+    if constexpr (std::is_same_v<S, C>) {
+      pk.pack_a(av, 0, p, m, pinc, pl.mr, alpha, dst);
+    } else {
+      pk.pack_a_raw(av, 0, p, m, pinc, pl.mr, dst);
+    }
   }
 
   // Ar: emulate the executor's reduction exactly — per-thread encode over
   // the MR-aligned M-partition, summed in ascending thread order — so a hit
   // under `plan.threads` workers reads the same bits a cold call computes.
   const int nt = plan.threads;
-  std::vector<T> partials(std::size_t(nt) * std::size_t(k), T(0));
+  std::vector<C> partials(std::size_t(nt) * std::size_t(k), C(0));
   double amax = 0.0;
   for (int t = 0; t < nt; ++t) {
     index_t ms = 0, mlen = 0;
@@ -178,7 +192,7 @@ void fill_payload(ResidentAPayload<T>& pl, const T* a, index_t lda,
     }
   }
   for (index_t p = 0; p < k; ++p) {
-    T sum = T(0);
+    C sum = C(0);
     for (int t = 0; t < nt; ++t)
       sum += partials[std::size_t(t) * std::size_t(k) + std::size_t(p)];
     pl.ar[std::size_t(p)] = sum;
@@ -191,8 +205,7 @@ void fill_payload(ResidentAPayload<T>& pl, const T* a, index_t lda,
 /// Flip one bit of a resident element in place (memory-fault emulation).
 template <typename T>
 void flip_payload_bit(T& v, int bit) {
-  using Bits = std::conditional_t<sizeof(T) == 8, std::uint64_t,
-                                  std::uint32_t>;
+  using Bits = StorageBits<T>;
   Bits bits;
   std::memcpy(&bits, &v, sizeof(bits));
   bits ^= Bits(1) << (unsigned(bit) % (8 * sizeof(T)));
@@ -201,8 +214,8 @@ void flip_payload_bit(T& v, int bit) {
 
 }  // namespace
 
-template <typename T>
-OperandCache<T>::OperandCache()
+template <typename S, typename C>
+OperandCache<S, C>::OperandCache()
     : OperandCache(
           std::size_t(std::max<long>(
               env_long("FTGEMM_OPERAND_CACHE_ENTRIES", long(kDefaultCapacity)),
@@ -212,13 +225,14 @@ OperandCache<T>::OperandCache()
                        long(kDefaultByteCapacity)),
               1))) {}
 
-template <typename T>
-OperandCache<T>::OperandCache(std::size_t capacity, std::size_t byte_capacity)
+template <typename S, typename C>
+OperandCache<S, C>::OperandCache(std::size_t capacity,
+                                 std::size_t byte_capacity)
     : capacity_(capacity > 0 ? capacity : 1),
       byte_capacity_(byte_capacity > 0 ? byte_capacity : 1) {}
 
-template <typename T>
-void OperandCache<T>::evict_to_caps_locked() {
+template <typename S, typename C>
+void OperandCache<S, C>::evict_to_caps_locked() {
   // Keep at least the most recent entry: a single payload above the byte
   // cap must still serve the call that just encoded it.  Slot::bytes is
   // immutable, so no slot mutex is taken here (hit processing holds the
@@ -233,11 +247,12 @@ void OperandCache<T>::evict_to_caps_locked() {
   }
 }
 
-template <typename T>
-ResidentAcquisition<T> OperandCache<T>::acquire(
-    const T* a, index_t lda, bool trans, T alpha, const GemmPlan<T>& plan,
-    MemoryFaultInjector* mem_injector, bool verify) {
-  ResidentAcquisition<T> out;
+template <typename S, typename C>
+ResidentAcquisition<S, C> OperandCache<S, C>::acquire(
+    const S* a, index_t lda, bool trans, C alpha,
+    const GemmPlan<S, C>& plan, MemoryFaultInjector* mem_injector,
+    bool verify) {
+  ResidentAcquisition<S, C> out;
   const OperandKey key = make_operand_key(a, lda, trans, alpha, plan);
 
   std::shared_ptr<Slot> slot;
@@ -257,7 +272,7 @@ ResidentAcquisition<T> OperandCache<T>::acquire(
   if (!slot) {
     // Miss: encode OUTSIDE the cache lock (O(m*k) work must not serialize
     // unrelated submitters), then publish — first inserter wins a race.
-    auto payload = std::make_shared<ResidentAPayload<T>>();
+    auto payload = std::make_shared<Payload>();
     fill_payload(*payload, a, lda, trans, alpha, plan);
     slot = std::make_shared<Slot>();
     slot->payload = payload;
@@ -291,14 +306,14 @@ ResidentAcquisition<T> OperandCache<T>::acquire(
   // Serialized per entry so an injected flip and a concurrent verification
   // sweep never race on the payload bytes.
   std::lock_guard<std::mutex> slot_lk(slot->m);
-  std::shared_ptr<const ResidentAPayload<T>> payload = slot->payload;
+  std::shared_ptr<const Payload> payload = slot->payload;
   if (mem_injector != nullptr && payload) {
     std::vector<PanelFlip> flips;
     mem_injector->plan_flips(payload->elems(), flips);
     if (!flips.empty()) {
       // Test-only corruption of the (logically immutable) resident bytes —
       // the very event the re-verification below exists to catch.
-      T* data = const_cast<T*>(payload->panels.data());
+      S* data = const_cast<S*>(payload->panels.data());
       for (const PanelFlip& f : flips)
         flip_payload_bit(data[f.elem % payload->elems()], f.bit);
       mem_injector->record_applied(flips.size());
@@ -312,7 +327,7 @@ ResidentAcquisition<T> OperandCache<T>::acquire(
     if (!verify_payload(*payload)) {
       // Memory fault detected: re-encode from the source and swap the
       // healed payload into the slot (self-healing).
-      auto fresh = std::make_shared<ResidentAPayload<T>>();
+      auto fresh = std::make_shared<Payload>();
       fill_payload(*fresh, a, lda, trans, alpha, plan);
       slot->payload = fresh;
       payload = std::move(fresh);
@@ -325,16 +340,16 @@ ResidentAcquisition<T> OperandCache<T>::acquire(
   return out;
 }
 
-template <typename T>
-void OperandCache<T>::clear() {
+template <typename S, typename C>
+void OperandCache<S, C>::clear() {
   std::lock_guard<std::mutex> lk(m_);
   lru_.clear();
   index_.clear();
   bytes_ = 0;
 }
 
-template <typename T>
-OperandCacheStats OperandCache<T>::stats() {
+template <typename S, typename C>
+OperandCacheStats OperandCache<S, C>::stats() {
   std::lock_guard<std::mutex> lk(m_);
   OperandCacheStats s;
   s.hits = hits_;
@@ -349,18 +364,20 @@ OperandCacheStats OperandCache<T>::stats() {
 
 template class OperandCache<float>;
 template class OperandCache<double>;
+template class OperandCache<bf16_t, float>;
+template class OperandCache<fp16_t, float>;
 
-template <typename T>
+template <typename S, typename C>
 ResidentOperand make_resident_a(Trans ta, Trans tb, index_t m, index_t n,
-                                index_t k, T alpha, const T* a, index_t lda,
+                                index_t k, C alpha, const S* a, index_t lda,
                                 const Options& opts, bool ft) {
   ResidentOperand handle;
-  if (m <= 0 || n <= 0 || k <= 0 || alpha == T(0) || a == nullptr)
+  if (m <= 0 || n <= 0 || k <= 0 || alpha == C(0) || a == nullptr)
     return handle;
-  ContextCache<T>& cache = process_context_cache<T>();
-  const std::shared_ptr<const GemmPlan<T>> plan =
+  ContextCache<S, C>& cache = process_context_cache<S, C>();
+  const std::shared_ptr<const GemmPlan<S, C>> plan =
       cache.plan(ta, tb, m, n, k, opts, ft);
-  ResidentAcquisition<T> acq = cache.operands().acquire(
+  ResidentAcquisition<S, C> acq = cache.operands().acquire(
       a, lda, ta == Trans::kTrans, alpha, *plan, nullptr, false);
   handle.bytes_ = acq.payload ? acq.payload->bytes() : 0;
   handle.hit_ = acq.hit;
@@ -376,5 +393,11 @@ template ResidentOperand make_resident_a<double>(Trans, Trans, index_t,
                                                  index_t, index_t, double,
                                                  const double*, index_t,
                                                  const Options&, bool);
+template ResidentOperand make_resident_a<bf16_t, float>(
+    Trans, Trans, index_t, index_t, index_t, float, const bf16_t*, index_t,
+    const Options&, bool);
+template ResidentOperand make_resident_a<fp16_t, float>(
+    Trans, Trans, index_t, index_t, index_t, float, const fp16_t*, index_t,
+    const Options&, bool);
 
 }  // namespace ftgemm

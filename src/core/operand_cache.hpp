@@ -98,34 +98,44 @@ struct OperandKeyHash {
 
 /// The resident encoding of one A operand: packed panels + Ar + amax +
 /// integrity sums.  Immutable once published (heals swap in a fresh one).
-template <typename T>
+///
+/// (StorageT, ComputeT) generalized like the kernel layer.  Uniform
+/// payloads (S == C) store the alpha-scaled packed panels the executor can
+/// consume zero-copy.  Narrow-storage payloads (bf16/fp16) store the *raw
+/// permuted storage bits* (pack_a_raw — alpha NOT baked in; it lives in the
+/// OperandKey) at half the byte footprint, and the executor widens a slab
+/// into its private atilde on every hit (PackSet::widen_a, bit-identical to
+/// the cold convert-on-pack path).  Checksums (ar) and integrity sums are
+/// always ComputeT.
+template <typename StorageT, typename ComputeT = StorageT>
 struct ResidentAPayload {
   index_t m = 0, k = 0;
   index_t mr = 0, kc = 0;
   index_t tiles = 0;  ///< ceil(m / mr)
   bool trans = false;
-  T alpha = T(0);
+  ComputeT alpha = ComputeT(0);
   /// Rank-KC panels in k order; within a panel of depth pinc, tile q
   /// occupies [q*mr*pinc, (q+1)*mr*pinc) — the layout a cold pack_a_ft
   /// produces per macro block, concatenated over the whole M extent.
-  AlignedBuffer<T> panels;
-  AlignedBuffer<T> ar;  ///< operand row checksum, length k
+  AlignedBuffer<StorageT> panels;
+  AlignedBuffer<ComputeT> ar;  ///< operand row checksum, length k
   double amax_a = 0.0;
-  /// Integrity sums over the packed bytes (fixed scalar order; see
-  /// CHECK_BEFORE above): per-packed-row and per-depth totals.
-  AlignedBuffer<T> rowchk;  ///< length tiles*mr
-  AlignedBuffer<T> colchk;  ///< length k
+  /// Integrity sums over the packed panels (fixed scalar order, accumulated
+  /// in ComputeT over the widened element values; see CHECK_BEFORE above):
+  /// per-packed-row and per-depth totals.
+  AlignedBuffer<ComputeT> rowchk;  ///< length tiles*mr
+  AlignedBuffer<ComputeT> colchk;  ///< length k
 
   [[nodiscard]] std::size_t elems() const {
     return std::size_t(tiles * mr) * std::size_t(k);
   }
   [[nodiscard]] std::size_t bytes() const {
-    return (elems() + std::size_t(k) * 2 + std::size_t(tiles * mr)) *
-           sizeof(T);
+    return elems() * sizeof(StorageT) +
+           (std::size_t(k) * 2 + std::size_t(tiles * mr)) * sizeof(ComputeT);
   }
   /// Packed tiles of the rank-KC panel starting at k-offset p (the driver's
   /// panel-loop variable, a multiple of kc).
-  [[nodiscard]] const T* panel_at(index_t p) const {
+  [[nodiscard]] const StorageT* panel_at(index_t p) const {
     return panels.data() + std::size_t(tiles * mr) * std::size_t(p);
   }
 };
@@ -142,9 +152,9 @@ struct OperandCacheStats {
 };
 
 /// What one acquire() handed the executor.
-template <typename T>
+template <typename StorageT, typename ComputeT = StorageT>
 struct ResidentAcquisition {
-  std::shared_ptr<const ResidentAPayload<T>> payload;
+  std::shared_ptr<const ResidentAPayload<StorageT, ComputeT>> payload;
   bool hit = false;
   int heals = 0;
 };
@@ -154,9 +164,11 @@ class MemoryFaultInjector;
 /// Thread-safe LRU cache of ResidentAPayloads, owned by the ContextCache
 /// beside the shared PlanCache.  acquire() is the one entry point: look up,
 /// (re-)encode on miss, inject + CHECK_BEFORE-verify + heal on hit.
-template <typename T>
+template <typename StorageT, typename ComputeT = StorageT>
 class OperandCache {
  public:
+  using Payload = ResidentAPayload<StorageT, ComputeT>;
+
   static constexpr std::size_t kDefaultCapacity = 16;
   static constexpr std::size_t kDefaultByteCapacity = 256u << 20;  // 256 MiB
 
@@ -170,10 +182,10 @@ class OperandCache {
   /// mismatch by re-encoding from `a`.  Thread-safe; per-entry hit
   /// processing is serialized on the entry, concurrent distinct entries
   /// proceed in parallel.
-  ResidentAcquisition<T> acquire(const T* a, index_t lda, bool trans, T alpha,
-                                 const GemmPlan<T>& plan,
-                                 MemoryFaultInjector* mem_injector,
-                                 bool verify);
+  ResidentAcquisition<StorageT, ComputeT> acquire(
+      const StorageT* a, index_t lda, bool trans, ComputeT alpha,
+      const GemmPlan<StorageT, ComputeT>& plan,
+      MemoryFaultInjector* mem_injector, bool verify);
 
   /// Drop every cached payload (in-flight shared_ptrs stay valid).
   void clear();
@@ -189,7 +201,7 @@ class OperandCache {
   /// keep a single global lock order: slot mutex before cache mutex).
   struct Slot {
     std::mutex m;
-    std::shared_ptr<const ResidentAPayload<T>> payload;
+    std::shared_ptr<const Payload> payload;
     std::size_t bytes = 0;
   };
   using Entry = std::pair<OperandKey, std::shared_ptr<Slot>>;
@@ -213,6 +225,8 @@ class OperandCache {
 
 extern template class OperandCache<float>;
 extern template class OperandCache<double>;
+extern template class OperandCache<bf16_t, float>;
+extern template class OperandCache<fp16_t, float>;
 
 // ---------------------------------------------------------------------------
 // Public handle: pre-encode a weight matrix once and pin its storage.
@@ -229,9 +243,9 @@ class ResidentOperand;
 /// ft_*gemm/*gemm calls with Options::resident_a over the same operand and
 /// shape hit the warm entry.  No-op (invalid handle) for degenerate
 /// problems (m, n, or k <= 0, or alpha == 0).
-template <typename T>
+template <typename S, typename C = S>
 ResidentOperand make_resident_a(Trans ta, Trans tb, index_t m, index_t n,
-                                index_t k, T alpha, const T* a, index_t lda,
+                                index_t k, C alpha, const S* a, index_t lda,
                                 const Options& opts = {}, bool ft = true);
 
 /// Opaque pin on a resident operand's storage.  Holding one guarantees the
@@ -252,9 +266,9 @@ class ResidentOperand {
   }
 
  private:
-  template <typename U>
+  template <typename U, typename V>
   friend ResidentOperand make_resident_a(Trans, Trans, index_t, index_t,
-                                         index_t, U, const U*, index_t,
+                                         index_t, V, const U*, index_t,
                                          const Options&, bool);
   std::shared_ptr<const void> hold_;
   std::size_t bytes_ = 0;
@@ -268,6 +282,12 @@ extern template ResidentOperand make_resident_a<float>(Trans, Trans, index_t,
                                                        const Options&, bool);
 extern template ResidentOperand make_resident_a<double>(
     Trans, Trans, index_t, index_t, index_t, double, const double*, index_t,
+    const Options&, bool);
+extern template ResidentOperand make_resident_a<bf16_t, float>(
+    Trans, Trans, index_t, index_t, index_t, float, const bf16_t*, index_t,
+    const Options&, bool);
+extern template ResidentOperand make_resident_a<fp16_t, float>(
+    Trans, Trans, index_t, index_t, index_t, float, const fp16_t*, index_t,
     const Options&, bool);
 
 }  // namespace ftgemm

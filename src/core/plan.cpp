@@ -25,21 +25,26 @@ PlanKey make_plan_key(Trans ta, Trans tb, index_t m, index_t n, index_t k,
   return key;
 }
 
-template <typename T>
-GemmPlan<T> build_plan(const PlanKey& key) {
-  GemmPlan<T> plan;
+template <typename S, typename C>
+GemmPlan<S, C> build_plan(const PlanKey& key) {
+  GemmPlan<S, C> plan;
   plan.key = key;
   plan.isa = key.isa_override >= 0 ? Isa(key.isa_override) : select_isa();
-  plan.kernels = get_kernel_set<T>(plan.isa);
+  plan.kernels = get_kernel_set<S, C>(plan.isa);
+  // Blocking and tolerance both key on ComputeT: the cache-resident panels
+  // are ComputeT-wide (narrow storage is widened on pack), and the checksum
+  // arithmetic whose rounding the tolerance model bounds runs entirely in
+  // ComputeT — a bf16-storage plan therefore shares the fp32 blocking and
+  // the fp32 tolerance derivation exactly (DESIGN.md §10).
   plan.blocking =
-      make_plan(plan.isa, int(sizeof(T)), key.m, key.n, key.k);
+      make_plan(plan.isa, int(sizeof(C)), key.m, key.n, key.k);
   plan.k_zero = key.k <= 0;
   plan.num_panels =
       plan.k_zero ? 0 : (key.k + plan.blocking.kc - 1) / plan.blocking.kc;
   plan.tol_factor = !key.ft ? 0.0
                     : key.tolerance_factor > 0.0
                         ? key.tolerance_factor
-                        : default_tolerance_factor_for<T>();
+                        : default_tolerance_factor_for<C>();
 
   // Single-macro-tile fast path: the whole problem fits one packed-A block
   // and one packed-B panel, so the cooperative-packing machinery would be
@@ -71,11 +76,13 @@ GemmPlan<T> build_plan(const PlanKey& key) {
     ws += elems(kk) + elems(kk) * std::size_t(plan.threads);  // ar + partials
     ws += elems(plan.blocking.kc);                         // bc
   }
-  plan.workspace_bytes = ws * sizeof(T);
+  plan.workspace_bytes = ws * sizeof(C);
   return plan;
 }
 
-template GemmPlan<float> build_plan<float>(const PlanKey&);
-template GemmPlan<double> build_plan<double>(const PlanKey&);
+template GemmPlan<float> build_plan<float, float>(const PlanKey&);
+template GemmPlan<double> build_plan<double, double>(const PlanKey&);
+template GemmPlan<bf16_t, float> build_plan<bf16_t, float>(const PlanKey&);
+template GemmPlan<fp16_t, float> build_plan<fp16_t, float>(const PlanKey&);
 
 }  // namespace ftgemm

@@ -76,13 +76,19 @@ struct PlanKey {
   int runtime = int(RuntimeBackend::kOpenMP);  ///< resolved team backend
   int isa_override = -1;          ///< int(Options::isa) or -1 for auto
   double tolerance_factor = 0.0;  ///< raw Options value; 0 = library default
+  /// Storage-dtype discriminator (kStorageDtypeTag<S>): 0 for the uniform
+  /// fp32/fp64 paths — keeping every pre-existing key identity and hash
+  /// unchanged — 1 for bf16, 2 for fp16 storage.  Typed call sites
+  /// (ContextCache::plan, the service fast-path resolver) stamp it after
+  /// make_plan_key, which stays dtype-blind.
+  std::uint8_t sdtype = 0;
 
   [[nodiscard]] bool operator==(const PlanKey& o) const {
     return m == o.m && n == o.n && k == o.k && ta == o.ta && tb == o.tb &&
            ft == o.ft && fast_path_allowed == o.fast_path_allowed &&
            threads == o.threads && runtime == o.runtime &&
            isa_override == o.isa_override &&
-           tolerance_factor == o.tolerance_factor;
+           tolerance_factor == o.tolerance_factor && sdtype == o.sdtype;
   }
 };
 
@@ -99,7 +105,8 @@ struct PlanKeyHash {
     mix(std::uint64_t(key.n));
     mix(std::uint64_t(key.k));
     mix(std::uint64_t(key.ta == Trans::kTrans) | (std::uint64_t(key.tb == Trans::kTrans) << 1) |
-        (std::uint64_t(key.ft) << 2) | (std::uint64_t(key.fast_path_allowed) << 3));
+        (std::uint64_t(key.ft) << 2) | (std::uint64_t(key.fast_path_allowed) << 3) |
+        (std::uint64_t(key.sdtype) << 4));
     mix(std::uint64_t(std::uint32_t(key.threads)));
     mix(std::uint64_t(std::uint32_t(key.runtime)));
     mix(std::uint64_t(std::uint32_t(key.isa_override)));
@@ -113,15 +120,18 @@ struct PlanKeyHash {
 
 /// The immutable result of planning one (shape, opts) combination.  Executors
 /// (core/driver.hpp) read every decision from here and contain none of their
-/// own.
-template <typename T>
+/// own.  (StorageT, ComputeT) generalized like the kernel layer: blocking,
+/// tolerance, and workspace are all derived from ComputeT (the panels and
+/// checksums the kernels actually touch), StorageT only selects the pack
+/// engine.
+template <typename StorageT, typename ComputeT = StorageT>
 struct GemmPlan {
   PlanKey key;               ///< fingerprint this plan was built from
   Isa isa = Isa::kScalar;    ///< resolved instruction set
   /// Resolved micro-kernel pair + tile shape + the ISA-dispatched packing &
   /// checksum engine (kernels.pack); executors reach the whole per-ISA
   /// surface through this one member.
-  KernelSet<T> kernels;
+  KernelSet<StorageT, ComputeT> kernels;
   BlockingPlan blocking;     ///< shape-aware MC/NC/KC/MR/NR
   int threads = 1;           ///< execution topology (1 on the fast path)
   /// Resolved thread-team backend executes on (never kAuto; see
@@ -149,20 +159,23 @@ PlanKey make_plan_key(Trans ta, Trans tb, index_t m, index_t n, index_t k,
 /// tolerance factor, size the workspace, and decide the fast path.
 /// Deterministic: equal keys (under an unchanged environment) produce equal
 /// plans.
-template <typename T>
-GemmPlan<T> build_plan(const PlanKey& key);
+template <typename S, typename C = S>
+GemmPlan<S, C> build_plan(const PlanKey& key);
 
-/// Convenience: key + build in one step, bypassing any cache.
-template <typename T>
-GemmPlan<T> build_plan(Trans ta, Trans tb, index_t m, index_t n, index_t k,
-                       const Options& opts, bool ft) {
-  return build_plan<T>(make_plan_key(ta, tb, m, n, k, opts, ft));
+/// Convenience: key + build in one step, bypassing any cache.  Stamps the
+/// storage dtype into the key like the cached paths do.
+template <typename S, typename C = S>
+GemmPlan<S, C> build_plan(Trans ta, Trans tb, index_t m, index_t n, index_t k,
+                          const Options& opts, bool ft) {
+  PlanKey key = make_plan_key(ta, tb, m, n, k, opts, ft);
+  key.sdtype = kStorageDtypeTag<S>;
+  return build_plan<S, C>(key);
 }
 
 /// Small LRU cache of immutable plans.  Not thread-safe: each cache lives in
 /// a thread-local or per-engine GemmContext / ContextCache, mirroring the
 /// workspace ownership model (no locks on the hot path).
-template <typename T>
+template <typename S, typename C = S>
 class PlanCache {
  public:
   /// Distinct (shape, opts) fingerprints kept; a serving workload cycling
@@ -173,15 +186,17 @@ class PlanCache {
       : capacity_(capacity > 0 ? capacity : 1) {}
 
   /// Look up (building on miss) the plan for (shape, opts).
-  std::shared_ptr<const GemmPlan<T>> get_or_build(Trans ta, Trans tb,
-                                                  index_t m, index_t n,
-                                                  index_t k,
-                                                  const Options& opts,
-                                                  bool ft) {
-    return get_or_build(make_plan_key(ta, tb, m, n, k, opts, ft));
+  std::shared_ptr<const GemmPlan<S, C>> get_or_build(Trans ta, Trans tb,
+                                                     index_t m, index_t n,
+                                                     index_t k,
+                                                     const Options& opts,
+                                                     bool ft) {
+    PlanKey key = make_plan_key(ta, tb, m, n, k, opts, ft);
+    key.sdtype = kStorageDtypeTag<S>;
+    return get_or_build(key);
   }
 
-  std::shared_ptr<const GemmPlan<T>> get_or_build(const PlanKey& key) {
+  std::shared_ptr<const GemmPlan<S, C>> get_or_build(const PlanKey& key) {
     const auto it = index_.find(key);
     if (it != index_.end()) {
       ++hits_;
@@ -189,7 +204,7 @@ class PlanCache {
       return it->second->second;
     }
     ++misses_;
-    auto plan = std::make_shared<const GemmPlan<T>>(build_plan<T>(key));
+    auto plan = std::make_shared<const GemmPlan<S, C>>(build_plan<S, C>(key));
     lru_.emplace_front(key, plan);
     index_[key] = lru_.begin();
     if (lru_.size() > capacity_) {
@@ -212,7 +227,7 @@ class PlanCache {
   }
 
  private:
-  using Entry = std::pair<PlanKey, std::shared_ptr<const GemmPlan<T>>>;
+  using Entry = std::pair<PlanKey, std::shared_ptr<const GemmPlan<S, C>>>;
   std::list<Entry> lru_;  ///< front = most recently used
   std::unordered_map<PlanKey, typename std::list<Entry>::iterator,
                      PlanKeyHash>
@@ -222,7 +237,11 @@ class PlanCache {
   std::uint64_t misses_ = 0;
 };
 
-extern template GemmPlan<float> build_plan<float>(const PlanKey&);
-extern template GemmPlan<double> build_plan<double>(const PlanKey&);
+extern template GemmPlan<float> build_plan<float, float>(const PlanKey&);
+extern template GemmPlan<double> build_plan<double, double>(const PlanKey&);
+extern template GemmPlan<bf16_t, float>
+    build_plan<bf16_t, float>(const PlanKey&);
+extern template GemmPlan<fp16_t, float>
+    build_plan<fp16_t, float>(const PlanKey&);
 
 }  // namespace ftgemm

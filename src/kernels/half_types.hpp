@@ -1,0 +1,174 @@
+// Narrow storage types for the mixed-precision GEMM path: bfloat16 and
+// IEEE binary16, stored as raw bit patterns with software conversion.
+//
+// These are STORAGE types only — no arithmetic is ever performed in them.
+// The kernel layer is generalized over (StorageT, ComputeT): operands may
+// be held in bf16/fp16, but every product, sum, and checksum is carried in
+// the fp32 accumulator type (see DESIGN.md §10, "Mixed precision").  The
+// only operations a storage type needs are therefore
+//
+//   - widen to float   (exact — both formats are strict subsets of f32),
+//   - narrow from float (round-to-nearest-even, for test fixtures and
+//     callers preparing operands),
+//   - raw bit access    (fingerprinting, integrity sums, fault injection).
+//
+// The widening conversions below are bit-compatible with the SIMD widens
+// the packers use (bf16: integer shift; fp16: VCVTPH2PS semantics including
+// subnormals, ±inf, and NaN quieting), so convert-on-pack SIMD panels are
+// bit-identical to convert-then-scalar-pack — the same contract the fp32
+// engine keeps (asserted in tests/test_precision.cpp).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace ftgemm {
+
+namespace detail_half {
+
+inline std::uint32_t f32_bits(float f) {
+  std::uint32_t u;
+  std::memcpy(&u, &f, sizeof(u));
+  return u;
+}
+
+inline float f32_from_bits(std::uint32_t u) {
+  float f;
+  std::memcpy(&f, &u, sizeof(f));
+  return f;
+}
+
+/// float -> bf16 bits, round-to-nearest-even.  The add-based rounding works
+/// uniformly across normals, subnormals, and ±inf because bf16 is a pure
+/// truncation of the f32 layout; NaNs are quieted with payload truncated to
+/// the surviving high bits (never silently turned finite).
+inline std::uint16_t f32_to_bf16_bits(float f) {
+  const std::uint32_t u = f32_bits(f);
+  if ((u & 0x7fffffffu) > 0x7f800000u) {
+    return std::uint16_t((u >> 16) | 0x0040u);  // quiet NaN, sign kept
+  }
+  const std::uint32_t rounding = 0x7fffu + ((u >> 16) & 1u);
+  return std::uint16_t((u + rounding) >> 16);
+}
+
+/// bf16 bits -> float: exact (shift into the high half of the f32 layout).
+inline float bf16_bits_to_f32(std::uint16_t h) {
+  return f32_from_bits(std::uint32_t(h) << 16);
+}
+
+/// fp16 (IEEE binary16) bits -> float: exact, matching VCVTPH2PS —
+/// subnormals normalize, ±inf maps to ±inf, NaN payloads shift into the
+/// high mantissa bits with signaling NaNs quieted.
+inline float f16_bits_to_f32(std::uint16_t h) {
+  const std::uint32_t sign = std::uint32_t(h & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1fu;
+  const std::uint32_t man = h & 0x3ffu;
+  if (exp == 0) {
+    if (man == 0) return f32_from_bits(sign);  // ±0
+    // Subnormal: normalize the mantissa into an f32 exponent.
+    std::uint32_t m = man, e = 0;
+    while (!(m & 0x400u)) {
+      m <<= 1;
+      ++e;
+    }
+    return f32_from_bits(sign | ((113u - e) << 23) | ((m & 0x3ffu) << 13));
+  }
+  if (exp == 31) {
+    std::uint32_t u = sign | 0x7f800000u | (man << 13);
+    if (man) u |= 0x400000u;  // NaN: quiet bit set, payload preserved
+    return f32_from_bits(u);
+  }
+  return f32_from_bits(sign | ((exp + 112u) << 23) | (man << 13));
+}
+
+/// float -> fp16 bits, round-to-nearest-even with gradual underflow
+/// (subnormal halves), overflow to ±inf, and NaN quieting — VCVTPS2PH
+/// round-nearest semantics.
+inline std::uint16_t f32_to_f16_bits(float f) {
+  const std::uint32_t u = f32_bits(f);
+  const std::uint16_t sign = std::uint16_t((u >> 16) & 0x8000u);
+  const std::uint32_t abs = u & 0x7fffffffu;
+  if (abs >= 0x7f800000u) {  // inf / NaN
+    if (abs == 0x7f800000u) return std::uint16_t(sign | 0x7c00u);
+    return std::uint16_t(sign | 0x7e00u | ((abs >> 13) & 0x3ffu));
+  }
+  const int e = int(abs >> 23) - 127 + 15;  // target biased exponent
+  std::uint32_t mant = abs & 0x7fffffu;
+  if (e >= 31) return std::uint16_t(sign | 0x7c00u);  // overflows to inf
+  if (e <= 0) {
+    // Subnormal half (or zero).  Below 2^-26 everything rounds to ±0.
+    if (e < -11) return sign;
+    mant |= 0x800000u;  // make the implicit leading 1 explicit
+    const int shift = 14 - e;
+    const std::uint32_t dropped = mant & ((1u << shift) - 1u);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    std::uint32_t half = mant >> shift;
+    if (dropped > halfway || (dropped == halfway && (half & 1u))) ++half;
+    return std::uint16_t(sign | half);
+  }
+  std::uint32_t half = (std::uint32_t(e) << 10) | (mant >> 13);
+  const std::uint32_t dropped = mant & 0x1fffu;
+  // RNE; a full-mantissa carry ripples into the exponent (and 0x7bff + 1 ==
+  // 0x7c00 turns the largest-normal overflow case into inf), both correct.
+  if (dropped > 0x1000u || (dropped == 0x1000u && (half & 1u))) ++half;
+  return std::uint16_t(sign | half);
+}
+
+}  // namespace detail_half
+
+/// bfloat16 storage scalar: high 16 bits of an f32.  Trivially copyable,
+/// 2 bytes; widening to float is implicit (exact), narrowing is explicit
+/// (rounds RNE).
+struct bf16_t {
+  std::uint16_t bits;
+
+  bf16_t() = default;
+  explicit bf16_t(float f) : bits(detail_half::f32_to_bf16_bits(f)) {}
+  operator float() const { return detail_half::bf16_bits_to_f32(bits); }
+
+  static bf16_t from_bits(std::uint16_t b) {
+    bf16_t h;
+    h.bits = b;
+    return h;
+  }
+};
+
+/// IEEE binary16 storage scalar.  Same contract as bf16_t.
+struct fp16_t {
+  std::uint16_t bits;
+
+  fp16_t() = default;
+  explicit fp16_t(float f) : bits(detail_half::f32_to_f16_bits(f)) {}
+  operator float() const { return detail_half::f16_bits_to_f32(bits); }
+
+  static fp16_t from_bits(std::uint16_t b) {
+    fp16_t h;
+    h.bits = b;
+    return h;
+  }
+};
+
+static_assert(sizeof(bf16_t) == 2 && sizeof(fp16_t) == 2,
+              "narrow storage scalars must be 2 bytes");
+
+/// True for the narrow storage-only scalars (the types whose PackSet widens
+/// on pack and whose resident panels are held as raw storage bits).
+template <typename T>
+inline constexpr bool is_narrow_storage_v = false;
+template <>
+inline constexpr bool is_narrow_storage_v<bf16_t> = true;
+template <>
+inline constexpr bool is_narrow_storage_v<fp16_t> = true;
+
+/// Stable storage-dtype discriminator carried in PlanKey (and hashed into
+/// it) so plans for different storage widths can never alias — belt and
+/// braces on top of the per-(StorageT, ComputeT) cache instances.  0 keeps
+/// every pre-existing fp32/fp64 key identity unchanged.
+template <typename T>
+inline constexpr std::uint8_t kStorageDtypeTag = 0;
+template <>
+inline constexpr std::uint8_t kStorageDtypeTag<bf16_t> = 1;
+template <>
+inline constexpr std::uint8_t kStorageDtypeTag<fp16_t> = 2;
+
+}  // namespace ftgemm

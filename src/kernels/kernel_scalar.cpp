@@ -3,6 +3,8 @@
 // These are the correctness anchor: every SIMD kernel is tested against
 // them, and they are the fallback on machines without AVX2.  The tile is
 // kept in a local array that the compiler fully registerizes at -O3.
+#include <type_traits>
+
 #include "kernels/microkernel.hpp"
 #include "util/env.hpp"
 
@@ -64,33 +66,52 @@ KernelSet<float> scalar_kernels_f32() {
   return {&kernel_base<float>, &kernel_ft<float>, kMr, kNr, 1, Isa::kScalar, {}};
 }
 
-template <typename T>
-KernelSet<T> get_kernel_set(Isa isa) {
-  KernelSet<T> ks;
-  if constexpr (sizeof(T) == 8) {
-    switch (isa) {
-      case Isa::kAvx512:
-        // Kernel-shape override for the ablation bench; register_tile()
-        // applies the same sanitized value so packing stays consistent.
-        ks = avx512_kernels_f64_mr(env_long("FTGEMM_KERNEL_MR", 16));
-        break;
-      case Isa::kAvx2: ks = avx2_kernels_f64(); break;
-      case Isa::kScalar: ks = scalar_kernels_f64(); break;
-    }
+template <typename S, typename C>
+KernelSet<S, C> get_kernel_set(Isa isa) {
+  if constexpr (!std::is_same_v<S, C>) {
+    // Mixed precision: the micro-kernels ARE the ComputeT kernels (narrow
+    // storage never reaches a multiplier — register tiles, mr/nr, and the
+    // FT epilogue lanes are identical to the ComputeT path), with the
+    // widening pack engine swapped in.
+    const KernelSet<C> base = get_kernel_set<C>(isa);
+    KernelSet<S, C> ks;
+    ks.base = base.base;
+    ks.ft = base.ft;
+    ks.mr = base.mr;
+    ks.nr = base.nr;
+    ks.cr_lanes = base.cr_lanes;
+    ks.isa = base.isa;
+    ks.pack = get_pack_set<S, C>(ks.isa);
+    return ks;
   } else {
-    switch (isa) {
-      case Isa::kAvx512: ks = avx512_kernels_f32(); break;
-      case Isa::kAvx2: ks = avx2_kernels_f32(); break;
-      case Isa::kScalar: ks = scalar_kernels_f32(); break;
+    KernelSet<S, C> ks;
+    if constexpr (sizeof(C) == 8) {
+      switch (isa) {
+        case Isa::kAvx512:
+          // Kernel-shape override for the ablation bench; register_tile()
+          // applies the same sanitized value so packing stays consistent.
+          ks = avx512_kernels_f64_mr(env_long("FTGEMM_KERNEL_MR", 16));
+          break;
+        case Isa::kAvx2: ks = avx2_kernels_f64(); break;
+        case Isa::kScalar: ks = scalar_kernels_f64(); break;
+      }
+    } else {
+      switch (isa) {
+        case Isa::kAvx512: ks = avx512_kernels_f32(); break;
+        case Isa::kAvx2: ks = avx2_kernels_f32(); break;
+        case Isa::kScalar: ks = scalar_kernels_f32(); break;
+      }
     }
+    // The packing & checksum engine rides along with the micro-kernels so
+    // executors reach the whole ISA surface through one dispatch point.
+    ks.pack = get_pack_set<S, C>(ks.isa);
+    return ks;
   }
-  // The packing & checksum engine rides along with the micro-kernels so
-  // executors reach the whole ISA surface through one dispatch point.
-  ks.pack = get_pack_set<T>(ks.isa);
-  return ks;
 }
 
-template KernelSet<double> get_kernel_set<double>(Isa);
-template KernelSet<float> get_kernel_set<float>(Isa);
+template KernelSet<double> get_kernel_set<double, double>(Isa);
+template KernelSet<float> get_kernel_set<float, float>(Isa);
+template KernelSet<bf16_t, float> get_kernel_set<bf16_t, float>(Isa);
+template KernelSet<fp16_t, float> get_kernel_set<fp16_t, float>(Isa);
 
 }  // namespace ftgemm

@@ -26,8 +26,8 @@ namespace ftgemm {
 /// column / row) accumulate the reference checksums of the *final* C values;
 /// cr_ref is lane-strided (ks.cr_lanes slots per column, summed at
 /// verification time).
-template <typename T, bool FT>
-void run_macro_block(const KernelSet<T>& ks, index_t mlen, index_t nlen,
+template <typename T, bool FT, typename S = T>
+void run_macro_block(const KernelSet<S, T>& ks, index_t mlen, index_t nlen,
                      index_t kc, const T* a_packed, const T* b_packed, T* c,
                      index_t ldc, T* cr_ref, T* cc_ref) {
   const index_t mr = ks.mr;

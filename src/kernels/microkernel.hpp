@@ -27,6 +27,7 @@
 #include <cstdint>
 
 #include "arch/isa.hpp"
+#include "kernels/half_types.hpp"
 
 namespace ftgemm {
 
@@ -79,26 +80,37 @@ using MicroKernelFt = void (*)(index_t kc, const T* a, const T* b, T* c,
 // summations into vector lanes; packed panels are bit-identical to the
 // scalar path, checksum sums agree within the ToleranceModel bound (see
 // docs/DESIGN.md, "SIMD packing & checksum engine").
+//
+// The engine is generalized over (StorageT, ComputeT): operands are *read*
+// in StorageT, while packed panels, scalars, and every checksum are carried
+// in ComputeT.  For the classic paths the two coincide (the one-parameter
+// spellings below mean <T, T> and preserve every existing call site); the
+// mixed paths (bf16/fp16 storage, fp32 compute) widen each element exactly
+// once, inside the pack load, fused with the same checksum FMA lanes — no
+// separate conversion pass ever materializes a widened copy of the operand
+// (DESIGN.md §10).
 // ---------------------------------------------------------------------------
 
-template <typename T>
-using PackAFn = void (*)(const OperandView<T>& a, index_t m0, index_t k0,
-                         index_t mlen, index_t klen, index_t mr, T alpha,
-                         T* dst);
+template <typename StorageT, typename ComputeT = StorageT>
+using PackAFn = void (*)(const OperandView<StorageT>& a, index_t m0,
+                         index_t k0, index_t mlen, index_t klen, index_t mr,
+                         ComputeT alpha, ComputeT* dst);
 
-template <typename T>
-using PackAFtFn = void (*)(const OperandView<T>& a, index_t m0, index_t k0,
-                           index_t mlen, index_t klen, index_t mr, T alpha,
-                           T* dst, const T* bc, T* cc);
+template <typename StorageT, typename ComputeT = StorageT>
+using PackAFtFn = void (*)(const OperandView<StorageT>& a, index_t m0,
+                           index_t k0, index_t mlen, index_t klen, index_t mr,
+                           ComputeT alpha, ComputeT* dst, const ComputeT* bc,
+                           ComputeT* cc);
 
-template <typename T>
-using PackBFn = void (*)(const OperandView<T>& b, index_t k0, index_t j0,
-                         index_t klen, index_t nlen, index_t nr, T* dst);
+template <typename StorageT, typename ComputeT = StorageT>
+using PackBFn = void (*)(const OperandView<StorageT>& b, index_t k0,
+                         index_t j0, index_t klen, index_t nlen, index_t nr,
+                         ComputeT* dst);
 
-template <typename T>
-using PackBFtFn = void (*)(const OperandView<T>& b, index_t k0, index_t j0,
-                           index_t klen, index_t nlen, index_t nr, T* dst,
-                           const T* ar, T* cr);
+template <typename StorageT, typename ComputeT = StorageT>
+using PackBFtFn = void (*)(const OperandView<StorageT>& b, index_t k0,
+                           index_t j0, index_t klen, index_t nlen, index_t nr,
+                           ComputeT* dst, const ComputeT* ar, ComputeT* cr);
 
 template <typename T>
 using ReduceBcFn = double (*)(const T* b_packed, index_t klen, index_t nlen,
@@ -109,9 +121,10 @@ template <typename T>
 using ScaleEncodeCFn = double (*)(T* c, index_t ldc, index_t i0, index_t ilen,
                                   index_t n, T beta, T* cc, T* cr_part);
 
-template <typename T>
-using EncodeArFn = double (*)(const OperandView<T>& a, index_t i0,
-                              index_t ilen, index_t k, T alpha, T* ar_part);
+template <typename StorageT, typename ComputeT = StorageT>
+using EncodeArFn = double (*)(const OperandView<StorageT>& a, index_t i0,
+                              index_t ilen, index_t k, ComputeT alpha,
+                              ComputeT* ar_part);
 
 /// Replay of pack_a_ft's fused Cc update from an already-packed panel:
 ///   cc[ii] += sum_kk packed(ii, kk) * bc[kk]
@@ -119,51 +132,78 @@ using EncodeArFn = double (*)(const OperandView<T>& a, index_t i0,
 /// have used while packing — so a cache-hit on a resident pre-packed A panel
 /// reproduces the cold path's Cc bit-for-bit.  `trans` is the original
 /// operand's transpose flag (the packed bytes are layout-free, but the
-/// Trans/NoTrans packers carry different accumulator shapes).
+/// Trans/NoTrans packers carry different accumulator shapes).  Operates on
+/// the ComputeT panel, so mixed paths replay over the widened panel.
 template <typename T>
 using EncodeCcFn = void (*)(const T* packed, bool trans, index_t mlen,
                             index_t klen, index_t mr, const T* bc, T* cc);
 
+/// Alpha-free permutation pack of an A block into MR-tile panel layout,
+/// kept in StorageT (no widening, no scaling).  The resident-operand cache
+/// stores narrow weights this way — half the byte footprint of a widened
+/// panel — and widens on hit via WidenAFn.
+template <typename StorageT>
+using PackARawFn = void (*)(const OperandView<StorageT>& a, index_t m0,
+                            index_t k0, index_t mlen, index_t klen, index_t mr,
+                            StorageT* dst);
+
+/// Widen + alpha-scale a raw StorageT panel (from PackARawFn) into the
+/// ComputeT panel the kernels consume.  Element values are bit-identical to
+/// what PackAFn would have produced from the unpacked operand (same widen,
+/// same single multiply); padding rows are written as ComputeT(0) exactly
+/// like the cold pack.
+template <typename StorageT, typename ComputeT>
+using WidenAFn = void (*)(const StorageT* raw, index_t mlen, index_t klen,
+                          index_t mr, ComputeT alpha, ComputeT* dst);
+
 /// The ISA-dispatched pack/reduce/encode family.  Obtained via
 /// get_pack_set(); a KernelSet returned by get_kernel_set() carries the
 /// matching PackSet, so executors reach both through one dispatch point.
-template <typename T>
+template <typename StorageT, typename ComputeT = StorageT>
 struct PackSet {
-  PackAFn<T> pack_a = nullptr;
-  PackAFtFn<T> pack_a_ft = nullptr;
-  PackBFn<T> pack_b = nullptr;
-  PackBFtFn<T> pack_b_ft = nullptr;
-  ReduceBcFn<T> reduce_bc = nullptr;
-  ScaleEncodeCFn<T> scale_encode_c = nullptr;
-  EncodeArFn<T> encode_ar = nullptr;
-  EncodeCcFn<T> encode_cc = nullptr;
+  PackAFn<StorageT, ComputeT> pack_a = nullptr;
+  PackAFtFn<StorageT, ComputeT> pack_a_ft = nullptr;
+  PackBFn<StorageT, ComputeT> pack_b = nullptr;
+  PackBFtFn<StorageT, ComputeT> pack_b_ft = nullptr;
+  ReduceBcFn<ComputeT> reduce_bc = nullptr;
+  ScaleEncodeCFn<ComputeT> scale_encode_c = nullptr;
+  EncodeArFn<StorageT, ComputeT> encode_ar = nullptr;
+  EncodeCcFn<ComputeT> encode_cc = nullptr;
+  /// Raw-storage panel pack + widen-on-hit pair for the resident-operand
+  /// cache (see operand_cache.hpp).
+  PackARawFn<StorageT> pack_a_raw = nullptr;
+  WidenAFn<StorageT, ComputeT> widen_a = nullptr;
   Isa isa = Isa::kScalar;
 };
 
-/// The kernels plus their register tile shape.
-template <typename T>
+/// The kernels plus their register tile shape.  Micro-kernels always run in
+/// ComputeT (narrow storage never reaches a multiplier); only the pack
+/// engine sees StorageT.
+template <typename StorageT, typename ComputeT = StorageT>
 struct KernelSet {
-  MicroKernelBase<T> base = nullptr;
-  MicroKernelFt<T> ft = nullptr;
+  MicroKernelBase<ComputeT> base = nullptr;
+  MicroKernelFt<ComputeT> ft = nullptr;
   index_t mr = 0;
   index_t nr = 0;
   /// Lane partials per cr_ref column (SIMD width of the FT epilogue).
   index_t cr_lanes = 1;
   Isa isa = Isa::kScalar;
   /// Pack/reduce/encode routines matching `isa` (see get_pack_set).
-  PackSet<T> pack;
+  PackSet<StorageT, ComputeT> pack;
 };
 
 /// Dispatch: returns the kernel set for the requested ISA (which callers
 /// obtain from select_isa(), already clamped to hardware capability).  The
-/// returned set's `pack` member is filled with get_pack_set(isa).
-template <typename T>
-KernelSet<T> get_kernel_set(Isa isa);
+/// returned set's `pack` member is filled with get_pack_set(isa).  Mixed
+/// instantiations reuse the ComputeT micro-kernels (same register tiles,
+/// same mr/nr/cr_lanes) and swap in the widening pack engine.
+template <typename StorageT, typename ComputeT = StorageT>
+KernelSet<StorageT, ComputeT> get_kernel_set(Isa isa);
 
 /// Dispatch for the packing & checksum engine alone (tests and the packing
 /// bench compare ISAs side by side without dragging in micro-kernels).
-template <typename T>
-PackSet<T> get_pack_set(Isa isa);
+template <typename StorageT, typename ComputeT = StorageT>
+PackSet<StorageT, ComputeT> get_pack_set(Isa isa);
 
 // Per-ISA pack/encode accessors implemented in the ISA-specific translation
 // units (pack_scalar.cpp / pack_avx2.cpp / pack_avx512.cpp).
@@ -173,6 +213,18 @@ PackSet<double> avx2_pack_f64();
 PackSet<float> avx2_pack_f32();
 PackSet<double> avx512_pack_f64();
 PackSet<float> avx512_pack_f32();
+
+// Mixed-precision (narrow storage, fp32 compute) pack engines.  The scalar
+// sets live in the flag-free TU and are the portable fallback; the SIMD
+// sets widen inside the pack load (bf16: integer shift; fp16: VCVTPH2PS)
+// and share the fp32 accumulator structure, so their encode_cc/reduce_bc/
+// scale_encode_c members ARE the fp32 implementations.
+PackSet<bf16_t, float> scalar_pack_bf16();
+PackSet<fp16_t, float> scalar_pack_f16();
+PackSet<bf16_t, float> avx2_pack_bf16();
+PackSet<fp16_t, float> avx2_pack_f16();
+PackSet<bf16_t, float> avx512_pack_bf16();
+PackSet<fp16_t, float> avx512_pack_f16();
 
 // Per-ISA accessors implemented in the ISA-specific translation units.
 KernelSet<double> avx512_kernels_f64();

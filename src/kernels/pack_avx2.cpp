@@ -98,9 +98,63 @@ struct TraitsF256 {
   }
 };
 
+// Widening loaders for the mixed-precision packers (storage -> fp32
+// vectors; see pack_simd_common.hpp "Mixed-precision paths").  Masked loads
+// stage through a zeroed stack buffer — AVX2 has no 16-bit masked load, and
+// the tails are rare (one ragged group per panel row at most).
+
+struct LoadBf16x8 {
+  using S = bf16_t;
+  static __m256 widen(__m128i h) {
+    // bf16 is the high half of the f32 layout: zero-extend to 32 bits and
+    // shift into place.  Exact for every bit pattern, NaNs included.
+    return _mm256_castsi256_ps(
+        _mm256_slli_epi32(_mm256_cvtepu16_epi32(h), 16));
+  }
+  static __m256 loadu(const S* p) {
+    return widen(_mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+  }
+  static __m256 load8(const S* p) { return loadu(p); }
+  static __m128 load4(const S* p) {
+    const __m128i h = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p));
+    return _mm_castsi128_ps(_mm_slli_epi32(_mm_cvtepu16_epi32(h), 16));
+  }
+  static __m256 maskload(const S* p, index_t n) {
+    alignas(16) std::uint16_t buf[8] = {};
+    for (index_t i = 0; i < n; ++i) buf[i] = p[i].bits;
+    return widen(_mm_load_si128(reinterpret_cast<const __m128i*>(buf)));
+  }
+};
+
+struct LoadF16x8 {
+  using S = fp16_t;
+  static __m256 loadu(const S* p) {
+    // VCVTPH2PS: exact widen incl. subnormals/inf, SNaN quieting matches
+    // the scalar fp16_t conversion (asserted in test_precision.cpp).
+    return _mm256_cvtph_ps(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+  }
+  static __m256 load8(const S* p) { return loadu(p); }
+  static __m128 load4(const S* p) {
+    return _mm_cvtph_ps(_mm_loadl_epi64(reinterpret_cast<const __m128i*>(p)));
+  }
+  static __m256 maskload(const S* p, index_t n) {
+    alignas(16) std::uint16_t buf[8] = {};
+    for (index_t i = 0; i < n; ++i) buf[i] = p[i].bits;
+    return _mm256_cvtph_ps(
+        _mm_load_si128(reinterpret_cast<const __m128i*>(buf)));
+  }
+};
+
 }  // namespace
 
 PackSet<double> avx2_pack_f64() { return make_simd_pack<TraitsD256>(Isa::kAvx2); }
 PackSet<float> avx2_pack_f32() { return make_simd_pack<TraitsF256>(Isa::kAvx2); }
+PackSet<bf16_t, float> avx2_pack_bf16() {
+  return make_mixed_pack<TraitsF256, LoadBf16x8>(Isa::kAvx2);
+}
+PackSet<fp16_t, float> avx2_pack_f16() {
+  return make_mixed_pack<TraitsF256, LoadF16x8>(Isa::kAvx2);
+}
 
 }  // namespace ftgemm

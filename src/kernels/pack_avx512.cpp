@@ -69,6 +69,55 @@ struct TraitsF512 {
   static T hmax(Vec v) { return _mm512_reduce_max_ps(v); }
 };
 
+// Widening loaders for the mixed-precision packers (storage -> fp32
+// vectors).  16-bit opmask loads (AVX-512BW+VL, both in this TU's flag set)
+// make the ragged tails branch-free; the 256-bit load8/load4 forms feed the
+// shared register-tile transposes.
+
+struct LoadBf16x16 {
+  using S = bf16_t;
+  static __m512 widen(__m256i h) {
+    return _mm512_castsi512_ps(
+        _mm512_slli_epi32(_mm512_cvtepu16_epi32(h), 16));
+  }
+  static __m512 loadu(const S* p) {
+    return widen(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)));
+  }
+  static __m512 maskload(const S* p, index_t n) {
+    const __mmask16 m = static_cast<__mmask16>((1u << n) - 1u);
+    return widen(_mm256_maskz_loadu_epi16(m, p));
+  }
+  static __m256 load8(const S* p) {
+    const __m128i h = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+    return _mm256_castsi256_ps(
+        _mm256_slli_epi32(_mm256_cvtepu16_epi32(h), 16));
+  }
+  static __m128 load4(const S* p) {
+    const __m128i h = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p));
+    return _mm_castsi128_ps(_mm_slli_epi32(_mm_cvtepu16_epi32(h), 16));
+  }
+};
+
+struct LoadF16x16 {
+  using S = fp16_t;
+  static __m512 loadu(const S* p) {
+    return _mm512_cvtph_ps(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)));
+  }
+  static __m512 maskload(const S* p, index_t n) {
+    const __mmask16 m = static_cast<__mmask16>((1u << n) - 1u);
+    // Masked-out lanes are zero fp16 bits, which widen to +0.0f.
+    return _mm512_cvtph_ps(_mm256_maskz_loadu_epi16(m, p));
+  }
+  static __m256 load8(const S* p) {
+    return _mm256_cvtph_ps(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+  }
+  static __m128 load4(const S* p) {
+    return _mm_cvtph_ps(_mm_loadl_epi64(reinterpret_cast<const __m128i*>(p)));
+  }
+};
+
 }  // namespace
 
 PackSet<double> avx512_pack_f64() {
@@ -76,6 +125,12 @@ PackSet<double> avx512_pack_f64() {
 }
 PackSet<float> avx512_pack_f32() {
   return make_simd_pack<TraitsF512>(Isa::kAvx512);
+}
+PackSet<bf16_t, float> avx512_pack_bf16() {
+  return make_mixed_pack<TraitsF512, LoadBf16x16>(Isa::kAvx512);
+}
+PackSet<fp16_t, float> avx512_pack_f16() {
+  return make_mixed_pack<TraitsF512, LoadF16x16>(Isa::kAvx512);
 }
 
 }  // namespace ftgemm

@@ -8,6 +8,14 @@
 // SIMD translation units reach the scalar fallback through scalar_pack_*()
 // function pointers instead of instantiating the templates themselves,
 // which would let the linker pick an AVX-compiled copy for everyone.)
+//
+// The mixed-precision sets (bf16/fp16 storage, fp32 compute) bind the same
+// templates at <S, C>: the widen happens inside the pack load via C(...),
+// and the checksum-side members (reduce_bc / scale_encode_c / encode_cc)
+// are the plain fp32 instantiations because they only ever see ComputeT
+// panels (the checksum-in-accumulator-type rule, DESIGN.md §10).
+#include <type_traits>
+
 #include "abft/checksum.hpp"
 #include "kernels/packing.hpp"
 
@@ -15,17 +23,19 @@ namespace ftgemm {
 
 namespace {
 
-template <typename T>
-PackSet<T> make_scalar_pack() {
-  PackSet<T> p;
-  p.pack_a = &pack_a<T>;
-  p.pack_a_ft = &pack_a_ft<T>;
-  p.pack_b = &pack_b<T>;
-  p.pack_b_ft = &pack_b_ft<T>;
-  p.reduce_bc = &reduce_bc_from_panel<T>;
-  p.scale_encode_c = &scale_encode_c<T>;
-  p.encode_ar = &encode_ar_partial<T>;
-  p.encode_cc = &encode_cc_from_panel<T>;
+template <typename S, typename C = S>
+PackSet<S, C> make_scalar_pack() {
+  PackSet<S, C> p;
+  p.pack_a = &pack_a<S, C>;
+  p.pack_a_ft = &pack_a_ft<S, C>;
+  p.pack_b = &pack_b<S, C>;
+  p.pack_b_ft = &pack_b_ft<S, C>;
+  p.reduce_bc = &reduce_bc_from_panel<C>;
+  p.scale_encode_c = &scale_encode_c<C>;
+  p.encode_ar = &encode_ar_partial<S, C>;
+  p.encode_cc = &encode_cc_from_panel<C>;
+  p.pack_a_raw = &pack_a_raw<S>;
+  p.widen_a = &widen_a_panel<S, C>;
   p.isa = Isa::kScalar;
   return p;
 }
@@ -34,10 +44,30 @@ PackSet<T> make_scalar_pack() {
 
 PackSet<double> scalar_pack_f64() { return make_scalar_pack<double>(); }
 PackSet<float> scalar_pack_f32() { return make_scalar_pack<float>(); }
+PackSet<bf16_t, float> scalar_pack_bf16() {
+  return make_scalar_pack<bf16_t, float>();
+}
+PackSet<fp16_t, float> scalar_pack_f16() {
+  return make_scalar_pack<fp16_t, float>();
+}
 
-template <typename T>
-PackSet<T> get_pack_set(Isa isa) {
-  if constexpr (sizeof(T) == 8) {
+template <typename S, typename C>
+PackSet<S, C> get_pack_set(Isa isa) {
+  if constexpr (std::is_same_v<S, bf16_t>) {
+    switch (isa) {
+      case Isa::kAvx512: return avx512_pack_bf16();
+      case Isa::kAvx2: return avx2_pack_bf16();
+      case Isa::kScalar: return scalar_pack_bf16();
+    }
+    return scalar_pack_bf16();
+  } else if constexpr (std::is_same_v<S, fp16_t>) {
+    switch (isa) {
+      case Isa::kAvx512: return avx512_pack_f16();
+      case Isa::kAvx2: return avx2_pack_f16();
+      case Isa::kScalar: return scalar_pack_f16();
+    }
+    return scalar_pack_f16();
+  } else if constexpr (sizeof(S) == 8) {
     switch (isa) {
       case Isa::kAvx512: return avx512_pack_f64();
       case Isa::kAvx2: return avx2_pack_f64();
@@ -54,7 +84,9 @@ PackSet<T> get_pack_set(Isa isa) {
   }
 }
 
-template PackSet<double> get_pack_set<double>(Isa);
-template PackSet<float> get_pack_set<float>(Isa);
+template PackSet<double> get_pack_set<double, double>(Isa);
+template PackSet<float> get_pack_set<float, float>(Isa);
+template PackSet<bf16_t, float> get_pack_set<bf16_t, float>(Isa);
+template PackSet<fp16_t, float> get_pack_set<fp16_t, float>(Isa);
 
 }  // namespace ftgemm

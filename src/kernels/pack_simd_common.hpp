@@ -896,6 +896,467 @@ PackSet<typename TR::T> make_simd_pack(Isa isa) {
   p.scale_encode_c = &scale_encode_c_simd<TR>;
   p.encode_ar = &encode_ar_simd<TR>;
   p.encode_cc = &encode_cc_disp<TR>;
+  p.pack_a_raw = scalar_pack<typename TR::T>().pack_a_raw;
+  p.widen_a = scalar_pack<typename TR::T>().widen_a;
+  p.isa = isa;
+  return p;
+}
+
+// ===========================================================================
+// Mixed-precision paths: narrow storage (bf16/fp16), fp32 compute.
+//
+// A widening loader LD supplies the storage side: `LD::S` is the narrow
+// scalar, and each load returns elements ALREADY widened to fp32 vectors
+// (bf16: cvtepu16 + 16-bit shift into the f32 layout; fp16: VCVTPH2PS).
+// Everything downstream of the load — alpha multiply, checksum FMA lanes,
+// accumulator shapes, tile/gate geometry — is byte-for-byte the fp32
+// structure above, with trans_tile pinned at the fp32 value (8).  Two
+// consequences the engine depends on:
+//
+//   1. Panels are bit-identical to convert-then-scalar-pack (the widen is
+//      exact, and each element still sees exactly one multiply by alpha).
+//   2. The fp32 replay/reduce/scale members (encode_cc_disp, reduce_bc_disp,
+//      scale_encode_c_simd) serve the mixed sets UNCHANGED: they only ever
+//      touch fp32 panels, and the mixed packers' accumulator structure is
+//      the fp32 one, so the resident-hit Cc replay stays bit-exact.
+//
+// Ragged edges reach the flag-free scalar templates through the
+// scalar_pack_bf16()/scalar_pack_f16() function pointers, same rule as the
+// uniform-type engine.
+// ===========================================================================
+
+/// Mixed scalar fallback set, by storage type (fp32 compute).  Reached
+/// through the flag-free accessors, never by instantiating the scalar
+/// templates in this TU.
+template <typename S>
+const PackSet<S, float>& scalar_pack_mixed() {
+  static const PackSet<S, float> set = [] {
+    if constexpr (kStorageDtypeTag<S> == kStorageDtypeTag<bf16_t>)
+      return scalar_pack_bf16();
+    else
+      return scalar_pack_f16();
+  }();
+  return set;
+}
+
+/// Trans pack_a, mixed: widen-load 8 storage rows, fp32 8x8 transpose tiles
+/// — the exact structure of pack_a_panel_trans(float).  Full tile:
+/// rows == mr, mr % 8 == 0.
+template <class LD, bool FT>
+void pack_a_panel_trans_mixed(const typename LD::S* base, index_t ld,
+                              index_t klen, index_t mr, float alpha,
+                              float* __restrict__ dst,
+                              const float* __restrict__ bc,
+                              float* __restrict__ cc) {
+  const __m256 av = _mm256_set1_ps(alpha);
+  const index_t groups = mr / 8;
+  __m256 acc[kMaxGroups];
+  if constexpr (FT) {
+    for (index_t g = 0; g < groups; ++g) acc[g] = _mm256_setzero_ps();
+  }
+  index_t kk = 0;
+  for (; kk + 8 <= klen; kk += 8) {
+    for (index_t g = 0; g < groups; ++g) {
+      const typename LD::S* row = base + 8 * g * ld + kk;
+      __m256 t[8];
+      for (int q = 0; q < 8; ++q) t[q] = LD::load8(row + q * ld);
+      transpose8x8_ps(t);
+      for (int q = 0; q < 8; ++q) {
+        const __m256 v = _mm256_mul_ps(av, t[q]);
+        _mm256_storeu_ps(dst + (kk + q) * mr + 8 * g, v);
+        if constexpr (FT)
+          acc[g] = _mm256_fmadd_ps(v, _mm256_set1_ps(bc[kk + q]), acc[g]);
+      }
+    }
+  }
+  for (; kk < klen; ++kk) {
+    float* col = dst + kk * mr;
+    if constexpr (FT) {
+      const float bcv = bc[kk];
+      for (index_t ii = 0; ii < mr; ++ii) {
+        const float v = alpha * float(base[ii * ld + kk]);
+        col[ii] = v;
+        cc[ii] += v * bcv;
+      }
+    } else {
+      for (index_t ii = 0; ii < mr; ++ii)
+        col[ii] = alpha * float(base[ii * ld + kk]);
+    }
+  }
+  if constexpr (FT) {
+    for (index_t g = 0; g < groups; ++g) {
+      _mm256_storeu_ps(cc + 8 * g,
+                       _mm256_add_ps(_mm256_loadu_ps(cc + 8 * g), acc[g]));
+    }
+  }
+}
+
+/// NoTrans pack_a, mixed: full-width widen-load streaming, fp32 accumulator
+/// chains — the exact structure of pack_a_panel_notrans<TR>.  Full panel:
+/// rows == mr, mr % TR::W == 0.
+template <class TR, class LD, bool FT>
+void pack_a_panel_notrans_mixed(const typename LD::S* base, index_t ld,
+                                index_t klen, index_t mr, float alpha,
+                                float* __restrict__ dst,
+                                const float* __restrict__ bc,
+                                float* __restrict__ cc) {
+  using Vec = typename TR::Vec;
+  constexpr index_t W = TR::W;
+  const index_t groups = mr / W;
+  const Vec alphav = TR::set1(alpha);
+  Vec acc[kMaxGroups];
+  for (index_t g = 0; g < groups; ++g) acc[g] = TR::zero();
+  for (index_t kk = 0; kk < klen; ++kk) {
+    const typename LD::S* __restrict__ src = base + kk * ld;
+    float* __restrict__ col = dst + kk * mr;
+    const typename LD::S* pf = src + kPfDist * ld;
+    if constexpr (FT) {
+      const Vec bcv = TR::set1(bc[kk]);
+      for (index_t g = 0; g < groups; ++g) {
+        if ((index_t(sizeof(typename LD::S)) * g * W) % 64 == 0)
+          prefetch_t0(pf + g * W);
+        const Vec v = TR::mul(alphav, LD::loadu(src + g * W));
+        TR::storeu(col + g * W, v);
+        acc[g] = TR::fmadd(v, bcv, acc[g]);
+      }
+    } else {
+      for (index_t g = 0; g < groups; ++g) {
+        if ((index_t(sizeof(typename LD::S)) * g * W) % 64 == 0)
+          prefetch_t0(pf + g * W);
+        TR::storeu(col + g * W, TR::mul(alphav, LD::loadu(src + g * W)));
+      }
+    }
+  }
+  if constexpr (FT) {
+    for (index_t g = 0; g < groups; ++g)
+      TR::storeu(cc + g * W, TR::add(TR::loadu(cc + g * W), acc[g]));
+  }
+}
+
+/// NoTrans pack_b, mixed: 4-wide widen loads into the fp32 4x4 SSE
+/// transpose tiles of pack_b_panel_notrans(float).  Full panel: cols == nr.
+template <class LD, bool FT>
+void pack_b_panel_notrans_mixed(const typename LD::S* base, index_t ld,
+                                index_t klen, index_t nr,
+                                float* __restrict__ dst,
+                                const float* __restrict__ ar,
+                                float* __restrict__ cr) {
+  const index_t jblocks = nr / 4;
+  const index_t jtail = jblocks * 4;
+  __m128 acc[kMaxGroups];
+  if constexpr (FT) {
+    for (index_t g = 0; g < jblocks; ++g) acc[g] = _mm_setzero_ps();
+  }
+  index_t kk = 0;
+  for (; kk + 4 <= klen; kk += 4) {
+    for (index_t g = 0; g < jblocks; ++g) {
+      const typename LD::S* col = base + 4 * g * ld + kk;
+      if (kk % 16 == 0) {
+        prefetch_t0(col + 4 * kPfDist);
+        prefetch_t0(col + ld + 4 * kPfDist);
+        prefetch_t0(col + 2 * ld + 4 * kPfDist);
+        prefetch_t0(col + 3 * ld + 4 * kPfDist);
+      }
+      __m128 t0 = LD::load4(col);
+      __m128 t1 = LD::load4(col + ld);
+      __m128 t2 = LD::load4(col + 2 * ld);
+      __m128 t3 = LD::load4(col + 3 * ld);
+      _MM_TRANSPOSE4_PS(t0, t1, t2, t3);
+      _mm_storeu_ps(dst + (kk + 0) * nr + 4 * g, t0);
+      _mm_storeu_ps(dst + (kk + 1) * nr + 4 * g, t1);
+      _mm_storeu_ps(dst + (kk + 2) * nr + 4 * g, t2);
+      _mm_storeu_ps(dst + (kk + 3) * nr + 4 * g, t3);
+      if constexpr (FT) {
+        acc[g] = _mm_fmadd_ps(t0, _mm_set1_ps(ar[kk + 0]), acc[g]);
+        acc[g] = _mm_fmadd_ps(t1, _mm_set1_ps(ar[kk + 1]), acc[g]);
+        acc[g] = _mm_fmadd_ps(t2, _mm_set1_ps(ar[kk + 2]), acc[g]);
+        acc[g] = _mm_fmadd_ps(t3, _mm_set1_ps(ar[kk + 3]), acc[g]);
+      }
+    }
+    for (index_t jj = jtail; jj < nr; ++jj) {
+      const typename LD::S* cj = base + jj * ld;
+      for (int q = 0; q < 4; ++q) {
+        const float v = float(cj[kk + q]);
+        dst[(kk + q) * nr + jj] = v;
+        if constexpr (FT) cr[jj] += ar[kk + q] * v;
+      }
+    }
+  }
+  for (; kk < klen; ++kk) {
+    float* row = dst + kk * nr;
+    if constexpr (FT) {
+      const float arv = ar[kk];
+      for (index_t jj = 0; jj < nr; ++jj) {
+        const float v = float(base[jj * ld + kk]);
+        row[jj] = v;
+        cr[jj] += arv * v;
+      }
+    } else {
+      for (index_t jj = 0; jj < nr; ++jj) row[jj] = float(base[jj * ld + kk]);
+    }
+  }
+  if constexpr (FT) {
+    for (index_t g = 0; g < jblocks; ++g) {
+      alignas(16) float lanes[4];
+      _mm_store_ps(lanes, acc[g]);
+      for (int q = 0; q < 4; ++q) cr[4 * g + q] += lanes[q];
+    }
+  }
+}
+
+/// Trans pack_b, mixed: full-width widen-load copy streams (the effective
+/// row is contiguous in storage), structure of pack_b_panel_transcopy<TR>.
+template <class TR, class LD, bool FT>
+void pack_b_panel_transcopy_mixed(const typename LD::S* base, index_t ld,
+                                  index_t klen, index_t nr,
+                                  float* __restrict__ dst,
+                                  const float* __restrict__ ar,
+                                  float* __restrict__ cr) {
+  using Vec = typename TR::Vec;
+  constexpr index_t W = TR::W;
+  const index_t full = nr - nr % W;
+  const index_t rem = nr - full;
+  const index_t ng = full / W + (rem ? 1 : 0);
+  Vec acc[kMaxGroups + 1];
+  if constexpr (FT) {
+    for (index_t g = 0; g < ng; ++g) acc[g] = TR::zero();
+  }
+  for (index_t kk = 0; kk < klen; ++kk) {
+    const typename LD::S* __restrict__ src = base + kk * ld;
+    float* __restrict__ out = dst + kk * nr;
+    prefetch_t0(src + kPfDist * ld);
+    if constexpr (FT) {
+      const Vec arv = TR::set1(ar[kk]);
+      index_t jj = 0;
+      for (; jj < full; jj += W) {
+        const Vec v = LD::loadu(src + jj);
+        TR::storeu(out + jj, v);
+        acc[jj / W] = TR::fmadd(arv, v, acc[jj / W]);
+      }
+      if (rem) {
+        const Vec v = LD::maskload(src + jj, rem);
+        TR::maskstore(out + jj, rem, v);
+        acc[full / W] = TR::fmadd(arv, v, acc[full / W]);
+      }
+    } else {
+      index_t jj = 0;
+      for (; jj < full; jj += W) TR::storeu(out + jj, LD::loadu(src + jj));
+      if (rem) TR::maskstore(out + jj, rem, LD::maskload(src + jj, rem));
+    }
+  }
+  if constexpr (FT) {
+    alignas(64) float lanes[(kMaxGroups + 1) * W];
+    for (index_t g = 0; g < ng; ++g) TR::storeu(lanes + g * W, acc[g]);
+    for (index_t jj = 0; jj < nr; ++jj) cr[jj] += lanes[jj];
+  }
+}
+
+/// Ar partial encode + amax over a narrow-storage operand (mirrors
+/// encode_ar_partial<S, float>): widen loads, fp32 lane sums.
+template <class TR, class LD>
+double encode_ar_simd_mixed(const OperandView<typename LD::S>& a, index_t i0,
+                            index_t ilen, index_t k, float alpha,
+                            float* __restrict__ ar_part) {
+  using Vec = typename TR::Vec;
+  constexpr index_t W = TR::W;
+  Vec amaxv = TR::zero();
+  if (!a.trans) {
+    const index_t full = ilen - ilen % W;
+    const index_t rem = ilen - full;
+    for (index_t p = 0; p < k; ++p) {
+      const typename LD::S* __restrict__ col = a.data + i0 + p * a.ld;
+      prefetch_t0(col + a.ld);
+      Vec s0 = TR::zero(), s1 = TR::zero();
+      index_t i = 0;
+      for (; i + 2 * W <= ilen; i += 2 * W) {
+        const Vec v0 = LD::loadu(col + i);
+        const Vec v1 = LD::loadu(col + i + W);
+        amaxv = TR::max(amaxv, TR::abs(v0));
+        amaxv = TR::max(amaxv, TR::abs(v1));
+        s0 = TR::add(s0, v0);
+        s1 = TR::add(s1, v1);
+      }
+      for (; i < full; i += W) {
+        const Vec v = LD::loadu(col + i);
+        amaxv = TR::max(amaxv, TR::abs(v));
+        s0 = TR::add(s0, v);
+      }
+      if (rem) {
+        const Vec v = LD::maskload(col + i, rem);
+        amaxv = TR::max(amaxv, TR::abs(v));
+        s1 = TR::add(s1, v);
+      }
+      ar_part[p] += alpha * TR::hsum(TR::add(s0, s1));
+    }
+  } else {
+    const index_t full = k - k % W;
+    const index_t rem = k - full;
+    const Vec alphav = TR::set1(alpha);
+    for (index_t i = 0; i < ilen; ++i) {
+      const typename LD::S* __restrict__ row = a.data + (i0 + i) * a.ld;
+      prefetch_t0(row + a.ld);
+      index_t p = 0;
+      for (; p < full; p += W) {
+        const Vec v = LD::loadu(row + p);
+        amaxv = TR::max(amaxv, TR::abs(v));
+        TR::storeu(ar_part + p, TR::fmadd(alphav, v, TR::loadu(ar_part + p)));
+      }
+      if (rem) {
+        const Vec v = LD::maskload(row + p, rem);
+        amaxv = TR::max(amaxv, TR::abs(v));
+        TR::maskstore(ar_part + p, rem,
+                      TR::fmadd(alphav, v, TR::maskload(ar_part + p, rem)));
+      }
+    }
+  }
+  return double(TR::hmax(amaxv));
+}
+
+/// Widen + alpha-scale a raw storage panel into the fp32 panel (resident
+/// cache hit).  Full tiles have no padding rows, so they widen as one flat
+/// stream — each element sees the identical single widen + single multiply
+/// the cold pack applied, hence bit-identity.  The ragged tail tile (with
+/// its explicit zero padding) goes through the scalar template.
+template <class TR, class LD>
+void widen_a_mixed(const typename LD::S* raw, index_t mlen, index_t klen,
+                   index_t mr, float alpha, float* dst) {
+  using Vec = typename TR::Vec;
+  constexpr index_t W = TR::W;
+  const index_t tiles = mlen / mr;
+  const index_t n = tiles * mr * klen;
+  const Vec alphav = TR::set1(alpha);
+  const index_t full = n - n % W;
+  index_t i = 0;
+  for (; i < full; i += W)
+    TR::storeu(dst + i, TR::mul(alphav, LD::loadu(raw + i)));
+  if (n - full)
+    TR::maskstore(dst + i, n - full,
+                  TR::mul(alphav, LD::maskload(raw + i, n - full)));
+  if (mlen % mr) {
+    scalar_pack_mixed<typename LD::S>().widen_a(raw + n, mlen - tiles * mr,
+                                                klen, mr, alpha, dst + n);
+  }
+}
+
+// Mixed dispatch wrappers: IDENTICAL tile-geometry gates to the fp32
+// wrappers (trans_tile<float>() == 8, TR::W group widths), because the fp32
+// encode_cc_disp replay serves the mixed sets and its gate must agree with
+// the packer that filled the panel.
+
+template <class TR, class LD, bool FT>
+void pack_a_generic_mixed(const OperandView<typename LD::S>& a, index_t m0,
+                          index_t k0, index_t mlen, index_t klen, index_t mr,
+                          float alpha, float* dst, const float* bc,
+                          float* cc) {
+  using S = typename LD::S;
+  const bool simd_ok =
+      a.trans ? (mr % trans_tile<float>() == 0 &&
+                 mr / trans_tile<float>() <= kMaxGroups)
+              : (mr % TR::W == 0 && mr / TR::W <= kMaxGroups);
+  index_t ip = 0;
+  if (simd_ok) {
+    for (; ip + mr <= mlen; ip += mr) {
+      const S* base = a.ptr(m0 + ip, k0);
+      if (a.trans) {
+        pack_a_panel_trans_mixed<LD, FT>(base, a.ld, klen, mr, alpha, dst, bc,
+                                         FT ? cc + ip : nullptr);
+      } else {
+        pack_a_panel_notrans_mixed<TR, LD, FT>(base, a.ld, klen, mr, alpha,
+                                               dst, bc,
+                                               FT ? cc + ip : nullptr);
+      }
+      dst += mr * klen;
+    }
+  }
+  if (ip < mlen) {  // ragged tail panel (or whole call): scalar oracle path
+    if constexpr (FT) {
+      scalar_pack_mixed<S>().pack_a_ft(a, m0 + ip, k0, mlen - ip, klen, mr,
+                                       alpha, dst, bc, cc + ip);
+    } else {
+      scalar_pack_mixed<S>().pack_a(a, m0 + ip, k0, mlen - ip, klen, mr,
+                                    alpha, dst);
+    }
+  }
+}
+
+template <class TR, class LD>
+void pack_a_disp_mixed(const OperandView<typename LD::S>& a, index_t m0,
+                       index_t k0, index_t mlen, index_t klen, index_t mr,
+                       float alpha, float* dst) {
+  pack_a_generic_mixed<TR, LD, false>(a, m0, k0, mlen, klen, mr, alpha, dst,
+                                      nullptr, nullptr);
+}
+
+template <class TR, class LD>
+void pack_a_ft_disp_mixed(const OperandView<typename LD::S>& a, index_t m0,
+                          index_t k0, index_t mlen, index_t klen, index_t mr,
+                          float alpha, float* dst, const float* bc,
+                          float* cc) {
+  pack_a_generic_mixed<TR, LD, true>(a, m0, k0, mlen, klen, mr, alpha, dst,
+                                     bc, cc);
+}
+
+template <class TR, class LD, bool FT>
+void pack_b_generic_mixed(const OperandView<typename LD::S>& b, index_t k0,
+                          index_t j0, index_t klen, index_t nlen, index_t nr,
+                          float* dst, const float* ar, float* cr) {
+  using S = typename LD::S;
+  const bool simd_ok = nr <= kMaxGroups * TR::W && nr / 4 <= kMaxGroups;
+  index_t jp = 0;
+  if (simd_ok) {
+    for (; jp + nr <= nlen; jp += nr) {
+      const S* base = b.ptr(k0, j0 + jp);
+      if (b.trans) {
+        pack_b_panel_transcopy_mixed<TR, LD, FT>(base, b.ld, klen, nr, dst,
+                                                 ar, FT ? cr + jp : nullptr);
+      } else {
+        pack_b_panel_notrans_mixed<LD, FT>(base, b.ld, klen, nr, dst, ar,
+                                           FT ? cr + jp : nullptr);
+      }
+      dst += nr * klen;
+    }
+  }
+  if (jp < nlen) {  // ragged tail panel (cols < nr): scalar oracle path
+    if constexpr (FT) {
+      scalar_pack_mixed<S>().pack_b_ft(b, k0, j0 + jp, klen, nlen - jp, nr,
+                                       dst, ar, cr + jp);
+    } else {
+      scalar_pack_mixed<S>().pack_b(b, k0, j0 + jp, klen, nlen - jp, nr, dst);
+    }
+  }
+}
+
+template <class TR, class LD>
+void pack_b_disp_mixed(const OperandView<typename LD::S>& b, index_t k0,
+                       index_t j0, index_t klen, index_t nlen, index_t nr,
+                       float* dst) {
+  pack_b_generic_mixed<TR, LD, false>(b, k0, j0, klen, nlen, nr, dst, nullptr,
+                                      nullptr);
+}
+
+template <class TR, class LD>
+void pack_b_ft_disp_mixed(const OperandView<typename LD::S>& b, index_t k0,
+                          index_t j0, index_t klen, index_t nlen, index_t nr,
+                          float* dst, const float* ar, float* cr) {
+  pack_b_generic_mixed<TR, LD, true>(b, k0, j0, klen, nlen, nr, dst, ar, cr);
+}
+
+/// Assemble a mixed PackSet: widening packers on the storage side, the
+/// plain fp32 engine on the panel side (reduce/scale/replay never see
+/// storage bits), raw-pack via the flag-free scalar TU, SIMD widen-on-hit.
+template <class TR, class LD>
+PackSet<typename LD::S, float> make_mixed_pack(Isa isa) {
+  PackSet<typename LD::S, float> p;
+  p.pack_a = &pack_a_disp_mixed<TR, LD>;
+  p.pack_a_ft = &pack_a_ft_disp_mixed<TR, LD>;
+  p.pack_b = &pack_b_disp_mixed<TR, LD>;
+  p.pack_b_ft = &pack_b_ft_disp_mixed<TR, LD>;
+  p.reduce_bc = &reduce_bc_disp<TR>;
+  p.scale_encode_c = &scale_encode_c_simd<TR>;
+  p.encode_ar = &encode_ar_simd_mixed<TR, LD>;
+  p.encode_cc = &encode_cc_disp<TR>;
+  p.pack_a_raw = scalar_pack_mixed<typename LD::S>().pack_a_raw;
+  p.widen_a = &widen_a_mixed<TR, LD>;
   p.isa = isa;
   return p;
 }

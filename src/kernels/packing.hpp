@@ -47,18 +47,23 @@ static_assert(kPackAccLanes >= kMaxNr,
 /// Pack rows [m0, m0+mlen) x cols [k0, k0+klen) of the effective A into
 /// MR-tall panels, scaled by alpha and zero-padded to a multiple of MR.
 /// Panel layout: panel q (rows q*MR..) is klen consecutive MR-columns.
-template <typename T>
-void pack_a(const OperandView<T>& a, index_t m0, index_t k0, index_t mlen,
-            index_t klen, index_t mr, T alpha, T* __restrict__ dst) {
+///
+/// Generalized over (StorageT, ComputeT): elements are read as S, widened
+/// once via C(...) — the identity for the classic S == C paths, so those
+/// remain bit-for-bit the pre-split code — and all arithmetic and stores
+/// are in C.
+template <typename S, typename C = S>
+void pack_a(const OperandView<S>& a, index_t m0, index_t k0, index_t mlen,
+            index_t klen, index_t mr, C alpha, C* __restrict__ dst) {
   const index_t rs = a.row_stride(), cs = a.col_stride();
   for (index_t ip = 0; ip < mlen; ip += mr) {
     const index_t rows = std::min(mr, mlen - ip);
-    const T* __restrict__ base = a.ptr(m0 + ip, k0);
+    const S* __restrict__ base = a.ptr(m0 + ip, k0);
     for (index_t kk = 0; kk < klen; ++kk) {
-      T* __restrict__ col = dst + kk * mr;
-      const T* __restrict__ src = base + kk * cs;
-      for (index_t ii = 0; ii < rows; ++ii) col[ii] = alpha * src[ii * rs];
-      for (index_t ii = rows; ii < mr; ++ii) col[ii] = T(0);
+      C* __restrict__ col = dst + kk * mr;
+      const S* __restrict__ src = base + kk * cs;
+      for (index_t ii = 0; ii < rows; ++ii) col[ii] = alpha * C(src[ii * rs]);
+      for (index_t ii = rows; ii < mr; ++ii) col[ii] = C(0);
     }
     dst += mr * klen;
   }
@@ -68,26 +73,70 @@ void pack_a(const OperandView<T>& a, index_t m0, index_t k0, index_t mlen,
 ///   cc[ii] += sum_kk (alpha * A(m0+ip+ii, k0+kk)) * bc[kk]
 /// where `bc` is the (already reduced) column checksum of the current
 /// B panel and `cc` points at the checksum entries for row m0.
-template <typename T>
-void pack_a_ft(const OperandView<T>& a, index_t m0, index_t k0, index_t mlen,
-               index_t klen, index_t mr, T alpha, T* __restrict__ dst,
-               const T* __restrict__ bc, T* __restrict__ cc) {
+template <typename S, typename C = S>
+void pack_a_ft(const OperandView<S>& a, index_t m0, index_t k0, index_t mlen,
+               index_t klen, index_t mr, C alpha, C* __restrict__ dst,
+               const C* __restrict__ bc, C* __restrict__ cc) {
   const index_t rs = a.row_stride(), cs = a.col_stride();
   for (index_t ip = 0; ip < mlen; ip += mr) {
     const index_t rows = std::min(mr, mlen - ip);
-    const T* __restrict__ base = a.ptr(m0 + ip, k0);
+    const S* __restrict__ base = a.ptr(m0 + ip, k0);
     for (index_t kk = 0; kk < klen; ++kk) {
-      T* __restrict__ col = dst + kk * mr;
-      const T* __restrict__ src = base + kk * cs;
-      const T bcv = bc[kk];
-      T* __restrict__ cc_rows = cc + ip;
+      C* __restrict__ col = dst + kk * mr;
+      const S* __restrict__ src = base + kk * cs;
+      const C bcv = bc[kk];
+      C* __restrict__ cc_rows = cc + ip;
       for (index_t ii = 0; ii < rows; ++ii) {
-        const T v = alpha * src[ii * rs];
+        const C v = alpha * C(src[ii * rs]);
         col[ii] = v;
         cc_rows[ii] += v * bcv;
       }
-      for (index_t ii = rows; ii < mr; ++ii) col[ii] = T(0);
+      for (index_t ii = rows; ii < mr; ++ii) col[ii] = C(0);
     }
+    dst += mr * klen;
+  }
+}
+
+/// Alpha-free permutation pack of an A block into MR-tile panel layout, in
+/// StorageT (no widening, no scaling) — the resident-operand cache's
+/// at-rest format for narrow weights.  Pure data movement: the only values
+/// written are operand bits and S(0) padding, so integrity sums over the
+/// raw panel are stable across alpha.
+template <typename S>
+void pack_a_raw(const OperandView<S>& a, index_t m0, index_t k0, index_t mlen,
+                index_t klen, index_t mr, S* __restrict__ dst) {
+  const index_t rs = a.row_stride(), cs = a.col_stride();
+  for (index_t ip = 0; ip < mlen; ip += mr) {
+    const index_t rows = std::min(mr, mlen - ip);
+    const S* __restrict__ base = a.ptr(m0 + ip, k0);
+    for (index_t kk = 0; kk < klen; ++kk) {
+      S* __restrict__ col = dst + kk * mr;
+      const S* __restrict__ src = base + kk * cs;
+      for (index_t ii = 0; ii < rows; ++ii) col[ii] = src[ii * rs];
+      for (index_t ii = rows; ii < mr; ++ii) col[ii] = S(0);
+    }
+    dst += mr * klen;
+  }
+}
+
+/// Widen + alpha-scale a raw StorageT panel (from pack_a_raw) into the
+/// ComputeT panel the kernels consume: the resident-cache hit path.  Valid
+/// rows produce exactly `alpha * C(s)` — the same single widen + single
+/// multiply pack_a applies — and padding rows are written as an explicit
+/// C(0), NOT alpha * 0 (a negative alpha would turn that into -0.0 and
+/// break bit-identity with the cold pack).
+template <typename S, typename C>
+void widen_a_panel(const S* __restrict__ raw, index_t mlen, index_t klen,
+                   index_t mr, C alpha, C* __restrict__ dst) {
+  for (index_t ip = 0; ip < mlen; ip += mr) {
+    const index_t rows = std::min(mr, mlen - ip);
+    for (index_t kk = 0; kk < klen; ++kk) {
+      const S* __restrict__ col = raw + kk * mr;
+      C* __restrict__ out = dst + kk * mr;
+      for (index_t ii = 0; ii < rows; ++ii) out[ii] = alpha * C(col[ii]);
+      for (index_t ii = rows; ii < mr; ++ii) out[ii] = C(0);
+    }
+    raw += mr * klen;
     dst += mr * klen;
   }
 }
@@ -98,18 +147,18 @@ void pack_a_ft(const OperandView<T>& a, index_t m0, index_t k0, index_t mlen,
 /// For NoTrans the reads walk NR parallel column streams (unit stride along
 /// k, prefetch-friendly) and the stores are contiguous; for Trans the
 /// effective row itself is contiguous.
-template <typename T>
-void pack_b(const OperandView<T>& b, index_t k0, index_t j0, index_t klen,
-            index_t nlen, index_t nr, T* __restrict__ dst) {
+template <typename S, typename C = S>
+void pack_b(const OperandView<S>& b, index_t k0, index_t j0, index_t klen,
+            index_t nlen, index_t nr, C* __restrict__ dst) {
   const index_t rs = b.row_stride(), cs = b.col_stride();
   for (index_t jp = 0; jp < nlen; jp += nr) {
     const index_t cols = std::min(nr, nlen - jp);
-    const T* __restrict__ base = b.ptr(k0, j0 + jp);
+    const S* __restrict__ base = b.ptr(k0, j0 + jp);
     for (index_t kk = 0; kk < klen; ++kk) {
-      T* __restrict__ row = dst + kk * nr;
-      const T* __restrict__ src = base + kk * rs;
-      for (index_t jj = 0; jj < cols; ++jj) row[jj] = src[jj * cs];
-      for (index_t jj = cols; jj < nr; ++jj) row[jj] = T(0);
+      C* __restrict__ row = dst + kk * nr;
+      const S* __restrict__ src = base + kk * rs;
+      for (index_t jj = 0; jj < cols; ++jj) row[jj] = C(src[jj * cs]);
+      for (index_t jj = cols; jj < nr; ++jj) row[jj] = C(0);
     }
     dst += nr * klen;
   }
@@ -126,20 +175,20 @@ void pack_b(const OperandView<T>& b, index_t k0, index_t j0, index_t klen,
 /// during the cross-thread reduction stage at cache speed (see
 /// reduce_bc_from_panel), keeping this inner loop at two streams and fully
 /// vectorizable.
-template <typename T>
-void pack_b_ft(const OperandView<T>& b, index_t k0, index_t j0, index_t klen,
-               index_t nlen, index_t nr, T* __restrict__ dst,
-               const T* __restrict__ ar, T* __restrict__ cr) {
+template <typename S, typename C = S>
+void pack_b_ft(const OperandView<S>& b, index_t k0, index_t j0, index_t klen,
+               index_t nlen, index_t nr, C* __restrict__ dst,
+               const C* __restrict__ ar, C* __restrict__ cr) {
   const index_t rs = b.row_stride(), cs = b.col_stride();
   for (index_t jp = 0; jp < nlen; jp += nr) {
     const index_t cols = std::min(nr, nlen - jp);
-    const T* __restrict__ base = b.ptr(k0, j0 + jp);
+    const S* __restrict__ base = b.ptr(k0, j0 + jp);
     // 1) Pack this NR-wide sub-panel (identical to pack_b).
     for (index_t kk = 0; kk < klen; ++kk) {
-      T* __restrict__ row = dst + kk * nr;
-      const T* __restrict__ src = base + kk * rs;
-      for (index_t jj = 0; jj < cols; ++jj) row[jj] = src[jj * cs];
-      for (index_t jj = cols; jj < nr; ++jj) row[jj] = T(0);
+      C* __restrict__ row = dst + kk * nr;
+      const S* __restrict__ src = base + kk * rs;
+      for (index_t jj = 0; jj < cols; ++jj) row[jj] = C(src[jj * cs]);
+      for (index_t jj = cols; jj < nr; ++jj) row[jj] = C(0);
     }
     // 2) Cr += Arᵀ·(sub-panel) while the 16 KiB sub-panel is L1-hot: one
     // NR-wide FMA per k step, contiguous loads, vector accumulators.  The
@@ -147,13 +196,13 @@ void pack_b_ft(const OperandView<T>& b, index_t k0, index_t j0, index_t klen,
     // Tiles wider than the accumulator block sweep it in chunks (regression:
     // a single fixed-size block indexed by jj < nr overran the stack for
     // nr > kPackAccLanes).
-    T* __restrict__ cr_cols = cr + jp;
+    C* __restrict__ cr_cols = cr + jp;
     for (index_t jb = 0; jb < nr; jb += kPackAccLanes) {
       const index_t w = std::min(kPackAccLanes, nr - jb);
-      T acc[kPackAccLanes] = {};
+      C acc[kPackAccLanes] = {};
       for (index_t kk = 0; kk < klen; ++kk) {
-        const T* __restrict__ row = dst + kk * nr + jb;
-        const T arv = ar[kk];
+        const C* __restrict__ row = dst + kk * nr + jb;
+        const C arv = ar[kk];
         for (index_t jj = 0; jj < w; ++jj) acc[jj] += arv * row[jj];
       }
       const index_t jhi = std::min(cols, jb + w);

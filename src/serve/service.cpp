@@ -28,6 +28,7 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <type_traits>
 #include <utility>
 
 #include "core/context.hpp"
@@ -125,13 +126,17 @@ bool request_valid(const GemmRequest& r) {
   return true;
 }
 
-template <typename T>
+template <typename S, typename C = S>
 bool plan_takes_fast_path(Trans ta, Trans tb, index_t m, index_t n, index_t k,
                           const Options& opts, bool ft, PlanKey& key) {
   key = make_plan_key(ta, tb, m, n, k, opts, ft);
   // The shared process-wide cache: this is the very plan a synchronous call
   // of the same fingerprint resolves, so the lookup doubles as a warm-up.
-  return process_context_cache<T>().plan(key)->fast_path;
+  // ContextCache::plan stamps the storage-dtype tag into the key, so the
+  // fingerprint this request coalesces under is dtype-qualified.
+  const auto plan = process_context_cache<S, C>().plan(key);
+  key = plan->key;
+  return plan->fast_path;
 }
 
 /// Whether the request's resolved plan is planner-pinned to one thread (the
@@ -144,11 +149,20 @@ bool resolve_fast_path(const GemmRequest& r, PlanKey& key) {
   const void* a = r.a;
   const void* b = r.b;
   ftgemm::detail::normalize_layout(r.layout, ta, tb, m, n, a, lda, b, ldb);
-  return r.precision == Precision::kF64
-             ? plan_takes_fast_path<double>(ta, tb, m, n, r.k, r.opts, r.ft,
-                                            key)
-             : plan_takes_fast_path<float>(ta, tb, m, n, r.k, r.opts, r.ft,
-                                           key);
+  switch (r.precision) {
+    case Precision::kF64:
+      return plan_takes_fast_path<double>(ta, tb, m, n, r.k, r.opts, r.ft,
+                                          key);
+    case Precision::kBf16:
+      return plan_takes_fast_path<bf16_t, float>(ta, tb, m, n, r.k, r.opts,
+                                                 r.ft, key);
+    case Precision::kF16:
+      return plan_takes_fast_path<fp16_t, float>(ta, tb, m, n, r.k, r.opts,
+                                                 r.ft, key);
+    case Precision::kF32:
+      break;
+  }
+  return plan_takes_fast_path<float>(ta, tb, m, n, r.k, r.opts, r.ft, key);
 }
 
 /// Synchronous execution of one request through the public entry points —
@@ -189,6 +203,49 @@ GemmResult run_direct(const GemmRequest& r) {
     } else {
       sgemm(r.layout, r.ta, r.tb, r.m, r.n, r.k, alpha, a, r.lda, b, r.ldb,
             beta, c, r.ldc, r.opts);
+    }
+  }
+  res.status = RequestStatus::kDone;
+  return res;
+}
+
+/// Mixed-precision direct execution: narrow (bf16/fp16) A and B, fp32 C,
+/// through the dedicated entry points (core/gemm.hpp).
+template <typename S>
+GemmResult run_direct_mixed(const GemmRequest& r) {
+  GemmResult res;
+  const float alpha = float(r.alpha);
+  const float beta = float(r.beta);
+  const S* a = static_cast<const S*>(r.a);
+  const S* b = static_cast<const S*>(r.b);
+  float* c = static_cast<float*>(r.c);
+  if (r.batch > 1) {
+    BatchOptions bopts;
+    bopts.base = r.opts;
+    res.batch =
+        r.ft ? ft_gemm_strided_batched<S, float>(
+                   r.layout, r.ta, r.tb, r.m, r.n, r.k, alpha, a, r.lda,
+                   r.stride_a, b, r.ldb, r.stride_b, beta, c, r.ldc,
+                   r.stride_c, r.batch, bopts)
+             : gemm_strided_batched<S, float>(
+                   r.layout, r.ta, r.tb, r.m, r.n, r.k, alpha, a, r.lda,
+                   r.stride_a, b, r.ldb, r.stride_b, beta, c, r.ldc,
+                   r.stride_c, r.batch, bopts);
+  } else if (r.ft) {
+    if constexpr (std::is_same_v<S, bf16_t>) {
+      res.report = ft_gemm_bf16(r.layout, r.ta, r.tb, r.m, r.n, r.k, alpha, a,
+                                r.lda, b, r.ldb, beta, c, r.ldc, r.opts);
+    } else {
+      res.report = ft_gemm_f16(r.layout, r.ta, r.tb, r.m, r.n, r.k, alpha, a,
+                               r.lda, b, r.ldb, beta, c, r.ldc, r.opts);
+    }
+  } else {
+    if constexpr (std::is_same_v<S, bf16_t>) {
+      gemm_bf16(r.layout, r.ta, r.tb, r.m, r.n, r.k, alpha, a, r.lda, b,
+                r.ldb, beta, c, r.ldc, r.opts);
+    } else {
+      gemm_f16(r.layout, r.ta, r.tb, r.m, r.n, r.k, alpha, a, r.lda, b, r.ldb,
+               beta, c, r.ldc, r.opts);
     }
   }
   res.status = RequestStatus::kDone;
@@ -576,10 +633,21 @@ void GemmService::execute_group(std::vector<detail::Pending>& group,
   const bool inlined = shard_id < 0;
   if (group.size() == 1) {
     execute_direct(group.front(), inlined);
-  } else if (group.front().req.precision == Precision::kF64) {
-    execute_coalesced_typed<double>(group, shard_id);
   } else {
-    execute_coalesced_typed<float>(group, shard_id);
+    switch (group.front().req.precision) {
+      case Precision::kF64:
+        execute_coalesced_typed<double>(group, shard_id);
+        break;
+      case Precision::kF32:
+        execute_coalesced_typed<float>(group, shard_id);
+        break;
+      case Precision::kBf16:
+        execute_coalesced_typed<bf16_t, float>(group, shard_id);
+        break;
+      case Precision::kF16:
+        execute_coalesced_typed<fp16_t, float>(group, shard_id);
+        break;
+    }
   }
   if (inlined) {
     std::lock_guard<std::mutex> lk(stats_m_);
@@ -591,9 +659,13 @@ void GemmService::execute_group(std::vector<detail::Pending>& group,
 }
 
 void GemmService::execute_direct(detail::Pending& p, bool inlined) {
-  GemmResult res = p.req.precision == Precision::kF64
-                       ? run_direct<double>(p.req)
-                       : run_direct<float>(p.req);
+  GemmResult res;
+  switch (p.req.precision) {
+    case Precision::kF64: res = run_direct<double>(p.req); break;
+    case Precision::kF32: res = run_direct<float>(p.req); break;
+    case Precision::kBf16: res = run_direct_mixed<bf16_t>(p.req); break;
+    case Precision::kF16: res = run_direct_mixed<fp16_t>(p.req); break;
+  }
   res.inlined = inlined;
   {
     std::lock_guard<std::mutex> lk(stats_m_);
@@ -625,19 +697,19 @@ void GemmService::execute_direct(detail::Pending& p, bool inlined) {
   detail::settle(*p.state, std::move(res));
 }
 
-template <typename T>
+template <typename S, typename C>
 void GemmService::execute_coalesced_typed(std::vector<detail::Pending>& group,
                                           int shard_id) {
   const GemmRequest& head = group.front().req;
   const index_t members = index_t(group.size());
-  std::vector<const T*> ap(static_cast<std::size_t>(members));
-  std::vector<const T*> bp(static_cast<std::size_t>(members));
-  std::vector<T*> cp(static_cast<std::size_t>(members));
+  std::vector<const S*> ap(static_cast<std::size_t>(members));
+  std::vector<const S*> bp(static_cast<std::size_t>(members));
+  std::vector<C*> cp(static_cast<std::size_t>(members));
   for (index_t i = 0; i < members; ++i) {
     const GemmRequest& r = group[std::size_t(i)].req;
-    ap[std::size_t(i)] = static_cast<const T*>(r.a);
-    bp[std::size_t(i)] = static_cast<const T*>(r.b);
-    cp[std::size_t(i)] = static_cast<T*>(r.c);
+    ap[std::size_t(i)] = static_cast<const S*>(r.a);
+    bp[std::size_t(i)] = static_cast<const S*>(r.b);
+    cp[std::size_t(i)] = static_cast<C*>(r.c);
   }
   // Inter-batch by construction: every member's plan is fast-path (one
   // thread), so per-member execution inside the batched call is the same
@@ -646,15 +718,16 @@ void GemmService::execute_coalesced_typed(std::vector<detail::Pending>& group,
   bopts.base = head.opts;
   bopts.schedule = BatchSchedule::kInter;
   const BatchReport rep =
-      head.ft ? ft_gemm_batched<T>(head.layout, head.ta, head.tb, head.m,
-                                   head.n, head.k, T(head.alpha), ap.data(),
+      head.ft ? ft_gemm_batched<S, C>(head.layout, head.ta, head.tb, head.m,
+                                      head.n, head.k, C(head.alpha),
+                                      ap.data(), head.lda, bp.data(),
+                                      head.ldb, C(head.beta), cp.data(),
+                                      head.ldc, members, bopts)
+              : gemm_batched<S, C>(head.layout, head.ta, head.tb, head.m,
+                                   head.n, head.k, C(head.alpha), ap.data(),
                                    head.lda, bp.data(), head.ldb,
-                                   T(head.beta), cp.data(), head.ldc, members,
-                                   bopts)
-              : gemm_batched<T>(head.layout, head.ta, head.tb, head.m, head.n,
-                                head.k, T(head.alpha), ap.data(), head.lda,
-                                bp.data(), head.ldb, T(head.beta), cp.data(),
-                                head.ldc, members, bopts);
+                                   C(head.beta), cp.data(), head.ldc, members,
+                                   bopts);
   {
     std::lock_guard<std::mutex> lk(stats_m_);
     stats_.completed += std::uint64_t(members);
@@ -685,9 +758,13 @@ void GemmService::execute_coalesced_typed(std::vector<detail::Pending>& group,
   }
 }
 
-template void GemmService::execute_coalesced_typed<float>(
+template void GemmService::execute_coalesced_typed<float, float>(
     std::vector<detail::Pending>&, int);
-template void GemmService::execute_coalesced_typed<double>(
+template void GemmService::execute_coalesced_typed<double, double>(
+    std::vector<detail::Pending>&, int);
+template void GemmService::execute_coalesced_typed<bf16_t, float>(
+    std::vector<detail::Pending>&, int);
+template void GemmService::execute_coalesced_typed<fp16_t, float>(
     std::vector<detail::Pending>&, int);
 
 }  // namespace ftgemm::serve

@@ -84,6 +84,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <type_traits>
 #include <vector>
 
 #include "core/gemm_batched.hpp"
@@ -92,8 +93,23 @@
 
 namespace ftgemm::serve {
 
-/// Element type of a type-erased request.
-enum class Precision { kF32, kF64 };
+/// Element type of a type-erased request.  kBf16/kF16 are the narrow-storage
+/// mixed-precision paths (core/gemm.hpp): A/B are bf16_t/fp16_t, C and the
+/// scalars are fp32, and all arithmetic — accumulation and checksums — runs
+/// in fp32.  Coalescing and stealing are precision-safe by construction:
+/// the group-merge predicate (serve/shard.hpp coalesce_match) requires
+/// member precisions to match, so mixed traffic shards and batches exactly
+/// like fp32 traffic without ever mixing element types in one batched call.
+enum class Precision { kF32, kF64, kBf16, kF16 };
+
+/// Precision tag for a storage element type (the request-builder mapping).
+template <typename T>
+inline constexpr Precision kPrecisionOf =
+    std::is_same_v<T, bf16_t>
+        ? Precision::kBf16
+        : (std::is_same_v<T, fp16_t> ? Precision::kF16
+                                     : (sizeof(T) == 8 ? Precision::kF64
+                                                       : Precision::kF32));
 
 /// Admission-queue lane.  Higher lanes are always drained first; FIFO
 /// within a lane (per shard).
@@ -152,7 +168,7 @@ GemmRequest make_gemm_request(bool ft, Layout layout, Trans ta, Trans tb,
                               const Options& opts = {},
                               Priority priority = Priority::kNormal) {
   GemmRequest r;
-  r.precision = sizeof(T) == 8 ? Precision::kF64 : Precision::kF32;
+  r.precision = kPrecisionOf<T>;
   r.ft = ft;
   r.layout = layout;
   r.ta = ta;
@@ -182,6 +198,59 @@ GemmRequest make_strided_batched_request(
     index_t stride_c, index_t batch, const Options& opts = {},
     Priority priority = Priority::kNormal) {
   GemmRequest r = make_gemm_request<T>(ft, layout, ta, tb, m, n, k, alpha, a,
+                                       lda, b, ldb, beta, c, ldc, opts,
+                                       priority);
+  r.stride_a = stride_a;
+  r.stride_b = stride_b;
+  r.stride_c = stride_c;
+  r.batch = batch;
+  return r;
+}
+
+/// Typed builder for a mixed-precision single-problem request: narrow
+/// (bf16/fp16) A and B, fp32 scalars and C.  SFINAE-gated to the narrow
+/// storage types so uniform fp32/fp64 calls keep resolving to the builder
+/// above.
+template <typename S,
+          std::enable_if_t<is_narrow_storage_v<S>, int> = 0>
+GemmRequest make_gemm_request(bool ft, Layout layout, Trans ta, Trans tb,
+                              index_t m, index_t n, index_t k, float alpha,
+                              const S* a, index_t lda, const S* b, index_t ldb,
+                              float beta, float* c, index_t ldc,
+                              const Options& opts = {},
+                              Priority priority = Priority::kNormal) {
+  GemmRequest r;
+  r.precision = kPrecisionOf<S>;
+  r.ft = ft;
+  r.layout = layout;
+  r.ta = ta;
+  r.tb = tb;
+  r.m = m;
+  r.n = n;
+  r.k = k;
+  r.alpha = double(alpha);
+  r.beta = double(beta);
+  r.a = a;
+  r.lda = lda;
+  r.b = b;
+  r.ldb = ldb;
+  r.c = c;
+  r.ldc = ldc;
+  r.opts = opts;
+  r.priority = priority;
+  return r;
+}
+
+/// Mixed-precision strided-batched builder (stride 0 broadcasts A/B).
+template <typename S,
+          std::enable_if_t<is_narrow_storage_v<S>, int> = 0>
+GemmRequest make_strided_batched_request(
+    bool ft, Layout layout, Trans ta, Trans tb, index_t m, index_t n,
+    index_t k, float alpha, const S* a, index_t lda, index_t stride_a,
+    const S* b, index_t ldb, index_t stride_b, float beta, float* c,
+    index_t ldc, index_t stride_c, index_t batch, const Options& opts = {},
+    Priority priority = Priority::kNormal) {
+  GemmRequest r = make_gemm_request<S>(ft, layout, ta, tb, m, n, k, alpha, a,
                                        lda, b, ldb, beta, c, ldc, opts,
                                        priority);
   r.stride_a = stride_a;
@@ -421,7 +490,7 @@ class GemmService {
   /// shard_id < 0 = inline lane (executed on the submitting thread).
   void execute_group(std::vector<detail::Pending>& group, int shard_id);
   void execute_direct(detail::Pending& p, bool inlined);
-  template <typename T>
+  template <typename S, typename C = S>
   void execute_coalesced_typed(std::vector<detail::Pending>& group,
                                int shard_id);
   void count_rejected(std::uint64_t n = 1);

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <type_traits>
 #include <vector>
 
 #include "test_common.hpp"
@@ -99,6 +100,112 @@ TEST_P(FuzzSweep, InjectedRunsNeverSilentlyWrong) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep, ::testing::ValuesIn(sweep_seeds()));
+
+/// Mixed-precision sweep: the same clean-run property for narrow-storage
+/// (bf16/fp16) operands with fp32 accumulation.  The oracle is the naive
+/// fp32 GEMM over the *widened* operands — quantized narrow values are
+/// exact fp32 numbers, so only accumulation order differs and the fp32
+/// rounding budget applies (DESIGN.md §10).
+template <typename S>
+void mixed_clean_runs_match_oracle(std::uint64_t seed) {
+  Xoshiro256 rng(seed ^ 0x5AD0);
+  for (int iter = 0; iter < 6; ++iter) {
+    const GemmCase cs = random_case(rng);
+    const std::uint64_t pseed = rng.next();
+    const auto [am, an] = testing::a_dims(cs);
+    const auto [bm, bn] = testing::b_dims(cs);
+    Matrix<S> a(am, an), b(bm, bn);
+    Matrix<float> c(cs.m, cs.n);
+    a.fill_random(pseed);
+    b.fill_random(pseed + 1);
+    c.fill_random(pseed + 2);
+
+    Matrix<float> wa(am, an), wb(bm, bn);
+    for (index_t j = 0; j < an; ++j)
+      for (index_t i = 0; i < am; ++i) wa(i, j) = float(a(i, j));
+    for (index_t j = 0; j < bn; ++j)
+      for (index_t i = 0; i < bm; ++i) wb(i, j) = float(b(i, j));
+    Matrix<float> ref = c.clone();
+    testing::naive_ref_gemm<float>(cs.ta, cs.tb, cs.m, cs.n, cs.k,
+                                   float(cs.alpha), wa.data(), wa.ld(),
+                                   wb.data(), wb.ld(), float(cs.beta),
+                                   ref.data(), ref.ld());
+
+    Matrix<float> got = c.clone();
+    FtReport rep;
+    if constexpr (std::is_same_v<S, bf16_t>) {
+      rep = ft_gemm_bf16(Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n, cs.k,
+                         float(cs.alpha), a.data(), a.ld(), b.data(), b.ld(),
+                         float(cs.beta), got.data(), got.ld());
+    } else {
+      rep = ft_gemm_f16(Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n, cs.k,
+                        float(cs.alpha), a.data(), a.ld(), b.data(), b.ld(),
+                        float(cs.beta), got.data(), got.ld());
+    }
+    EXPECT_TRUE(rep.clean()) << cs << seed_note(seed);
+    EXPECT_EQ(rep.errors_detected, 0) << cs << seed_note(seed);
+    expect_matrix_near(got, ref, gemm_tolerance<float>(cs.k),
+                       cs.name() + seed_note(seed));
+  }
+}
+
+class MixedFuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MixedFuzzSweep, Bf16CleanRunsMatchWidenedOracle) {
+  mixed_clean_runs_match_oracle<bf16_t>(GetParam());
+}
+
+TEST_P(MixedFuzzSweep, F16CleanRunsMatchWidenedOracle) {
+  mixed_clean_runs_match_oracle<fp16_t>(GetParam());
+}
+
+TEST_P(MixedFuzzSweep, Bf16InjectedRunsNeverSilentlyWrong) {
+  Xoshiro256 rng(GetParam() ^ 0xBF16);
+  for (int iter = 0; iter < 4; ++iter) {
+    GemmCase cs = random_case(rng);
+    cs.alpha = cs.alpha == 0.0 ? 1.0 : cs.alpha;
+    cs.m = std::max<index_t>(cs.m, 8);
+    cs.n = std::max<index_t>(cs.n, 8);
+    cs.k = std::max<index_t>(cs.k, 8);
+    const std::uint64_t pseed = rng.next();
+    const auto [am, an] = testing::a_dims(cs);
+    const auto [bm, bn] = testing::b_dims(cs);
+    Matrix<bf16_t> a(am, an), b(bm, bn);
+    Matrix<float> c(cs.m, cs.n);
+    a.fill_random(pseed);
+    b.fill_random(pseed + 1);
+    c.fill_random(pseed + 2);
+
+    Matrix<float> wa(am, an), wb(bm, bn);
+    for (index_t j = 0; j < an; ++j)
+      for (index_t i = 0; i < am; ++i) wa(i, j) = float(a(i, j));
+    for (index_t j = 0; j < bn; ++j)
+      for (index_t i = 0; i < bm; ++i) wb(i, j) = float(b(i, j));
+    Matrix<float> ref = c.clone();
+    testing::naive_ref_gemm<float>(cs.ta, cs.tb, cs.m, cs.n, cs.k,
+                                   float(cs.alpha), wa.data(), wa.ld(),
+                                   wb.data(), wb.ld(), float(cs.beta),
+                                   ref.data(), ref.ld());
+
+    Matrix<float> got = c.clone();
+    CountInjector inj(int(1 + rng.bounded(6)), rng.next(), 5.0);
+    Options opts;
+    opts.injector = &inj;
+    const FtReport rep = ft_gemm_bf16(
+        Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n, cs.k, float(cs.alpha),
+        a.data(), a.ld(), b.data(), b.ld(), float(cs.beta), got.data(),
+        got.ld(), opts);
+    if (rep.clean()) {
+      EXPECT_LE(max_rel_diff(got, ref),
+                std::max(gemm_tolerance<float>(cs.k), 1e-5))
+          << cs << " injected=" << inj.injected_count()
+          << seed_note(GetParam());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MixedFuzzSweep,
+                         ::testing::ValuesIn(sweep_seeds()));
 
 TEST(CorrectionLog, MatchesInjectorGroundTruth) {
   const GemmCase cs{96, 80, 320};
