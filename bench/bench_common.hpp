@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "arch/cpu_features.hpp"
 #include "baseline/naive_gemm.hpp"
 #include "baseline/unfused_abft.hpp"
 #include "core/gemm.hpp"
@@ -27,6 +28,13 @@
 #include "util/matrix.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
+
+// Source revision the binary was built from; CMake stamps the bench
+// targets with the configure-time `git rev-parse --short HEAD` (see
+// CMakeLists.txt).  "unknown" covers out-of-tree builds of the header.
+#ifndef FTGEMM_GIT_SHA
+#define FTGEMM_GIT_SHA "unknown"
+#endif
 
 namespace ftgemm::bench {
 
@@ -92,6 +100,12 @@ inline void print_header(const char* title, const char* figure,
                       RuntimeBackend::kPool
                   ? "pool"
                   : "openmp");
+  // Provenance: which source revision produced the numbers and which ISA
+  // feature bits the dispatch saw — two records of the same bench are only
+  // comparable when both match (record.sh lifts these into the JSON env
+  // block).
+  std::printf("# git_sha=%s isa_features=%s\n", FTGEMM_GIT_SHA,
+              cpu_feature_string().c_str());
   std::printf("%-8s", "size");
   for (const std::string& c : columns) std::printf("%14s", c.c_str());
   std::printf("\n");

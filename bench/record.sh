@@ -18,7 +18,7 @@ out="BENCH_${name}.json"
     "date -u +%Y-%m-%dT%H:%M:%SZ" | getline d
     printf "  \"date\": \"%s\",\n", d
     ncomments = 0; have_cols = 0; nrows = 0
-    hwc = ""; backend = ""
+    hwc = ""; backend = ""; sha = ""; feats = ""
   }
   # bench_common print_header stamps "# hardware_concurrency=N
   # team_backend=..." so every record says what machine/runtime produced
@@ -30,6 +30,12 @@ out="BENCH_${name}.json"
       hwc = substr($0, RSTART + 21, RLENGTH - 21)
     if (match($0, /team_backend=[a-z]+/))
       backend = substr($0, RSTART + 13, RLENGTH - 13)
+    # bench_common also stamps "# git_sha=<rev> isa_features=<bits...>"
+    # (build provenance); lift both alongside the machine context.
+    if (match($0, /git_sha=[^ ]+/))
+      sha = substr($0, RSTART + 8, RLENGTH - 8)
+    if (match($0, /isa_features=.*$/))
+      feats = substr($0, RSTART + 13, RLENGTH - 13)
     comments[ncomments++] = $0; next
   }
   NF == 0 { next }
@@ -60,6 +66,15 @@ out="BENCH_${name}.json"
     }
     if (backend != "") {
       printf "%s\"team_backend\": \"%s\"", sep, backend
+      sep = ", "
+    }
+    if (sha != "") {
+      printf "%s\"git_sha\": \"%s\"", sep, sha
+      sep = ", "
+    }
+    if (feats != "") {
+      gsub(/"/, "\\\"", feats)
+      printf "%s\"isa_features\": \"%s\"", sep, feats
       sep = ", "
     }
     printf "},\n"

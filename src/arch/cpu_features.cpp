@@ -13,6 +13,7 @@ CpuFeatures detect() {
   f.avx512dq = __builtin_cpu_supports("avx512dq");
   f.avx512bw = __builtin_cpu_supports("avx512bw");
   f.avx512vl = __builtin_cpu_supports("avx512vl");
+  f.avx512vnni = __builtin_cpu_supports("avx512vnni");
   return f;
 }
 
@@ -37,6 +38,7 @@ std::string cpu_feature_string() {
   add(f.avx512dq, "avx512dq");
   add(f.avx512bw, "avx512bw");
   add(f.avx512vl, "avx512vl");
+  add(f.avx512vnni, "avx512vnni");
   return out.empty() ? "baseline-x86-64" : out;
 }
 

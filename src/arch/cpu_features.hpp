@@ -17,6 +17,10 @@ struct CpuFeatures {
   bool avx512dq = false;
   bool avx512bw = false;
   bool avx512vl = false;
+  /// AVX-512 VNNI (`vpdpbusd`, the int8 dot product) — a separate CPUID bit
+  /// from the F/DQ/BW/VL baseline (Cascade Lake yes, Skylake-SP no); the
+  /// int8 kernel dispatch falls back to the AVX2 emulation without it.
+  bool avx512vnni = false;
 
   [[nodiscard]] bool has_avx2_kernel_support() const { return avx2 && fma; }
   [[nodiscard]] bool has_avx512_kernel_support() const {

@@ -103,6 +103,82 @@ class GemmContext {
   PlanCache<StorageT, ComputeT> plans_;
 };
 
+/// Workspace of the int8 path (full specialization): the packed panels stay
+/// 8-bit (A~ biased u8, B~ s8 — the bandwidth win of the path), the product
+/// accumulates in a separate int32 buffer `cq` (the caller's float C is only
+/// touched by the dequantize epilogue), the epilogue's zero-point correction
+/// vectors (arow/bcol) are int32, and the checksums split by exactness
+/// budget: predicted/reference Cc/Cr in int64, operand checksums Ar/Bc in
+/// int32 (bounds in kernels/int8_types.hpp).  No ar partials exist — the
+/// driver partitions the Ar encode over K, so threads write disjoint slices
+/// and integer exactness makes the result order-independent.
+template <>
+class GemmContext<std::int8_t, std::int32_t> {
+ public:
+  void ensure(index_t m, index_t n, index_t k, const BlockingPlan& plan,
+              int threads, bool ft) {
+    const auto su = [](index_t v) { return static_cast<std::size_t>(v); };
+    atilde_stride_ = pad<std::uint8_t>(i8_tile_bytes(plan.kc, plan.mc));
+    atilde_.ensure(su(atilde_stride_) * su(threads));
+    btilde_.ensure(su(i8_tile_bytes(plan.kc, plan.nc)));
+    cq_.ensure(su(m) * su(n));
+    arow_.ensure(su(m));
+    bcol_.ensure(su(n));
+    if (!ft) return;
+    cc_.ensure(su(m));
+    ccref_.ensure(su(m));
+    cr_.ensure(su(n));
+    crref_.ensure(su(n));
+    crref_stride_ = pad<std::int64_t>(n);
+    crref_part_.ensure(su(crref_stride_) * su(threads));
+    ar_.ensure(su(k));
+    bc_.ensure(su(plan.kc));
+  }
+
+  void ensure(const GemmPlan<std::int8_t, std::int32_t>& plan) {
+    ensure(plan.key.m, plan.key.n, std::max<index_t>(plan.key.k, 1),
+           plan.blocking, plan.threads, plan.key.ft);
+  }
+
+  [[nodiscard]] std::uint8_t* atilde(int tid) {
+    return atilde_.data() + static_cast<std::size_t>(atilde_stride_) *
+                                static_cast<std::size_t>(tid);
+  }
+  [[nodiscard]] std::int8_t* btilde() { return btilde_.data(); }
+  [[nodiscard]] std::int32_t* cq() { return cq_.data(); }
+  [[nodiscard]] std::int32_t* arow() { return arow_.data(); }
+  [[nodiscard]] std::int32_t* bcol() { return bcol_.data(); }
+  [[nodiscard]] std::int64_t* cc() { return cc_.data(); }
+  [[nodiscard]] std::int64_t* cr() { return cr_.data(); }
+  [[nodiscard]] std::int64_t* ccref() { return ccref_.data(); }
+  [[nodiscard]] std::int64_t* crref() { return crref_.data(); }
+  [[nodiscard]] std::int64_t* crref_part(int tid) {
+    return crref_part_.data() + static_cast<std::size_t>(crref_stride_) *
+                                    static_cast<std::size_t>(tid);
+  }
+  [[nodiscard]] std::int32_t* ar() { return ar_.data(); }
+  [[nodiscard]] std::int32_t* bc() { return bc_.data(); }
+
+  [[nodiscard]] PlanCache<std::int8_t, std::int32_t>& plans() {
+    return plans_;
+  }
+
+ private:
+  template <typename U>
+  static index_t pad(index_t elems) {
+    const index_t per_line = index_t(kCacheLineBytes / sizeof(U));
+    return (elems + per_line - 1) / per_line * per_line;
+  }
+
+  AlignedBuffer<std::uint8_t> atilde_;
+  AlignedBuffer<std::int8_t> btilde_;
+  AlignedBuffer<std::int32_t> cq_, arow_, bcol_, ar_, bc_;
+  AlignedBuffer<std::int64_t> cc_, cr_, ccref_, crref_, crref_part_;
+  index_t atilde_stride_ = 0;
+  index_t crref_stride_ = 0;
+  PlanCache<std::int8_t, std::int32_t> plans_;
+};
+
 /// Thread-safe pool of GemmContexts plus a shared plan cache: the substrate
 /// that makes concurrent application threads first-class submitters.
 ///

@@ -155,10 +155,12 @@ void clear_process_caches() {
   process_context_cache<float>().clear_plans();
   process_context_cache<bf16_t, float>().clear_plans();
   process_context_cache<fp16_t, float>().clear_plans();
+  process_context_cache<std::int8_t, std::int32_t>().clear_plans();
   process_context_cache<double>().clear_operands();
   process_context_cache<float>().clear_operands();
   process_context_cache<bf16_t, float>().clear_operands();
   process_context_cache<fp16_t, float>().clear_operands();
+  process_context_cache<std::int8_t, std::int32_t>().clear_operands();
 }
 
 void clear_thread_plan_cache() { clear_process_caches(); }

@@ -1,0 +1,368 @@
+#include "core/gemm_i8.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/driver_i8.hpp"
+#include "core/plan.hpp"
+#include "runtime/team.hpp"
+#include "runtime/topology.hpp"
+#include "util/env.hpp"
+#include "util/timer.hpp"
+
+namespace ftgemm {
+
+namespace {
+
+using detail::normalize_layout;
+
+/// Row-major calls are served by the column-major core via the classic
+/// transposition trick (normalize_layout): C^T = B^T A^T.  That swap also
+/// swaps which operand is "A" — so the quantization parameters must travel
+/// with their matrices, not their argument slots.
+QuantParams normalize_quant(Layout layout, const QuantParams& qp) {
+  QuantParams q = qp;
+  if (layout == Layout::kRowMajor) {
+    std::swap(q.scale_a, q.scale_b);
+    std::swap(q.zero_a, q.zero_b);
+  }
+  return q;
+}
+
+/// int8 argument gate: everything valid_gemm_args enforces, plus the
+/// int32-exactness depth bound (kernels/int8_types.hpp).
+bool valid_i8_args(Trans ta, Trans tb, index_t m, index_t n, index_t k,
+                   index_t lda, index_t ldb, index_t ldc) {
+  return valid_gemm_args(ta, tb, m, n, k, lda, ldb, ldc) && k <= kI8MaxDepth;
+}
+
+/// Resident acquisition for the int8 path.  alpha is pinned to 1: the int8
+/// payload stores raw biased bytes and exact byte sums, never a scaled
+/// encoding, so one payload serves every (alpha, QuantParams) combination
+/// and the cache key stays stable across calls that differ only in scales.
+ResidentAcquisition<std::int8_t, std::int32_t> acquire_resident_i8(
+    const Options& opts, Trans ta, index_t m, index_t n, index_t k,
+    float alpha, const std::int8_t* a, index_t lda,
+    const GemmPlan<std::int8_t, std::int32_t>& plan) {
+  ResidentAcquisition<std::int8_t, std::int32_t> acq;
+  if (!opts.resident_a || m <= 0 || n <= 0 || k <= 0 || alpha == 0.0f ||
+      a == nullptr) {
+    return acq;
+  }
+  acq = process_context_cache<std::int8_t, std::int32_t>().operands().acquire(
+      a, lda, ta == Trans::kTrans, std::int32_t(1), plan,
+      opts.memory_injector, opts.resident_verify);
+  return acq;
+}
+
+template <bool FT>
+FtReport dispatch_i8(Layout layout, Trans ta, Trans tb, index_t m, index_t n,
+                     index_t k, float alpha, const std::int8_t* a,
+                     index_t lda, const std::int8_t* b, index_t ldb,
+                     float beta, float* c, index_t ldc, const QuantParams& qp,
+                     const Options& opts) {
+  const QuantParams q = normalize_quant(layout, qp);
+  normalize_layout(layout, ta, tb, m, n, a, lda, b, ldb);
+  if (!valid_i8_args(ta, tb, m, n, k, lda, ldb, ldc)) {
+    FtReport rejected;
+    rejected.invalid_args = true;
+    return rejected;
+  }
+  ContextCache<std::int8_t, std::int32_t>& cache =
+      process_context_cache<std::int8_t, std::int32_t>();
+  const std::shared_ptr<const GemmPlan<std::int8_t, std::int32_t>> plan =
+      cache.plan(ta, tb, m, n, k, opts, FT);
+  const ResidentAcquisition<std::int8_t, std::int32_t> acq =
+      acquire_resident_i8(opts, ta, m, n, k, alpha, a, lda, *plan);
+  const ContextCache<std::int8_t, std::int32_t>::Lease lease = cache.lease();
+  FtReport rep = detail::execute_i8<FT>(*plan, alpha, a, lda, b, ldb, beta, c,
+                                        ldc, q, opts.injector,
+                                        opts.correction_log, *lease,
+                                        acq.payload.get());
+  rep.resident_hit = acq.hit;
+  rep.resident_heals = acq.heals;
+  return rep;
+}
+
+/// Engine dispatch: private plans/workspace, shared operand cache — same
+/// contract as the float engines (core/gemm.cpp).
+template <bool FT>
+FtReport dispatch_engine_i8(Layout layout, Trans ta, Trans tb, index_t m,
+                            index_t n, index_t k, float alpha,
+                            const std::int8_t* a, index_t lda,
+                            const std::int8_t* b, index_t ldb, float beta,
+                            float* c, index_t ldc, const QuantParams& qp,
+                            const Options& opts,
+                            GemmContext<std::int8_t, std::int32_t>& ctx) {
+  const QuantParams q = normalize_quant(layout, qp);
+  normalize_layout(layout, ta, tb, m, n, a, lda, b, ldb);
+  if (!valid_i8_args(ta, tb, m, n, k, lda, ldb, ldc)) {
+    FtReport rejected;
+    rejected.invalid_args = true;
+    return rejected;
+  }
+  const std::shared_ptr<const GemmPlan<std::int8_t, std::int32_t>> plan =
+      ctx.plans().get_or_build(ta, tb, m, n, k, opts, FT);
+  const ResidentAcquisition<std::int8_t, std::int32_t> acq =
+      acquire_resident_i8(opts, ta, m, n, k, alpha, a, lda, *plan);
+  FtReport rep = detail::execute_i8<FT>(*plan, alpha, a, lda, b, ldb, beta, c,
+                                        ldc, q, opts.injector,
+                                        opts.correction_log, ctx,
+                                        acq.payload.get());
+  rep.resident_hit = acq.hit;
+  rep.resident_heals = acq.heals;
+  return rep;
+}
+
+// See gemm_batched.cpp for the scheduling rationale; the int8 path reuses
+// the same cutoff knob — the inter/intra tradeoff is about barrier overhead
+// versus per-problem parallelism, which the element type barely moves.
+constexpr double kInterBatchFlopCutoff = 134.0e6;
+
+bool pick_inter_batch_i8(const BatchOptions& opts, index_t m, index_t n,
+                         index_t k, index_t batch) {
+  switch (opts.schedule) {
+    case BatchSchedule::kInter: return true;
+    case BatchSchedule::kIntra: return false;
+    case BatchSchedule::kAuto: break;
+  }
+  if (batch < 2) return false;
+  const double flops =
+      2.0 * double(m) * double(n) * double(std::max<index_t>(k, 1));
+  return flops <=
+         env_double("FTGEMM_BATCH_INTER_FLOPS", kInterBatchFlopCutoff);
+}
+
+template <bool FT>
+BatchReport run_batched_i8(Layout layout, Trans ta, Trans tb, index_t m,
+                           index_t n, index_t k, float alpha,
+                           const std::int8_t* const* a, index_t lda,
+                           const std::int8_t* const* b, index_t ldb,
+                           float beta, float* const* c, index_t ldc,
+                           index_t batch, const QuantParams& qp,
+                           const BatchOptions& opts) {
+  BatchReport report;
+  const WallTimer timer;
+  if (batch < 0) {
+    report.invalid_args = true;
+    return report;
+  }
+  if (batch == 0) return report;
+
+  const QuantParams q = normalize_quant(layout, qp);
+  normalize_layout(layout, ta, tb, m, n, a, lda, b, ldb);
+  if (!valid_i8_args(ta, tb, m, n, k, lda, ldb, ldc)) {
+    report.invalid_args = true;
+    return report;
+  }
+  report.problems = batch;
+
+  const int nt = runtime::topology(opts.base.threads);
+
+  // Shared-sink veto and gate: identical to the float batched path (see
+  // gemm_batched.cpp) — the injector/correction-log protocol is type-blind.
+  const bool shared_sink =
+      (opts.base.injector != nullptr || opts.base.correction_log != nullptr) &&
+      opts.inject_problem < 0;
+  const bool inter = pick_inter_batch_i8(opts, m, n, k, batch) &&
+                     (opts.schedule == BatchSchedule::kInter || !shared_sink);
+  report.inter_batch = inter;
+  const int workers = inter ? int(std::min<index_t>(nt, batch)) : 1;
+
+  ContextCache<std::int8_t, std::int32_t>& cache =
+      process_context_cache<std::int8_t, std::int32_t>();
+  std::vector<ContextCache<std::int8_t, std::int32_t>::Lease> leases;
+  leases.reserve(std::size_t(workers));
+  for (int i = 0; i < workers; ++i) leases.push_back(cache.lease());
+
+  Options plan_opts = opts.base;
+  plan_opts.threads = inter ? 1 : nt;
+  const std::shared_ptr<const GemmPlan<std::int8_t, std::int32_t>> plan =
+      cache.plan(ta, tb, m, n, k, plan_opts, FT);
+
+  std::vector<FtReport> reports(static_cast<std::size_t>(batch));
+
+  std::mutex sink_gate;
+  const bool gate_sinks = inter && shared_sink;
+
+  const auto run_one = [&](index_t p,
+                           GemmContext<std::int8_t, std::int32_t>& ctx) {
+    FaultInjector* injector = opts.base.injector;
+    std::vector<CorrectionRecord>* log = opts.base.correction_log;
+    if (opts.inject_problem >= 0 && p != opts.inject_problem) {
+      injector = nullptr;
+      log = nullptr;
+    }
+    std::unique_lock<std::mutex> gate;
+    if (gate_sinks && (injector != nullptr || log != nullptr))
+      gate = std::unique_lock<std::mutex>(sink_gate);
+    ResidentAcquisition<std::int8_t, std::int32_t> acq;
+    if (opts.base.resident_a && m > 0 && n > 0 && k > 0 && alpha != 0.0f &&
+        a[p] != nullptr) {
+      acq = cache.operands().acquire(a[p], lda, ta == Trans::kTrans,
+                                     std::int32_t(1), *plan,
+                                     opts.base.memory_injector,
+                                     opts.base.resident_verify);
+    }
+    FtReport rep = detail::execute_i8<FT>(*plan, alpha, a[p], lda, b[p], ldb,
+                                          beta, c[p], ldc, q, injector, log,
+                                          ctx, acq.payload.get());
+    rep.resident_hit = acq.hit;
+    rep.resident_heals = acq.heals;
+    reports[std::size_t(p)] = rep;
+  };
+
+  std::atomic<index_t> next{0};
+  const auto member_body = [&](runtime::TeamMember& tm) {
+    GemmContext<std::int8_t, std::int32_t>& ctx =
+        *leases[std::size_t(tm.tid())];
+    for (index_t p = next.fetch_add(1, std::memory_order_relaxed); p < batch;
+         p = next.fetch_add(1, std::memory_order_relaxed)) {
+      run_one(p, ctx);
+    }
+  };
+  runtime::run_team(plan->runtime, workers, member_body);
+
+  for (const FtReport& r : reports) {
+    if (r.resident_hit) ++report.resident_hits;
+    report.resident_heals += r.resident_heals;
+  }
+  if constexpr (FT) {
+    for (const FtReport& r : reports) {
+      report.errors_detected += r.errors_detected;
+      report.errors_corrected += r.errors_corrected;
+      report.uncorrectable_panels += r.uncorrectable_panels;
+      if (r.errors_detected > 0) ++report.faulty_problems;
+      if (!r.clean()) ++report.dirty_problems;
+    }
+    report.per_problem = std::move(reports);
+  }
+  report.elapsed_seconds = timer.seconds();
+  return report;
+}
+
+template <bool FT>
+BatchReport run_strided_batched_i8(Layout layout, Trans ta, Trans tb,
+                                   index_t m, index_t n, index_t k,
+                                   float alpha, const std::int8_t* a,
+                                   index_t lda, index_t stride_a,
+                                   const std::int8_t* b, index_t ldb,
+                                   index_t stride_b, float beta, float* c,
+                                   index_t ldc, index_t stride_c,
+                                   index_t batch, const QuantParams& qp,
+                                   const BatchOptions& opts) {
+  if (batch < 0) {
+    BatchReport report;
+    report.invalid_args = true;
+    return report;
+  }
+  if (batch == 0) return {};
+  std::vector<const std::int8_t*> ap(static_cast<std::size_t>(batch));
+  std::vector<const std::int8_t*> bp(static_cast<std::size_t>(batch));
+  std::vector<float*> cp(static_cast<std::size_t>(batch));
+  for (index_t p = 0; p < batch; ++p) {
+    ap[std::size_t(p)] = a + p * stride_a;
+    bp[std::size_t(p)] = b + p * stride_b;
+    cp[std::size_t(p)] = c + p * stride_c;
+  }
+  return run_batched_i8<FT>(layout, ta, tb, m, n, k, alpha, ap.data(), lda,
+                            bp.data(), ldb, beta, cp.data(), ldc, batch, qp,
+                            opts);
+}
+
+}  // namespace
+
+void gemm_i8(Layout layout, Trans ta, Trans tb, index_t m, index_t n,
+             index_t k, float alpha, const std::int8_t* a, index_t lda,
+             const std::int8_t* b, index_t ldb, float beta, float* c,
+             index_t ldc, const QuantParams& qp, const Options& opts) {
+  dispatch_i8<false>(layout, ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c,
+                     ldc, qp, opts);
+}
+
+FtReport ft_gemm_i8(Layout layout, Trans ta, Trans tb, index_t m, index_t n,
+                    index_t k, float alpha, const std::int8_t* a, index_t lda,
+                    const std::int8_t* b, index_t ldb, float beta, float* c,
+                    index_t ldc, const QuantParams& qp, const Options& opts) {
+  return dispatch_i8<true>(layout, ta, tb, m, n, k, alpha, a, lda, b, ldb,
+                           beta, c, ldc, qp, opts);
+}
+
+BatchReport gemm_i8_batched(Layout layout, Trans ta, Trans tb, index_t m,
+                            index_t n, index_t k, float alpha,
+                            const std::int8_t* const* a, index_t lda,
+                            const std::int8_t* const* b, index_t ldb,
+                            float beta, float* const* c, index_t ldc,
+                            index_t batch, const QuantParams& qp,
+                            const BatchOptions& opts) {
+  return run_batched_i8<false>(layout, ta, tb, m, n, k, alpha, a, lda, b, ldb,
+                               beta, c, ldc, batch, qp, opts);
+}
+
+BatchReport ft_gemm_i8_batched(Layout layout, Trans ta, Trans tb, index_t m,
+                               index_t n, index_t k, float alpha,
+                               const std::int8_t* const* a, index_t lda,
+                               const std::int8_t* const* b, index_t ldb,
+                               float beta, float* const* c, index_t ldc,
+                               index_t batch, const QuantParams& qp,
+                               const BatchOptions& opts) {
+  return run_batched_i8<true>(layout, ta, tb, m, n, k, alpha, a, lda, b, ldb,
+                              beta, c, ldc, batch, qp, opts);
+}
+
+BatchReport gemm_i8_strided_batched(Layout layout, Trans ta, Trans tb,
+                                    index_t m, index_t n, index_t k,
+                                    float alpha, const std::int8_t* a,
+                                    index_t lda, index_t stride_a,
+                                    const std::int8_t* b, index_t ldb,
+                                    index_t stride_b, float beta, float* c,
+                                    index_t ldc, index_t stride_c,
+                                    index_t batch, const QuantParams& qp,
+                                    const BatchOptions& opts) {
+  return run_strided_batched_i8<false>(layout, ta, tb, m, n, k, alpha, a, lda,
+                                       stride_a, b, ldb, stride_b, beta, c,
+                                       ldc, stride_c, batch, qp, opts);
+}
+
+BatchReport ft_gemm_i8_strided_batched(
+    Layout layout, Trans ta, Trans tb, index_t m, index_t n, index_t k,
+    float alpha, const std::int8_t* a, index_t lda, index_t stride_a,
+    const std::int8_t* b, index_t ldb, index_t stride_b, float beta, float* c,
+    index_t ldc, index_t stride_c, index_t batch, const QuantParams& qp,
+    const BatchOptions& opts) {
+  return run_strided_batched_i8<true>(layout, ta, tb, m, n, k, alpha, a, lda,
+                                      stride_a, b, ldb, stride_b, beta, c,
+                                      ldc, stride_c, batch, qp, opts);
+}
+
+ResidentOperand make_resident_a_i8(Trans ta, Trans tb, index_t m, index_t n,
+                                   index_t k, const std::int8_t* a,
+                                   index_t lda, const Options& opts, bool ft) {
+  if (k > kI8MaxDepth) return {};
+  return make_resident_a<std::int8_t, std::int32_t>(ta, tb, m, n, k,
+                                                    std::int32_t(1), a, lda,
+                                                    opts, ft);
+}
+
+void GemmEngine<std::int8_t, std::int32_t>::gemm(
+    Layout layout, Trans ta, Trans tb, index_t m, index_t n, index_t k,
+    float alpha, const std::int8_t* a, index_t lda, const std::int8_t* b,
+    index_t ldb, float beta, float* c, index_t ldc, const QuantParams& qp) {
+  dispatch_engine_i8<false>(layout, ta, tb, m, n, k, alpha, a, lda, b, ldb,
+                            beta, c, ldc, qp, opts_, ctx_);
+}
+
+FtReport GemmEngine<std::int8_t, std::int32_t>::ft_gemm(
+    Layout layout, Trans ta, Trans tb, index_t m, index_t n, index_t k,
+    float alpha, const std::int8_t* a, index_t lda, const std::int8_t* b,
+    index_t ldb, float beta, float* c, index_t ldc, const QuantParams& qp) {
+  return dispatch_engine_i8<true>(layout, ta, tb, m, n, k, alpha, a, lda, b,
+                                  ldb, beta, c, ldc, qp, opts_, ctx_);
+}
+
+}  // namespace ftgemm

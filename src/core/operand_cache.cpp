@@ -18,10 +18,11 @@ namespace {
 /// digest: mutations between grid points are invisible — the documented
 /// reason resident_a is opt-in for operands the caller keeps stable.
 template <typename T>
-using StorageBits =
-    std::conditional_t<sizeof(T) == 8, std::uint64_t,
-                       std::conditional_t<sizeof(T) == 4, std::uint32_t,
-                                          std::uint16_t>>;
+using StorageBits = std::conditional_t<
+    sizeof(T) == 8, std::uint64_t,
+    std::conditional_t<sizeof(T) == 4, std::uint32_t,
+                       std::conditional_t<sizeof(T) == 2, std::uint16_t,
+                                          std::uint8_t>>>;
 
 template <typename T>
 std::uint64_t fingerprint_operand(const T* a, index_t lda, bool trans,
@@ -202,6 +203,97 @@ void fill_payload(ResidentAPayload<S, C>& pl, const S* a, index_t lda,
   integrity_sums(pl, pl.rowchk.data(), pl.colchk.data());
 }
 
+/// int8 payloads break both generic encoders' assumptions — panels hold
+/// *biased u8 bytes* in the depth-quad layout (kernels/kernel_int8.hpp), not
+/// ComputeT elements in [kk][mr] order, and the last panel is quad-padded
+/// beyond tiles*mr*k bytes when k % 4 != 0 — so they get their own
+/// specializations.  The integrity row sums ARE the executor's arow vector
+/// (per-packed-row u8 totals; quad padding is raw zero, contributing
+/// nothing), which is why the int8 hit path copies rowchk straight into
+/// ctx.arow() instead of re-deriving it.  Sums are exact integers: verify
+/// stays the bit-exact memcmp, and the Ar encode needs no per-thread
+/// partial-order emulation (integer addition is order-independent).
+template <>
+void integrity_sums<std::int8_t, std::int32_t>(
+    const ResidentAPayload<std::int8_t, std::int32_t>& pl,
+    std::int32_t* rowchk, std::int32_t* colchk) {
+  std::fill(rowchk, rowchk + pl.tiles * pl.mr, std::int32_t(0));
+  std::fill(colchk, colchk + pl.k, std::int32_t(0));
+  for (index_t p = 0; p < pl.k; p += pl.kc) {
+    const index_t pinc = std::min(pl.kc, pl.k - p);
+    const auto* base = reinterpret_cast<const std::uint8_t*>(pl.panel_at(p));
+    const index_t tile_bytes = i8_tile_bytes(pinc, pl.mr);
+    const index_t kq = i8_kq(pinc);
+    for (index_t q = 0; q < pl.tiles; ++q) {
+      const std::uint8_t* tile = base + q * tile_bytes;
+      std::int32_t* rc = rowchk + q * pl.mr;
+      for (index_t kk4 = 0; kk4 < kq; ++kk4) {
+        const std::uint8_t* quad = tile + kk4 * pl.mr * kI8KQuad;
+        for (index_t i = 0; i < pl.mr; ++i) {
+          for (index_t u = 0; u < kI8KQuad; ++u) {
+            const std::int32_t v = quad[i * kI8KQuad + u];
+            rc[i] += v;
+            // Quad-padding depths have no colchk index; a flip there is
+            // still caught by the row sum above.
+            const index_t kk = kk4 * kI8KQuad + u;
+            if (kk < pinc) colchk[p + kk] += v;
+          }
+        }
+      }
+    }
+  }
+}
+
+template <>
+void fill_payload<std::int8_t, std::int32_t>(
+    ResidentAPayload<std::int8_t, std::int32_t>& pl, const std::int8_t* a,
+    index_t lda, bool trans, std::int32_t alpha,
+    const GemmPlan<std::int8_t, std::int32_t>& plan) {
+  const index_t m = plan.key.m, k = plan.key.k;
+  pl.m = m;
+  pl.k = k;
+  pl.mr = plan.blocking.mr;
+  pl.kc = plan.blocking.kc;
+  pl.trans = trans;
+  pl.alpha = alpha;  // always 1 on this path; scales live outside the cache
+  pl.tiles = (m + pl.mr - 1) / pl.mr;
+
+  // Byte-accurate panel storage: every full panel occupies exactly
+  // tiles*mr*kc bytes (kc is a quad multiple, so panel_at's tiles*mr*p
+  // offset is exact), but a ragged last panel is quad-padded to
+  // tiles*mr*i8_kq(pinc)*4 — which exceeds the elems() = tiles*mr*k
+  // estimate the generic payload geometry assumes.  elems()/bytes() then
+  // understate slightly (harmless: the injector's elem % elems() stays in
+  // bounds, accounting is conservative); the allocation must not.
+  std::size_t panel_bytes = 0;
+  for (index_t p = 0; p < k; p += pl.kc) {
+    const index_t pinc = std::min(pl.kc, k - p);
+    panel_bytes +=
+        std::size_t(pl.tiles) * std::size_t(i8_tile_bytes(pinc, pl.mr));
+  }
+  pl.panels.reset(panel_bytes);
+  pl.ar.reset(std::size_t(k));
+  pl.rowchk.reset(std::size_t(pl.tiles * pl.mr));
+  pl.colchk.reset(std::size_t(k));
+
+  const OperandView<std::int8_t> av{a, lda, trans};
+  const PackSet<std::int8_t, std::int32_t>& pk = plan.kernels.pack;
+
+  for (index_t p = 0; p < k; p += pl.kc) {
+    const index_t pinc = std::min(pl.kc, k - p);
+    auto* dst = reinterpret_cast<std::uint8_t*>(pl.panels.data()) +
+                std::size_t(pl.tiles * pl.mr) * std::size_t(p);
+    // arow sink stays null: the integrity row sums below double as arow.
+    pk.pack_a(av, 0, p, m, pinc, pl.mr, dst, nullptr);
+  }
+
+  std::fill(pl.ar.data(), pl.ar.data() + k, std::int32_t(0));
+  pk.encode_ar(av, 0, m, 0, k, pl.ar.data());
+  pl.amax_a = 0.0;  // exact path: no tolerance model, no amax
+
+  integrity_sums(pl, pl.rowchk.data(), pl.colchk.data());
+}
+
 /// Flip one bit of a resident element in place (memory-fault emulation).
 template <typename T>
 void flip_payload_bit(T& v, int bit) {
@@ -366,6 +458,7 @@ template class OperandCache<float>;
 template class OperandCache<double>;
 template class OperandCache<bf16_t, float>;
 template class OperandCache<fp16_t, float>;
+template class OperandCache<std::int8_t, std::int32_t>;
 
 template <typename S, typename C>
 ResidentOperand make_resident_a(Trans ta, Trans tb, index_t m, index_t n,
@@ -399,5 +492,8 @@ template ResidentOperand make_resident_a<bf16_t, float>(
 template ResidentOperand make_resident_a<fp16_t, float>(
     Trans, Trans, index_t, index_t, index_t, float, const fp16_t*, index_t,
     const Options&, bool);
+template ResidentOperand make_resident_a<std::int8_t, std::int32_t>(
+    Trans, Trans, index_t, index_t, index_t, std::int32_t, const std::int8_t*,
+    index_t, const Options&, bool);
 
 }  // namespace ftgemm

@@ -227,6 +227,12 @@ extern template class OperandCache<float>;
 extern template class OperandCache<double>;
 extern template class OperandCache<bf16_t, float>;
 extern template class OperandCache<fp16_t, float>;
+// int8 payloads store raw *biased u8* packed bytes (quad layout, 4x smaller
+// than an fp32 residency) with exact int32 integrity sums; alpha is pinned
+// to 1 by the int8 entry points, so one payload serves every (alpha,
+// QuantParams) combination of the operand.  See the specializations in
+// operand_cache.cpp.
+extern template class OperandCache<std::int8_t, std::int32_t>;
 
 // ---------------------------------------------------------------------------
 // Public handle: pre-encode a weight matrix once and pin its storage.
@@ -289,5 +295,8 @@ extern template ResidentOperand make_resident_a<bf16_t, float>(
 extern template ResidentOperand make_resident_a<fp16_t, float>(
     Trans, Trans, index_t, index_t, index_t, float, const fp16_t*, index_t,
     const Options&, bool);
+extern template ResidentOperand make_resident_a<std::int8_t, std::int32_t>(
+    Trans, Trans, index_t, index_t, index_t, std::int32_t, const std::int8_t*,
+    index_t, const Options&, bool);
 
 }  // namespace ftgemm

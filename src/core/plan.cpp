@@ -85,4 +85,66 @@ template GemmPlan<double> build_plan<double, double>(const PlanKey&);
 template GemmPlan<bf16_t, float> build_plan<bf16_t, float>(const PlanKey&);
 template GemmPlan<fp16_t, float> build_plan<fp16_t, float>(const PlanKey&);
 
+// int8 planning (declared in plan.hpp).  Differences from the generic body:
+//  * blocking is derived at elem_bytes = 1 — the packed panels stay 8-bit,
+//    which is the entire bandwidth argument of the int8 path — then
+//    re-shaped onto the int8 register tiles (MR/NR differ per ISA from the
+//    float layer's) and the packed depth quad;
+//  * tol_factor is exactly 0.0: integer checksums make verification an
+//    equality test, not a rounding-bound test (DESIGN.md §11);
+//  * workspace is accounted in bytes directly (mixed 1/4/8-byte buffers).
+template <>
+GemmPlan<std::int8_t, std::int32_t> build_plan<std::int8_t, std::int32_t>(
+    const PlanKey& key) {
+  GemmPlan<std::int8_t, std::int32_t> plan;
+  plan.key = key;
+  plan.isa = key.isa_override >= 0 ? Isa(key.isa_override) : select_isa();
+  plan.kernels = get_kernel_set<std::int8_t, std::int32_t>(plan.isa);
+  plan.blocking = make_plan(plan.isa, 1, key.m, key.n, key.k);
+  const auto round_up = [](index_t v, index_t q) {
+    return ((std::max<index_t>(v, q) + q - 1) / q) * q;
+  };
+  plan.blocking.mr = plan.kernels.mr;
+  plan.blocking.nr = plan.kernels.nr;
+  plan.blocking.mc = round_up(plan.blocking.mc, plan.kernels.mr);
+  plan.blocking.nc = round_up(plan.blocking.nc, plan.kernels.nr);
+  plan.blocking.kc = round_up(plan.blocking.kc, kI8KQuad);
+  plan.k_zero = key.k <= 0;
+  plan.num_panels =
+      plan.k_zero ? 0 : (key.k + plan.blocking.kc - 1) / plan.blocking.kc;
+  plan.tol_factor = 0.0;
+
+  const double flops =
+      2.0 * double(key.m) * double(key.n) * double(key.k);
+  plan.fast_path = key.fast_path_allowed && key.m > 0 && key.n > 0 &&
+                   key.k > 0 && key.m <= plan.blocking.mc &&
+                   key.n <= plan.blocking.nc && key.k <= plan.blocking.kc &&
+                   flops <= env_double("FTGEMM_FAST_PATH_FLOPS",
+                                       kFastPathFlopCutoff);
+  plan.threads = plan.fast_path ? 1 : key.threads;
+  plan.runtime = RuntimeBackend(key.runtime);
+
+  // Byte-accurate workspace accounting (diagnostics; the GemmContext
+  // specialization in core/context.hpp is the allocation authority).
+  const auto elems = [](index_t v) {
+    return std::size_t(std::max<index_t>(v, 0));
+  };
+  const std::size_t threads = std::size_t(plan.threads);
+  std::size_t ws =
+      elems(i8_tile_bytes(plan.blocking.kc, plan.blocking.mc)) * threads +
+      elems(i8_tile_bytes(plan.blocking.kc, plan.blocking.nc));
+  ws += elems(key.m * key.n) * sizeof(std::int32_t);  // biased accumulator
+  ws += elems(key.m) * sizeof(std::int32_t);          // arow
+  ws += elems(key.n) * sizeof(std::int32_t);          // bcol
+  if (key.ft) {
+    ws += elems(2 * key.m) * sizeof(std::int64_t);    // cc, ccref
+    ws += elems(2 * key.n) * sizeof(std::int64_t);    // cr, crref
+    ws += elems(key.n) * sizeof(std::int64_t) * threads;  // crref partials
+    ws += elems(std::max<index_t>(key.k, 1)) * sizeof(std::int32_t);  // ar
+    ws += elems(plan.blocking.kc) * sizeof(std::int32_t);             // bc
+  }
+  plan.workspace_bytes = ws;
+  return plan;
+}
+
 }  // namespace ftgemm

@@ -244,4 +244,13 @@ extern template GemmPlan<bf16_t, float>
 extern template GemmPlan<fp16_t, float>
     build_plan<fp16_t, float>(const PlanKey&);
 
+/// int8 planning is a full specialization (defined in plan.cpp): packed
+/// panels stay 8-bit, register tiles come from the int8 kernel sets rather
+/// than the float blocking model, KC is rounded to the packed depth quad,
+/// and the tolerance factor is pinned to exactly zero — integer checksums
+/// are exact, so any nonzero residual is a fault (DESIGN.md §11).
+template <>
+GemmPlan<std::int8_t, std::int32_t> build_plan<std::int8_t, std::int32_t>(
+    const PlanKey& key);
+
 }  // namespace ftgemm

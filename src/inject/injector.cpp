@@ -1,6 +1,8 @@
 #include "inject/injector.hpp"
 
 #include <bit>
+#include <cmath>
+#include <cstdint>
 #include <cstring>
 
 namespace ftgemm {
@@ -37,6 +39,28 @@ double apply_corruption<float>(float& value, const InjectionRecord& rec) {
     return double(float(rec.delta));
   }
   return flip_bit<float, std::uint32_t>(value, rec.bit);
+}
+
+// int8 path: corruptions strike the int32 accumulator.  An additive delta
+// is rounded to the nearest integer and forced non-zero (a zero-delta
+// "corruption" would be a silent no-op and campaigns would miscount it as a
+// missed detection); the applied delta is integral, so the int64 reference
+// checksum updates in the driver stay exact.  Wrap-around on += is defined
+// here via the unsigned domain and is itself just another int32 corruption.
+template <>
+double apply_corruption<std::int32_t>(std::int32_t& value,
+                                      const InjectionRecord& rec) {
+  if (rec.kind == InjectionKind::kAddDelta) {
+    long long d = std::llround(rec.delta);
+    if (d == 0) d = 1;
+    const std::int32_t di = std::int32_t(std::uint32_t(std::uint64_t(d)));
+    const std::int32_t updated =
+        std::int32_t(std::uint32_t(value) + std::uint32_t(di));
+    const double applied = double(updated) - double(value);
+    value = updated;
+    return applied;
+  }
+  return flip_bit<std::int32_t, std::uint32_t>(value, rec.bit);
 }
 
 }  // namespace ftgemm

@@ -95,8 +95,17 @@ class FaultInjector {
 };
 
 /// Apply a planned corruption to a value; returns the applied delta.
+/// Defined (injector.cpp) for the compute types faults can strike: double,
+/// float, and the int8 path's int32 accumulator (integral applied delta).
 template <typename T>
 double apply_corruption(T& value, const InjectionRecord& rec);
+template <>
+double apply_corruption<double>(double& value, const InjectionRecord& rec);
+template <>
+double apply_corruption<float>(float& value, const InjectionRecord& rec);
+template <>
+double apply_corruption<std::int32_t>(std::int32_t& value,
+                                      const InjectionRecord& rec);
 
 // ---------------------------------------------------------------------------
 // Memory-domain faults: corruption of *resident* data between calls, as

@@ -160,15 +160,60 @@ inline constexpr bool is_narrow_storage_v<bf16_t> = true;
 template <>
 inline constexpr bool is_narrow_storage_v<fp16_t> = true;
 
-/// Stable storage-dtype discriminator carried in PlanKey (and hashed into
-/// it) so plans for different storage widths can never alias — belt and
-/// braces on top of the per-(StorageT, ComputeT) cache instances.  0 keeps
-/// every pre-existing fp32/fp64 key identity unchanged.
+/// Exhaustive storage-dtype enumeration carried in PlanKey (and hashed into
+/// it) so plans for different storage types can never alias — belt and
+/// braces on top of the per-(StorageT, ComputeT) cache instances.
+/// kWide = 0 keeps every pre-existing fp32/fp64 key identity and hash
+/// unchanged.  Adding a storage type means adding an enumerator here AND a
+/// storage_dtype_of specialization below; the static_asserts reject
+/// colliding or silently-defaulted tags at compile time (the raw
+/// std::uint8_t constants this replaces admitted collisions unnoticed).
+enum class StorageDtype : std::uint8_t {
+  kWide = 0,  ///< native-width float storage (compute type == storage type)
+  kBf16 = 1,  ///< bf16 storage, fp32 compute
+  kF16 = 2,   ///< IEEE binary16 storage, fp32 compute
+  kI8 = 3,    ///< int8 quantized storage, int32 compute
+};
+
+/// Type -> StorageDtype mapping.  The primary template maps every
+/// unspecialized type to kWide; narrow/quantized storage types must add an
+/// explicit specialization with a distinct enumerator.
 template <typename T>
-inline constexpr std::uint8_t kStorageDtypeTag = 0;
+struct storage_dtype_of {
+  static constexpr StorageDtype value = StorageDtype::kWide;
+};
 template <>
-inline constexpr std::uint8_t kStorageDtypeTag<bf16_t> = 1;
+struct storage_dtype_of<bf16_t> {
+  static constexpr StorageDtype value = StorageDtype::kBf16;
+};
 template <>
-inline constexpr std::uint8_t kStorageDtypeTag<fp16_t> = 2;
+struct storage_dtype_of<fp16_t> {
+  static constexpr StorageDtype value = StorageDtype::kF16;
+};
+template <>
+struct storage_dtype_of<std::int8_t> {
+  static constexpr StorageDtype value = StorageDtype::kI8;
+};
+
+static_assert(storage_dtype_of<float>::value == StorageDtype::kWide &&
+                  storage_dtype_of<double>::value == StorageDtype::kWide,
+              "wide float storage must keep tag 0 (plan-key identity)");
+static_assert(storage_dtype_of<bf16_t>::value != StorageDtype::kWide &&
+                  storage_dtype_of<fp16_t>::value != StorageDtype::kWide &&
+                  storage_dtype_of<std::int8_t>::value != StorageDtype::kWide,
+              "narrow storage types must not alias the wide tag");
+static_assert(
+    storage_dtype_of<bf16_t>::value != storage_dtype_of<fp16_t>::value &&
+        storage_dtype_of<bf16_t>::value !=
+            storage_dtype_of<std::int8_t>::value &&
+        storage_dtype_of<fp16_t>::value !=
+            storage_dtype_of<std::int8_t>::value,
+    "each narrow storage type needs a distinct dtype tag");
+
+/// Raw tag as carried in PlanKey::sdtype (derived from the exhaustive enum
+/// above; kept as a variable template so existing call sites are unchanged).
+template <typename T>
+inline constexpr std::uint8_t kStorageDtypeTag =
+    static_cast<std::uint8_t>(storage_dtype_of<T>::value);
 
 }  // namespace ftgemm

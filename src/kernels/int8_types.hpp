@@ -1,0 +1,69 @@
+// Quantization support types for the int8 GEMM path.
+//
+// The int8 entry points compute, in exact integer arithmetic,
+//
+//   S[i,j] = sum_k (Aq[i,k] - za) * (Bq[k,j] - zb)          (int32)
+//
+// over s8 operands with per-tensor zero points, then dequantize once at the
+// C write-back:
+//
+//   C[i,j] = float( alpha*sa*sb * S[i,j] + beta * C[i,j] )  (fp64 epilogue,
+//                                                            one fp32 round)
+//
+// The kernels never see the zero points: A is packed *biased* (u8 = s8 +
+// 128, the VNNI u8 x s8 operand convention) and the kernels accumulate the
+// biased product P = Au8 * Bq.  S is recovered in the epilogue from P and
+// two cheap side vectors (per-row biased A sums, per-column B sums):
+//
+//   S[i,j] = P[i,j] - zb*arow[i] - (128+za)*bcol[j] + k*(128+za)*zb.
+//
+// Everything up to the epilogue is exact int32/int64 arithmetic, which is
+// what makes the ABFT contract on this path an *exactness* argument
+// (docs/DESIGN.md §11) instead of a rounding bound.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace ftgemm {
+
+/// Per-tensor quantization parameters of one int8 GEMM call:
+/// real_A = scale_a * (Aq - zero_a), real_B = scale_b * (Bq - zero_b).
+struct QuantParams {
+  float scale_a = 1.0f;
+  float scale_b = 1.0f;
+  std::int32_t zero_a = 0;  ///< zero point of A, s8 domain [-128, 127]
+  std::int32_t zero_b = 0;  ///< zero point of B, s8 domain [-128, 127]
+
+  [[nodiscard]] bool operator==(const QuantParams& o) const {
+    return scale_a == o.scale_a && scale_b == o.scale_b &&
+           zero_a == o.zero_a && zero_b == o.zero_b;
+  }
+};
+
+/// Quantize one value: round-to-nearest-even, clamped to the s8 range.
+inline std::int8_t quantize_i8(float v, float scale, std::int32_t zero) {
+  const long q = std::lrintf(v / scale) + long(zero);
+  return std::int8_t(std::clamp<long>(q, -128, 127));
+}
+
+/// Inverse of quantize_i8 (exact: the product fits fp32).
+inline float dequantize_i8(std::int8_t q, float scale, std::int32_t zero) {
+  return scale * float(std::int32_t(q) - zero);
+}
+
+/// Bias an s8 value into the unsigned VNNI operand domain: u8 = s8 + 128
+/// (two's complement makes this a sign-bit flip).
+inline std::uint8_t bias_i8(std::int8_t v) {
+  return std::uint8_t(std::uint8_t(v) ^ 0x80u);
+}
+
+/// Deepest K the int32 accumulators can never wrap at: each biased product
+/// is in [-255*128, 255*127], so |P| <= k * 32640 and k <= (2^31 - 1) /
+/// 32640 = 65793 keeps every accumulator strictly inside int32.  The int8
+/// entry points reject deeper problems (invalid_args) — the exactness
+/// contract of DESIGN.md §11 depends on it.
+inline constexpr std::int64_t kI8MaxDepth = 65793;
+
+}  // namespace ftgemm

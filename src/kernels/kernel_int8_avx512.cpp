@@ -1,0 +1,127 @@
+// AVX-512 int8 micro-kernels: native VNNI `vpdpbusd` dot product
+// (16 x 16 register tile, one zmm accumulator per C column).
+//
+// `vpdpbusd acc, a, b` multiplies 64 unsigned bytes of `a` by 64 signed
+// bytes of `b` and adds each adjacent quad's four products into the
+// corresponding i32 lane of `acc` — WITHOUT intermediate saturation, unlike
+// the AVX2 `vpmaddubsw` route.  The packed quad layout of kernel_int8.hpp
+// maps directly onto it: one 64-byte load of A covers all 16 rows of a
+// k-quad, one 4-byte broadcast of B covers a column's quad, so each quad
+// costs 16 dpbusd + 1 load + 16 broadcasts for 1024 multiply-accumulates.
+//
+// AVX-512 VNNI is a separate CPUID feature from the AVX-512 F/DQ/BW/VL
+// baseline this ISA tier requires (Cascade Lake has it, Skylake-SP does
+// not), so the VNNI kernels are compiled with a *function-level* target
+// attribute rather than TU-wide flags, and avx512_kernels_i8() falls back
+// to the AVX2 emulation at runtime when cpu_features().avx512vnni is false
+// — an Isa::kAvx512 plan is therefore valid on every AVX-512 machine, and
+// results are identical either way (exact integer arithmetic).
+#include <immintrin.h>
+
+#include <cstring>
+
+#include "arch/cpu_features.hpp"
+#include "kernels/microkernel.hpp"
+
+namespace ftgemm {
+
+namespace {
+
+constexpr index_t kMrAvx512I8 = 16;
+constexpr index_t kNrAvx512I8 = 16;
+
+#define FTGEMM_TARGET_VNNI \
+  __attribute__((target("avx512f,avx512bw,avx512dq,avx512vl,avx512vnni")))
+
+template <bool FT>
+FTGEMM_TARGET_VNNI void kernel_i8_vnni(index_t kc, const std::uint8_t* a,
+                                       const std::int8_t* b, std::int32_t* c,
+                                       index_t ldc, std::int64_t* cr_ref,
+                                       std::int64_t* cc_ref) {
+  const index_t kq = i8_kq(kc);
+  __m512i acc[kNrAvx512I8];
+#pragma GCC unroll 16
+  for (index_t j = 0; j < kNrAvx512I8; ++j) acc[j] = _mm512_setzero_si512();
+  for (index_t q = 0; q < kq; ++q) {
+    const __m512i av = _mm512_loadu_si512(a + q * (kMrAvx512I8 * kI8KQuad));
+    const std::int8_t* bq = b + q * (kNrAvx512I8 * kI8KQuad);
+#pragma GCC unroll 16
+    for (index_t j = 0; j < kNrAvx512I8; ++j) {
+      std::int32_t bw;
+      std::memcpy(&bw, bq + j * kI8KQuad, sizeof(bw));
+      acc[j] = _mm512_dpbusd_epi32(acc[j], av, _mm512_set1_epi32(bw));
+    }
+  }
+  if constexpr (FT) {
+    // Exact int64 reduction of the *updated* C values (integer adds are
+    // freely reassociable, so the references reduce from the finished
+    // column vectors instead of mirroring the k-loop; cr_lanes = 1) —
+    // every element is updated once per rank-KC panel, so the per-panel
+    // references total to exact row/column sums of the current accumulator.
+    __m512i cc_lo =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(cc_ref));
+    __m512i cc_hi =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(cc_ref + 8));
+    for (index_t j = 0; j < kNrAvx512I8; ++j) {
+      const __m512i cv = _mm512_loadu_si512(c + j * ldc);
+      const __m512i nv = _mm512_add_epi32(cv, acc[j]);
+      _mm512_storeu_si512(c + j * ldc, nv);
+      const __m512i w_lo = _mm512_cvtepi32_epi64(_mm512_castsi512_si256(nv));
+      const __m512i w_hi =
+          _mm512_cvtepi32_epi64(_mm512_extracti64x4_epi64(nv, 1));
+      cc_lo = _mm512_add_epi64(cc_lo, w_lo);
+      cc_hi = _mm512_add_epi64(cc_hi, w_hi);
+      cr_ref[j] += _mm512_reduce_add_epi64(_mm512_add_epi64(w_lo, w_hi));
+    }
+    _mm512_storeu_si512(reinterpret_cast<void*>(cc_ref), cc_lo);
+    _mm512_storeu_si512(reinterpret_cast<void*>(cc_ref + 8), cc_hi);
+  } else {
+    for (index_t j = 0; j < kNrAvx512I8; ++j) {
+      __m512i cv = _mm512_loadu_si512(c + j * ldc);
+      _mm512_storeu_si512(c + j * ldc, _mm512_add_epi32(cv, acc[j]));
+    }
+  }
+}
+
+FTGEMM_TARGET_VNNI void kernel_i8_vnni_base(index_t kc, const std::uint8_t* a,
+                                            const std::int8_t* b,
+                                            std::int32_t* c, index_t ldc) {
+  kernel_i8_vnni<false>(kc, a, b, c, ldc, nullptr, nullptr);
+}
+
+FTGEMM_TARGET_VNNI void kernel_i8_vnni_ft(index_t kc, const std::uint8_t* a,
+                                          const std::int8_t* b,
+                                          std::int32_t* c, index_t ldc,
+                                          std::int64_t* cr_ref,
+                                          std::int64_t* cc_ref) {
+  kernel_i8_vnni<true>(kc, a, b, c, ldc, cr_ref, cc_ref);
+}
+
+#undef FTGEMM_TARGET_VNNI
+
+}  // namespace
+
+KernelSet<std::int8_t, std::int32_t> avx512_kernels_i8() {
+  if (!cpu_features().avx512vnni) {
+    // AVX-512 baseline without VNNI: the exact AVX2 emulation is the best
+    // non-saturating integer dot available (see the TU header).
+    KernelSet<std::int8_t, std::int32_t> ks = avx2_kernels_i8();
+    ks.isa = Isa::kAvx512;
+    ks.pack.isa = Isa::kAvx512;
+    return ks;
+  }
+  KernelSet<std::int8_t, std::int32_t> ks;
+  ks.base = &kernel_i8_vnni_base;
+  ks.ft = &kernel_i8_vnni_ft;
+  ks.mr = kMrAvx512I8;
+  ks.nr = kNrAvx512I8;
+  ks.cr_lanes = 1;
+  ks.isa = Isa::kAvx512;
+  // Every AVX-512 machine has AVX2, so the accelerated FT checksum passes
+  // are always usable here (identical packed bytes, bit-identical sums).
+  ks.pack = avx2_pack_i8();
+  ks.pack.isa = Isa::kAvx512;
+  return ks;
+}
+
+}  // namespace ftgemm

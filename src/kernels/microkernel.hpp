@@ -238,3 +238,9 @@ KernelSet<double> scalar_kernels_f64();
 KernelSet<float> scalar_kernels_f32();
 
 }  // namespace ftgemm
+
+// The int8 quantized path fully specializes KernelSet/PackSet (8-bit packed
+// panels break the "panels are ComputeT" signatures above).  Included here —
+// and only here — so the specializations are visible wherever the primary
+// templates are, keeping any <int8_t, int32_t> use ODR-consistent.
+#include "kernels/kernel_int8.hpp"  // IWYU pragma: keep

@@ -34,6 +34,7 @@
 #include "core/context.hpp"
 #include "core/driver.hpp"
 #include "core/gemm.hpp"
+#include "core/gemm_i8.hpp"
 #include "runtime/topology.hpp"
 #include "serve/shard.hpp"
 #include "serve/state.hpp"
@@ -112,6 +113,9 @@ namespace {
 /// dereferences only the service can see (it knows alpha up front).
 bool request_valid(const GemmRequest& r) {
   if (r.batch < 1) return false;
+  // int8 exactness depth bound — the entry points would reject it anyway;
+  // catching it at the door avoids planning an unusable shape.
+  if (r.precision == Precision::kI8 && r.k > kI8MaxDepth) return false;
   Trans ta = r.ta, tb = r.tb;
   index_t m = r.m, n = r.n, lda = r.lda, ldb = r.ldb;
   const void* a = r.a;
@@ -159,6 +163,9 @@ bool resolve_fast_path(const GemmRequest& r, PlanKey& key) {
     case Precision::kF16:
       return plan_takes_fast_path<fp16_t, float>(ta, tb, m, n, r.k, r.opts,
                                                  r.ft, key);
+    case Precision::kI8:
+      return plan_takes_fast_path<std::int8_t, std::int32_t>(
+          ta, tb, m, n, r.k, r.opts, r.ft, key);
     case Precision::kF32:
       break;
   }
@@ -247,6 +254,38 @@ GemmResult run_direct_mixed(const GemmRequest& r) {
       gemm_f16(r.layout, r.ta, r.tb, r.m, r.n, r.k, alpha, a, r.lda, b, r.ldb,
                beta, c, r.ldc, r.opts);
     }
+  }
+  res.status = RequestStatus::kDone;
+  return res;
+}
+
+/// Quantized int8 direct execution: s8 A and B, fp32 scalars and C, the
+/// request's QuantParams passed through (core/gemm_i8.hpp).
+GemmResult run_direct_i8(const GemmRequest& r) {
+  GemmResult res;
+  const float alpha = float(r.alpha);
+  const float beta = float(r.beta);
+  const auto* a = static_cast<const std::int8_t*>(r.a);
+  const auto* b = static_cast<const std::int8_t*>(r.b);
+  auto* c = static_cast<float*>(r.c);
+  if (r.batch > 1) {
+    BatchOptions bopts;
+    bopts.base = r.opts;
+    res.batch =
+        r.ft ? ft_gemm_i8_strided_batched(r.layout, r.ta, r.tb, r.m, r.n, r.k,
+                                          alpha, a, r.lda, r.stride_a, b,
+                                          r.ldb, r.stride_b, beta, c, r.ldc,
+                                          r.stride_c, r.batch, r.qp, bopts)
+             : gemm_i8_strided_batched(r.layout, r.ta, r.tb, r.m, r.n, r.k,
+                                       alpha, a, r.lda, r.stride_a, b, r.ldb,
+                                       r.stride_b, beta, c, r.ldc, r.stride_c,
+                                       r.batch, r.qp, bopts);
+  } else if (r.ft) {
+    res.report = ft_gemm_i8(r.layout, r.ta, r.tb, r.m, r.n, r.k, alpha, a,
+                            r.lda, b, r.ldb, beta, c, r.ldc, r.qp, r.opts);
+  } else {
+    gemm_i8(r.layout, r.ta, r.tb, r.m, r.n, r.k, alpha, a, r.lda, b, r.ldb,
+            beta, c, r.ldc, r.qp, r.opts);
   }
   res.status = RequestStatus::kDone;
   return res;
@@ -647,6 +686,9 @@ void GemmService::execute_group(std::vector<detail::Pending>& group,
       case Precision::kF16:
         execute_coalesced_typed<fp16_t, float>(group, shard_id);
         break;
+      case Precision::kI8:
+        execute_coalesced_i8(group, shard_id);
+        break;
     }
   }
   if (inlined) {
@@ -665,6 +707,7 @@ void GemmService::execute_direct(detail::Pending& p, bool inlined) {
     case Precision::kF32: res = run_direct<float>(p.req); break;
     case Precision::kBf16: res = run_direct_mixed<bf16_t>(p.req); break;
     case Precision::kF16: res = run_direct_mixed<fp16_t>(p.req); break;
+    case Precision::kI8: res = run_direct_i8(p.req); break;
   }
   res.inlined = inlined;
   {
@@ -728,6 +771,66 @@ void GemmService::execute_coalesced_typed(std::vector<detail::Pending>& group,
                                    head.lda, bp.data(), head.ldb,
                                    C(head.beta), cp.data(), head.ldc, members,
                                    bopts);
+  {
+    std::lock_guard<std::mutex> lk(stats_m_);
+    stats_.completed += std::uint64_t(members);
+    ++stats_.coalesced_batches;
+    stats_.coalesced_members += std::uint64_t(members);
+    stats_.errors_detected += rep.errors_detected;
+    stats_.errors_corrected += rep.errors_corrected;
+    stats_.dirty_results += std::uint64_t(rep.dirty_problems);
+    if (rep.invalid_args) stats_.dirty_results += std::uint64_t(members);
+  }
+  if (shard_id >= 0) {
+    auto& c = shards_[std::size_t(shard_id)]->counters;
+    c.coalesced_batches.fetch_add(1, std::memory_order_relaxed);
+    c.coalesced_members.fetch_add(std::uint64_t(members),
+                                  std::memory_order_relaxed);
+  }
+  const bool inlined = shard_id < 0;
+  for (index_t i = 0; i < members; ++i) {
+    GemmResult res;
+    res.status = RequestStatus::kDone;
+    res.coalesced = true;
+    res.inlined = inlined;
+    if (head.ft && std::size_t(i) < rep.per_problem.size()) {
+      res.report = rep.per_problem[std::size_t(i)];
+    }
+    res.report.invalid_args = rep.invalid_args;
+    detail::settle(*group[std::size_t(i)].state, std::move(res));
+  }
+}
+
+void GemmService::execute_coalesced_i8(std::vector<detail::Pending>& group,
+                                       int shard_id) {
+  // Mirror of execute_coalesced_typed with the int8 call shape: fp32
+  // scalars and C, one QuantParams for the whole merged batch
+  // (coalesce_match required every member's to be equal).
+  const GemmRequest& head = group.front().req;
+  const index_t members = index_t(group.size());
+  std::vector<const std::int8_t*> ap(static_cast<std::size_t>(members));
+  std::vector<const std::int8_t*> bp(static_cast<std::size_t>(members));
+  std::vector<float*> cp(static_cast<std::size_t>(members));
+  for (index_t i = 0; i < members; ++i) {
+    const GemmRequest& r = group[std::size_t(i)].req;
+    ap[std::size_t(i)] = static_cast<const std::int8_t*>(r.a);
+    bp[std::size_t(i)] = static_cast<const std::int8_t*>(r.b);
+    cp[std::size_t(i)] = static_cast<float*>(r.c);
+  }
+  BatchOptions bopts;
+  bopts.base = head.opts;
+  bopts.schedule = BatchSchedule::kInter;
+  const BatchReport rep =
+      head.ft ? ft_gemm_i8_batched(head.layout, head.ta, head.tb, head.m,
+                                   head.n, head.k, float(head.alpha),
+                                   ap.data(), head.lda, bp.data(), head.ldb,
+                                   float(head.beta), cp.data(), head.ldc,
+                                   members, head.qp, bopts)
+              : gemm_i8_batched(head.layout, head.ta, head.tb, head.m, head.n,
+                                head.k, float(head.alpha), ap.data(),
+                                head.lda, bp.data(), head.ldb,
+                                float(head.beta), cp.data(), head.ldc,
+                                members, head.qp, bopts);
   {
     std::lock_guard<std::mutex> lk(stats_m_);
     stats_.completed += std::uint64_t(members);

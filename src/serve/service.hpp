@@ -90,6 +90,7 @@
 #include "core/gemm_batched.hpp"
 #include "core/options.hpp"
 #include "core/plan.hpp"
+#include "kernels/int8_types.hpp"
 
 namespace ftgemm::serve {
 
@@ -100,7 +101,12 @@ namespace ftgemm::serve {
 /// the group-merge predicate (serve/shard.hpp coalesce_match) requires
 /// member precisions to match, so mixed traffic shards and batches exactly
 /// like fp32 traffic without ever mixing element types in one batched call.
-enum class Precision { kF32, kF64, kBf16, kF16 };
+/// kI8 is the quantized integer path (core/gemm_i8.hpp): A/B are s8, C and
+/// the scalars are fp32, arithmetic is exact int32/int64 — and the request
+/// carries its QuantParams, which coalesce_match additionally requires to be
+/// equal before merging two int8 requests into one batched call (the
+/// batched entry point takes one QuantParams for the whole batch).
+enum class Precision { kF32, kF64, kBf16, kF16, kI8 };
 
 /// Precision tag for a storage element type (the request-builder mapping).
 template <typename T>
@@ -151,6 +157,10 @@ struct GemmRequest {
   index_t ldc = 0, stride_c = 0;
   index_t batch = 1;
   Options opts;
+  /// Quantization parameters of a kI8 request (ignored otherwise): one
+  /// per-tensor (scale, zero point) pair per operand, shared by every
+  /// problem of a batched request.
+  QuantParams qp;
   Priority priority = Priority::kNormal;
   /// Pin this request to shard `shard_hint % shards` instead of the
   /// submitting thread's round-robin home shard.  < 0 (default) = auto.
@@ -252,6 +262,59 @@ GemmRequest make_strided_batched_request(
     Priority priority = Priority::kNormal) {
   GemmRequest r = make_gemm_request<S>(ft, layout, ta, tb, m, n, k, alpha, a,
                                        lda, b, ldb, beta, c, ldc, opts,
+                                       priority);
+  r.stride_a = stride_a;
+  r.stride_b = stride_b;
+  r.stride_c = stride_c;
+  r.batch = batch;
+  return r;
+}
+
+/// Builder for a quantized int8 single-problem request: s8 A and B, fp32
+/// scalars and C, QuantParams riding along.  A dedicated name (not a
+/// make_gemm_request overload) because the int8 signature — float scalars
+/// with int8 operands — matches neither the uniform nor the narrow-storage
+/// template shape.
+inline GemmRequest make_gemm_request_i8(
+    bool ft, Layout layout, Trans ta, Trans tb, index_t m, index_t n,
+    index_t k, float alpha, const std::int8_t* a, index_t lda,
+    const std::int8_t* b, index_t ldb, float beta, float* c, index_t ldc,
+    const QuantParams& qp = {}, const Options& opts = {},
+    Priority priority = Priority::kNormal) {
+  GemmRequest r;
+  r.precision = Precision::kI8;
+  r.ft = ft;
+  r.layout = layout;
+  r.ta = ta;
+  r.tb = tb;
+  r.m = m;
+  r.n = n;
+  r.k = k;
+  r.alpha = double(alpha);
+  r.beta = double(beta);
+  r.a = a;
+  r.lda = lda;
+  r.b = b;
+  r.ldb = ldb;
+  r.c = c;
+  r.ldc = ldc;
+  r.opts = opts;
+  r.qp = qp;
+  r.priority = priority;
+  return r;
+}
+
+/// Quantized int8 strided-batched builder (stride 0 broadcasts A/B; one
+/// QuantParams for the whole batch).
+inline GemmRequest make_strided_batched_request_i8(
+    bool ft, Layout layout, Trans ta, Trans tb, index_t m, index_t n,
+    index_t k, float alpha, const std::int8_t* a, index_t lda,
+    index_t stride_a, const std::int8_t* b, index_t ldb, index_t stride_b,
+    float beta, float* c, index_t ldc, index_t stride_c, index_t batch,
+    const QuantParams& qp = {}, const Options& opts = {},
+    Priority priority = Priority::kNormal) {
+  GemmRequest r = make_gemm_request_i8(ft, layout, ta, tb, m, n, k, alpha, a,
+                                       lda, b, ldb, beta, c, ldc, qp, opts,
                                        priority);
   r.stride_a = stride_a;
   r.stride_b = stride_b;
@@ -493,6 +556,8 @@ class GemmService {
   template <typename S, typename C = S>
   void execute_coalesced_typed(std::vector<detail::Pending>& group,
                                int shard_id);
+  void execute_coalesced_i8(std::vector<detail::Pending>& group,
+                            int shard_id);
   void count_rejected(std::uint64_t n = 1);
   void count_cancelled(std::uint64_t n);
   void note_group_start();

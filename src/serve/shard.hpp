@@ -84,7 +84,10 @@ inline bool coalesce_match(const GemmRequest& x, const PlanKey& xkey,
   const GemmRequest& r = y.req;
   return y.coalescible && x.precision == r.precision &&
          x.layout == r.layout && x.alpha == r.alpha && x.beta == r.beta &&
-         x.lda == r.lda && x.ldb == r.ldb && x.ldc == r.ldc && xkey == y.key;
+         x.lda == r.lda && x.ldb == r.ldb && x.ldc == r.ldc &&
+         xkey == y.key &&
+         // int8 batched calls take ONE QuantParams for every member.
+         (x.precision != Precision::kI8 || x.qp == r.qp);
 }
 
 }  // namespace detail

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <string>
 
 #include "arch/cpu_features.hpp"
 #include "arch/isa.hpp"
@@ -48,7 +49,29 @@ TEST(Isa, SelectNeverExceedsHardware) {
   }
 }
 
+// The Isa.EnvOverride* tests probe the env-var policy itself, so they must
+// neutralize any FTGEMM_FORCE_ISA inherited from the outer environment
+// (the CI scalar-fallback leg exports it for the whole ctest run; it wins
+// over FTGEMM_ISA by design) — and restore it afterwards so the rest of
+// this binary still runs under the leg's forced ISA.
+class ForceIsaScope {
+ public:
+  ForceIsaScope() {
+    if (const char* v = std::getenv("FTGEMM_FORCE_ISA")) {
+      saved_ = v;
+      ::unsetenv("FTGEMM_FORCE_ISA");
+    }
+  }
+  ~ForceIsaScope() {
+    if (!saved_.empty()) ::setenv("FTGEMM_FORCE_ISA", saved_.c_str(), 1);
+  }
+
+ private:
+  std::string saved_;
+};
+
 TEST(Isa, EnvOverrideDowngrades) {
+  ForceIsaScope no_force;
   ::setenv("FTGEMM_ISA", "scalar", 1);
   EXPECT_EQ(select_isa(), Isa::kScalar);
   ::setenv("FTGEMM_ISA", "avx2", 1);
@@ -62,12 +85,23 @@ TEST(Isa, EnvOverrideDowngrades) {
 }
 
 TEST(Isa, EnvOverrideCannotUpgradeBeyondHardware) {
+  ForceIsaScope no_force;
   ::setenv("FTGEMM_ISA", "avx512", 1);
   const Isa got = select_isa();
   if (!cpu_features().has_avx512_kernel_support()) {
     EXPECT_NE(got, Isa::kAvx512);
   }
   ::unsetenv("FTGEMM_ISA");
+}
+
+TEST(Isa, ForceIsaWinsOverHistoricalOverride) {
+  ForceIsaScope no_force;
+  ::setenv("FTGEMM_FORCE_ISA", "scalar", 1);
+  ::setenv("FTGEMM_ISA", "avx2", 1);
+  EXPECT_EQ(select_isa(), Isa::kScalar)
+      << "FTGEMM_FORCE_ISA must take precedence over FTGEMM_ISA";
+  ::unsetenv("FTGEMM_ISA");
+  ::unsetenv("FTGEMM_FORCE_ISA");
 }
 
 }  // namespace

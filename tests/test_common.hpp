@@ -13,8 +13,10 @@
 
 #include "baseline/naive_gemm.hpp"
 #include "core/gemm.hpp"
+#include "kernels/int8_types.hpp"
 #include "util/env.hpp"
 #include "util/matrix.hpp"
+#include "util/rng.hpp"
 
 namespace ftgemm::testing {
 
@@ -112,6 +114,93 @@ Matrix<T> reference_result(const GemmCase& cs, const Problem<T>& p) {
                     p.a.ld(), p.b.data(), p.b.ld(), T(cs.beta), ref.data(),
                     ref.ld());
   return ref;
+}
+
+// ---------------------------------------------------------------------------
+// int8 quantized-path helpers (core/gemm_i8.hpp), shared by test_int8.cpp
+// and the fuzz sweeps.
+// ---------------------------------------------------------------------------
+
+/// Uniform random s8 matrix over the full [-128, 127] lane range.  The
+/// generic Matrix::fill_random draws uniform *doubles* in [-1, 1) — cast to
+/// int8 that is almost surely 0 or -1 — so the int8 suites draw raw lanes.
+inline Matrix<std::int8_t> random_i8_matrix(index_t rows, index_t cols,
+                                            std::uint64_t seed,
+                                            index_t ld = 0) {
+  Matrix<std::int8_t> m(rows, cols, ld);
+  Xoshiro256 rng(seed);
+  for (index_t j = 0; j < cols; ++j) {
+    for (index_t i = 0; i < rows; ++i) {
+      m(i, j) = std::int8_t(std::int32_t(rng.bounded(256)) - 128);
+    }
+  }
+  return m;
+}
+
+/// The int8 oracle: widened-int64 exact inner sum plus a mirror of
+/// dequantize_epilogue_i8's double arithmetic (core/driver_i8.hpp).  The
+/// int8 suites compare against it at tolerance ZERO, so the association
+/// order of the scale product must match the library's exactly: a
+/// row-major call is normalized to the transposed column-major problem
+/// with swapped QuantParams, making its product (alpha*sb)*sa — one ULP
+/// away from (alpha*sa)*sb in general — hence the `row` branch below.
+/// The integer sum itself needs no such care: it is exact either way.
+inline void naive_ref_gemm_i8(Layout layout, Trans ta, Trans tb, index_t m,
+                              index_t n, index_t k, float alpha,
+                              const std::int8_t* a, index_t lda,
+                              const std::int8_t* b, index_t ldb, float beta,
+                              float* c, index_t ldc,
+                              const QuantParams& qp = {}) {
+  const bool row = layout == Layout::kRowMajor;
+  auto a_at = [&](index_t i, index_t kk) {
+    const index_t r = ta == Trans::kNoTrans ? i : kk;
+    const index_t s = ta == Trans::kNoTrans ? kk : i;
+    return std::int64_t(row ? a[r * lda + s] : a[s * lda + r]);
+  };
+  auto b_at = [&](index_t kk, index_t j) {
+    const index_t r = tb == Trans::kNoTrans ? kk : j;
+    const index_t s = tb == Trans::kNoTrans ? j : kk;
+    return std::int64_t(row ? b[r * ldb + s] : b[s * ldb + r]);
+  };
+  auto c_at = [&](index_t i, index_t j) -> float& {
+    return row ? c[i * ldc + j] : c[j * ldc + i];
+  };
+  if (k == 0 || alpha == 0.0f) {
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t i = 0; i < m; ++i) {
+        float& cr = c_at(i, j);
+        cr = beta == 0.0f ? 0.0f : float(double(beta) * double(cr));
+      }
+    }
+    return;
+  }
+  const double sab = row
+      ? double(alpha) * double(qp.scale_b) * double(qp.scale_a)
+      : double(alpha) * double(qp.scale_a) * double(qp.scale_b);
+  const std::int64_t za = qp.zero_a, zb = qp.zero_b;
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      std::int64_t s = 0;
+      for (index_t kk = 0; kk < k; ++kk) {
+        s += (a_at(i, kk) - za) * (b_at(kk, j) - zb);
+      }
+      float& cr = c_at(i, j);
+      const double v = sab * double(s);
+      cr = beta == 0.0f ? float(v) : float(v + double(beta) * double(cr));
+    }
+  }
+}
+
+/// Random per-tensor QuantParams spanning exact and inexact scales and the
+/// full zero-point range.
+inline QuantParams random_quant_params(Xoshiro256& rng) {
+  static constexpr float kScales[] = {1.0f, 0.5f, 0.125f, 0.02f, 3.0f};
+  QuantParams qp;
+  qp.scale_a = kScales[rng.bounded(5)];
+  qp.scale_b = kScales[rng.bounded(5)];
+  qp.zero_a = std::int32_t(rng.bounded(256)) - 128;
+  qp.zero_b = std::int32_t(rng.bounded(256)) - 128;
+  return qp;
 }
 
 /// Rounding-error budget for an m*n*k GEMM comparison against a different

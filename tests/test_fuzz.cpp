@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "test_common.hpp"
+#include "core/gemm_i8.hpp"
 #include "inject/injectors.hpp"
 
 namespace ftgemm {
@@ -205,6 +206,94 @@ TEST_P(MixedFuzzSweep, Bf16InjectedRunsNeverSilentlyWrong) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MixedFuzzSweep,
+                         ::testing::ValuesIn(sweep_seeds()));
+
+/// int8 sweep: the quantized path's contract is *stronger* than the float
+/// sweeps' — the oracle (widened-int64 sum + the epilogue's exact double
+/// expression) must match BIT-FOR-BIT on clean runs, and tolerance-zero
+/// verification must never fire on them.
+class Int8FuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Int8FuzzSweep, CleanRunsBitExactVsWidenedOracle) {
+  Xoshiro256 rng(GetParam() ^ 0x18);
+  for (int iter = 0; iter < 6; ++iter) {
+    const GemmCase cs = random_case(rng);
+    const QuantParams qp = testing::random_quant_params(rng);
+    const std::uint64_t pseed = rng.next();
+    const auto [am, an] = testing::a_dims(cs);
+    const auto [bm, bn] = testing::b_dims(cs);
+    const Matrix<std::int8_t> a = testing::random_i8_matrix(am, an, pseed);
+    const Matrix<std::int8_t> b =
+        testing::random_i8_matrix(bm, bn, pseed + 1);
+    Matrix<float> c(cs.m, cs.n);
+    c.fill_random(pseed + 2);
+    Matrix<float> ref = c.clone();
+    testing::naive_ref_gemm_i8(Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n,
+                               cs.k, float(cs.alpha), a.data(), a.ld(),
+                               b.data(), b.ld(), float(cs.beta), ref.data(),
+                               ref.ld(), qp);
+    Matrix<float> got = c.clone();
+    const FtReport rep = ft_gemm_i8(Layout::kColMajor, cs.ta, cs.tb, cs.m,
+                                    cs.n, cs.k, float(cs.alpha), a.data(),
+                                    a.ld(), b.data(), b.ld(),
+                                    float(cs.beta), got.data(), got.ld(),
+                                    qp);
+    EXPECT_TRUE(rep.clean()) << cs << seed_note(GetParam());
+    EXPECT_EQ(rep.errors_detected, 0)
+        << cs << ": tolerance-0 false positive" << seed_note(GetParam());
+    expect_matrix_near(got, ref, 0.0, cs.name() + seed_note(GetParam()));
+    Matrix<float> ori = c.clone();
+    gemm_i8(Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n, cs.k,
+            float(cs.alpha), a.data(), a.ld(), b.data(), b.ld(),
+            float(cs.beta), ori.data(), ori.ld(), qp);
+    expect_matrix_near(ori, ref, 0.0,
+                       "ori " + cs.name() + seed_note(GetParam()));
+  }
+}
+
+TEST_P(Int8FuzzSweep, InjectedRunsCorrectedToBitExactness) {
+  // Injection parity with the float sweeps, sharpened: a clean report
+  // means C is bit-identical to the fault-free oracle (the integer solver
+  // reverses the exact delta, leaving no rounding residue), and a nonzero
+  // integer strike is always detected at tolerance 0.
+  Xoshiro256 rng(GetParam() ^ 0x18AB);
+  for (int iter = 0; iter < 4; ++iter) {
+    GemmCase cs = random_case(rng);
+    cs.alpha = cs.alpha == 0.0 ? 1.0 : cs.alpha;
+    cs.m = std::max<index_t>(cs.m, 8);
+    cs.n = std::max<index_t>(cs.n, 8);
+    cs.k = std::max<index_t>(cs.k, 8);
+    const QuantParams qp = testing::random_quant_params(rng);
+    const std::uint64_t pseed = rng.next();
+    const auto [am, an] = testing::a_dims(cs);
+    const auto [bm, bn] = testing::b_dims(cs);
+    const Matrix<std::int8_t> a = testing::random_i8_matrix(am, an, pseed);
+    const Matrix<std::int8_t> b =
+        testing::random_i8_matrix(bm, bn, pseed + 1);
+    Matrix<float> c(cs.m, cs.n);
+    c.fill_random(pseed + 2);
+    Matrix<float> ref = c.clone();
+    testing::naive_ref_gemm_i8(Layout::kColMajor, cs.ta, cs.tb, cs.m, cs.n,
+                               cs.k, float(cs.alpha), a.data(), a.ld(),
+                               b.data(), b.ld(), float(cs.beta), ref.data(),
+                               ref.ld(), qp);
+    Matrix<float> got = c.clone();
+    CountInjector inj(int(1 + rng.bounded(6)), rng.next(), 700.0);
+    Options opts;
+    opts.injector = &inj;
+    const FtReport rep = ft_gemm_i8(Layout::kColMajor, cs.ta, cs.tb, cs.m,
+                                    cs.n, cs.k, float(cs.alpha), a.data(),
+                                    a.ld(), b.data(), b.ld(),
+                                    float(cs.beta), got.data(), got.ld(),
+                                    qp, opts);
+    EXPECT_GE(rep.errors_detected, 1) << cs << seed_note(GetParam());
+    if (rep.clean()) {
+      expect_matrix_near(got, ref, 0.0, cs.name() + seed_note(GetParam()));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Int8FuzzSweep,
                          ::testing::ValuesIn(sweep_seeds()));
 
 TEST(CorrectionLog, MatchesInjectorGroundTruth) {
