@@ -256,20 +256,24 @@ class ContextCache {
   [[nodiscard]] std::shared_ptr<const Plan> plan(
       Trans ta, Trans tb, index_t m, index_t n, index_t k,
       const Options& opts, bool ft) {
-    // The key resolves env/topology reads *outside* the lock.
-    return plan(make_plan_key(ta, tb, m, n, k, opts, ft));
+    // The key resolves env/topology reads *outside* the lock.  The memory
+    // injector rides along so PlanCache hits expose the kPlan strike
+    // surface (and verify + heal against it).
+    return plan(make_plan_key(ta, tb, m, n, k, opts, ft),
+                opts.memory_injector);
   }
 
   /// Same lookup for a pre-built key (callers that already resolved the
   /// fingerprint — the serving layer's admission path — skip the second
   /// env/topology resolution).
-  [[nodiscard]] std::shared_ptr<const Plan> plan(const PlanKey& key) {
+  [[nodiscard]] std::shared_ptr<const Plan> plan(
+      const PlanKey& key, MemoryFaultInjector* mem_injector = nullptr) {
     // Stamp the storage dtype (make_plan_key is dtype-blind) so every plan
     // this typed cache hands out carries its discriminator.
     PlanKey stamped = key;
     stamped.sdtype = kStorageDtypeTag<StorageT>;
     std::lock_guard<std::mutex> lk(plan_m_);
-    return plans_.get_or_build(stamped);
+    return plans_.get_or_build(stamped, mem_injector);
   }
 
   /// Drop every cached plan (thread-safe; see clear_process_caches).
@@ -294,6 +298,10 @@ class ContextCache {
   [[nodiscard]] std::uint64_t plan_misses() {
     std::lock_guard<std::mutex> lk(plan_m_);
     return plans_.misses();
+  }
+  [[nodiscard]] std::uint64_t plan_heals() {
+    std::lock_guard<std::mutex> lk(plan_m_);
+    return plans_.heals();
   }
 
   /// Contexts ever created / currently out on loan (diagnostics, tests).

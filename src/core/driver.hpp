@@ -192,6 +192,27 @@ inline void apply_planned_injections(FaultInjector* injector,
   }
 }
 
+/// Strike a transient packed panel between pack and consume (the kPanelA /
+/// kPanelB memory surfaces): the fault lands after every checksum predicted
+/// from the panel was derived, so the rank-KC panel verification must catch
+/// whatever the macro kernels compute from the corrupted bytes.  `live` is
+/// the count of live (unpadded) elements and `map` translates a live element
+/// ordinal into the physical packed-buffer index — flips in zero padding
+/// would be undetectable and harmless, so padding is not part of the
+/// surface.
+template <typename T, typename MapFn>
+inline void strike_transient_panel(MemoryFaultInjector* mem,
+                                   MemorySurface surface, T* buf,
+                                   std::size_t live, MapFn&& map) {
+  if (mem == nullptr || live == 0) return;
+  const MemoryStrikeContext mctx{surface, live, int(8 * sizeof(T))};
+  std::vector<PanelFlip> flips;
+  mem->plan_flips(mctx, flips);
+  if (flips.empty()) return;
+  for (const PanelFlip& f : flips) flip_value_bit(buf[map(f.elem)], f.bit);
+  mem->record_applied(flips.size());
+}
+
 /// Single-macro-tile direct path (plan.fast_path): serial, packed-once, no
 /// parallel region, no partition/barrier machinery, no per-call reduction
 /// scratch.  Bit-identical to the general path (FT checksums still fused).
@@ -207,7 +228,8 @@ FtReport execute_small(const GemmPlan<S, C>& plan, C alpha, const S* a,
                        index_t ldc, FaultInjector* injector,
                        std::vector<CorrectionRecord>* correction_log,
                        GemmContext<S, C>& ctx,
-                       const ResidentAPayload<S, C>* ra = nullptr) {
+                       const ResidentAPayload<S, C>* ra = nullptr,
+                       MemoryFaultInjector* mem_injector = nullptr) {
   using T = C;  // every buffer/accumulator below is compute-precision
   FtReport report;
   const WallTimer timer;
@@ -290,6 +312,30 @@ FtReport execute_small(const GemmPlan<S, C>& plan, C alpha, const S* a,
       }
     }
 
+    // Transient-surface strikes, between pack (all predicted checksums
+    // derived) and consume.  B~ always lives in workspace; A~ only when
+    // this call packed or widened it there — a zero-copy resident panel is
+    // the kResidentPanel surface, struck on acquire instead.
+    if (mem_injector != nullptr) {
+      const index_t nr = plan.blocking.nr, mr = plan.blocking.mr;
+      strike_transient_panel(
+          mem_injector, MemorySurface::kPanelB, ctx.btilde(),
+          std::size_t(k) * std::size_t(n), [&](std::size_t l) {
+            const index_t j = index_t(l / std::size_t(k));
+            const index_t kk = index_t(l % std::size_t(k));
+            return std::size_t((j / nr) * (nr * k) + kk * nr + j % nr);
+          });
+      if (apanel == ctx.atilde(0)) {
+        strike_transient_panel(
+            mem_injector, MemorySurface::kPanelA, ctx.atilde(0),
+            std::size_t(m) * std::size_t(k), [&](std::size_t l) {
+              const index_t i = index_t(l / std::size_t(k));
+              const index_t kk = index_t(l % std::size_t(k));
+              return std::size_t((i / mr) * (mr * k) + kk * mr + i % mr);
+            });
+      }
+    }
+
     run_macro_block<T, FT>(ks, m, n, k, apanel, ctx.btilde(), c, ldc,
                            FT ? ctx.crref_part(0) : nullptr,
                            FT ? ctx.ccref() : nullptr);
@@ -341,7 +387,8 @@ FtReport execute(const GemmPlan<S, C>& plan, C alpha, const S* a, index_t lda,
                  FaultInjector* injector,
                  std::vector<CorrectionRecord>* correction_log,
                  GemmContext<S, C>& ctx,
-                 const ResidentAPayload<S, C>* ra = nullptr) {
+                 const ResidentAPayload<S, C>* ra = nullptr,
+                 MemoryFaultInjector* mem_injector = nullptr) {
   using T = C;  // every buffer/accumulator below is compute-precision
   FtReport report;
   const PlanKey& key = plan.key;
@@ -350,7 +397,8 @@ FtReport execute(const GemmPlan<S, C>& plan, C alpha, const S* a, index_t lda,
 
   if (plan.fast_path) {
     return execute_small<S, FT, C>(plan, alpha, a, lda, b, ldb, beta, c, ldc,
-                                   injector, correction_log, ctx, ra);
+                                   injector, correction_log, ctx, ra,
+                                   mem_injector);
   }
 
   const WallTimer timer;
@@ -489,6 +537,25 @@ FtReport execute(const GemmPlan<S, C>& plan, C alpha, const S* a, index_t lda,
             tm.barrier();
           }
 
+          // Transient B~ strike: one member mutates the shared panel after
+          // every checksum predicted from it (Cr via pack_b_ft, Bc via
+          // reduce_bc) and before any macro kernel consumes it.
+          // mem_injector is uniform across the team, so every member takes
+          // the single's implicit trailing barrier.
+          if (mem_injector != nullptr) {
+            tm.single([&] {
+              strike_transient_panel(
+                  mem_injector, MemorySurface::kPanelB, ctx.btilde(),
+                  std::size_t(pinc) * std::size_t(jinc),
+                  [&](std::size_t l) {
+                    const index_t j = index_t(l / std::size_t(pinc));
+                    const index_t kk = index_t(l % std::size_t(pinc));
+                    return std::size_t((j / bp.nr) * (bp.nr * pinc) +
+                                       kk * bp.nr + j % bp.nr);
+                  });
+            });
+          }
+
           // Macro loop over this thread's rows.
           for (index_t ic = 0; ic < mlen; ic += bp.mc) {
             const index_t ilen = std::min(bp.mc, mlen - ic);
@@ -526,6 +593,26 @@ FtReport execute(const GemmPlan<S, C>& plan, C alpha, const S* a, index_t lda,
                 ks.pack.pack_a(av, ms + ic, p, ilen, pinc, bp.mr, alpha,
                                ctx.atilde(tid));
               }
+            }
+
+            // Transient A~ strike by the owning thread, only when the slab
+            // was packed/widened into this thread's private workspace — a
+            // zero-copy resident slab belongs to the kResidentPanel
+            // surface (and corrupting it here would poison later calls).
+            // Pinned to member 0: opportunity *order* must not depend on
+            // which thread packs first, or an armed one-shot injector's
+            // strike placement would be a scheduling race.
+            if (mem_injector != nullptr && tid == 0 &&
+                apanel == ctx.atilde(tid)) {
+              strike_transient_panel(
+                  mem_injector, MemorySurface::kPanelA, ctx.atilde(tid),
+                  std::size_t(ilen) * std::size_t(pinc),
+                  [&](std::size_t l) {
+                    const index_t i = index_t(l / std::size_t(pinc));
+                    const index_t kk = index_t(l % std::size_t(pinc));
+                    return std::size_t((i / bp.mr) * (bp.mr * pinc) +
+                                       kk * bp.mr + i % bp.mr);
+                  });
             }
 
             run_macro_block<T, FT>(

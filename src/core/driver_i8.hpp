@@ -214,7 +214,8 @@ FtReport execute_small_i8(const GemmPlan<std::int8_t, std::int32_t>& plan,
                           std::vector<CorrectionRecord>* correction_log,
                           GemmContext<std::int8_t, std::int32_t>& ctx,
                           const ResidentAPayload<std::int8_t, std::int32_t>*
-                              ra = nullptr) {
+                              ra = nullptr,
+                          MemoryFaultInjector* mem_injector = nullptr) {
   FtReport report;
   const WallTimer timer;
   const PlanKey& key = plan.key;
@@ -279,6 +280,41 @@ FtReport execute_small_i8(const GemmPlan<std::int8_t, std::int32_t>& plan,
       }
     }
 
+    // Transient-surface strikes: corrupt the packed bytes after every
+    // checksum input has been derived from them (bcol/cr/bc at pack,
+    // arow/cc at pack) but before the macro kernel consumes them.  Live
+    // bytes only — the quad-padding bytes multiply against zero rows and
+    // would be undetectable by construction.  A~ is struck only when it is
+    // this call's scratch, never a zero-copy resident slab.
+    strike_transient_panel(mem_injector, MemorySurface::kPanelB, ctx.btilde(),
+                           std::size_t(k) * std::size_t(n),
+                           [&](std::size_t l) {
+                             const index_t j = index_t(l) / k;
+                             const index_t kk = index_t(l) % k;
+                             return std::size_t(
+                                 (j / plan.blocking.nr) *
+                                     i8_tile_bytes(k, plan.blocking.nr) +
+                                 (kk / kI8KQuad) * (plan.blocking.nr *
+                                                    kI8KQuad) +
+                                 (j % plan.blocking.nr) * kI8KQuad +
+                                 kk % kI8KQuad);
+                           });
+    if (apanel == ctx.atilde(0)) {
+      strike_transient_panel(mem_injector, MemorySurface::kPanelA,
+                             ctx.atilde(0), std::size_t(m) * std::size_t(k),
+                             [&](std::size_t l) {
+                               const index_t i = index_t(l) / k;
+                               const index_t kk = index_t(l) % k;
+                               return std::size_t(
+                                   (i / plan.blocking.mr) *
+                                       i8_tile_bytes(k, plan.blocking.mr) +
+                                   (kk / kI8KQuad) * (plan.blocking.mr *
+                                                      kI8KQuad) +
+                                   (i % plan.blocking.mr) * kI8KQuad +
+                                   kk % kI8KQuad);
+                             });
+    }
+
     run_macro_block_i8<FT>(ks, m, n, k, apanel, ctx.btilde(), ctx.cq(), m,
                            FT ? ctx.crref_part(0) : nullptr,
                            FT ? ctx.ccref() : nullptr);
@@ -327,7 +363,8 @@ FtReport execute_i8(const GemmPlan<std::int8_t, std::int32_t>& plan,
                     std::vector<CorrectionRecord>* correction_log,
                     GemmContext<std::int8_t, std::int32_t>& ctx,
                     const ResidentAPayload<std::int8_t, std::int32_t>* ra =
-                        nullptr) {
+                        nullptr,
+                    MemoryFaultInjector* mem_injector = nullptr) {
   FtReport report;
   const PlanKey& key = plan.key;
   const index_t m = key.m, n = key.n, k = key.k;
@@ -335,7 +372,8 @@ FtReport execute_i8(const GemmPlan<std::int8_t, std::int32_t>& plan,
 
   if (plan.fast_path) {
     return execute_small_i8<FT>(plan, alpha, a, lda, b, ldb, beta, c, ldc,
-                                qp, injector, correction_log, ctx, ra);
+                                qp, injector, correction_log, ctx, ra,
+                                mem_injector);
   }
 
   const WallTimer timer;
@@ -459,6 +497,28 @@ FtReport execute_i8(const GemmPlan<std::int8_t, std::int32_t>& plan,
             tm.barrier();
           }
 
+          // Transient B~ strike: corrupt the shared packed bytes after
+          // bcol/cr (pack) and bc (reduce) were derived from them, before
+          // any kernel consumes them.  Single member — mem_injector is
+          // uniform across the team, so everyone takes the implicit
+          // trailing barrier.  Live bytes only (quad padding multiplies
+          // zero rows and is undetectable by construction).
+          if (mem_injector != nullptr) {
+            tm.single([&] {
+              strike_transient_panel(
+                  mem_injector, MemorySurface::kPanelB, ctx.btilde(),
+                  std::size_t(pinc) * std::size_t(jinc),
+                  [&](std::size_t l) {
+                    const index_t j = index_t(l) / pinc;
+                    const index_t kk = index_t(l) % pinc;
+                    return std::size_t(
+                        (j / bp.nr) * i8_tile_bytes(pinc, bp.nr) +
+                        (kk / kI8KQuad) * (bp.nr * kI8KQuad) +
+                        (j % bp.nr) * kI8KQuad + kk % kI8KQuad);
+                  });
+            });  // trailing team barrier
+          }
+
           // Macro loop over this thread's rows.
           for (index_t ic = 0; ic < mlen; ic += bp.mc) {
             const index_t ilen = std::min(bp.mc, mlen - ic);
@@ -494,6 +554,27 @@ FtReport execute_i8(const GemmPlan<std::int8_t, std::int32_t>& plan,
                                ctx.atilde(tid),
                                jc == 0 ? ctx.arow() : nullptr);
               }
+            }
+
+            // Transient A~ strike: this thread's private scratch only,
+            // after arow/cc were encoded from the clean bytes — never a
+            // zero-copy resident slab (that is kResidentPanel's surface,
+            // and poisoning it would outlive the call).  Pinned to member
+            // 0 so an armed one-shot injector's strike placement is not a
+            // which-thread-packed-first scheduling race.
+            if (mem_injector != nullptr && tid == 0 &&
+                apanel == ctx.atilde(tid)) {
+              strike_transient_panel(
+                  mem_injector, MemorySurface::kPanelA, ctx.atilde(tid),
+                  std::size_t(ilen) * std::size_t(pinc),
+                  [&](std::size_t l) {
+                    const index_t i = index_t(l) / pinc;
+                    const index_t kk = index_t(l) % pinc;
+                    return std::size_t(
+                        (i / bp.mr) * i8_tile_bytes(pinc, bp.mr) +
+                        (kk / kI8KQuad) * (bp.mr * kI8KQuad) +
+                        (i % bp.mr) * kI8KQuad + kk % kI8KQuad);
+                  });
             }
 
             run_macro_block_i8<FT>(ks, ilen, jinc, pinc, apanel,

@@ -60,9 +60,11 @@ FtReport dispatch(Layout layout, Trans ta, Trans tb, index_t m, index_t n,
   FtReport rep = detail::execute<S, FT, C>(*plan, alpha, a, lda, b, ldb,
                                            beta, c, ldc, opts.injector,
                                            opts.correction_log, *lease,
-                                           acq.payload.get());
+                                           acq.payload.get(),
+                                           opts.memory_injector);
   rep.resident_hit = acq.hit;
   rep.resident_heals = acq.heals;
+  rep.resident_ecc_corrected = acq.ecc_corrected;
   return rep;
 }
 
@@ -90,9 +92,11 @@ FtReport dispatch_engine(Layout layout, Trans ta, Trans tb, index_t m,
   FtReport rep = detail::execute<S, FT, C>(*plan, alpha, a, lda, b, ldb,
                                            beta, c, ldc, opts.injector,
                                            opts.correction_log, ctx,
-                                           acq.payload.get());
+                                           acq.payload.get(),
+                                           opts.memory_injector);
   rep.resident_hit = acq.hit;
   rep.resident_heals = acq.heals;
+  rep.resident_ecc_corrected = acq.ecc_corrected;
   return rep;
 }
 

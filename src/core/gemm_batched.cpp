@@ -126,9 +126,11 @@ BatchReport run_batched(Layout layout, Trans ta, Trans tb, index_t m,
     }
     FtReport rep = detail::execute<S, FT, C>(*plan, alpha, a[p], lda, b[p],
                                              ldb, beta, c[p], ldc, injector,
-                                             log, ctx, acq.payload.get());
+                                             log, ctx, acq.payload.get(),
+                                             opts.base.memory_injector);
     rep.resident_hit = acq.hit;
     rep.resident_heals = acq.heals;
+    rep.resident_ecc_corrected = acq.ecc_corrected;
     reports[std::size_t(p)] = rep;
   };
 
@@ -153,6 +155,7 @@ BatchReport run_batched(Layout layout, Trans ta, Trans tb, index_t m,
   for (const FtReport& r : reports) {
     if (r.resident_hit) ++report.resident_hits;
     report.resident_heals += r.resident_heals;
+    report.resident_ecc_corrected += r.resident_ecc_corrected;
   }
   if constexpr (FT) {
     for (const FtReport& r : reports) {

@@ -83,9 +83,11 @@ FtReport dispatch_i8(Layout layout, Trans ta, Trans tb, index_t m, index_t n,
   FtReport rep = detail::execute_i8<FT>(*plan, alpha, a, lda, b, ldb, beta, c,
                                         ldc, q, opts.injector,
                                         opts.correction_log, *lease,
-                                        acq.payload.get());
+                                        acq.payload.get(),
+                                        opts.memory_injector);
   rep.resident_hit = acq.hit;
   rep.resident_heals = acq.heals;
+  rep.resident_ecc_corrected = acq.ecc_corrected;
   return rep;
 }
 
@@ -113,9 +115,11 @@ FtReport dispatch_engine_i8(Layout layout, Trans ta, Trans tb, index_t m,
   FtReport rep = detail::execute_i8<FT>(*plan, alpha, a, lda, b, ldb, beta, c,
                                         ldc, q, opts.injector,
                                         opts.correction_log, ctx,
-                                        acq.payload.get());
+                                        acq.payload.get(),
+                                        opts.memory_injector);
   rep.resident_hit = acq.hit;
   rep.resident_heals = acq.heals;
+  rep.resident_ecc_corrected = acq.ecc_corrected;
   return rep;
 }
 
@@ -211,9 +215,11 @@ BatchReport run_batched_i8(Layout layout, Trans ta, Trans tb, index_t m,
     }
     FtReport rep = detail::execute_i8<FT>(*plan, alpha, a[p], lda, b[p], ldb,
                                           beta, c[p], ldc, q, injector, log,
-                                          ctx, acq.payload.get());
+                                          ctx, acq.payload.get(),
+                                          opts.base.memory_injector);
     rep.resident_hit = acq.hit;
     rep.resident_heals = acq.heals;
+    rep.resident_ecc_corrected = acq.ecc_corrected;
     reports[std::size_t(p)] = rep;
   };
 
@@ -231,6 +237,7 @@ BatchReport run_batched_i8(Layout layout, Trans ta, Trans tb, index_t m,
   for (const FtReport& r : reports) {
     if (r.resident_hit) ++report.resident_hits;
     report.resident_heals += r.resident_heals;
+    report.resident_ecc_corrected += r.resident_ecc_corrected;
   }
   if constexpr (FT) {
     for (const FtReport& r : reports) {

@@ -1,11 +1,13 @@
 #include "core/operand_cache.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cstring>
 #include <type_traits>
 
 #include "core/context.hpp"
 #include "core/driver.hpp"
+#include "core/secded.hpp"
 #include "inject/injector.hpp"
 #include "util/env.hpp"
 
@@ -263,8 +265,9 @@ void fill_payload<std::int8_t, std::int32_t>(
   // offset is exact), but a ragged last panel is quad-padded to
   // tiles*mr*i8_kq(pinc)*4 — which exceeds the elems() = tiles*mr*k
   // estimate the generic payload geometry assumes.  elems()/bytes() then
-  // understate slightly (harmless: the injector's elem % elems() stays in
-  // bounds, accounting is conservative); the allocation must not.
+  // understate slightly (harmless: injected flips stay inside elems() by
+  // the plan_flips contract, accounting is conservative); the allocation
+  // must not.
   std::size_t panel_bytes = 0;
   for (index_t p = 0; p < k; p += pl.kc) {
     const index_t pinc = std::min(pl.kc, k - p);
@@ -294,14 +297,16 @@ void fill_payload<std::int8_t, std::int32_t>(
   integrity_sums(pl, pl.rowchk.data(), pl.colchk.data());
 }
 
-/// Flip one bit of a resident element in place (memory-fault emulation).
-template <typename T>
-void flip_payload_bit(T& v, int bit) {
-  using Bits = StorageBits<T>;
-  Bits bits;
-  std::memcpy(&bits, &v, sizeof(bits));
-  bits ^= Bits(1) << (unsigned(bit) % (8 * sizeof(T)));
-  std::memcpy(&v, &bits, sizeof(bits));
+/// SEC-DED parity over the packed panel bytes (allocation-accurate: int8
+/// payloads cover the quad-padded tail too, since its bytes feed the
+/// kernels just like live ones).
+template <typename S, typename C>
+void ecc_encode_payload(ResidentAPayload<S, C>& pl) {
+  const std::size_t nbytes = pl.panels.size() * sizeof(S);
+  pl.ecc.reset(secded::parity_bytes(nbytes));
+  secded::encode_buffer(
+      reinterpret_cast<const unsigned char*>(pl.panels.data()), nbytes,
+      pl.ecc.data());
 }
 
 }  // namespace
@@ -321,7 +326,8 @@ template <typename S, typename C>
 OperandCache<S, C>::OperandCache(std::size_t capacity,
                                  std::size_t byte_capacity)
     : capacity_(capacity > 0 ? capacity : 1),
-      byte_capacity_(byte_capacity > 0 ? byte_capacity : 1) {}
+      byte_capacity_(byte_capacity > 0 ? byte_capacity : 1),
+      ecc_(env_long("FTGEMM_OPERAND_ECC", 0) != 0) {}
 
 template <typename S, typename C>
 void OperandCache<S, C>::evict_to_caps_locked() {
@@ -366,6 +372,7 @@ ResidentAcquisition<S, C> OperandCache<S, C>::acquire(
     // unrelated submitters), then publish — first inserter wins a race.
     auto payload = std::make_shared<Payload>();
     fill_payload(*payload, a, lda, trans, alpha, plan);
+    if (ecc()) ecc_encode_payload(*payload);
     slot = std::make_shared<Slot>();
     slot->payload = payload;
     slot->bytes = payload->bytes();
@@ -394,33 +401,62 @@ ResidentAcquisition<S, C> OperandCache<S, C>::acquire(
     return out;
   }
 
-  // Hit: inject planned memory faults, then CHECK_BEFORE-verify and heal.
-  // Serialized per entry so an injected flip and a concurrent verification
-  // sweep never race on the payload bytes.
+  // Hit: inject planned memory faults, then (with ECC) syndrome-sweep, then
+  // CHECK_BEFORE-verify and heal.  Serialized per entry so an injected flip
+  // and a concurrent sweep never race on the payload bytes.
   std::lock_guard<std::mutex> slot_lk(slot->m);
   std::shared_ptr<const Payload> payload = slot->payload;
   if (mem_injector != nullptr && payload) {
+    const MemoryStrikeContext mctx{MemorySurface::kResidentPanel,
+                                   payload->elems(), int(8 * sizeof(S))};
     std::vector<PanelFlip> flips;
-    mem_injector->plan_flips(payload->elems(), flips);
+    mem_injector->plan_flips(mctx, flips);
     if (!flips.empty()) {
       // Test-only corruption of the (logically immutable) resident bytes —
-      // the very event the re-verification below exists to catch.
+      // the very event the defenses below exist to catch.
       S* data = const_cast<S*>(payload->panels.data());
-      for (const PanelFlip& f : flips)
-        flip_payload_bit(data[f.elem % payload->elems()], f.bit);
+      for (const PanelFlip& f : flips) {
+        // plan_flips' canonicalized contract: in range, unique.
+        assert(f.elem < payload->elems() &&
+               std::size_t(f.bit) < 8 * sizeof(S));
+        flip_value_bit(data[f.elem], f.bit);
+      }
       mem_injector->record_applied(flips.size());
     }
   }
-  if (verify && payload) {
-    {
+  // SEC-DED sweep: corrects any single flipped bit per 64-bit word in
+  // place — no re-encode, no source-operand read.  A double-detect (or a
+  // multi-bit alias that "corrected" the wrong bit) falls through to the
+  // integrity re-verify, which forces the re-encode heal.
+  bool ecc_uncorrectable = false;
+  if (payload && payload->ecc.size() > 0) {
+    auto* bytes = const_cast<unsigned char*>(
+        reinterpret_cast<const unsigned char*>(payload->panels.data()));
+    auto* parity = const_cast<std::uint8_t*>(payload->ecc.data());
+    const secded::ScrubResult scrub = secded::scrub_buffer(
+        bytes, payload->panels.size() * sizeof(S), parity);
+    out.ecc_corrected = int(scrub.corrected + scrub.parity_fixed);
+    ecc_uncorrectable = scrub.uncorrectable > 0;
+    if (out.ecc_corrected > 0 || ecc_uncorrectable) {
+      std::lock_guard<std::mutex> lk(m_);
+      ecc_corrected_ += scrub.corrected + scrub.parity_fixed;
+      ecc_detected_ += scrub.uncorrectable;
+    }
+  }
+  if (payload && (verify || ecc_uncorrectable)) {
+    if (verify) {
       std::lock_guard<std::mutex> lk(m_);
       ++verifies_;
     }
-    if (!verify_payload(*payload)) {
+    const bool ok =
+        !ecc_uncorrectable && (!verify || verify_payload(*payload));
+    if (!ok) {
       // Memory fault detected: re-encode from the source and swap the
-      // healed payload into the slot (self-healing).
+      // healed payload into the slot (self-healing).  The heal restores
+      // the ECC protection the old payload carried.
       auto fresh = std::make_shared<Payload>();
       fill_payload(*fresh, a, lda, trans, alpha, plan);
+      if (payload->ecc.size() > 0) ecc_encode_payload(*fresh);
       slot->payload = fresh;
       payload = std::move(fresh);
       out.heals = 1;
@@ -448,6 +484,8 @@ OperandCacheStats OperandCache<S, C>::stats() {
   s.misses = misses_;
   s.verifies = verifies_;
   s.heals = heals_;
+  s.ecc_corrected = ecc_corrected_;
+  s.ecc_detected = ecc_detected_;
   s.evictions = evictions_;
   s.entries = lru_.size();
   s.bytes = bytes_;

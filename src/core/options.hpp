@@ -90,6 +90,9 @@ struct FtReport {
   bool resident_hit = false;
   /// Resident-panel integrity mismatches healed by re-encoding this call.
   int resident_heals = 0;
+  /// Resident-panel bits corrected in place by the SEC-DED syndrome sweep
+  /// (FTGEMM_OPERAND_ECC) — corrections that did NOT need a re-encode heal.
+  int resident_ecc_corrected = 0;
 
   /// True when the result is trustworthy (all mismatches corrected).
   [[nodiscard]] bool clean() const { return uncorrectable_panels == 0; }

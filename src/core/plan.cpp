@@ -77,6 +77,7 @@ GemmPlan<S, C> build_plan(const PlanKey& key) {
     ws += elems(plan.blocking.kc);                         // bc
   }
   plan.workspace_bytes = ws * sizeof(C);
+  plan.self_check = plan_self_check(plan);
   return plan;
 }
 
@@ -144,6 +145,7 @@ GemmPlan<std::int8_t, std::int32_t> build_plan<std::int8_t, std::int32_t>(
     ws += elems(plan.blocking.kc) * sizeof(std::int32_t);             // bc
   }
   plan.workspace_bytes = ws;
+  plan.self_check = plan_self_check(plan);
   return plan;
 }
 

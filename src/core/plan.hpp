@@ -43,6 +43,7 @@
 #include "arch/isa.hpp"
 #include "blocking/plan.hpp"
 #include "core/options.hpp"
+#include "inject/injector.hpp"
 #include "kernels/microkernel.hpp"
 
 namespace ftgemm {
@@ -142,12 +143,53 @@ struct GemmPlan {
   bool fast_path = false;    ///< single-macro-tile direct execution
   double tol_factor = 0.0;   ///< resolved verification safety factor
   std::size_t workspace_bytes = 0;  ///< packing + checksum footprint
+  /// FNV self-checksum over the frozen planning decisions, stamped by
+  /// build_plan.  PlanCache re-derives it on every hit: a mismatch means
+  /// the cached plan bytes were corrupted in memory (the kPlan strike
+  /// surface), and the cache heals by rebuilding from the stored key.
+  std::uint64_t self_check = 0;
 
   [[nodiscard]] bool ft() const { return key.ft; }
   [[nodiscard]] index_t m() const { return key.m; }
   [[nodiscard]] index_t n() const { return key.n; }
   [[nodiscard]] index_t k() const { return key.k; }
 };
+
+/// Checksum of a plan's frozen decision fields (everything the executor
+/// reads except the KernelSet function pointers, whose bytes are
+/// process-immutable code addresses — corrupting *them* is a crash, not a
+/// recoverable memory fault, so they stay outside the strike surface).
+template <typename StorageT, typename ComputeT>
+[[nodiscard]] inline std::uint64_t plan_self_check(
+    const GemmPlan<StorageT, ComputeT>& p) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(std::uint64_t(p.key.m));
+  mix(std::uint64_t(p.key.n));
+  mix(std::uint64_t(p.key.k));
+  mix(std::uint64_t(p.key.ta == Trans::kTrans) |
+      (std::uint64_t(p.key.tb == Trans::kTrans) << 1) |
+      (std::uint64_t(p.key.ft) << 2) | (std::uint64_t(p.key.sdtype) << 3));
+  mix(std::uint64_t(std::uint32_t(int(p.isa))));
+  mix(std::uint64_t(p.blocking.mc));
+  mix(std::uint64_t(p.blocking.nc));
+  mix(std::uint64_t(p.blocking.kc));
+  mix(std::uint64_t(p.blocking.mr));
+  mix(std::uint64_t(p.blocking.nr));
+  mix(std::uint64_t(std::uint32_t(p.threads)));
+  mix(std::uint64_t(std::uint32_t(int(p.runtime))));
+  mix(std::uint64_t(p.num_panels));
+  mix(std::uint64_t(p.k_zero) | (std::uint64_t(p.fast_path) << 1));
+  std::uint64_t tol_bits = 0;
+  static_assert(sizeof(tol_bits) == sizeof(p.tol_factor));
+  __builtin_memcpy(&tol_bits, &p.tol_factor, sizeof(tol_bits));
+  mix(tol_bits);
+  mix(std::uint64_t(p.workspace_bytes));
+  return h;
+}
 
 /// Build the lookup key for (shape, opts).  Resolves the thread count and
 /// team runtime (via runtime/topology.hpp) but deliberately nothing else.
@@ -193,14 +235,42 @@ class PlanCache {
                                                      bool ft) {
     PlanKey key = make_plan_key(ta, tb, m, n, k, opts, ft);
     key.sdtype = kStorageDtypeTag<S>;
-    return get_or_build(key);
+    return get_or_build(key, opts.memory_injector);
   }
 
-  std::shared_ptr<const GemmPlan<S, C>> get_or_build(const PlanKey& key) {
+  std::shared_ptr<const GemmPlan<S, C>> get_or_build(
+      const PlanKey& key, MemoryFaultInjector* mem_injector = nullptr) {
     const auto it = index_.find(key);
     if (it != index_.end()) {
       ++hits_;
       lru_.splice(lru_.begin(), lru_, it->second);  // mark most recent
+      if (mem_injector != nullptr) {
+        // kPlan strike surface: the bytes of the cached blocking decision.
+        // Test-only mutation of the (logically immutable) shared plan —
+        // callers still holding the shared_ptr across the strike see the
+        // corruption too, exactly like real memory decay would.  The
+        // KernelSet function pointers stay off-limits (see plan_self_check).
+        auto& plan = const_cast<GemmPlan<S, C>&>(*it->second->second);
+        auto* bytes = reinterpret_cast<unsigned char*>(&plan.blocking);
+        const MemoryStrikeContext mctx{MemorySurface::kPlan,
+                                       sizeof(BlockingPlan), 8};
+        std::vector<PanelFlip> flips;
+        mem_injector->plan_flips(mctx, flips);
+        if (!flips.empty()) {
+          for (const PanelFlip& f : flips) flip_value_bit(bytes[f.elem], f.bit);
+          mem_injector->record_applied(flips.size());
+        }
+      }
+      // CHECK_BEFORE for plans: a cached plan whose decision bytes no
+      // longer match the checksum stamped at build is corrupted — rebuild
+      // it from the stored key (the heal) instead of handing executors a
+      // poisoned blocking/topology.
+      if (it->second->second->self_check !=
+          plan_self_check(*it->second->second)) {
+        it->second->second = std::make_shared<const GemmPlan<S, C>>(
+            build_plan<S, C>(it->second->first));
+        ++heals_;
+      }
       return it->second->second;
     }
     ++misses_;
@@ -216,6 +286,7 @@ class PlanCache {
 
   [[nodiscard]] std::uint64_t hits() const { return hits_; }
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t heals() const { return heals_; }
   [[nodiscard]] std::size_t size() const { return lru_.size(); }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
@@ -235,6 +306,7 @@ class PlanCache {
   std::size_t capacity_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t heals_ = 0;
 };
 
 extern template GemmPlan<float> build_plan<float, float>(const PlanKey&);

@@ -1,0 +1,169 @@
+// SEC-DED (72,64) extended Hamming code for resident-operand payloads.
+//
+// One parity byte protects each 64-bit data word: 7 Hamming check bits
+// locate any single flipped bit (data or check), and an overall parity bit
+// distinguishes single errors (odd total parity -> correct in place) from
+// double errors (even total parity with a nonzero syndrome -> detected,
+// uncorrectable by the code).  This is the classic DRAM ECC geometry the
+// `mat_ecc_ram` exemplar sweeps; the Hsiao construction differs only in
+// which column vectors it picks, not in the correct/detect guarantees the
+// campaign measures.
+//
+// The operand cache (core/operand_cache.cpp) uses the buffer-level helpers:
+// encode once when a payload is filled, syndrome-sweep on every cache hit.
+// A >= 3-bit burst inside one word can alias to a valid single-bit syndrome
+// and "correct" the wrong bit — which is why the cache still runs its
+// bit-exact integrity re-verification after the sweep and falls back to the
+// re-encode heal (the layered defense DESIGN.md section 12 tabulates).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace ftgemm::secded {
+
+/// Outcome of checking one codeword.
+enum class Outcome {
+  kClean,            ///< syndrome zero, parity even
+  kCorrectedData,    ///< single flipped data bit, corrected in place
+  kCorrectedParity,  ///< single flipped check/parity bit, parity rewritten
+  kDetectedDouble,   ///< double-bit (or aliasing multi-bit) error
+};
+
+namespace detail {
+
+// Codeword positions are 1-based, 1..71: powers of two hold the 7 check
+// bits, the remaining 64 positions hold data bits in ascending order.  The
+// overall parity bit sits outside the positional scheme (bit 7 of the
+// parity byte).
+struct Tables {
+  std::uint8_t data_pos[64] = {};  // codeword position of data bit i
+  std::int8_t pos_data[128] = {};  // data bit at codeword position, -1 none
+  std::uint64_t check_mask[7] = {};  // data bits covered by check bit c
+};
+
+constexpr Tables make_tables() {
+  Tables t{};
+  for (int p = 0; p < 128; ++p) t.pos_data[p] = -1;
+  int i = 0;
+  for (int p = 1; p <= 71; ++p) {
+    if ((p & (p - 1)) == 0) continue;  // power of two: check bit position
+    t.data_pos[i] = std::uint8_t(p);
+    t.pos_data[p] = std::int8_t(i);
+    ++i;
+  }
+  for (int c = 0; c < 7; ++c) {
+    std::uint64_t m = 0;
+    for (int j = 0; j < 64; ++j)
+      if ((t.data_pos[j] >> c) & 1) m |= (std::uint64_t(1) << j);
+    t.check_mask[c] = m;
+  }
+  return t;
+}
+
+inline constexpr Tables kTables = make_tables();
+
+}  // namespace detail
+
+/// Parity byte for a 64-bit data word: check bits in bits 0..6, overall
+/// (even) parity over data + check bits in bit 7.
+[[nodiscard]] inline std::uint8_t encode(std::uint64_t w) {
+  std::uint8_t par = 0;
+  for (int c = 0; c < 7; ++c) {
+    par |= std::uint8_t(
+        (__builtin_popcountll(w & detail::kTables.check_mask[c]) & 1) << c);
+  }
+  const int overall = (__builtin_popcountll(w) + __builtin_popcount(par)) & 1;
+  par |= std::uint8_t(overall << 7);
+  return par;
+}
+
+/// Syndrome-check one codeword; corrects single-bit errors in place (in the
+/// data word or the parity byte).
+[[nodiscard]] inline Outcome check_correct(std::uint64_t& w,
+                                           std::uint8_t& parity) {
+  const std::uint8_t fresh = encode(w);
+  // Nonzero syndrome = codeword position of the flipped bit, if single.
+  const std::uint8_t syn = std::uint8_t((fresh ^ parity) & 0x7f);
+  const int total =
+      (__builtin_popcountll(w) + __builtin_popcount(parity)) & 1;
+  if (syn == 0 && total == 0) return Outcome::kClean;
+  if (total == 1) {  // odd error count: single-bit, locatable
+    if (syn == 0) {  // the overall parity bit itself flipped
+      parity ^= std::uint8_t(0x80);
+      return Outcome::kCorrectedParity;
+    }
+    const int db = detail::kTables.pos_data[syn];
+    if (db >= 0) {
+      w ^= std::uint64_t(1) << db;
+      parity = encode(w);
+      return Outcome::kCorrectedData;
+    }
+    if (syn <= 64 && (syn & (syn - 1)) == 0) {  // a stored check bit flipped
+      parity = encode(w);
+      return Outcome::kCorrectedParity;
+    }
+    return Outcome::kDetectedDouble;  // invalid position: multi-bit alias
+  }
+  return Outcome::kDetectedDouble;  // nonzero syndrome, even parity
+}
+
+/// Parity bytes covering `nbytes` of payload (one per 64-bit word; a
+/// partial tail word is zero-padded, so padding bytes are protected too).
+[[nodiscard]] inline std::size_t parity_bytes(std::size_t nbytes) {
+  return (nbytes + 7) / 8;
+}
+
+/// Encode parity for a raw byte buffer.
+inline void encode_buffer(const unsigned char* data, std::size_t nbytes,
+                          std::uint8_t* parity) {
+  const std::size_t words = parity_bytes(nbytes);
+  for (std::size_t wd = 0; wd < words; ++wd) {
+    const std::size_t off = wd * 8;
+    const std::size_t len = nbytes - off < 8 ? nbytes - off : 8;
+    std::uint64_t w = 0;
+    std::memcpy(&w, data + off, len);
+    parity[wd] = encode(w);
+  }
+}
+
+/// Aggregate outcome of sweeping a buffer.
+struct ScrubResult {
+  std::size_t corrected = 0;      ///< single-bit data corrections applied
+  std::size_t parity_fixed = 0;   ///< parity-byte-side corrections
+  std::size_t uncorrectable = 0;  ///< words with detected double errors
+};
+
+/// Syndrome-sweep a buffer against its parity, correcting single-bit data
+/// errors in place.  Double-detected words are left untouched for the
+/// caller's fallback (integrity re-verify + re-encode heal).
+[[nodiscard]] inline ScrubResult scrub_buffer(unsigned char* data,
+                                              std::size_t nbytes,
+                                              std::uint8_t* parity) {
+  ScrubResult res;
+  const std::size_t words = parity_bytes(nbytes);
+  for (std::size_t wd = 0; wd < words; ++wd) {
+    const std::size_t off = wd * 8;
+    const std::size_t len = nbytes - off < 8 ? nbytes - off : 8;
+    std::uint64_t w = 0;
+    std::memcpy(&w, data + off, len);
+    switch (check_correct(w, parity[wd])) {
+      case Outcome::kClean:
+        break;
+      case Outcome::kCorrectedData:
+        std::memcpy(data + off, &w, len);
+        ++res.corrected;
+        break;
+      case Outcome::kCorrectedParity:
+        ++res.parity_fixed;
+        break;
+      case Outcome::kDetectedDouble:
+        ++res.uncorrectable;
+        break;
+    }
+  }
+  return res;
+}
+
+}  // namespace ftgemm::secded

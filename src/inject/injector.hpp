@@ -13,8 +13,13 @@
 // exact detection and correction.
 #pragma once
 
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <mutex>
+#include <type_traits>
 #include <vector>
 
 namespace ftgemm {
@@ -108,31 +113,82 @@ double apply_corruption<std::int32_t>(std::int32_t& value,
                                       const InjectionRecord& rec);
 
 // ---------------------------------------------------------------------------
-// Memory-domain faults: corruption of *resident* data between calls, as
-// opposed to the compute-domain faults FaultInjector models inside a call.
-// The resident-operand cache (core/operand_cache.hpp) gives each cache hit
-// to the injector before its CHECK_BEFORE re-verification, emulating a bit
-// flip that struck the cached packed panels while they sat in memory.
+// Memory-domain faults: corruption of data *at rest* between its producer
+// and its consumer, as opposed to the compute-domain faults FaultInjector
+// models inside a kernel.  Three strike surfaces exist:
+//
+//  - kResidentPanel: the resident-operand cache's packed panels, struck on
+//    each cache hit before the CHECK_BEFORE re-verification (and before the
+//    optional SEC-DED syndrome sweep, see core/secded.hpp).
+//  - kPanelA / kPanelB: *transient* packed panels in driver workspace,
+//    struck between pack (where the predicted checksums are derived) and
+//    the macro-kernel consume — a fault the rank-KC panel verification must
+//    catch.  Element indices address live (unpadded) elements; the driver
+//    remaps them into the physical tile layout, because flips in zero
+//    padding are both undetectable and harmless.
+//  - kPlan: the bytes of a cached GemmPlan's blocking decision, struck on
+//    PlanCache hits and caught by the plan's self-checksum.
 // ---------------------------------------------------------------------------
 
-/// One planned flip inside a resident packed-panel payload.
-struct PanelFlip {
-  std::size_t elem = 0;  ///< flat element index into the packed panels
-  int bit = 0;           ///< which of the element's 64/32 bits to flip
+/// Which memory surface a strike targets.
+enum class MemorySurface {
+  kResidentPanel,  ///< resident-operand cache payload (packed panels)
+  kPanelA,         ///< transient packed A~ in driver workspace
+  kPanelB,         ///< transient packed B~ in driver workspace
+  kPlan,           ///< cached GemmPlan blocking bytes
 };
 
+/// Geometry of one strike opportunity, passed to plan_flips.  `elems` is the
+/// number of addressable elements on the surface and `elem_bits` the width
+/// of one element (64 for fp64, 32 for fp32, 8 for packed int8 bytes and
+/// plan bytes, ...).
+struct MemoryStrikeContext {
+  MemorySurface surface = MemorySurface::kResidentPanel;
+  std::size_t elems = 0;
+  int elem_bits = 64;
+};
+
+/// One planned flip on a memory surface.
+struct PanelFlip {
+  std::size_t elem = 0;  ///< flat element index on the struck surface
+  int bit = 0;           ///< which of the element's elem_bits bits to flip
+};
+
+/// Flip bit `bit` of a trivially-copyable value.  Bit numbering follows the
+/// little-endian integer interpretation of the value's bytes (bit b lives in
+/// byte b/8).  Out-of-range bits are a caller bug: plan_flips implementations
+/// canonicalize against MemoryStrikeContext::elem_bits, so by the time a
+/// flip reaches a surface it must be in range.
+template <typename T>
+inline void flip_value_bit(T& value, int bit) {
+  static_assert(std::is_trivially_copyable<T>::value,
+                "bit flips address raw object bytes");
+  assert(bit >= 0 && std::size_t(bit) < 8 * sizeof(T));
+  unsigned char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  bytes[std::size_t(bit) / 8] ^=
+      static_cast<unsigned char>(1u << (std::size_t(bit) % 8));
+  std::memcpy(&value, bytes, sizeof(T));
+}
+
 /// Abstract memory-fault injector.  Implementations decide when and where;
-/// the operand cache applies the flips and counts ground truth.  Called from
-/// whatever thread takes the cache hit; implementations must be thread-safe.
+/// the surface owner (operand cache, driver, plan cache) applies the flips
+/// and counts ground truth.  Called from whatever thread touches the
+/// surface; implementations must be thread-safe.
 class MemoryFaultInjector {
  public:
   virtual ~MemoryFaultInjector() = default;
 
-  /// Called on each resident-operand cache hit with the payload's packed
-  /// element count; append the flips to apply before re-verification.
-  virtual void plan_flips(std::size_t elems, std::vector<PanelFlip>& out) = 0;
+  /// Called at each strike opportunity with the surface geometry; append
+  /// the flips to apply.  Contract: emitted (elem, bit) pairs are unique,
+  /// in range (elem < ctx.elems, 0 <= bit < ctx.elem_bits), so every
+  /// emitted flip net-corrupts exactly one bit — implementations should
+  /// funnel raw draws through canonicalize_flips().  A call that plans
+  /// nothing (surface not targeted, strike cadence) leaves `out` untouched.
+  virtual void plan_flips(const MemoryStrikeContext& ctx,
+                          std::vector<PanelFlip>& out) = 0;
 
-  /// Ground truth: flips actually applied by the cache.
+  /// Ground truth: net bits actually corrupted by the surface owner.
   void record_applied(std::size_t count) {
     const std::lock_guard<std::mutex> lock(mutex_);
     applied_ += count;
@@ -141,6 +197,34 @@ class MemoryFaultInjector {
   [[nodiscard]] std::size_t applied_count() const {
     const std::lock_guard<std::mutex> lock(mutex_);
     return applied_;
+  }
+
+ protected:
+  /// Enforce the plan_flips contract on raw draws: clamp each bit into
+  /// [0, elem_bits) (a historical default of bit 52 predates sub-64-bit
+  /// payloads), drop out-of-range elements, and dedupe (elem, bit) pairs —
+  /// two XOR flips of the same bit self-cancel, so counting both would
+  /// overstate ground-truth corruption.
+  static void canonicalize_flips(const MemoryStrikeContext& ctx,
+                                 std::vector<PanelFlip>& flips) {
+    for (PanelFlip& f : flips) {
+      if (f.bit < 0) f.bit = 0;
+      if (f.bit >= ctx.elem_bits) f.bit = ctx.elem_bits - 1;
+    }
+    flips.erase(std::remove_if(flips.begin(), flips.end(),
+                               [&](const PanelFlip& f) {
+                                 return f.elem >= ctx.elems;
+                               }),
+                flips.end());
+    std::sort(flips.begin(), flips.end(),
+              [](const PanelFlip& a, const PanelFlip& b) {
+                return a.elem != b.elem ? a.elem < b.elem : a.bit < b.bit;
+              });
+    flips.erase(std::unique(flips.begin(), flips.end(),
+                            [](const PanelFlip& a, const PanelFlip& b) {
+                              return a.elem == b.elem && a.bit == b.bit;
+                            }),
+                flips.end());
   }
 
  private:

@@ -43,8 +43,19 @@ class DeterministicInjector final : public FaultInjector {
     }
   }
 
+  /// Schedule records never delivered to any executed block in the most
+  /// recent call — a record whose panel/coords lie outside the problem
+  /// geometry is silently skipped by plan_block, so a campaign that trusts
+  /// the schedule as ground truth must check this is zero.
+  [[nodiscard]] std::size_t undelivered_count() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t n = 0;
+    for (const bool d : delivered_) n += d ? 0 : 1;
+    return n;
+  }
+
  private:
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::vector<InjectionRecord> schedule_;
   std::vector<bool> delivered_;
 };
@@ -90,8 +101,17 @@ class CountInjector final : public FaultInjector {
     }
   }
 
+  /// Scheduled corruptions the most recent call never delivered (see
+  /// DeterministicInjector::undelivered_count).
+  [[nodiscard]] std::size_t undelivered_count() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t n = 0;
+    for (const bool d : delivered_) n += d ? 0 : 1;
+    return n;
+  }
+
  private:
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   int count_;
   std::uint64_t seed_;
   double magnitude_;
@@ -158,20 +178,42 @@ class RateInjector final : public FaultInjector {
 /// checksum rounding, whereas the re-verification sweep is bit-exact and the
 /// tests assert detection *and* healing, so the flip must also be large
 /// enough to poison the GEMM result if it were silently consumed.
+///
+/// `burst > 1` turns each strike into a contiguous run of `burst` bits
+/// starting at a random bit position (runs spill across element boundaries,
+/// the way a burst fault walks physical memory).  Draws are canonicalized:
+/// the requested bit is clamped to the element width, colliding draws
+/// dedupe, so applied_count() is the exact net corrupted-bit ground truth.
 class PanelBitFlipInjector final : public MemoryFaultInjector {
  public:
   explicit PanelBitFlipInjector(int flips, std::uint64_t seed, int bit,
-                                int every = 1)
-      : flips_(flips), rng_(seed), bit_(bit), every_(every > 0 ? every : 1) {}
+                                int every = 1, int burst = 1)
+      : flips_(flips), rng_(seed), bit_(bit), every_(every > 0 ? every : 1),
+        burst_(burst > 1 ? burst : 1) {}
 
-  void plan_flips(std::size_t elems,
+  void plan_flips(const MemoryStrikeContext& ctx,
                   std::vector<PanelFlip>& out) override {
     const std::lock_guard<std::mutex> lock(mutex_);
+    if (ctx.surface != MemorySurface::kResidentPanel || ctx.elems == 0)
+      return;
     const int hit = hit_index_++;
-    if (elems == 0 || hit % every_ != 0) return;
+    if (hit % every_ != 0) return;
+    const std::size_t bits = std::size_t(ctx.elem_bits);
+    const std::size_t total_bits = ctx.elems * bits;
+    const std::size_t run =
+        std::min<std::size_t>(std::size_t(burst_), total_bits);
     for (int f = 0; f < flips_; ++f) {
-      out.push_back({std::size_t(rng_.bounded(std::uint64_t(elems))), bit_});
+      if (run <= 1) {
+        out.push_back(
+            {std::size_t(rng_.bounded(std::uint64_t(ctx.elems))), bit_});
+      } else {
+        const std::size_t start = std::size_t(
+            rng_.bounded(std::uint64_t(total_bits - run + 1)));
+        for (std::size_t b = 0; b < run; ++b)
+          out.push_back({(start + b) / bits, int((start + b) % bits)});
+      }
     }
+    canonicalize_flips(ctx, out);
   }
 
  private:
@@ -180,7 +222,68 @@ class PanelBitFlipInjector final : public MemoryFaultInjector {
   Xoshiro256 rng_;
   int bit_;
   int every_;
+  int burst_;
   int hit_index_ = 0;
+};
+
+/// Campaign-grade memory injector: targets exactly one surface, fires one
+/// armed strike of `faults` random-bit flips (each a `burst`-bit contiguous
+/// run), then disarms until arm() is called again.  Strike opportunities on
+/// other surfaces neither consume randomness nor disarm it, so a sweep can
+/// aim the same seed at each surface in turn and get independent, fully
+/// reproducible fault patterns.  Random bit positions (not a fixed bit) are
+/// the point: the campaign's detection claims must hold for *any* struck
+/// bit of a live element, which is why campaigns pair float surfaces with
+/// bit-exact verification (resident/plan) and route the tolerance-free
+/// exact-integer int8 path at the transient panels.
+class SurfaceBitFlipInjector final : public MemoryFaultInjector {
+ public:
+  SurfaceBitFlipInjector(MemorySurface surface, int faults, int burst,
+                         std::uint64_t seed)
+      : surface_(surface), faults_(faults), burst_(burst > 1 ? burst : 1),
+        rng_(seed) {}
+
+  /// Arm the next matching strike opportunity.
+  void arm() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    armed_ = true;
+  }
+
+  /// Strike opportunities seen on the targeted surface (armed or not) —
+  /// lets campaigns assert the surface was actually reachable.
+  [[nodiscard]] std::size_t opportunities() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return opportunities_;
+  }
+
+  void plan_flips(const MemoryStrikeContext& ctx,
+                  std::vector<PanelFlip>& out) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (ctx.surface != surface_ || ctx.elems == 0) return;
+    ++opportunities_;
+    if (!armed_) return;
+    armed_ = false;
+    const std::size_t bits = std::size_t(ctx.elem_bits);
+    const std::size_t total_bits = ctx.elems * bits;
+    const std::size_t run =
+        std::min<std::size_t>(std::size_t(burst_), total_bits);
+    for (int f = 0; f < faults_; ++f) {
+      const std::size_t start =
+          std::size_t(rng_.bounded(std::uint64_t(total_bits - run + 1)));
+      for (std::size_t b = 0; b < run; ++b)
+        out.push_back({(start + b) / bits, int((start + b) % bits)});
+    }
+    canonicalize_flips(ctx, out);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  MemorySurface surface_;
+  int faults_;
+  int burst_;
+  Xoshiro256 rng_;
+  bool armed_ = false;
+  std::size_t opportunities_ = 0;
 };
 
 }  // namespace ftgemm

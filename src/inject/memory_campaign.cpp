@@ -1,0 +1,235 @@
+#include "inject/memory_campaign.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "core/context.hpp"
+#include "core/gemm.hpp"
+#include "core/gemm_i8.hpp"
+#include "inject/injectors.hpp"
+#include "util/env.hpp"
+#include "util/rng.hpp"
+
+namespace ftgemm {
+
+namespace {
+
+// Both workloads exceed the fast-path flop cutoff so the general blocked
+// path (cooperative packing, the tm.single B~ strike, per-thread A~) is what
+// the campaign exercises.  The shapes are odd-sized on purpose: partial
+// register tiles mean the packed panels carry zero padding, which the live
+// element remapping must skip.
+constexpr index_t kFpM = 96, kFpN = 80, kFpK = 320;
+constexpr index_t kI8M = 128, kI8N = 96, kI8K = 384;
+
+/// Nonzero fp64 operands: a corrupted packed element must always perturb
+/// the product so "silent" is decidable by comparing against the clean
+/// reference (a zero operand row/column could mask a transient strike; the
+/// resident/plan surfaces detect on raw bytes and don't care).
+void fill_fp64(std::vector<double>& v, Xoshiro256& rng) {
+  for (double& x : v) x = 1.0 + double(rng.bounded(512)) / 64.0;
+}
+
+/// Nonzero positive int8 operands, for the same reason: every transient
+/// panel byte feeds products with nonzero multipliers, so the exact integer
+/// checksum compare sees any live-byte corruption (DESIGN.md §12).
+void fill_i8(std::vector<std::int8_t>& v, Xoshiro256& rng) {
+  for (std::int8_t& x : v) x = std::int8_t(1 + rng.bounded(7));
+}
+
+template <typename T>
+bool differs(const std::vector<T>& got, const std::vector<T>& want) {
+  return std::memcmp(got.data(), want.data(), got.size() * sizeof(T)) != 0;
+}
+
+/// fp64 campaign body: kResidentPanel and kPlan, both bit-exact surfaces.
+void run_fp64_campaign(const MemoryCampaignConfig& cfg,
+                       MemoryCampaignResult& res) {
+  Xoshiro256 rng(cfg.seed ^ 0x9e3779b97f4a7c15ull);
+  std::vector<double> a(std::size_t(kFpM * kFpK));
+  std::vector<double> b(std::size_t(kFpK * kFpN));
+  std::vector<double> c(std::size_t(kFpM * kFpN), 0.0);
+  std::vector<double> ref(std::size_t(kFpM * kFpN), 0.0);
+  fill_fp64(a, rng);
+  fill_fp64(b, rng);
+
+  const bool resident = cfg.surface == MemorySurface::kResidentPanel;
+  Options opts;
+  opts.threads = cfg.threads;
+  opts.runtime = cfg.runtime;
+  opts.resident_a = resident;
+  opts.resident_verify = true;
+
+  ContextCache<double, double>& cache = process_context_cache<double>();
+  if (resident) cache.operands().set_ecc(cfg.ecc);
+
+  // Warm call: builds the plan (the kPlan trials need cache hits) and, with
+  // resident_a, encodes the payload (the kResidentPanel trials need hits
+  // too).  Its clean result is the per-trial reference — runs at the same
+  // thread count are bit-identical, so "wrong" is a memcmp.
+  const auto run = [&](std::vector<double>& out, const Options& o) {
+    return ft_dgemm(Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans,
+                    kFpM, kFpN, kFpK, 1.0, a.data(), kFpM, b.data(), kFpK,
+                    0.0, out.data(), kFpM, o);
+  };
+  (void)run(ref, opts);
+
+  SurfaceBitFlipInjector injector(cfg.surface, cfg.faults, cfg.burst,
+                                  cfg.seed);
+  Options strike = opts;
+  strike.memory_injector = &injector;
+
+  for (int t = 0; t < cfg.trials; ++t) {
+    std::fill(c.begin(), c.end(), 0.0);
+    injector.arm();
+    const std::size_t bits_before = injector.applied_count();
+    const std::uint64_t plan_heals_before = cache.plan_heals();
+    const FtReport rep = run(c, strike);
+    const std::int64_t plan_heal_delta =
+        std::int64_t(cache.plan_heals() - plan_heals_before);
+
+    ++res.trials;
+    res.injected_bits += std::int64_t(injector.applied_count() - bits_before);
+    res.ecc_corrected += rep.resident_ecc_corrected;
+    res.heals += rep.resident_heals;
+    res.plan_heals += plan_heal_delta;
+    res.abft_detected += rep.errors_detected;
+    res.abft_corrected += rep.errors_corrected;
+    const bool detected = rep.resident_heals > 0 ||
+                          rep.resident_ecc_corrected > 0 ||
+                          plan_heal_delta > 0 || rep.errors_detected > 0 ||
+                          rep.uncorrectable_panels > 0;
+    if (detected) {
+      ++res.detected_trials;
+    } else if (differs(c, ref)) {
+      ++res.silent_trials;
+    } else {
+      ++res.masked_trials;  // absorbed before it could matter
+    }
+    if (!rep.clean()) ++res.flagged_trials;
+  }
+
+  if (resident) {
+    cache.operands().set_ecc(env_long("FTGEMM_OPERAND_ECC", 0) != 0);
+  }
+}
+
+/// int8 campaign body: the transient kPanelA / kPanelB surfaces, where the
+/// exact integer checksums turn any live-byte flip into a guaranteed panel
+/// mismatch (a float path could absorb a low mantissa flip under tolerance).
+void run_i8_campaign(const MemoryCampaignConfig& cfg,
+                     MemoryCampaignResult& res) {
+  Xoshiro256 rng(cfg.seed ^ 0x9e3779b97f4a7c15ull);
+  std::vector<std::int8_t> a(std::size_t(kI8M * kI8K));
+  std::vector<std::int8_t> b(std::size_t(kI8K * kI8N));
+  std::vector<float> c(std::size_t(kI8M * kI8N), 0.0f);
+  std::vector<float> ref(std::size_t(kI8M * kI8N), 0.0f);
+  fill_i8(a, rng);
+  fill_i8(b, rng);
+
+  Options opts;
+  opts.threads = cfg.threads;
+  opts.runtime = cfg.runtime;
+  const QuantParams qp;  // unit scales, zero offsets — exact dequantize
+
+  const auto run = [&](std::vector<float>& out, const Options& o) {
+    return ft_gemm_i8(Layout::kColMajor, Trans::kNoTrans, Trans::kNoTrans,
+                      kI8M, kI8N, kI8K, 1.0f, a.data(), kI8M, b.data(), kI8K,
+                      0.0f, out.data(), kI8M, qp, o);
+  };
+  (void)run(ref, opts);
+
+  SurfaceBitFlipInjector injector(cfg.surface, cfg.faults, cfg.burst,
+                                  cfg.seed);
+  Options strike = opts;
+  strike.memory_injector = &injector;
+
+  for (int t = 0; t < cfg.trials; ++t) {
+    std::fill(c.begin(), c.end(), 0.0f);
+    injector.arm();
+    const std::size_t bits_before = injector.applied_count();
+    const FtReport rep = run(c, strike);
+
+    ++res.trials;
+    res.injected_bits += std::int64_t(injector.applied_count() - bits_before);
+    res.abft_detected += rep.errors_detected;
+    res.abft_corrected += rep.errors_corrected;
+    const bool detected =
+        rep.errors_detected > 0 || rep.uncorrectable_panels > 0;
+    if (detected) {
+      ++res.detected_trials;
+    } else if (differs(c, ref)) {
+      ++res.silent_trials;
+    } else {
+      ++res.masked_trials;  // impossible on this exact surface; asserted == 0
+    }
+    if (!rep.clean()) ++res.flagged_trials;
+  }
+}
+
+}  // namespace
+
+const char* memory_surface_name(MemorySurface surface) {
+  switch (surface) {
+    case MemorySurface::kResidentPanel: return "resident";
+    case MemorySurface::kPanelA: return "panel_a";
+    case MemorySurface::kPanelB: return "panel_b";
+    case MemorySurface::kPlan: return "plan";
+  }
+  return "unknown";
+}
+
+MemoryCampaignResult run_memory_campaign(const MemoryCampaignConfig& config) {
+  MemoryCampaignResult res;
+  res.config = config;
+  // Cells are independent experiments: no cell may inherit another's (or
+  // the host process's) cached plans or resident payloads.
+  clear_process_caches();
+  if (config.surface == MemorySurface::kPanelA ||
+      config.surface == MemorySurface::kPanelB) {
+    run_i8_campaign(config, res);
+  } else {
+    run_fp64_campaign(config, res);
+  }
+  return res;
+}
+
+std::vector<MemoryCampaignResult> run_memory_campaign_sweep(
+    const std::vector<MemoryCampaignConfig>& configs) {
+  std::vector<MemoryCampaignResult> results;
+  results.reserve(configs.size());
+  for (const MemoryCampaignConfig& cfg : configs) {
+    results.push_back(run_memory_campaign(cfg));
+  }
+  return results;
+}
+
+std::vector<MemoryCampaignConfig> default_memory_campaign_grid(
+    int trials, std::uint64_t seed) {
+  std::vector<MemoryCampaignConfig> grid;
+  const int fault_counts[] = {1, 4};
+  const int bursts[] = {1, 3};
+  const MemorySurface surfaces[] = {
+      MemorySurface::kResidentPanel, MemorySurface::kPanelA,
+      MemorySurface::kPanelB, MemorySurface::kPlan};
+  for (const MemorySurface surface : surfaces) {
+    for (const int faults : fault_counts) {
+      for (const int burst : bursts) {
+        MemoryCampaignConfig cfg;
+        cfg.surface = surface;
+        cfg.faults = faults;
+        cfg.burst = burst;
+        cfg.trials = trials;
+        cfg.seed = seed;
+        grid.push_back(cfg);
+        if (surface == MemorySurface::kResidentPanel) {
+          cfg.ecc = true;
+          grid.push_back(cfg);
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+}  // namespace ftgemm

@@ -1,0 +1,95 @@
+// Memory-fault injection campaigns (DESIGN.md §12).
+//
+// A campaign measures, for one strike surface and one fault shape
+// (faults x burst), how the library's memory-fault defenses respond over a
+// set of independent trials: what fraction of strikes is detected, how many
+// bits the SEC-DED sweep corrects in place, how many payloads/plans are
+// healed by re-encoding, and — the invariant every sweep asserts — that no
+// trial is ever *silent* (a wrong result with a clean report).
+//
+// Surface-to-precision pairing is deliberate (see SurfaceBitFlipInjector):
+// the resident-panel and plan surfaces verify bit-exactly, so they run on
+// fp64; the transient packed panels are verified through the rank-KC
+// checksum compare, which is tolerance-bounded for float paths — only the
+// exact-integer int8 path turns "a low mantissa bit flipped" from a
+// maybe-below-tolerance event into a guaranteed detection, so the campaign
+// routes kPanelA/kPanelB through ft_gemm_i8.
+//
+// Everything is deterministic: operands are seeded, strikes are seeded, and
+// results carry no wall-clock — the same config produces bit-identical
+// MemoryCampaignResult counters on every run and every runtime backend.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "inject/injector.hpp"
+#include "runtime/team.hpp"
+
+namespace ftgemm {
+
+/// One campaign cell: a strike surface and a fault shape.
+struct MemoryCampaignConfig {
+  MemorySurface surface = MemorySurface::kResidentPanel;
+  int faults = 1;  ///< independent strikes per trial
+  int burst = 1;   ///< contiguous bits per strike (1 = single-bit upset)
+  int trials = 20;
+  std::uint64_t seed = 0x5eedu;
+  /// Resident surface only: enable the SEC-DED coded payload variant
+  /// (FTGEMM_OPERAND_ECC) so single-bit strikes are corrected in place
+  /// instead of healed by re-encoding.
+  bool ecc = false;
+  int threads = 2;
+  /// Thread-team backend for every GEMM in the cell; counters are
+  /// bit-identical across backends at equal thread counts (the library's
+  /// cross-backend contract extends to strike placement, which is pinned
+  /// to deterministic team members).
+  RuntimeBackend runtime = RuntimeBackend::kAuto;
+};
+
+/// Deterministic counters aggregated over a config's trials.
+struct MemoryCampaignResult {
+  MemoryCampaignConfig config;
+  int trials = 0;
+  std::int64_t injected_bits = 0;    ///< injector ground truth (net bits)
+  std::int64_t detected_trials = 0;  ///< trials with any detection signal
+  std::int64_t ecc_corrected = 0;    ///< bits fixed by the SEC-DED sweep
+  std::int64_t heals = 0;            ///< resident payload re-encode heals
+  std::int64_t plan_heals = 0;       ///< plan cache self-check rebuilds
+  std::int64_t abft_detected = 0;    ///< checksum mismatches attributed
+  std::int64_t abft_corrected = 0;   ///< C elements repaired
+  std::int64_t flagged_trials = 0;   ///< trials flagged uncorrectable
+  /// Undetected trials whose result is nevertheless bit-identical to the
+  /// clean reference: the flip was absorbed before it could matter (e.g. an
+  /// ulp-level mantissa flip rounded away by both the fp integrity sums and
+  /// the product).  Harmless by construction — only possible on the fp
+  /// resident surface without ECC; the SEC-DED parity, the plan
+  /// self-checksum, and the exact int8 panel checksums are all bit-exact,
+  /// so their cells must report zero.
+  std::int64_t masked_trials = 0;
+  std::int64_t silent_trials = 0;    ///< wrong result + clean report (== 0!)
+
+  [[nodiscard]] double detection_rate() const {
+    return trials > 0 ? double(detected_trials) / double(trials) : 0.0;
+  }
+};
+
+/// Human-readable surface tag for tables and logs.
+[[nodiscard]] const char* memory_surface_name(MemorySurface surface);
+
+/// Run one campaign cell.  Clears the process plan/operand caches first so
+/// cells are independent; restores FTGEMM_OPERAND_ECC's configured state.
+[[nodiscard]] MemoryCampaignResult run_memory_campaign(
+    const MemoryCampaignConfig& config);
+
+/// Run a grid of cells in order (each via run_memory_campaign).
+[[nodiscard]] std::vector<MemoryCampaignResult> run_memory_campaign_sweep(
+    const std::vector<MemoryCampaignConfig>& configs);
+
+/// The default sweep grid: every surface, fault counts {1, 4}, bursts
+/// {1, 3}, and for the resident surface both the re-encode-heal and the
+/// SEC-DED (ecc) variants.
+[[nodiscard]] std::vector<MemoryCampaignConfig> default_memory_campaign_grid(
+    int trials, std::uint64_t seed);
+
+}  // namespace ftgemm

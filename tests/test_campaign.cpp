@@ -8,6 +8,7 @@
 #include "core/gemm.hpp"
 #include "inject/campaign.hpp"
 #include "inject/injectors.hpp"
+#include "inject/memory_campaign.hpp"
 #include "test_common.hpp"
 
 namespace ftgemm {
@@ -189,6 +190,114 @@ TEST(MemoryFaultCampaign, ResidentPanelFlipsAlwaysHealedNeverSilent) {
   EXPECT_EQ(injector.applied_count(),
             std::size_t(kRounds / 3) * kFlipsPerStrike)
       << seed_note(seed);
+}
+
+std::string cell_note(const MemoryCampaignResult& r) {
+  return std::string("  [cell surface=") +
+         memory_surface_name(r.config.surface) +
+         " faults=" + std::to_string(r.config.faults) +
+         " burst=" + std::to_string(r.config.burst) +
+         " ecc=" + (r.config.ecc ? "on" : "off") + "]";
+}
+
+// The acceptance sweep (DESIGN.md §12): every surface x fault count x
+// burstiness cell of the default grid, at a reduced trial count.  The hard
+// claims: every trial is detected or provably masked (result bit-identical
+// to the clean reference) — never silent at any fault density; the
+// bit-exact defenses (SEC-DED parity, plan self-checksum, exact int8 panel
+// checksums) mask nothing, so their single-bit cells detect 100%; and the
+// ECC cell corrects singles in place with ZERO re-encode heals, its
+// corrected-bit count matching the injector ground truth exactly.  Only the
+// fp resident surface without ECC may mask: an ulp-level mantissa flip can
+// be rounded away by both the fp integrity sums and the product.
+TEST(MemoryFaultCampaign, SweepDetectsAllSingleBitStrikesAndIsNeverSilent) {
+  const std::uint64_t seed = test_seed(0x5eed);
+  constexpr int kTrials = 5;
+  const std::vector<MemoryCampaignResult> results =
+      run_memory_campaign_sweep(default_memory_campaign_grid(kTrials, seed));
+  // 4 surfaces x faults {1,4} x burst {1,3}, plus the 4 resident cells
+  // duplicated with ECC on.
+  ASSERT_EQ(results.size(), 20u);
+
+  for (const MemoryCampaignResult& r : results) {
+    EXPECT_EQ(r.trials, kTrials) << cell_note(r) << seed_note(seed);
+    EXPECT_GT(r.injected_bits, 0) << cell_note(r) << seed_note(seed);
+    // The invariant that defines the fault model: never silent, anywhere,
+    // and every undetected trial is provably harmless.
+    EXPECT_EQ(r.silent_trials, 0) << cell_note(r) << seed_note(seed);
+    EXPECT_EQ(r.detected_trials + r.masked_trials, std::int64_t(r.trials))
+        << cell_note(r) << seed_note(seed);
+    const bool bit_exact_surface =
+        r.config.ecc || r.config.surface != MemorySurface::kResidentPanel;
+    if (bit_exact_surface) {
+      EXPECT_EQ(r.masked_trials, 0) << cell_note(r) << seed_note(seed);
+    }
+    if (r.config.faults == 1 && r.config.burst == 1) {
+      EXPECT_EQ(r.injected_bits, std::int64_t(kTrials))
+          << cell_note(r) << seed_note(seed);
+      if (bit_exact_surface) {
+        // 100% detection of single-bit faults on every bit-exact surface.
+        EXPECT_EQ(r.detected_trials, r.trials)
+            << cell_note(r) << seed_note(seed);
+        EXPECT_EQ(r.detection_rate(), 1.0) << cell_note(r) << seed_note(seed);
+      }
+      if (r.config.ecc) {
+        // SEC-DED corrects every single strike in place: corrected bits
+        // match the injector ground truth exactly, and the re-encode heal
+        // path is never taken.
+        EXPECT_EQ(r.ecc_corrected, r.injected_bits)
+            << cell_note(r) << seed_note(seed);
+        EXPECT_EQ(r.heals, 0) << cell_note(r) << seed_note(seed);
+      } else if (r.config.surface == MemorySurface::kResidentPanel) {
+        // Every detected trial healed by re-encode, exactly once.
+        EXPECT_EQ(r.heals, r.detected_trials) << cell_note(r)
+                                              << seed_note(seed);
+      } else if (r.config.surface == MemorySurface::kPlan) {
+        EXPECT_EQ(r.plan_heals, std::int64_t(kTrials))
+            << cell_note(r) << seed_note(seed);
+      }
+    }
+  }
+}
+
+// Same config => bit-identical counters, run to run and across thread-team
+// backends: the cross-backend bit-identity contract extends to strike
+// placement (B~ strikes run under tm.single, A~ strikes are pinned to
+// member 0), so a campaign is a reproducible experiment everywhere.
+TEST(MemoryFaultCampaign, DeterministicAcrossRunsAndBackends) {
+  MemoryCampaignConfig cfg;
+  cfg.surface = MemorySurface::kPanelB;
+  cfg.faults = 2;
+  cfg.burst = 3;
+  cfg.trials = 4;
+  cfg.seed = test_seed(0xca3);
+  cfg.threads = 2;
+  cfg.runtime = RuntimeBackend::kOpenMP;
+
+  const MemoryCampaignResult a = run_memory_campaign(cfg);
+  const MemoryCampaignResult b = run_memory_campaign(cfg);
+  MemoryCampaignConfig pool_cfg = cfg;
+  pool_cfg.runtime = RuntimeBackend::kPool;
+  const MemoryCampaignResult c = run_memory_campaign(pool_cfg);
+
+  const auto expect_equal = [&](const MemoryCampaignResult& x,
+                                const MemoryCampaignResult& y,
+                                const char* what) {
+    EXPECT_EQ(x.injected_bits, y.injected_bits) << what << seed_note(cfg.seed);
+    EXPECT_EQ(x.detected_trials, y.detected_trials)
+        << what << seed_note(cfg.seed);
+    EXPECT_EQ(x.abft_detected, y.abft_detected) << what << seed_note(cfg.seed);
+    EXPECT_EQ(x.abft_corrected, y.abft_corrected)
+        << what << seed_note(cfg.seed);
+    EXPECT_EQ(x.flagged_trials, y.flagged_trials)
+        << what << seed_note(cfg.seed);
+    EXPECT_EQ(x.masked_trials, y.masked_trials) << what << seed_note(cfg.seed);
+    EXPECT_EQ(x.silent_trials, y.silent_trials) << what << seed_note(cfg.seed);
+  };
+  expect_equal(a, b, "rerun, same backend");
+  expect_equal(a, c, "openmp vs pool");
+  EXPECT_EQ(a.silent_trials, 0) << seed_note(cfg.seed);
+  EXPECT_GT(a.detected_trials, 0) << seed_note(cfg.seed);
 }
 
 }  // namespace

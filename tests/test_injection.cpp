@@ -67,6 +67,7 @@ TEST_P(SingleErrorSweep, DetectedLocatedCorrected) {
 
   const InjectionRun run = run_with_injector(cs, inj);
   EXPECT_EQ(run.injected, 1u);
+  EXPECT_EQ(inj.undelivered_count(), 0u) << "schedule must be ground truth";
   EXPECT_EQ(run.report.errors_detected, 1);
   EXPECT_EQ(run.report.errors_corrected, 1);
   EXPECT_TRUE(run.report.clean());
@@ -106,6 +107,7 @@ TEST(MultiError, DistinctRowsAndColumns) {
       {InjectionKind::kAddDelta, 0, 50, 60, 0.5, 0},
   });
   const InjectionRun run = run_with_injector(cs, inj);
+  EXPECT_EQ(inj.undelivered_count(), 0u) << "schedule must be ground truth";
   EXPECT_EQ(run.report.errors_corrected, 3);
   EXPECT_TRUE(run.report.clean());
   EXPECT_LE(run.rel_err, gemm_tolerance<double>(cs.k));
@@ -120,6 +122,7 @@ TEST(MultiError, BurstInOneRow) {
       {InjectionKind::kAddDelta, 0, 7, 40, -4.0, 0},
   });
   const InjectionRun run = run_with_injector(cs, inj);
+  EXPECT_EQ(inj.undelivered_count(), 0u) << "schedule must be ground truth";
   EXPECT_EQ(run.report.errors_corrected, 3);
   EXPECT_TRUE(run.report.clean());
   EXPECT_LE(run.rel_err, gemm_tolerance<double>(cs.k));
@@ -133,6 +136,7 @@ TEST(MultiError, BurstInOneColumn) {
       {InjectionKind::kAddDelta, 0, 45, 9, 8.0, 0},
   });
   const InjectionRun run = run_with_injector(cs, inj);
+  EXPECT_EQ(inj.undelivered_count(), 0u) << "schedule must be ground truth";
   EXPECT_EQ(run.report.errors_corrected, 3);
   EXPECT_TRUE(run.report.clean());
   EXPECT_LE(run.rel_err, gemm_tolerance<double>(cs.k));
@@ -149,6 +153,7 @@ TEST(MultiError, ErrorsInDifferentPanelsAreIndependent) {
   const int num_panels = int((cs.k + plan.kc - 1) / plan.kc);
   if (num_panels < 3) GTEST_SKIP();
   const InjectionRun run = run_with_injector(cs, inj);
+  EXPECT_EQ(inj.undelivered_count(), 0u) << "schedule must be ground truth";
   EXPECT_EQ(run.report.errors_corrected, 3);
   EXPECT_TRUE(run.report.clean());
   EXPECT_LE(run.rel_err, gemm_tolerance<double>(cs.k));
@@ -161,6 +166,7 @@ TEST(MultiError, SameElementTwiceInOnePanelMergesIntoOneCorrection) {
       {InjectionKind::kAddDelta, 0, 11, 13, 2.0, 0},
   });
   const InjectionRun run = run_with_injector(cs, inj);
+  EXPECT_EQ(inj.undelivered_count(), 0u);
   // The two deltas sum in both checksums: one located error of +3.
   EXPECT_EQ(run.report.errors_corrected, 1);
   EXPECT_TRUE(run.report.clean());
@@ -177,8 +183,24 @@ TEST(MultiError, CancellingPairInRowIsAtLeastDetected) {
       {InjectionKind::kAddDelta, 0, 9, 30, -5.0, 0},
   });
   const InjectionRun run = run_with_injector(cs, inj);
+  EXPECT_EQ(inj.undelivered_count(), 0u);
   EXPECT_EQ(run.report.uncorrectable_panels, 1);
   EXPECT_FALSE(run.report.clean());
+}
+
+TEST(MultiError, OutOfGeometryScheduleEntriesAreCountedUndelivered) {
+  // A record whose panel lies beyond the problem's panel count can never be
+  // delivered; pre-fix it was silently skipped, making injected_count an
+  // overstatement of ground truth.  undelivered_count must expose it.
+  const GemmCase cs{64, 64, 64};
+  DeterministicInjector inj({
+      {InjectionKind::kAddDelta, 0, 9, 10, 5.0, 0},
+      {InjectionKind::kAddDelta, 99, 9, 30, -5.0, 0},  // no such panel
+  });
+  const InjectionRun run = run_with_injector(cs, inj);
+  EXPECT_EQ(inj.undelivered_count(), 1u);
+  EXPECT_EQ(run.report.errors_corrected, 1);
+  EXPECT_TRUE(run.report.clean());
 }
 
 // ---------------------------------------------------------------------------
@@ -221,6 +243,8 @@ TEST(CountInjectorTest, TwentyErrorsPerRunAllCorrected) {
   CountInjector inj(20, 4242, 3.0);
   const InjectionRun run = run_with_injector(cs, inj);
   EXPECT_EQ(run.injected, 20u);
+  EXPECT_EQ(inj.undelivered_count(), 0u)
+      << "every scheduled error must have landed in an executed block";
   EXPECT_TRUE(run.report.clean());
   EXPECT_GE(run.report.errors_corrected, 18)
       << "collisions may merge corrections, but nearly all are distinct";
